@@ -1,0 +1,208 @@
+(* Command-line front end: prove/verify real circuits, run the accelerator
+   model, and regenerate the paper's tables and figures.
+
+     nocap-cli prove --benchmark aes --scale 2
+     nocap-cli simulate --constraints 16e6 --hbm-gbps 2048
+     nocap-cli report table4 fig7
+     nocap-cli db --rows 8 --batches 3 --txs 4 *)
+
+open Cmdliner
+open Nocap_repro
+
+let benchmark_arg =
+  let doc = "Benchmark circuit: aes, sha, rsa, litmus, or auction." in
+  Arg.(value & opt string "aes" & info [ "benchmark"; "b" ] ~docv:"NAME" ~doc)
+
+let scale_arg =
+  let doc = "Workload scale (blocks / bids / transactions)." in
+  Arg.(value & opt int 1 & info [ "scale"; "s" ] ~docv:"N" ~doc)
+
+let reps_arg =
+  let doc = "Sumcheck soundness repetitions (paper uses 3)." in
+  Arg.(value & opt int 1 & info [ "repetitions"; "r" ] ~docv:"N" ~doc)
+
+let prove_cmd =
+  let run name scale reps =
+    let b =
+      try Benchmarks.find name
+      with Not_found ->
+        Printf.eprintf "unknown benchmark %s\n" name;
+        exit 1
+    in
+    Printf.printf "building %s circuit (scale %d): %s\n%!" b.Benchmarks.name scale
+      b.Benchmarks.description;
+    let inst, asn = b.Benchmarks.generate scale in
+    Printf.printf "  constraints: %d (padded to 2^%d), nnz: %d\n%!"
+      inst.R1cs.num_constraints inst.R1cs.log_size (R1cs.nnz inst);
+    let params = { Spartan.test_params with Spartan.repetitions = reps } in
+    let t0 = Unix.gettimeofday () in
+    let proof, stats = Spartan.prove params inst asn in
+    let t1 = Unix.gettimeofday () in
+    Printf.printf "  proved in %.3f s (%d sumcheck mults, %d spmv mults, %d hashes)\n%!"
+      (t1 -. t0) stats.Spartan.sumcheck_mults stats.Spartan.spmv_mults
+      stats.Spartan.transcript_hashes;
+    Printf.printf "  proof size: %d bytes\n%!" (Spartan.proof_size_bytes params proof);
+    let t2 = Unix.gettimeofday () in
+    (match Spartan.verify params inst ~io:(R1cs.public_io inst asn) proof with
+    | Ok () -> Printf.printf "  verified in %.3f s: OK\n%!" (Unix.gettimeofday () -. t2)
+    | Error e ->
+      Printf.printf "  VERIFICATION FAILED: %s\n%!" e;
+      exit 1);
+    (* Model the same statement at paper scale. *)
+    let wl =
+      Workload.spartan_orion ~density:b.Benchmarks.density
+        ~n_constraints:b.Benchmarks.r1cs_size ()
+    in
+    let sim = Simulator.run Hw_config.default wl in
+    Printf.printf "at paper scale (%.0fM constraints): NoCap would prove in %s\n"
+      (b.Benchmarks.r1cs_size /. 1e6)
+      (Zk_report.Render.seconds sim.Simulator.total_seconds)
+  in
+  Cmd.v (Cmd.info "prove" ~doc:"Build a benchmark circuit, prove and verify it.")
+    Term.(const run $ benchmark_arg $ scale_arg $ reps_arg)
+
+let constraints_arg =
+  let doc = "Statement size in R1CS constraints." in
+  Arg.(value & opt float 16.0e6 & info [ "constraints"; "n" ] ~docv:"N" ~doc)
+
+let hbm_arg =
+  let doc = "HBM bandwidth in GB/s." in
+  Arg.(value & opt float 1024.0 & info [ "hbm-gbps" ] ~docv:"GBPS" ~doc)
+
+let arith_arg =
+  let doc = "Multiply/add lane-count scale factor." in
+  Arg.(value & opt float 1.0 & info [ "arith-scale" ] ~docv:"F" ~doc)
+
+let regfile_arg =
+  let doc = "Register file size in MB." in
+  Arg.(value & opt float 8.0 & info [ "regfile-mb" ] ~docv:"MB" ~doc)
+
+let simulate_cmd =
+  let run n hbm arith regfile =
+    let c = Hw_config.scale_fu Hw_config.default `Arith arith in
+    let c = { c with Hw_config.hbm_gbps = hbm; regfile_mb = regfile } in
+    Printf.printf "%s\n" (Hw_config.describe c);
+    let r = Simulator.run c (Workload.spartan_orion ~n_constraints:n ()) in
+    Printf.printf "proving time: %s (%.0f cycles)\n"
+      (Zk_report.Render.seconds r.Simulator.total_seconds)
+      r.Simulator.total_cycles;
+    List.iter
+      (fun (t : Simulator.task_timing) ->
+        Printf.printf "  %-13s %6.2f%%  bound by %s\n"
+          (Workload.task_name t.Simulator.task)
+          (100.0 *. t.Simulator.cycles /. r.Simulator.total_cycles)
+          (Simulator.resource_name t.Simulator.bound_by))
+      r.Simulator.tasks;
+    let area = Area.of_config c in
+    let power = Power.of_result r in
+    Printf.printf "area: %.1f mm^2, power: %.1f W, compute utilization: %.0f%%\n"
+      (Area.total area) (Power.total power)
+      (100.0 *. r.Simulator.compute_utilization)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the NoCap timing/area/power model on one statement.")
+    Term.(const run $ constraints_arg $ hbm_arg $ arith_arg $ regfile_arg)
+
+let report_items =
+  [
+    ("table1", Zk_report.Tables.table1);
+    ("table2", Zk_report.Tables.table2);
+    ("table3", Zk_report.Tables.table3);
+    ("table4", Zk_report.Tables.table4);
+    ("table5", Zk_report.Tables.table5);
+    ("fig5", Zk_report.Figures.fig5);
+    ("fig6", Zk_report.Figures.fig6);
+    ("fig7", Zk_report.Figures.fig7);
+    ("fig8", Zk_report.Figures.fig8);
+    ("ablations", Zk_report.Figures.ablations);
+    ("db", Zk_report.Figures.db_throughput);
+    ("apps", Zk_report.Figures.applications);
+    ("scaling", Zk_report.Figures.scaling);
+    ("soundness", Zk_report.Figures.soundness_ablation);
+  ]
+
+let report_cmd =
+  let ids_arg =
+    let doc = "Items to print (default: all). One of: table1..table5, fig5..fig8, ablations, db, apps." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ITEM" ~doc)
+  in
+  let run ids =
+    let ids = if ids = [] then List.map fst report_items else ids in
+    List.iter
+      (fun id ->
+        match List.assoc_opt id report_items with
+        | Some f -> f ()
+        | None -> Printf.eprintf "unknown report item %s\n" id)
+      ids
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate the paper's evaluation tables and figures.")
+    Term.(const run $ ids_arg)
+
+let db_cmd =
+  let rows_arg = Arg.(value & opt int 8 & info [ "rows" ] ~docv:"N" ~doc:"Table rows.") in
+  let batches_arg = Arg.(value & opt int 2 & info [ "batches" ] ~docv:"N" ~doc:"Batches to prove.") in
+  let txs_arg = Arg.(value & opt int 4 & info [ "txs" ] ~docv:"N" ~doc:"Transactions per batch.") in
+  let run rows batches txs =
+    let db = Zkdb.create ~rows ~seed:7L in
+    let rng = Rng.create 8L in
+    for i = 1 to batches do
+      let batch = Litmus_circuit.random_transactions rng ~rows ~count:txs in
+      let t0 = Unix.gettimeofday () in
+      let receipt = Zkdb.prove_batch db batch in
+      let ok = Zkdb.verify_batch receipt in
+      Printf.printf "batch %d: %d txs, %d constraints, proved+verified in %.3f s: %s\n%!"
+        i txs receipt.Zkdb.instance.R1cs.num_constraints
+        (Unix.gettimeofday () -. t0)
+        (if ok then "OK" else "FAILED")
+    done;
+    Zk_report.Figures.db_throughput ()
+  in
+  Cmd.v
+    (Cmd.info "db" ~doc:"Run the verifiable database demo and throughput analysis.")
+    Term.(const run $ rows_arg $ batches_arg $ txs_arg)
+
+let batch_cmd =
+  let size_arg =
+    Arg.(value & opt int 4 & info [ "size"; "k" ] ~docv:"K" ~doc:"Statements per batch.")
+  in
+  let run k =
+    (* k proofs of knowledge of factorizations, batched into shared
+       sumchecks (Aggregate): the Litmus-style amortization. *)
+    let build x y =
+      let b = Builder.create () in
+      let vx = Builder.witness b (Gf.of_int x) in
+      let vy = Builder.witness b (Gf.of_int y) in
+      let out = Builder.input b (Gf.of_int (x * y)) in
+      Builder.constrain b (Builder.lc_var vx) (Builder.lc_var vy) (Builder.lc_var out);
+      Builder.finalize b
+    in
+    let rng = Rng.create 99L in
+    let pairs = Array.init k (fun _ -> (2 + Rng.int rng 100, 2 + Rng.int rng 100)) in
+    let inst = fst (build (fst pairs.(0)) (snd pairs.(0))) in
+    let assignments = Array.map (fun (x, y) -> snd (build x y)) pairs in
+    let t0 = Unix.gettimeofday () in
+    let proof = Aggregate.prove Spartan.test_params inst assignments in
+    let mid = Unix.gettimeofday () in
+    let ios = Array.map (R1cs.public_io inst) assignments in
+    (match Aggregate.verify Spartan.test_params inst ~ios proof with
+    | Ok () ->
+      Printf.printf
+        "batched %d statements: proved in %.3f s, verified in %.3f s (%d bytes, one shared sumcheck pair)\n"
+        k (mid -. t0)
+        (Unix.gettimeofday () -. mid)
+        (Aggregate.proof_size_bytes Spartan.test_params proof)
+    | Error e ->
+      Printf.eprintf "batch verification failed: %s\n" e;
+      exit 1);
+    let single, _ = Spartan.prove Spartan.test_params inst assignments.(0) in
+    Printf.printf "k separate proofs would total %d bytes\n"
+      (k * Spartan.proof_size_bytes Spartan.test_params single)
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc:"Prove many statements of one circuit with shared sumchecks.")
+    Term.(const run $ size_arg)
+
+let () =
+  let info = Cmd.info "nocap-cli" ~doc:"NoCap reproduction: hash-based ZKP proving and accelerator modeling." in
+  exit (Cmd.eval (Cmd.group info [ prove_cmd; simulate_cmd; report_cmd; db_cmd; batch_cmd ]))

@@ -1,0 +1,1 @@
+examples/auction_demo.ml: Array Auction_circuit Benchmarks Cpu_model Gf Hw_config Nocap_repro Printf R1cs Simulator Spartan Unix Workload Zk_report

@@ -1,0 +1,1 @@
+examples/ml_inference.ml: Array Builder Gadgets Gf Hw_config Nocap_repro Printf R1cs Rng Simulator Spartan String Unix Workload Zk_report

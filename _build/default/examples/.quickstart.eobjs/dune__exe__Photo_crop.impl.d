@@ -1,0 +1,1 @@
+examples/photo_crop.ml: Array Builder Cpu_model Gadgets Gf Hw_config List Nocap_repro Printf Proofsize R1cs Rng Simulator Spartan Unix Workload Zk_report

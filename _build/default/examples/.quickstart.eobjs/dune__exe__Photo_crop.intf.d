@@ -1,0 +1,1 @@
+examples/photo_crop.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Gadgets Gf Nocap_repro Printf R1cs Spartan

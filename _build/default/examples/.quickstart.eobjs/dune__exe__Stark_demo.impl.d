@@ -1,0 +1,1 @@
+examples/stark_demo.ml: Array Fri Gf Nocap_repro Printf Rng Stark Transcript Unix

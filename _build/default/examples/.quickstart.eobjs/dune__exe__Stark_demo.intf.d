@@ -1,0 +1,1 @@
+examples/stark_demo.mli:

@@ -1,0 +1,1 @@
+examples/verifiable_db.ml: Array Litmus_circuit Nocap_repro Printf R1cs Rng String Unix Zkdb

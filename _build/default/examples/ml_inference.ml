@@ -1,0 +1,108 @@
+(* Verifiable machine learning (Sec. I: "a server can use ZKPs to prove to
+   clients that a (secret) machine-learning model achieves a certain
+   accuracy" / zkCNN-style inference): the server proves that its hidden
+   model classifies a public input the way it claims, without revealing the
+   weights.
+
+   The model is a small fixed-point two-layer perceptron; the circuit
+   computes both layers (matrix-vector products over the field, ReLU via the
+   comparison gadget) and exposes only the predicted class index.
+
+   Run with: dune exec examples/ml_inference.exe *)
+
+open Nocap_repro
+
+let input_dim = 8
+let hidden_dim = 6
+let classes = 3
+let fixed_bits = 8 (* inputs and weights are 8-bit fixed-point magnitudes *)
+
+let () =
+  let rng = Rng.create 424242L in
+  (* Secret model. *)
+  let w1 = Array.init hidden_dim (fun _ -> Array.init input_dim (fun _ -> Rng.int rng 16)) in
+  let w2 = Array.init classes (fun _ -> Array.init hidden_dim (fun _ -> Rng.int rng 16)) in
+  (* Public input vector. *)
+  let x = Array.init input_dim (fun _ -> Rng.int rng (1 lsl fixed_bits)) in
+
+  (* Reference inference (everything is non-negative here, so ReLU only
+     matters after centring; we centre by subtracting a per-neuron bias). *)
+  let bias = 8 * 128 * 4 in
+  let layer weights v =
+    Array.map
+      (fun row ->
+        let acc = ref 0 in
+        Array.iteri (fun i wi -> acc := !acc + (wi * v.(i))) row;
+        max 0 (!acc - bias))
+      weights
+  in
+  let hidden = layer w1 x in
+  let logits = layer w2 hidden in
+  let predicted = ref 0 in
+  Array.iteri (fun i l -> if l > logits.(!predicted) then predicted := i) logits;
+  Printf.printf "hidden model, public input: predicted class %d (logits %s)\n"
+    !predicted
+    (String.concat " " (Array.to_list (Array.map string_of_int logits)));
+
+  (* Circuit. *)
+  let b = Builder.create () in
+  let xs = Array.map (fun v -> Builder.input b (Gf.of_int v)) x in
+  let wire_layer weights inputs width =
+    Array.map
+      (fun row ->
+        let row_w = Array.map (fun v -> Builder.witness b (Gf.of_int v)) row in
+        (* Dot product: materialize each product, sum as a linear combination,
+           subtract the bias. *)
+        let terms =
+          Array.to_list (Array.map2 (fun w v -> (Gadgets.mul b w v, Gf.one)) row_w inputs)
+        in
+        let pre =
+          Gadgets.add_lc b
+            (Builder.lc_add terms (Builder.lc_const (Gf.of_int (-bias))))
+        in
+        (* ReLU(pre) via sign test: pre is in (-bias, 2^width); shift into
+           non-negative range, take the "is negative" bit, select. *)
+        let shifted =
+          Gadgets.add_lc b
+            (Builder.lc_add (Builder.lc_var pre) (Builder.lc_const (Gf.of_int bias)))
+        in
+        let bits = Gadgets.bits_of b ~width shifted in
+        ignore bits;
+        let zero = Gadgets.add_lc b (Builder.lc_const Gf.zero) in
+        let bias_wire = Gadgets.add_lc b (Builder.lc_const (Gf.of_int bias)) in
+        let is_neg = Gadgets.less_than b ~width shifted bias_wire in
+        Gadgets.select b ~cond:is_neg zero pre)
+      weights
+  in
+  let hidden_w = wire_layer w1 xs 22 in
+  let logits_w = wire_layer w2 hidden_w 30 in
+  (* Prove the claimed class has the maximum logit. *)
+  let claimed = logits_w.(!predicted) in
+  Array.iteri
+    (fun i l ->
+      if i <> !predicted then begin
+        let lt = Gadgets.less_than b ~width:30 l claimed in
+        ignore (Gadgets.bor b lt (Gadgets.equal b l claimed) |> fun ge ->
+                Gadgets.assert_equal b (Builder.lc_var ge) (Builder.lc_const Gf.one))
+      end)
+    logits_w;
+  let class_out = Builder.input b (Gf.of_int !predicted) in
+  ignore class_out;
+  let instance, assignment = Builder.finalize b in
+  Printf.printf "circuit: %d constraints\n%!" instance.R1cs.num_constraints;
+
+  let t0 = Unix.gettimeofday () in
+  let proof, _ = Spartan.prove Spartan.test_params instance assignment in
+  Printf.printf "proved in %.2f s\n%!" (Unix.gettimeofday () -. t0);
+  (match Spartan.verify Spartan.test_params instance
+           ~io:(R1cs.public_io instance assignment) proof with
+  | Ok () -> print_endline "verified: the hidden model really outputs that class"
+  | Error e -> failwith e);
+
+  (* Sec. I's confidential-DP-training claim, from the models. *)
+  let dp_n = 100.0 *. 3600.0 /. (94.2 /. 16.0e6) in
+  let sim = Simulator.run Hw_config.default (Workload.spartan_orion ~n_constraints:dp_n ()) in
+  Printf.printf
+    "\nscaling up: proving a DP training run the paper sizes at 100 CPU-hours\n\
+     would take NoCap %s (paper: under 30 minutes)\n"
+    (Zk_report.Render.seconds sim.Simulator.total_seconds)

@@ -1,0 +1,40 @@
+(* Real-time verifiable database (Sec. I / Sec. VIII): a server executes
+   YCSB-style transactions and hands every client a proof that each batch
+   moved the public table state forward correctly — the Litmus use case whose
+   latency NoCap makes practical.
+
+   Run with: dune exec examples/verifiable_db.exe *)
+
+open Nocap_repro
+
+let () =
+  let rows = 8 in
+  let db = Zkdb.create ~rows ~seed:31L in
+  Printf.printf "verifiable KV store with %d rows; initial state:\n  %s\n" rows
+    (String.concat " " (Array.to_list (Array.map string_of_int (Zkdb.state db))));
+  let rng = Rng.create 32L in
+  for batch = 1 to 3 do
+    let txs = Litmus_circuit.random_transactions rng ~rows ~count:4 in
+    let t0 = Unix.gettimeofday () in
+    let receipt = Zkdb.prove_batch db txs in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let ok = Zkdb.verify_batch receipt in
+    Printf.printf
+      "batch %d: 4 txs -> %d constraints, proved in %.2f s, verified: %s; state now %s\n%!"
+      batch receipt.Zkdb.instance.R1cs.num_constraints elapsed
+      (if ok then "OK" else "FAILED")
+      (String.concat " " (Array.to_list (Array.map string_of_int (Zkdb.state db))))
+  done;
+
+  (* The headline: throughput at a 1-second latency target. *)
+  print_newline ();
+  let show platform name =
+    Printf.printf
+      "%-6s at 1 s latency: %5.0f tx/s (prove+verify), %5.0f tx/s (incl. proof transfer)\n"
+      name
+      (Zkdb.max_throughput ~platform ~include_send:false ~latency_budget:1.0)
+      (Zkdb.max_throughput ~platform ~include_send:true ~latency_budget:1.0)
+  in
+  show Zkdb.Cpu "CPU";
+  show Zkdb.Nocap "NoCap";
+  print_endline "(paper: 2 tx/s on the CPU vs 1,142 tx/s on NoCap)"

@@ -1,0 +1,1 @@
+lib/baseline/cpu_model.ml:

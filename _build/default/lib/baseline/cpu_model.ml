@@ -1,0 +1,24 @@
+type spartan_options = { goldilocks : bool; reed_solomon : bool; recompute : bool }
+
+let default_options = { goldilocks = true; reed_solomon = true; recompute = false }
+
+(* 94.2 s / 16M constraints (Table IV) in the optimized configuration. *)
+let spartan_base_seconds_per_constraint = 94.2 /. 16.0e6
+
+let spartan_orion_seconds ?(options = default_options) ?(density = 1.0) ~n_constraints () =
+  if n_constraints <= 0.0 then invalid_arg "Cpu_model.spartan_orion_seconds";
+  let field_factor = if options.goldilocks then 1.0 else 1.7 in
+  let code_factor = if options.reed_solomon then 1.0 else 1.2 in
+  (* Recomputation trades memory traffic for multiplies; the CPU is not
+     memory-bound, so it only hurts (by 1%, Sec. VIII-C). *)
+  let recompute_factor = if options.recompute then 1.01 else 1.0 in
+  spartan_base_seconds_per_constraint *. n_constraints *. density *. field_factor
+  *. code_factor *. recompute_factor
+
+(* 53.99 s / 16M constraints (Table I). *)
+let groth16_seconds ~n_constraints = 53.99 /. 16.0e6 *. n_constraints
+
+let serial_mult_rate_ratio = 4.66
+let parallel_speedup_spartan = 2.7
+let parallel_speedup_groth16 = 5.0
+let multiplies_ratio = 4.94

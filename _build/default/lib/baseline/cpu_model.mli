@@ -1,0 +1,38 @@
+(** CPU proving-time models for the 32-core Threadripper 3975WX baseline
+    (Sec. VII), calibrated to the paper's measurements and the efficiency
+    analysis of Sec. III.
+
+    Spartan+Orion on the CPU costs 5.8875 us/constraint in the optimized
+    configuration (94.2 s at 16M constraints, Table IV) and scales linearly;
+    the protocol-optimization ablations of Sec. VIII-C are exposed as flags:
+    the wide-field configuration is 1.7x slower, the expander code a further
+    1.2x, and enabling sumcheck recomputation on the CPU costs 1% (the CPU is
+    not memory-bound, which is why the software version leaves it off). *)
+
+type spartan_options = {
+  goldilocks : bool; (** narrow 64-bit field (default true) *)
+  reed_solomon : bool; (** RS instead of expander codes (default true) *)
+  recompute : bool; (** sumcheck recomputation (default false on CPU) *)
+}
+
+val default_options : spartan_options
+
+val spartan_orion_seconds :
+  ?options:spartan_options -> ?density:float -> n_constraints:float -> unit -> float
+
+val groth16_seconds : n_constraints:float -> float
+(** libsnark on the same CPU: 53.99 s at 16M constraints (Table I). *)
+
+val serial_mult_rate_ratio : float
+(** Sec. III: serially, the Spartan+Orion CPU code sustains 4.66x fewer
+    64-bit multiplies per second than Groth16's. *)
+
+val parallel_speedup_spartan : float
+(** 2.7x on 32 cores (Sec. III). *)
+
+val parallel_speedup_groth16 : float
+(** 5.0x on 32 cores (Sec. III). *)
+
+val multiplies_ratio : float
+(** Spartan+Orion performs 4.94x fewer 64-bit multiplies than Groth16
+    (Sec. III). *)

@@ -1,0 +1,16 @@
+(** GZKP (ASPLOS'23): Groth16 on an NVIDIA V100 GPU. The paper reports 37.44 s
+    at 16M constraints (Table I) and, assuming generous linear scaling from
+    the GPU's modular-arithmetic throughput (Sec. IX-B), 513 s for the 550M-
+    constraint Auction benchmark. *)
+
+val table1_seconds : float
+(** 37.44 s at 16M constraints. *)
+
+val auction_seconds : float
+(** 513 s at 550M constraints (Sec. IX-B's linear-scaling estimate). *)
+
+val goldilocks_multiply_add_per_cycle : float
+(** ~200: the V100's sustained Goldilocks multiply-add rate, 10x below
+    NoCap's (Sec. IX-B). *)
+
+val nocap_multiply_add_per_cycle : float

@@ -1,0 +1,21 @@
+(** Performance model of PipeZK (ISCA'21), the state-of-the-art Groth16 ASIC
+    the paper compares against, scaled per Sec. VII to NoCap's 14nm node,
+    area, frequency and memory bandwidth, and using BLS12-381.
+
+    The defining property (Sec. III): PipeZK accelerates the MSM/NTT pipeline
+    by 32x over the CPU, but the MSM-G2 phase stays on the CPU and caps
+    end-to-end speedup — at 16M constraints the accelerated part takes 1.43 s
+    and the CPU part the remaining 6.59 s of the 8.02 s total. Both parts
+    scale linearly with constraint count. *)
+
+val accelerated_seconds : n_constraints:float -> float
+(** The part PipeZK's pipelines execute. *)
+
+val cpu_seconds : n_constraints:float -> float
+(** The MSM-G2 phase left on the host CPU. *)
+
+val seconds : n_constraints:float -> float
+(** End-to-end proving time. *)
+
+val accelerated_speedup_over_cpu : float
+(** 32x on the offloaded portion (Sec. III). *)

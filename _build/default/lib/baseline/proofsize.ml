@@ -1,0 +1,17 @@
+let log2 x = log x /. log 2.0
+
+(* Least-squares fits of Table III against (log2 N)^2. *)
+let proof_mb ~n = (0.01584 *. (log2 n ** 2.0)) -. 1.13
+
+let verifier_ms ~n = (0.5079 *. (log2 n ** 2.0)) -. 162.0
+
+let spartan_orion_proof_bytes ~n_constraints =
+  if n_constraints <= 0.0 then invalid_arg "Proofsize.spartan_orion_proof_bytes";
+  proof_mb ~n:n_constraints *. 1024.0 *. 1024.0
+
+let spartan_orion_verifier_seconds ~n_constraints =
+  verifier_ms ~n:n_constraints /. 1000.0
+
+let groth16_proof_bytes = 204.8
+
+let groth16_verifier_seconds = 0.010

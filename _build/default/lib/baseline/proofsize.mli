@@ -1,0 +1,20 @@
+(** Proof-size and verifier-time models (Table III).
+
+    Spartan+Orion proofs and verification both grow as O(log^2 N) in the
+    constraint count (Sec. III, citing Orion); the coefficients here are a
+    least-squares fit to the paper's five benchmark measurements, accurate to
+    a few percent across 16M-550M constraints. Groth16's proof is a constant
+    0.2 KB verified in ~10 ms. Note that this models the full Orion scheme
+    with its recursive proof composition; the non-recursive implementation in
+    {!Zk_orion} produces larger proofs (use
+    {!Zk_orion.Orion.proof_size_bytes} for those). *)
+
+val spartan_orion_proof_bytes : n_constraints:float -> float
+
+val spartan_orion_verifier_seconds : n_constraints:float -> float
+
+val groth16_proof_bytes : float
+(** 0.2 KB. *)
+
+val groth16_verifier_seconds : float
+(** 10 ms. *)

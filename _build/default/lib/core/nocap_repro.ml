@@ -1,0 +1,94 @@
+(** Top-level public API for the NoCap reproduction.
+
+    One alias per subsystem, grouped the way DESIGN.md inventories them. A
+    typical proving session:
+
+    {[
+      let b = Nocap_repro.Builder.create () in
+      (* ... build a circuit with Nocap_repro.Gadgets ... *)
+      let instance, assignment = Nocap_repro.Builder.finalize b in
+      let proof, _ = Nocap_repro.Spartan.prove params instance assignment in
+      Nocap_repro.Spartan.verify params instance ~io proof
+    ]}
+
+    and a typical accelerator study:
+
+    {[
+      let wl = Nocap_repro.Workload.spartan_orion ~n_constraints:16e6 () in
+      Nocap_repro.Simulator.run Nocap_repro.Hw_config.default wl
+    ]} *)
+
+(* Substrates *)
+module Rng = Zk_util.Rng
+module Stats = Zk_util.Stats
+module Gf = Zk_field.Gf
+module Gf2 = Zk_field.Gf2
+module Limbs = Zk_field.Limbs
+module Fr_bls = Zk_field.Fr_bls
+module Fq_bls = Zk_field.Fq_bls
+module Keccak = Zk_hash.Keccak
+module Transcript = Zk_hash.Transcript
+module Multiset_hash = Zk_hash.Multiset_hash
+module Ntt = Zk_ntt.Ntt
+module Dense_poly = Zk_poly.Dense
+module Mle = Zk_poly.Mle
+module Reed_solomon = Zk_ecc.Reed_solomon
+module Expander_code = Zk_ecc.Expander
+module Merkle = Zk_merkle.Merkle
+
+(* Arithmetization and protocol *)
+module Sparse = Zk_r1cs.Sparse
+module R1cs = Zk_r1cs.R1cs
+module Builder = Zk_r1cs.Builder
+module Gadgets = Zk_r1cs.Gadgets
+module Lang = Zk_r1cs.Lang
+module Memory_check = Zk_r1cs.Memory_check
+module Bignum = Zk_r1cs.Bignum
+module Sumcheck = Zk_sumcheck.Sumcheck
+module Sumcheck_ext = Zk_sumcheck.Sumcheck_ext
+module Grand_product = Zk_sumcheck.Grand_product
+module Orion = Zk_orion.Orion
+module Fri = Zk_orion.Fri
+module Stark = Zk_orion.Stark
+module Spartan = Zk_spartan.Spartan
+module Proof_serialize = Zk_spartan.Serialize
+module Aggregate = Zk_spartan.Aggregate
+
+(* Groth16 baseline substrate *)
+module G1 = Zk_curve.G1
+module Msm = Zk_curve.Msm
+module Groth16 = Zk_curve.Groth16
+
+(* Accelerator model *)
+module Hw_config = Nocap_model.Config
+module Workload = Nocap_model.Workload
+module Simulator = Nocap_model.Simulator
+module Area = Nocap_model.Area
+module Power = Nocap_model.Power
+module Isa = Nocap_model.Isa
+module Vm = Nocap_model.Vm
+module Schedule = Nocap_model.Schedule
+module Streams = Nocap_model.Streams
+module Multichip = Nocap_model.Multichip
+module Kernels = Nocap_model.Kernels
+module Spmv_compile = Nocap_model.Spmv_compile
+
+(* Baselines and evaluation *)
+module Cpu_model = Zk_baseline.Cpu_model
+module Pipezk = Zk_baseline.Pipezk
+module Gzkp = Zk_baseline.Gzkp
+module Proofsize = Zk_baseline.Proofsize
+module Endtoend = Zk_perf.Endtoend
+module Opcounts = Zk_perf.Opcounts
+
+(* Workloads and applications *)
+module Benchmarks = Zk_workloads.Benchmarks
+module Cipher = Zk_workloads.Cipher
+module Aes128 = Zk_workloads.Aes128
+module Keccak_circuit = Zk_workloads.Keccak_circuit
+module Sha256_circuit = Zk_workloads.Sha256_circuit
+module Modexp = Zk_workloads.Modexp
+module Auction_circuit = Zk_workloads.Auction_circuit
+module Litmus_circuit = Zk_workloads.Litmus_circuit
+module Synthetic = Zk_workloads.Synthetic
+module Zkdb = Zk_zkdb.Zkdb

@@ -1,0 +1,1 @@
+lib/curve/g1.ml: Zk_field

@@ -1,0 +1,1 @@
+lib/curve/g1.mli: Zk_field Zk_util

@@ -1,0 +1,1 @@
+lib/curve/groth16.ml: Array Int64 List Zk_field Zk_ntt

@@ -1,0 +1,1 @@
+lib/curve/groth16.mli: Zk_field Zk_util

@@ -1,0 +1,1 @@
+lib/curve/msm.ml: Array G1 Zk_field

@@ -1,0 +1,1 @@
+lib/curve/msm.mli: G1 Zk_field

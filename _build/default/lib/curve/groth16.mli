@@ -1,0 +1,53 @@
+(** Groth16 over the BLS12-381 scalar field — the baseline zk-SNARK that
+    PipeZK and GZKP accelerate (Sec. III).
+
+    The full prover data path is implemented: R1CS-to-QAP conversion with
+    Lagrange evaluation at the toxic-waste point, the coset-NTT computation of
+    the quotient polynomial [h(x) = (A(x)B(x) - C(x)) / Z(x)], and the
+    random-shifted proof terms. Group exponentiations are carried out in the
+    exponent (over Fr) with the trapdoor retained, replacing the pairing-based
+    verification by the equivalent scalar identity — see DESIGN.md: the
+    prover-side work being modelled (NTTs + MSMs) is what the comparison
+    needs, and the real G1 MSM kernel lives in {!Msm}. *)
+
+module Fr = Zk_field.Fr_bls
+
+type lc = (int * Fr.t) list
+(** Linear combination over variables; variable 0 is the constant 1. *)
+
+type circuit = {
+  num_vars : int;
+  num_public : int; (** variables [0 .. num_public-1] are public (incl. 1) *)
+  constraints : (lc * lc * lc) array;
+}
+
+val satisfied : circuit -> Fr.t array -> bool
+
+type setup
+(** Proving/verification parameters; retains the trapdoor (simulation
+    setting). *)
+
+type proof = { pi_a : Fr.t; pi_b : Fr.t; pi_c : Fr.t }
+
+val setup : Zk_util.Rng.t -> circuit -> setup
+
+val prove : Zk_util.Rng.t -> setup -> circuit -> Fr.t array -> proof
+(** @raise Invalid_argument if the assignment does not satisfy the circuit. *)
+
+val verify : setup -> circuit -> Fr.t array -> proof -> bool
+(** [verify s c public proof] with [public] the first [num_public] variable
+    values (starting with 1). *)
+
+val domain_size : circuit -> int
+(** The NTT domain the prover works over (constraints padded to a power of
+    two). *)
+
+type workload = {
+  ntt_points : int; (** total points across the prover's 7 size-[d] NTTs *)
+  msm_g1_points : int; (** G1 MSM input points (3 MSMs of ~n each) *)
+  msm_g2_points : int; (** G2 MSM input points (the phase PipeZK leaves on the CPU) *)
+}
+
+val prover_workload : n:int -> workload
+(** Operation counts for a Groth16 proof over [n] constraints; drives the
+    CPU/PipeZK cost models (Sec. III, Sec. VII). *)

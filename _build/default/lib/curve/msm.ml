@@ -1,0 +1,61 @@
+module Fr = Zk_field.Fr_bls
+module Limbs = Zk_field.Limbs
+
+let naive scalars points =
+  if Array.length scalars <> Array.length points then invalid_arg "Msm.naive: lengths";
+  let acc = ref G1.infinity in
+  Array.iteri (fun i s -> acc := G1.add !acc (G1.scalar_mul s points.(i))) scalars;
+  !acc
+
+let window_for n =
+  let rec log2 k m = if m <= 1 then k else log2 (k + 1) (m / 2) in
+  min 16 (max 2 (log2 0 n - 2))
+
+let scalar_bits = 255
+
+(* Extract the [window]-bit digit of a scalar starting at bit [lo]. *)
+let digit limbs lo window =
+  let v = ref 0 in
+  for b = window - 1 downto 0 do
+    let bit = if Limbs.bit limbs (lo + b) then 1 else 0 in
+    v := (!v lsl 1) lor bit
+  done;
+  !v
+
+let pippenger ?window scalars points =
+  let n = Array.length scalars in
+  if n <> Array.length points then invalid_arg "Msm.pippenger: lengths";
+  if n = 0 then G1.infinity
+  else begin
+    let c = match window with Some c -> c | None -> window_for n in
+    let num_windows = (scalar_bits + c - 1) / c in
+    let limbs = Array.map Fr.to_limbs scalars in
+    let acc = ref G1.infinity in
+    for w = num_windows - 1 downto 0 do
+      (* Shift the accumulator left by one window. *)
+      if not (G1.is_infinity !acc) then
+        for _ = 1 to c do
+          acc := G1.double !acc
+        done;
+      (* Bucket accumulation for this window. *)
+      let buckets = Array.make ((1 lsl c) - 1) G1.infinity in
+      for i = 0 to n - 1 do
+        let d = digit limbs.(i) (w * c) c in
+        if d > 0 then buckets.(d - 1) <- G1.add buckets.(d - 1) points.(i)
+      done;
+      (* Running-sum reduction: sum_d d * bucket_d with 2 * |buckets| adds. *)
+      let running = ref G1.infinity and windowed = ref G1.infinity in
+      for d = Array.length buckets - 1 downto 0 do
+        running := G1.add !running buckets.(d);
+        windowed := G1.add !windowed !running
+      done;
+      acc := G1.add !acc !windowed
+    done;
+    !acc
+  end
+
+let point_adds_estimate ~n ~window =
+  let num_windows = (scalar_bits + window - 1) / window in
+  (* Per window: n bucket insertions + 2 * 2^window reduction adds, plus the
+     window shift doublings. *)
+  num_windows * (n + (2 * (1 lsl window)) + window)

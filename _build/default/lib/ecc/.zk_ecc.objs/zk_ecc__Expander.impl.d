@@ -1,0 +1,1 @@
+lib/ecc/expander.ml: Array Int64 Reed_solomon Zk_field Zk_util

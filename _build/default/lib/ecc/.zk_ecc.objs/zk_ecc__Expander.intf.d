@@ -1,0 +1,1 @@
+lib/ecc/expander.mli: Linear_code

@@ -1,0 +1,1 @@
+lib/ecc/linear_code.ml: Zk_field

@@ -1,0 +1,1 @@
+lib/ecc/reed_solomon.ml: Array Int64 Zk_field Zk_ntt

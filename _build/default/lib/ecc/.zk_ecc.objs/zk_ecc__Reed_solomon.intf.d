@@ -1,0 +1,1 @@
+lib/ecc/reed_solomon.mli: Linear_code Zk_field

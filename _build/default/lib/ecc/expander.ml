@@ -1,0 +1,65 @@
+module Gf = Zk_field.Gf
+module Rng = Zk_util.Rng
+
+let name = "expander"
+
+let blowup = 4
+
+(* Expander codes at this rate need far more column queries than
+   Reed-Solomon for the same soundness (Sec. VII-A). *)
+let query_count = 1222
+
+let base_size = 32
+
+let degree = 8 (* nonzeros per row of each sparse graph matrix *)
+
+(* A sparse row of a pseudo-random graph matrix: [degree] (column, coeff)
+   pairs, derived deterministically from (tag, n, row) so that encoding is a
+   fixed linear map per message size. *)
+let sparse_row ~tag ~n ~cols ~row =
+  let seed =
+    Int64.add
+      (Int64.mul (Int64.of_int n) 0x9E3779B97F4A7C15L)
+      (Int64.add (Int64.mul (Int64.of_int row) 6364136223846793005L) (Int64.of_int tag))
+  in
+  let rng = Rng.create seed in
+  Array.init degree (fun _ ->
+      let col = Rng.int rng cols in
+      let coeff = Gf.add Gf.one (Gf.of_int64 (Int64.rem (Rng.next rng) (Int64.sub Gf.p 1L))) in
+      (col, coeff))
+
+let apply_graph ~tag ~rows x =
+  let cols = Array.length x in
+  Array.init rows (fun r ->
+      let row = sparse_row ~tag ~n:cols ~cols ~row:r in
+      Array.fold_left
+        (fun acc (c, coeff) -> Gf.add acc (Gf.mul coeff x.(c)))
+        Gf.zero row)
+
+let rec encode msg =
+  let n = Array.length msg in
+  if n = 0 || n land (n - 1) <> 0 then
+    invalid_arg "Expander.encode: message length must be a power of two";
+  if n <= base_size then Reed_solomon.encode msg
+  else begin
+    (* Compress to n/2 through graph A, encode recursively (giving 2n), then
+       expand the concatenation back through graph B to n more symbols:
+       total n + 2n + n = 4n. The message is systematic in the codeword. *)
+    let y = apply_graph ~tag:1 ~rows:(n / 2) msg in
+    let z = encode y in
+    let xz = Array.append msg z in
+    let w = apply_graph ~tag:2 ~rows:n xz in
+    Array.concat [ msg; z; w ]
+  end
+
+let rec random_accesses n =
+  if n <= base_size then 0
+  else
+    (* degree gathers per row of A (n/2 rows) and of B (n rows). *)
+    (degree * (n / 2)) + (degree * n) + random_accesses (n / 2)
+
+let graph_bytes n =
+  (* Each graph entry stores a column index (8 bytes) and coefficient
+     (8 bytes). *)
+  let rec entries n = if n <= base_size then 0 else (degree * (n / 2)) + (degree * n) + entries (n / 2) in
+  16 * entries n

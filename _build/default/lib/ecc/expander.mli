@@ -1,0 +1,25 @@
+(** Spielman-style expander-graph linear code (blowup 4), modelled on the
+    codes in Orion's original implementation.
+
+    Encoding recursively compresses the message through a sparse random
+    bipartite graph, encodes the compressed half, and expands again through a
+    second sparse graph. The graph accesses are data-dependent gathers over a
+    structure that grows with the message — exactly the behaviour that makes
+    these codes memory-bound on an accelerator and motivates the paper's
+    switch to Reed-Solomon (Sec. II, Sec. VIII-C). Kept here as the ablation
+    baseline.
+
+    The graphs are pseudo-random (seeded deterministically per size), so the
+    code is linear and reproducible; we do not prove distance bounds, which
+    are irrelevant to the performance ablation. *)
+
+include Linear_code.S
+
+val graph_bytes : int -> int
+(** [graph_bytes n] estimates the size of the expander graphs needed to
+    encode an [n]-element message (the "several gigabytes" cost cited in
+    Sec. II for large proofs). *)
+
+val random_accesses : int -> int
+(** Number of data-dependent gather accesses performed while encoding an
+    [n]-element message; feeds the ablation's memory-traffic model. *)

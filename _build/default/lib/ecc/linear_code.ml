@@ -1,0 +1,8 @@
+module type S = sig
+  val name : string
+  val blowup : int
+  val encode : Zk_field.Gf.t array -> Zk_field.Gf.t array
+  val query_count : int
+end
+
+type t = (module S)

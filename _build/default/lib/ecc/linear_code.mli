@@ -1,0 +1,25 @@
+(** Common interface for the linear error-correcting codes used by the Orion
+    polynomial commitment.
+
+    A code maps an [n]-element message to a [blowup * n]-element codeword and
+    is linear: [encode (m1 + m2) = encode m1 + encode m2], the property Orion
+    exploits to let the verifier check random linear combinations of committed
+    rows (Sec. V-A). *)
+
+module type S = sig
+  val name : string
+
+  val blowup : int
+  (** Codeword length divided by message length (4 in the paper's
+      configuration). *)
+
+  val encode : Zk_field.Gf.t array -> Zk_field.Gf.t array
+  (** [encode msg] for a power-of-two message length. *)
+
+  val query_count : int
+  (** Number of codeword positions the verifier checks for 128-bit security
+      (189 for Reed-Solomon at blowup 4; 1,222 for the expander code,
+      Sec. VII-A). *)
+end
+
+type t = (module S)

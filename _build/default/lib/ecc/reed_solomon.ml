@@ -1,0 +1,39 @@
+module Gf = Zk_field.Gf
+module Ntt = Zk_ntt.Ntt.Gf_ntt
+
+let name = "reed-solomon"
+
+let blowup = 4
+
+(* 189 column queries at blowup 4 reach 128-bit soundness for the proximity
+   test (Sec. VII-A); the expander code needed 1,222. *)
+let query_count = 189
+
+let encode msg =
+  let n = Array.length msg in
+  if n = 0 || n land (n - 1) <> 0 then
+    invalid_arg "Reed_solomon.encode: message length must be a power of two";
+  let m = blowup * n in
+  let buf = Array.make m Gf.zero in
+  Array.blit msg 0 buf 0 n;
+  Ntt.forward (Ntt.plan m) buf;
+  buf
+
+let encode_with_plan = encode
+
+let codeword_at msg i =
+  let n = Array.length msg in
+  let m = blowup * n in
+  if i < 0 || i >= m then invalid_arg "Reed_solomon.codeword_at";
+  let log_m =
+    let rec go k x = if x = 1 then k else go (k + 1) (x lsr 1) in
+    go 0 m
+  in
+  let w = Gf.root_of_unity log_m in
+  let x = Gf.pow w (Int64.of_int i) in
+  (* Horner evaluation of the message polynomial at w^i. *)
+  let acc = ref Gf.zero in
+  for j = n - 1 downto 0 do
+    acc := Gf.add (Gf.mul !acc x) msg.(j)
+  done;
+  !acc

@@ -1,0 +1,19 @@
+(** Reed-Solomon code with blowup 4, implemented with the NTT primitive
+    exactly as Sec. V-A describes: the [n]-element message (viewed as
+    polynomial coefficients) is zero-extended to [4n] and a [4n]-point NTT
+    evaluates it on the group of [4n]-th roots of unity.
+
+    This is the Shockwave substitution the paper applies to Orion to make the
+    encoder accelerator-friendly; the 189-query proximity test at this rate
+    gives 128-bit security (Sec. VII-A). *)
+
+include Linear_code.S
+
+val encode_with_plan : Zk_field.Gf.t array -> Zk_field.Gf.t array
+(** Same as {!encode}; exposed separately for benchmarks that want to reuse
+    the cached plan explicitly. *)
+
+val codeword_at : Zk_field.Gf.t array -> int -> Zk_field.Gf.t
+(** [codeword_at msg i] evaluates position [i] of the codeword directly in
+    [O(n)] (polynomial evaluation at the [i]-th root), without encoding the
+    whole message. Used by tests as an independent cross-check. *)

@@ -1,0 +1,1 @@
+lib/field/fq_bls.ml: Mont

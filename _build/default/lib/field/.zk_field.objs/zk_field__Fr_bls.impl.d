@@ -1,0 +1,1 @@
+lib/field/fr_bls.ml: Array Int64 Limbs Mont

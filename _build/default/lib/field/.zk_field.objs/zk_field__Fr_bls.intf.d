@@ -1,0 +1,1 @@
+lib/field/fr_bls.mli: Mont

@@ -1,0 +1,1 @@
+lib/field/gf.ml: Array Format Int64 Printf Zk_util

@@ -1,0 +1,1 @@
+lib/field/limbs.ml: Array Buffer Char Int64 Printf String

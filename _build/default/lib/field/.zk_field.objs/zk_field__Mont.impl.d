@@ -1,0 +1,1 @@
+lib/field/mont.ml: Array Format Int64 Limbs Zk_util

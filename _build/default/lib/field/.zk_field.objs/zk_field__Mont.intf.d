@@ -1,0 +1,1 @@
+lib/field/mont.mli: Format Zk_util

@@ -1,0 +1,8 @@
+include Mont.Make (struct
+  let name = "Fq_bls"
+  let limbs = 6
+
+  let modulus_hex =
+    "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f624"
+    ^ "1eabfffeb153ffffb9feffffffffaaab"
+end)

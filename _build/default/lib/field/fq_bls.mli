@@ -1,0 +1,4 @@
+(** The BLS12-381 base field Fq (381 bits, 6 limbs), over which the G1 curve
+    points of the Groth16 baseline live. *)
+
+include Mont.S

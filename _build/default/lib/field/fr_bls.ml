@@ -1,0 +1,35 @@
+include Mont.Make (struct
+  let name = "Fr_bls"
+  let limbs = 4
+
+  let modulus_hex =
+    "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001"
+end)
+
+let two_adicity = 32
+
+let multiplicative_generator = of_int 7
+
+let root_of_unity k =
+  if k < 0 || k > two_adicity then invalid_arg "Fr_bls.root_of_unity";
+  (* exponent = (r - 1) / 2^k, computed on standard-form limbs. *)
+  let r_minus_1, _ = Limbs.sub modulus [| 1L; 0L; 0L; 0L |] in
+  let e = Array.copy r_minus_1 in
+  (* Logical right shift of the 4-limb value by k bits (k <= 32 so the shift
+     stays within adjacent limbs). *)
+  let shift x k =
+    if k = 0 then x
+    else begin
+      let n = Array.length x in
+      let out = Array.make n 0L in
+      for i = 0 to n - 1 do
+        let lo = Int64.shift_right_logical x.(i) k in
+        let hi =
+          if i + 1 < n then Int64.shift_left x.(i + 1) (64 - k) else 0L
+        in
+        out.(i) <- Int64.logor lo hi
+      done;
+      out
+    end
+  in
+  pow multiplicative_generator (shift e k)

@@ -1,0 +1,16 @@
+(** The BLS12-381 scalar field Fr (255 bits, 4 limbs).
+
+    Groth16's QAP polynomial arithmetic (the NTTs PipeZK accelerates) happens
+    in this field. [r - 1 = 2^32 * t] with [t] odd, so radix-2 NTTs up to
+    [2^32] points exist. *)
+
+include Mont.S
+
+val two_adicity : int
+(** [32]. *)
+
+val multiplicative_generator : t
+(** [7]. *)
+
+val root_of_unity : int -> t
+(** [root_of_unity k] is a primitive [2^k]-th root of unity, [k <= 32]. *)

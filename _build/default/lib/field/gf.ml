@@ -1,0 +1,132 @@
+type t = int64
+
+let p = 0xFFFF_FFFF_0000_0001L
+
+(* epsilon = 2^32 - 1 = 2^64 mod p. All the reductions below rest on the
+   identities 2^64 = epsilon (mod p) and 2^96 = -1 (mod p). *)
+let epsilon = 0xFFFF_FFFFL
+
+let mask32 = 0xFFFF_FFFFL
+
+let zero = 0L
+let one = 1L
+let two = 2L
+
+let ( <^ ) a b = Int64.unsigned_compare a b < 0
+let ( >=^ ) a b = Int64.unsigned_compare a b >= 0
+
+let is_canonical x = x <^ p
+
+let of_int64 n = if n >=^ p then Int64.sub n p else n
+
+let of_int n =
+  if n >= 0 then of_int64 (Int64.of_int n)
+  else Int64.sub p (of_int64 (Int64.neg (Int64.of_int n)))
+
+let to_int64 x = x
+
+let equal (a : t) (b : t) = Int64.equal a b
+let compare (a : t) (b : t) = Int64.unsigned_compare a b
+
+let add a b =
+  let s = Int64.add a b in
+  (* A wrap past 2^64 contributes epsilon; the wrapped sum is < p so adding
+     epsilon cannot wrap again. *)
+  let s = if s <^ a then Int64.add s epsilon else s in
+  if s >=^ p then Int64.sub s p else s
+
+let sub a b =
+  let d = Int64.sub a b in
+  if a <^ b then Int64.sub d epsilon else d
+
+let neg a = if Int64.equal a 0L then 0L else Int64.sub p a
+
+let double a = add a a
+
+let reduce128 ~lo ~hi =
+  let hi_hi = Int64.shift_right_logical hi 32 in
+  let hi_lo = Int64.logand hi mask32 in
+  (* lo + 2^64 * (hi_lo + 2^32 * hi_hi)
+     = lo + epsilon * hi_lo - hi_hi  (mod p) *)
+  let t0 = Int64.sub lo hi_hi in
+  let t0 = if lo <^ hi_hi then Int64.sub t0 epsilon else t0 in
+  let t1 = Int64.mul hi_lo epsilon in
+  let t2 = Int64.add t0 t1 in
+  let t2 = if t2 <^ t0 then Int64.add t2 epsilon else t2 in
+  if t2 >=^ p then Int64.sub t2 p else t2
+
+let mul a b =
+  let a_lo = Int64.logand a mask32 and a_hi = Int64.shift_right_logical a 32 in
+  let b_lo = Int64.logand b mask32 and b_hi = Int64.shift_right_logical b 32 in
+  let ll = Int64.mul a_lo b_lo in
+  let lh = Int64.mul a_lo b_hi in
+  let hl = Int64.mul a_hi b_lo in
+  let hh = Int64.mul a_hi b_hi in
+  (* Both intermediate sums fit in 64 bits: each term is below 2^64 - 2^33. *)
+  let t = Int64.add hl (Int64.shift_right_logical ll 32) in
+  let u = Int64.add lh (Int64.logand t mask32) in
+  let lo = Int64.logor (Int64.shift_left u 32) (Int64.logand ll mask32) in
+  let hi =
+    Int64.add hh
+      (Int64.add (Int64.shift_right_logical t 32) (Int64.shift_right_logical u 32))
+  in
+  reduce128 ~lo ~hi
+
+let square a = mul a a
+
+let pow x e =
+  let acc = ref one and base = ref x and e = ref e in
+  while not (Int64.equal !e 0L) do
+    if Int64.logand !e 1L = 1L then acc := mul !acc !base;
+    base := square !base;
+    e := Int64.shift_right_logical !e 1
+  done;
+  !acc
+
+let inv x =
+  if Int64.equal x 0L then raise Division_by_zero;
+  pow x (Int64.sub p 2L)
+
+let div a b = mul a (inv b)
+
+let batch_inv xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let prefix = Array.make n one in
+    let acc = ref one in
+    for i = 0 to n - 1 do
+      if Int64.equal xs.(i) 0L then raise Division_by_zero;
+      prefix.(i) <- !acc;
+      acc := mul !acc xs.(i)
+    done;
+    let inv_acc = ref (inv !acc) in
+    let out = Array.make n one in
+    for i = n - 1 downto 0 do
+      out.(i) <- mul !inv_acc prefix.(i);
+      inv_acc := mul !inv_acc xs.(i)
+    done;
+    out
+  end
+
+let multiplicative_generator = 7L
+
+let two_adicity = 32
+
+let root_of_unity k =
+  if k < 0 || k > two_adicity then invalid_arg "Gf.root_of_unity";
+  (* p - 1 = 2^32 * (2^32 - 1); the exponent (p-1) / 2^k is exact. *)
+  let e = Int64.shift_right_logical (Int64.sub p 1L) k in
+  pow multiplicative_generator e
+
+let random rng =
+  (* Rejection sampling keeps the distribution exactly uniform. *)
+  let rec go () =
+    let x = Zk_util.Rng.next rng in
+    if x <^ p then x else go ()
+  in
+  go ()
+
+let to_string x = Printf.sprintf "%Lu" x
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -1,0 +1,71 @@
+(** The Goldilocks-64 prime field, [p = 2^64 - 2^32 + 1].
+
+    This is the field NoCap computes in (Sec. IV-A of the paper). The prime
+    admits a reduction algorithm using only additions and bit shifts because
+    [2^64 = 2^32 - 1 (mod p)] and [2^96 = -1 (mod p)], which is what makes the
+    multiply functional units cheap.
+
+    Elements are represented canonically as [int64] values in [\[0, p)],
+    interpreted as unsigned. *)
+
+type t = int64
+
+val p : int64
+(** The field modulus, [0xFFFF_FFFF_0000_0001]. *)
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** [of_int n] reduces [n] (interpreted as a signed integer) into the field. *)
+
+val of_int64 : int64 -> t
+(** [of_int64 n] reduces [n] (interpreted as unsigned) into the field. *)
+
+val to_int64 : t -> int64
+(** Canonical unsigned representative in [\[0, p)]. *)
+
+val is_canonical : int64 -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val square : t -> t
+val double : t -> t
+
+val reduce128 : lo:int64 -> hi:int64 -> t
+(** Reduce a 128-bit value [hi * 2^64 + lo] (both halves unsigned) into the
+    field using the shift-based Goldilocks reduction. *)
+
+val pow : t -> int64 -> t
+(** [pow x e] with [e] interpreted as an unsigned 64-bit exponent. *)
+
+val inv : t -> t
+(** Multiplicative inverse. @raise Division_by_zero on [zero]. *)
+
+val div : t -> t -> t
+
+val batch_inv : t array -> t array
+(** Batch inversion (Montgomery's trick): one inversion plus [3n] multiplies.
+    @raise Division_by_zero if any element is [zero]. *)
+
+val multiplicative_generator : t
+(** [7], a generator of the multiplicative group. *)
+
+val two_adicity : int
+(** [32]: [p - 1 = 2^32 * (2^32 - 1)]. *)
+
+val root_of_unity : int -> t
+(** [root_of_unity k] is a primitive [2^k]-th root of unity, for
+    [0 <= k <= two_adicity]. *)
+
+val random : Zk_util.Rng.t -> t
+(** Uniform random field element. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,142 @@
+let mask32 = 0xFFFF_FFFFL
+
+let ( <^ ) a b = Int64.unsigned_compare a b < 0
+
+let mul64 a b =
+  let a_lo = Int64.logand a mask32 and a_hi = Int64.shift_right_logical a 32 in
+  let b_lo = Int64.logand b mask32 and b_hi = Int64.shift_right_logical b 32 in
+  let ll = Int64.mul a_lo b_lo in
+  let lh = Int64.mul a_lo b_hi in
+  let hl = Int64.mul a_hi b_lo in
+  let hh = Int64.mul a_hi b_hi in
+  let t = Int64.add hl (Int64.shift_right_logical ll 32) in
+  let u = Int64.add lh (Int64.logand t mask32) in
+  let lo = Int64.logor (Int64.shift_left u 32) (Int64.logand ll mask32) in
+  let hi =
+    Int64.add hh
+      (Int64.add (Int64.shift_right_logical t 32) (Int64.shift_right_logical u 32))
+  in
+  (hi, lo)
+
+let add_carry a b c =
+  let s1 = Int64.add a b in
+  let c1 = if s1 <^ a then 1L else 0L in
+  let s2 = Int64.add s1 c in
+  let c2 = if s2 <^ s1 then 1L else 0L in
+  (s2, Int64.add c1 c2)
+
+let sub_borrow a b brw =
+  let d1 = Int64.sub a b in
+  let b1 = if a <^ b then 1L else 0L in
+  let d2 = Int64.sub d1 brw in
+  let b2 = if d1 <^ brw then 1L else 0L in
+  (d2, Int64.add b1 b2)
+
+let compare a b =
+  let n = Array.length a in
+  assert (Array.length b = n);
+  let rec go i =
+    if i < 0 then 0
+    else
+      let c = Int64.unsigned_compare a.(i) b.(i) in
+      if c <> 0 then c else go (i - 1)
+  in
+  go (n - 1)
+
+let is_zero a = Array.for_all (Int64.equal 0L) a
+
+let add a b =
+  let n = Array.length a in
+  let out = Array.make n 0L in
+  let carry = ref 0L in
+  for i = 0 to n - 1 do
+    let s, c = add_carry a.(i) b.(i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  (out, !carry)
+
+let sub a b =
+  let n = Array.length a in
+  let out = Array.make n 0L in
+  let borrow = ref 0L in
+  for i = 0 to n - 1 do
+    let d, brw = sub_borrow a.(i) b.(i) !borrow in
+    out.(i) <- d;
+    borrow := brw
+  done;
+  (out, !borrow)
+
+let mul a b =
+  let n = Array.length a and m = Array.length b in
+  let out = Array.make (n + m) 0L in
+  for i = 0 to n - 1 do
+    let carry = ref 0L in
+    for j = 0 to m - 1 do
+      let hi, lo = mul64 a.(i) b.(j) in
+      let s, c1 = add_carry out.(i + j) lo !carry in
+      out.(i + j) <- s;
+      (* hi < 2^64 - 1 so hi + c1 cannot wrap. *)
+      carry := Int64.add hi c1
+    done;
+    out.(i + m) <- Int64.add out.(i + m) !carry
+  done;
+  out
+
+let neg_inv64 m0 =
+  assert (Int64.logand m0 1L = 1L);
+  (* Newton-Hensel: x <- x * (2 - m0 * x) doubles the number of correct
+     low-order bits each step; 6 steps suffice for 64 bits. *)
+  let x = ref m0 in
+  for _ = 1 to 6 do
+    x := Int64.mul !x (Int64.sub 2L (Int64.mul m0 !x))
+  done;
+  Int64.neg !x
+
+let bit x i =
+  let limb = i / 64 and off = i mod 64 in
+  limb < Array.length x
+  && Int64.logand (Int64.shift_right_logical x.(limb) off) 1L = 1L
+
+let bits x =
+  let rec top i =
+    if i < 0 then 0
+    else if Int64.equal x.(i) 0L then top (i - 1)
+    else
+      let rec msb b = if Int64.equal (Int64.shift_right_logical x.(i) b) 0L then b else msb (b + 1) in
+      (i * 64) + msb 0
+  in
+  top (Array.length x - 1)
+
+let of_hex n s =
+  let out = Array.make n 0L in
+  let len = String.length s in
+  let nibble c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Limbs.of_hex"
+  in
+  for i = 0 to len - 1 do
+    (* Character at position len-1-i contributes nibble i (little-endian). *)
+    let v = Int64.of_int (nibble s.[len - 1 - i]) in
+    let limb = i / 16 and off = 4 * (i mod 16) in
+    if limb >= n then (
+      if not (Int64.equal v 0L) then invalid_arg "Limbs.of_hex: overflow")
+    else out.(limb) <- Int64.logor out.(limb) (Int64.shift_left v off)
+  done;
+  out
+
+let to_hex x =
+  let n = Array.length x in
+  let buf = Buffer.create (n * 16) in
+  let started = ref false in
+  for i = n - 1 downto 0 do
+    if !started then Buffer.add_string buf (Printf.sprintf "%016Lx" x.(i))
+    else if not (Int64.equal x.(i) 0L) then begin
+      started := true;
+      Buffer.add_string buf (Printf.sprintf "%Lx" x.(i))
+    end
+  done;
+  if !started then Buffer.contents buf else "0"

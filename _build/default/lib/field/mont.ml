@@ -1,0 +1,148 @@
+module type PRIME = sig
+  val name : string
+  val limbs : int
+  val modulus_hex : string
+end
+
+module type S = sig
+  type t
+
+  val limbs : int
+  val modulus : int64 array
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val of_limbs : int64 array -> t
+  val to_limbs : t -> int64 array
+  val of_hex : string -> t
+  val to_hex : t -> string
+  val equal : t -> t -> bool
+  val is_zero : t -> bool
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val double : t -> t
+  val mul : t -> t -> t
+  val square : t -> t
+  val pow : t -> int64 array -> t
+  val inv : t -> t
+  val random : Zk_util.Rng.t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (P : PRIME) : S = struct
+  type t = int64 array (* Montgomery form, length P.limbs, < modulus *)
+
+  let limbs = P.limbs
+  let modulus = Limbs.of_hex P.limbs P.modulus_hex
+  let n0_inv = Limbs.neg_inv64 modulus.(0)
+
+  let mod_add a b =
+    let s, carry = Limbs.add a b in
+    if not (Int64.equal carry 0L) || Limbs.compare s modulus >= 0 then
+      fst (Limbs.sub s modulus)
+    else s
+
+  let mod_sub a b =
+    let d, borrow = Limbs.sub a b in
+    if Int64.equal borrow 0L then d else fst (Limbs.add d modulus)
+
+  (* Montgomery reduction of a 2n-limb product (SOS method). *)
+  let mont_reduce (t : int64 array) : int64 array =
+    let n = limbs in
+    let t = Array.append t [| 0L |] in
+    for i = 0 to n - 1 do
+      let u = Int64.mul t.(i) n0_inv in
+      let carry = ref 0L in
+      for j = 0 to n - 1 do
+        let hi, lo = Limbs.mul64 u modulus.(j) in
+        let s, c1 = Limbs.add_carry t.(i + j) lo !carry in
+        t.(i + j) <- s;
+        carry := Int64.add hi c1
+      done;
+      (* Propagate the remaining carry into the upper limbs. *)
+      let k = ref (i + n) in
+      while not (Int64.equal !carry 0L) do
+        let s, c = Limbs.add_carry t.(!k) !carry 0L in
+        t.(!k) <- s;
+        carry := c;
+        incr k
+      done
+    done;
+    let out = Array.sub t n n in
+    if not (Int64.equal t.(2 * n) 0L) || Limbs.compare out modulus >= 0 then
+      fst (Limbs.sub out modulus)
+    else out
+
+  let mul a b = mont_reduce (Limbs.mul a b)
+  let square a = mul a a
+  let add = mod_add
+  let sub = mod_sub
+
+  let zero = Array.make limbs 0L
+
+  let is_zero = Limbs.is_zero
+  let neg a = if is_zero a then Array.copy a else fst (Limbs.sub modulus a)
+  let double a = mod_add a a
+
+  (* R mod m, computed by 64*n modular doublings of 1; R^2 by 64*n more. *)
+  let r_mod_m =
+    let x = ref (Array.init limbs (fun i -> if i = 0 then 1L else 0L)) in
+    for _ = 1 to 64 * limbs do
+      x := mod_add !x !x
+    done;
+    !x
+
+  let r2_mod_m =
+    let x = ref r_mod_m in
+    for _ = 1 to 64 * limbs do
+      x := mod_add !x !x
+    done;
+    !x
+
+  let one = r_mod_m
+
+  let of_limbs x =
+    if Array.length x <> limbs then invalid_arg (P.name ^ ".of_limbs: length");
+    if Limbs.compare x modulus >= 0 then invalid_arg (P.name ^ ".of_limbs: not reduced");
+    mul x r2_mod_m
+
+  let to_limbs x = mont_reduce (Array.append x (Array.make limbs 0L))
+
+  let of_int n =
+    if n < 0 then invalid_arg (P.name ^ ".of_int: negative");
+    of_limbs (Array.init limbs (fun i -> if i = 0 then Int64.of_int n else 0L))
+
+  let of_hex s = of_limbs (Limbs.of_hex limbs s)
+  let to_hex x = Limbs.to_hex (to_limbs x)
+
+  let equal a b = Limbs.compare a b = 0
+
+  let pow x e =
+    let nbits = Limbs.bits e in
+    let acc = ref one in
+    for i = nbits - 1 downto 0 do
+      acc := square !acc;
+      if Limbs.bit e i then acc := mul !acc x
+    done;
+    !acc
+
+  let inv x =
+    if is_zero x then raise Division_by_zero;
+    let m_minus_2, borrow =
+      Limbs.sub modulus (Array.init limbs (fun i -> if i = 0 then 2L else 0L))
+    in
+    assert (Int64.equal borrow 0L);
+    pow x m_minus_2
+
+  let random rng =
+    (* Rejection sampling over the top limb keeps the bias negligible and the
+       value reduced. *)
+    let rec go () =
+      let x = Array.init limbs (fun _ -> Zk_util.Rng.next rng) in
+      if Limbs.compare x modulus < 0 then x else go ()
+    in
+    mul (go ()) r2_mod_m
+
+  let pp fmt x = Format.fprintf fmt "0x%s" (to_hex x)
+end

@@ -1,0 +1,53 @@
+(** Montgomery-form prime field arithmetic over multi-limb moduli.
+
+    Instantiated for the BLS12-381 scalar field {!Fr_bls} and base field
+    {!Fq_bls}, which the Groth16/PipeZK baseline computes in. *)
+
+module type PRIME = sig
+  val name : string
+
+  val limbs : int
+  (** Number of 64-bit limbs. *)
+
+  val modulus_hex : string
+  (** The modulus as a big-endian hex string (no "0x" prefix); must be odd. *)
+end
+
+module type S = sig
+  type t
+  (** A field element in Montgomery form. Abstract; all conversions go through
+      [of_*]/[to_*]. *)
+
+  val limbs : int
+  val modulus : int64 array
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val of_limbs : int64 array -> t
+  (** Standard-form little-endian limbs (must be [< modulus]). *)
+
+  val to_limbs : t -> int64 array
+  (** Canonical standard-form little-endian limbs. *)
+
+  val of_hex : string -> t
+  val to_hex : t -> string
+  val equal : t -> t -> bool
+  val is_zero : t -> bool
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val double : t -> t
+  val mul : t -> t -> t
+  val square : t -> t
+  val pow : t -> int64 array -> t
+  (** Exponent given as little-endian unsigned limbs (any length). *)
+
+  val inv : t -> t
+  (** @raise Division_by_zero on [zero]. *)
+
+  val random : Zk_util.Rng.t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (P : PRIME) : S

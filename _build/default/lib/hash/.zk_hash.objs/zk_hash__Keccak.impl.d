@@ -1,0 +1,1 @@
+lib/hash/keccak.ml: Array Buffer Bytes Char Int64 Printf String Zk_field

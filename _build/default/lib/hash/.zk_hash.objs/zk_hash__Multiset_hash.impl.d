@@ -1,0 +1,1 @@
+lib/hash/multiset_hash.ml: Array List Transcript Zk_field

@@ -1,0 +1,1 @@
+lib/hash/multiset_hash.mli: Transcript Zk_field

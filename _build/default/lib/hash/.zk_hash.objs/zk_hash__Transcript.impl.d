@@ -1,0 +1,1 @@
+lib/hash/transcript.ml: Array Bytes Int64 Keccak Printf String Zk_field

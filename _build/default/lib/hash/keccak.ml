@@ -1,0 +1,133 @@
+type digest = string
+
+let digest_length = 32
+
+let round_constants =
+  [|
+    0x0000000000000001L; 0x0000000000008082L; 0x800000000000808AL;
+    0x8000000080008000L; 0x000000000000808BL; 0x0000000080000001L;
+    0x8000000080008081L; 0x8000000000008009L; 0x000000000000008AL;
+    0x0000000000000088L; 0x0000000080008009L; 0x000000008000000AL;
+    0x000000008000808BL; 0x800000000000008BL; 0x8000000000008089L;
+    0x8000000000008003L; 0x8000000000008002L; 0x8000000000000080L;
+    0x000000000000800AL; 0x800000008000000AL; 0x8000000080008081L;
+    0x8000000000008080L; 0x0000000080000001L; 0x8000000080008008L;
+  |]
+
+(* rho rotation offsets, indexed x + 5*y. *)
+let rotations =
+  [|
+    0; 1; 62; 28; 27;
+    36; 44; 6; 55; 20;
+    3; 10; 43; 25; 39;
+    41; 45; 15; 21; 8;
+    18; 2; 61; 56; 14;
+  |]
+
+let rotl64 x n =
+  if n = 0 then x
+  else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+let keccak_f1600 st =
+  if Array.length st <> 25 then invalid_arg "Keccak.keccak_f1600: need 25 lanes";
+  let c = Array.make 5 0L in
+  let b = Array.make 25 0L in
+  for round = 0 to 23 do
+    (* theta *)
+    for x = 0 to 4 do
+      c.(x) <-
+        Int64.logxor st.(x)
+          (Int64.logxor st.(x + 5)
+             (Int64.logxor st.(x + 10) (Int64.logxor st.(x + 15) st.(x + 20))))
+    done;
+    for x = 0 to 4 do
+      let d = Int64.logxor c.((x + 4) mod 5) (rotl64 c.((x + 1) mod 5) 1) in
+      for y = 0 to 4 do
+        st.(x + (5 * y)) <- Int64.logxor st.(x + (5 * y)) d
+      done
+    done;
+    (* rho + pi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        let src = x + (5 * y) in
+        let dst = y + (5 * (((2 * x) + (3 * y)) mod 5)) in
+        b.(dst) <- rotl64 st.(src) rotations.(src)
+      done
+    done;
+    (* chi *)
+    for y = 0 to 4 do
+      for x = 0 to 4 do
+        st.(x + (5 * y)) <-
+          Int64.logxor
+            b.(x + (5 * y))
+            (Int64.logand
+               (Int64.lognot b.(((x + 1) mod 5) + (5 * y)))
+               b.(((x + 2) mod 5) + (5 * y)))
+      done
+    done;
+    (* iota *)
+    st.(0) <- Int64.logxor st.(0) round_constants.(round)
+  done
+
+let rate_bytes = 136 (* SHA3-256: capacity 512 bits *)
+
+let absorb_block st (block : bytes) off len =
+  (* XOR [len] bytes (len <= rate) into the state, little-endian lanes. *)
+  for i = 0 to len - 1 do
+    let lane = i / 8 and shift = 8 * (i mod 8) in
+    let byte = Int64.of_int (Char.code (Bytes.get block (off + i))) in
+    st.(lane) <- Int64.logxor st.(lane) (Int64.shift_left byte shift)
+  done
+
+let sha3_256 (msg : bytes) : digest =
+  let st = Array.make 25 0L in
+  let len = Bytes.length msg in
+  (* Full-rate blocks. *)
+  let off = ref 0 in
+  while len - !off >= rate_bytes do
+    absorb_block st msg !off rate_bytes;
+    keccak_f1600 st;
+    off := !off + rate_bytes
+  done;
+  (* Final partial block with SHA3 domain padding 0x06 .. 0x80. *)
+  let rem = len - !off in
+  absorb_block st msg !off rem;
+  let pad_first = rem in
+  let xor_byte pos v =
+    let lane = pos / 8 and shift = 8 * (pos mod 8) in
+    st.(lane) <- Int64.logxor st.(lane) (Int64.shift_left (Int64.of_int v) shift)
+  in
+  xor_byte pad_first 0x06;
+  xor_byte (rate_bytes - 1) 0x80;
+  keccak_f1600 st;
+  (* Squeeze 32 bytes. *)
+  let out = Bytes.create digest_length in
+  for i = 0 to digest_length - 1 do
+    let lane = i / 8 and shift = 8 * (i mod 8) in
+    Bytes.set out i
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical st.(lane) shift) 0xFFL)))
+  done;
+  Bytes.unsafe_to_string out
+
+let sha3_256_string s = sha3_256 (Bytes.of_string s)
+
+let hash2 a b =
+  if String.length a <> digest_length || String.length b <> digest_length then
+    invalid_arg "Keccak.hash2: digests must be 32 bytes";
+  sha3_256_string (a ^ b)
+
+let hash_gf elems =
+  let n = Array.length elems in
+  let buf = Bytes.create (8 * n) in
+  for i = 0 to n - 1 do
+    Bytes.set_int64_le buf (8 * i) (Zk_field.Gf.to_int64 elems.(i))
+  done;
+  sha3_256 buf
+
+let to_hex d =
+  let buf = Buffer.create 64 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf
+
+let digest_to_gf d =
+  Array.init 4 (fun i -> Zk_field.Gf.of_int64 (String.get_int64_le d (8 * i)))

@@ -1,0 +1,34 @@
+(** SHA3-256 (FIPS 202) built on the Keccak-f[1600] permutation, implemented
+    from scratch. This is the hash the paper's Hash FU implements at 1 KB/cycle
+    (Sec. IV-B); every Merkle-tree node and Fiat-Shamir challenge in
+    Spartan+Orion goes through it. *)
+
+type digest = string
+(** 32 bytes. *)
+
+val digest_length : int
+(** [32]. *)
+
+val keccak_f1600 : int64 array -> unit
+(** Apply the Keccak-f[1600] permutation in place to a 25-lane state.
+    @raise Invalid_argument if the state is not 25 lanes. *)
+
+val sha3_256 : bytes -> digest
+(** SHA3-256 of arbitrary input. *)
+
+val sha3_256_string : string -> digest
+
+val hash2 : digest -> digest -> digest
+(** The paper's Hash-FU compression: SHA3-256 of the concatenation of two
+    256-bit values. Used for Merkle-tree interior nodes. *)
+
+val hash_gf : Zk_field.Gf.t array -> digest
+(** Hash a vector of field elements, each packed as 8 little-endian bytes
+    (the Hash FU reinterprets groups of four 64-bit lanes as 256-bit
+    inputs). *)
+
+val to_hex : digest -> string
+
+val digest_to_gf : digest -> Zk_field.Gf.t array
+(** Interpret a digest as four field elements (each 8 LE bytes reduced
+    mod p), matching how NoCap stores digests in vector lanes. *)

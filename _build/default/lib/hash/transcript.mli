@@ -1,0 +1,37 @@
+(** Fiat-Shamir transcript.
+
+    Makes the interactive Spartan and Orion protocols non-interactive: the
+    prover and verifier absorb the same protocol messages and derive verifier
+    challenges by hashing the running state, so soundness reduces to SHA3's
+    collision/correlation resistance. Both sides must absorb byte-identical
+    data in the same order. *)
+
+type t
+
+val create : string -> t
+(** [create domain] starts a transcript bound to a domain-separation label. *)
+
+val absorb_bytes : t -> string -> bytes -> unit
+(** [absorb_bytes t label data] mixes labelled bytes into the state. *)
+
+val absorb_gf : t -> string -> Zk_field.Gf.t array -> unit
+(** Absorb a vector of field elements. *)
+
+val absorb_digest : t -> string -> Keccak.digest -> unit
+
+val absorb_int : t -> string -> int -> unit
+
+val challenge_gf : t -> string -> Zk_field.Gf.t
+(** Squeeze one field-element challenge (uniform up to the negligible
+    [2^64 mod p] bias removed by rejection). *)
+
+val challenge_gf_vec : t -> string -> int -> Zk_field.Gf.t array
+
+val challenge_indices : t -> string -> bound:int -> count:int -> int array
+(** [challenge_indices t label ~bound ~count] squeezes [count] indices in
+    [\[0, bound)] — the Orion column-query sampler. Indices may repeat, as in
+    the reference implementation. *)
+
+val hash_count : t -> int
+(** Number of SHA3 compressions this transcript has performed (instrumentation
+    for the performance model). *)

@@ -1,0 +1,1 @@
+lib/merkle/merkle.ml: Array List String Zk_hash

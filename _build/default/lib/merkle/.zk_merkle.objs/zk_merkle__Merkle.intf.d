@@ -1,0 +1,1 @@
+lib/merkle/merkle.mli: Zk_field Zk_hash

@@ -1,0 +1,69 @@
+module Keccak = Zk_hash.Keccak
+
+type digest = Keccak.digest
+
+type tree = {
+  (* levels.(0) is the (padded) leaf level; the last level is [| root |]. *)
+  levels : digest array array;
+  real_leaves : int;
+}
+
+let empty_leaf = Keccak.sha3_256_string "nocap-repro/merkle-empty-leaf"
+
+let next_pow2 n =
+  let rec go k = if k >= n then k else go (2 * k) in
+  go 1
+
+let leaf_of_column col = Keccak.hash_gf col
+
+let build leaves =
+  let n = Array.length leaves in
+  if n = 0 then invalid_arg "Merkle.build: empty";
+  let padded = next_pow2 n in
+  let level0 = Array.make padded empty_leaf in
+  Array.blit leaves 0 level0 0 n;
+  let rec go acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else begin
+      let parent =
+        Array.init
+          (Array.length level / 2)
+          (fun i -> Keccak.hash2 level.(2 * i) level.((2 * i) + 1))
+      in
+      go (level :: acc) parent
+    end
+  in
+  { levels = Array.of_list (go [] level0); real_leaves = n }
+
+let root t = t.levels.(Array.length t.levels - 1).(0)
+
+let num_leaves t = t.real_leaves
+
+let depth t = Array.length t.levels - 1
+
+let path t i =
+  if i < 0 || i >= Array.length t.levels.(0) then invalid_arg "Merkle.path: index";
+  let rec go level idx acc =
+    if level >= Array.length t.levels - 1 then List.rev acc
+    else begin
+      let sibling = t.levels.(level).(idx lxor 1) in
+      go (level + 1) (idx / 2) (sibling :: acc)
+    end
+  in
+  go 0 i []
+
+let verify ~root ~index ~leaf ~path =
+  let rec go idx current = function
+    | [] -> String.equal current root
+    | sibling :: rest ->
+      let parent =
+        if idx land 1 = 0 then Keccak.hash2 current sibling
+        else Keccak.hash2 sibling current
+      in
+      go (idx / 2) parent rest
+  in
+  index >= 0 && go index leaf path
+
+let path_length n =
+  let rec go k m = if m >= n then k else go (k + 1) (2 * m) in
+  go 0 1

@@ -1,0 +1,35 @@
+(** SHA3-256 Merkle trees (Sec. V-A "Merkle tree" task).
+
+    Orion commits to an encoded matrix by hashing each codeword column into a
+    leaf and Merkle-hashing the leaves; openings reveal a column together with
+    its authentication path. *)
+
+type digest = Zk_hash.Keccak.digest
+
+type tree
+
+val build : digest array -> tree
+(** Build over the given leaf digests. The leaf count is padded to a power of
+    two with a distinguished empty digest.
+    @raise Invalid_argument on an empty leaf array. *)
+
+val leaf_of_column : Zk_field.Gf.t array -> digest
+(** Hash a column of field elements into a leaf (8 LE bytes per element, as
+    the Hash FU packs vector lanes). *)
+
+val root : tree -> digest
+
+val num_leaves : tree -> int
+(** Number of real (unpadded) leaves. *)
+
+val depth : tree -> int
+
+val path : tree -> int -> digest list
+(** Authentication path for leaf [i], bottom-up (sibling at each level). *)
+
+val verify : root:digest -> index:int -> leaf:digest -> path:digest list -> bool
+(** Check a leaf against a root. *)
+
+val path_length : int -> int
+(** [path_length n] is the authentication-path length for [n] leaves
+    (= ceil(log2 n)); used by the proof-size model. *)

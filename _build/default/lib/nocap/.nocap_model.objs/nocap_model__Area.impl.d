@@ -1,0 +1,1 @@
+lib/nocap/area.ml: Config Float

@@ -1,0 +1,1 @@
+lib/nocap/config.ml: Float Printf

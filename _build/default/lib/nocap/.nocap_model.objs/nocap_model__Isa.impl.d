@@ -1,0 +1,1 @@
+lib/nocap/isa.ml: Array Simulator Zk_field

@@ -1,0 +1,1 @@
+lib/nocap/isa.mli: Simulator Zk_field

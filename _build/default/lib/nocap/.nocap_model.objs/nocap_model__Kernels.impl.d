@@ -1,0 +1,1 @@
+lib/nocap/kernels.ml: Array Isa List Zk_field

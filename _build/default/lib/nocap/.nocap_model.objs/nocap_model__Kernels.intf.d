@@ -1,0 +1,1 @@
+lib/nocap/kernels.mli: Isa Zk_field

@@ -1,0 +1,1 @@
+lib/nocap/multichip.ml: Config List Simulator Workload

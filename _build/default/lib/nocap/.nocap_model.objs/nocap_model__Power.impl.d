@@ -1,0 +1,1 @@
+lib/nocap/power.ml: Config List Simulator

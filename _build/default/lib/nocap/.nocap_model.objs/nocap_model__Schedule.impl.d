@@ -1,0 +1,1 @@
+lib/nocap/schedule.ml: Config Hashtbl Isa List Option Simulator

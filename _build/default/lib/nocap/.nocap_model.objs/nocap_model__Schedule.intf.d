@@ -1,0 +1,1 @@
+lib/nocap/schedule.mli: Config Isa Simulator

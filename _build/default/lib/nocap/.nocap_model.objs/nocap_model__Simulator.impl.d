@@ -1,0 +1,1 @@
+lib/nocap/simulator.ml: Config List Workload

@@ -1,0 +1,1 @@
+lib/nocap/simulator.mli: Config Workload

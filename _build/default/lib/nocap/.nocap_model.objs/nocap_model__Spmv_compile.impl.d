@@ -1,0 +1,1 @@
+lib/nocap/spmv_compile.ml: Array Hashtbl Isa List Option Seq Vm Zk_field Zk_r1cs

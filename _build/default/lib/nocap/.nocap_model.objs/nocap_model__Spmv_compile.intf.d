@@ -1,0 +1,1 @@
+lib/nocap/spmv_compile.mli: Isa Vm Zk_field Zk_r1cs

@@ -1,0 +1,1 @@
+lib/nocap/streams.ml: Config Isa List Schedule Simulator

@@ -1,0 +1,1 @@
+lib/nocap/streams.mli: Config Isa Simulator

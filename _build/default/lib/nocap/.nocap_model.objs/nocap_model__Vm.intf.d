@@ -1,0 +1,1 @@
+lib/nocap/vm.mli: Isa Zk_field

@@ -1,0 +1,1 @@
+lib/nocap/workload.mli:

@@ -1,0 +1,51 @@
+type breakdown = {
+  ntt_fu : float;
+  mul_fu : float;
+  add_fu : float;
+  hash_fu : float;
+  regfile : float;
+  benes : float;
+  mem_interface : float;
+}
+
+(* Table II reference areas (mm^2, 14nm) at the default configuration. *)
+let ref_ntt = 1.80
+let ref_mul = 6.34
+let ref_add = 0.96
+let ref_hash = 0.84
+let ref_regfile = 6.01
+let ref_benes = 0.11
+let phy_area = 14.90 (* per 512 GB/s HBM2E PHY *)
+
+let of_config (c : Config.t) =
+  let d = Config.default in
+  let ratio a b = float_of_int a /. float_of_int b in
+  {
+    ntt_fu = ref_ntt *. ratio c.Config.ntt_lanes d.Config.ntt_lanes;
+    mul_fu = ref_mul *. ratio c.Config.mul_lanes d.Config.mul_lanes;
+    add_fu = ref_add *. ratio c.Config.add_lanes d.Config.add_lanes;
+    hash_fu = ref_hash *. ratio c.Config.hash_lanes d.Config.hash_lanes;
+    regfile = ref_regfile *. (c.Config.regfile_mb /. d.Config.regfile_mb);
+    benes = ref_benes *. ratio c.Config.shuffle_lanes d.Config.shuffle_lanes;
+    mem_interface = phy_area *. Float.of_int (int_of_float (ceil (c.Config.hbm_gbps /. 512.0)));
+  }
+
+let compute_total b = b.ntt_fu +. b.mul_fu +. b.add_fu +. b.hash_fu
+
+let memory_total b = b.regfile +. b.benes +. b.mem_interface
+
+let total b = compute_total b +. memory_total b
+
+let table_rows b =
+  [
+    ("NTT FU", b.ntt_fu);
+    ("Multiply FU", b.mul_fu);
+    ("Add FU", b.add_fu);
+    ("Hash FU", b.hash_fu);
+    ("Total Compute", compute_total b);
+    ("Reg. file (2,048 x 4 KB banks)", b.regfile);
+    ("Benes network", b.benes);
+    ("Memory interface (2 x PHY)", b.mem_interface);
+    ("Total memory system", memory_total b);
+    ("Total NoCap", total b);
+  ]

@@ -1,0 +1,44 @@
+type t = {
+  freq_ghz : float;
+  mul_lanes : int;
+  add_lanes : int;
+  hash_lanes : int;
+  ntt_lanes : int;
+  shuffle_lanes : int;
+  regfile_mb : float;
+  hbm_gbps : float;
+}
+
+let default =
+  {
+    freq_ghz = 1.0;
+    mul_lanes = 2048;
+    add_lanes = 2048;
+    hash_lanes = 128;
+    ntt_lanes = 64;
+    shuffle_lanes = 128;
+    regfile_mb = 8.0;
+    hbm_gbps = 1024.0;
+  }
+
+let scale_lanes n f = max 1 (int_of_float (Float.round (float_of_int n *. f)))
+
+let scale_fu t fu f =
+  match fu with
+  | `Arith ->
+    { t with mul_lanes = scale_lanes t.mul_lanes f; add_lanes = scale_lanes t.add_lanes f }
+  | `Hash -> { t with hash_lanes = scale_lanes t.hash_lanes f }
+  | `Ntt -> { t with ntt_lanes = scale_lanes t.ntt_lanes f }
+  | `Shuffle -> { t with shuffle_lanes = scale_lanes t.shuffle_lanes f }
+
+let scale_hbm t f = { t with hbm_gbps = t.hbm_gbps *. f }
+
+let scale_regfile t f = { t with regfile_mb = t.regfile_mb *. f }
+
+let hbm_bytes_per_cycle t = t.hbm_gbps /. t.freq_ghz
+
+let describe t =
+  Printf.sprintf
+    "NoCap @ %.1f GHz: %d mul / %d add / %d hash / %d ntt / %d shuffle lanes, %.1f MB RF, %.0f GB/s HBM"
+    t.freq_ghz t.mul_lanes t.add_lanes t.hash_lanes t.ntt_lanes t.shuffle_lanes
+    t.regfile_mb t.hbm_gbps

@@ -1,0 +1,32 @@
+(** NoCap hardware configuration (Sec. IV, Table II).
+
+    The default matches the paper: a 1 GHz vector processor with 2,048
+    multiply/add lanes, a 128-lane SHA3 hash FU (1 KB/cycle), a 64-lane
+    four-step NTT FU, a 128-wide Benes shuffle network, an 8 MB banked
+    register file, and 1 TB/s of HBM. Sweeping these fields reproduces the
+    sensitivity study (Fig. 7) and the design-space exploration (Fig. 8). *)
+
+type t = {
+  freq_ghz : float;
+  mul_lanes : int;
+  add_lanes : int;
+  hash_lanes : int; (** elements/cycle; 128 = 1 KB/cycle *)
+  ntt_lanes : int; (** butterflies/cycle *)
+  shuffle_lanes : int;
+  regfile_mb : float;
+  hbm_gbps : float; (** bytes/ns; 1024.0 = 1 TB/s *)
+}
+
+val default : t
+
+val scale_fu : t -> [ `Arith | `Hash | `Ntt | `Shuffle ] -> float -> t
+(** Scale one functional unit's lane count (Fig. 7's per-FU sweep; [`Arith]
+    scales multiply and add lanes together, as the paper does). *)
+
+val scale_hbm : t -> float -> t
+
+val scale_regfile : t -> float -> t
+
+val hbm_bytes_per_cycle : t -> float
+
+val describe : t -> string

@@ -1,0 +1,64 @@
+type vreg = int
+
+type instr =
+  | Vadd of vreg * vreg * vreg
+  | Vsub of vreg * vreg * vreg
+  | Vmul of vreg * vreg * vreg
+  | Vntt of { dst : vreg; src : vreg; inverse : bool }
+  | Vntt_tiled of { dst : vreg; src : vreg; tile : int; inverse : bool }
+  | Vhash of vreg * vreg * vreg
+  | Vshuffle of vreg * vreg * int array
+  | Vrotate of vreg * vreg * int
+  | Vinterleave of vreg * vreg * int
+  | Vsplat of vreg * Zk_field.Gf.t
+  | Vload of vreg * int
+  | Vstore of int * vreg
+  | Delay of int
+
+type program = instr list
+
+let which_fu = function
+  | Vadd _ | Vsub _ -> Some Simulator.Add
+  | Vmul _ -> Some Simulator.Mul
+  | Vntt _ | Vntt_tiled _ -> Some Simulator.Ntt
+  | Vhash _ -> Some Simulator.Hash
+  | Vshuffle _ | Vrotate _ | Vinterleave _ -> Some Simulator.Shuffle
+  | Vload _ | Vstore _ -> Some Simulator.Hbm
+  | Vsplat _ | Delay _ -> None
+
+let reads = function
+  | Vadd (_, a, b) | Vsub (_, a, b) | Vmul (_, a, b) | Vhash (_, a, b) -> [ a; b ]
+  | Vntt { src; _ } | Vntt_tiled { src; _ } -> [ src ]
+  | Vshuffle (_, s, _) | Vrotate (_, s, _) | Vinterleave (_, s, _) -> [ s ]
+  | Vstore (_, s) -> [ s ]
+  | Vsplat _ | Vload _ | Delay _ -> []
+
+let writes = function
+  | Vadd (d, _, _)
+  | Vsub (d, _, _)
+  | Vmul (d, _, _)
+  | Vhash (d, _, _)
+  | Vshuffle (d, _, _)
+  | Vrotate (d, _, _)
+  | Vinterleave (d, _, _)
+  | Vsplat (d, _)
+  | Vload (d, _) ->
+    Some d
+  | Vntt { dst; _ } | Vntt_tiled { dst; _ } -> Some dst
+  | Vstore _ | Delay _ -> None
+
+let interleave_perm ~len ~group =
+  let chunk = 1 lsl group in
+  if len mod (2 * chunk) <> 0 then invalid_arg "Isa.interleave_perm";
+  let chunks = len / chunk in
+  let perm = Array.make len 0 in
+  for c = 0 to chunks - 1 do
+    (* Destination chunk: even source chunks pack into the first half,
+       odd ones into the second. *)
+    let dst_chunk = if c land 1 = 0 then c / 2 else (chunks / 2) + (c / 2) in
+    for i = 0 to chunk - 1 do
+      perm.((dst_chunk * chunk) + i) <- (c * chunk) + i
+    done
+  done;
+  (* perm maps destination index -> source index. *)
+  perm

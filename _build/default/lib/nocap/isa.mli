@@ -1,0 +1,49 @@
+(** NoCap's vector instruction set (Sec. IV-A).
+
+    Instructions operate on [k]-element vectors of Goldilocks-64 values held
+    in a banked register file. The set matches the paper: element-wise modular
+    add/multiply, forward/inverse NTT, SHA3 hashing, structured permutations
+    (arbitrary Benes shuffles within 128 lanes, cyclic rotations, grouped
+    interleavings), vector load/store, and the delay/loop control of the
+    statically scheduled distributed instruction streams (loops are unrolled
+    by the program generators here, so only [Delay] appears explicitly). *)
+
+type vreg = int
+
+type instr =
+  | Vadd of vreg * vreg * vreg (** dst, src1, src2 *)
+  | Vsub of vreg * vreg * vreg
+  | Vmul of vreg * vreg * vreg
+  | Vntt of { dst : vreg; src : vreg; inverse : bool }
+      (** NTT over the whole vector (the hardware decomposes sizes above 2^12
+          via the four-step algorithm). *)
+  | Vntt_tiled of { dst : vreg; src : vreg; tile : int; inverse : bool }
+      (** Independent NTTs on each aligned [tile]-element chunk — what the
+          64-lane NTT FU natively performs; {!Kernels.four_step_ntt} builds
+          large transforms from it exactly as Sec. V-A describes. *)
+  | Vhash of vreg * vreg * vreg
+      (** SHA3 compression: each aligned group of four 64-bit elements of the
+          two sources is a 256-bit input; the output group is the 256-bit
+          digest (Sec. IV-B). *)
+  | Vshuffle of vreg * vreg * int array
+      (** Arbitrary permutation: dst.(i) = src.(perm.(i)); the compile-time
+          Benes routing bits of Sec. IV-B. *)
+  | Vrotate of vreg * vreg * int (** cyclic left rotation *)
+  | Vinterleave of vreg * vreg * int
+      (** Grouped interleaving with chunk size [2^g]: even-indexed chunks to
+          the first half, odd-indexed to the second. *)
+  | Vsplat of vreg * Zk_field.Gf.t
+  | Vload of vreg * int (** register <- main-memory vector slot *)
+  | Vstore of int * vreg
+  | Delay of int
+
+type program = instr list
+
+val which_fu : instr -> Simulator.resource option
+(** Functional unit an instruction occupies ([None] for [Delay]/[Vsplat]). *)
+
+val reads : instr -> vreg list
+val writes : instr -> vreg option
+
+val interleave_perm : len:int -> group:int -> int array
+(** The permutation a grouped interleaving applies (exposed for tests). *)

@@ -1,0 +1,128 @@
+type kernel = {
+  program : Isa.program;
+  input_slots : int list;
+  output_slot : int;
+}
+
+let reduce_add_program ~vector_len ~src ~scratch =
+  (* v <- v + rotate(v, s) for s = k/2, k/4, ..., 1: after the tree every
+     lane holds the total ("summing the values within a vector with cyclic
+     shifts", Sec. V-A). *)
+  let rec steps s acc =
+    if s = 0 then List.rev acc
+    else
+      steps (s / 2)
+        (Isa.Vadd (src, src, scratch) :: Isa.Vrotate (scratch, src, s) :: acc)
+  in
+  steps (vector_len / 2) []
+
+let elementwise_mul =
+  {
+    program =
+      [ Isa.Vload (0, 0); Isa.Vload (1, 1); Isa.Vmul (2, 0, 1); Isa.Vstore (2, 2) ];
+    input_slots = [ 0; 1 ];
+    output_slot = 2;
+  }
+
+let sumcheck_round ~vector_len =
+  (* Registers: 0 = lo half, 1 = hi half, 2 = delta, 3 = folded, 4 = r,
+     5 = scratch, 6 = g(0) accumulator, 7 = g(1) accumulator. *)
+  let program =
+    [ Isa.Vload (0, 0); Isa.Vload (1, 1); Isa.Vload (4, 4) ]
+    @ [ Isa.Vrotate (6, 0, 0); Isa.Vrotate (7, 1, 0) ]
+    @ reduce_add_program ~vector_len ~src:6 ~scratch:5
+    @ reduce_add_program ~vector_len ~src:7 ~scratch:5
+    @ [ Isa.Vstore (2, 6); Isa.Vstore (3, 7) ]
+    @ [
+        Isa.Vsub (2, 1, 0);
+        Isa.Vmul (2, 2, 4);
+        Isa.Vadd (3, 0, 2);
+        Isa.Vstore (5, 3);
+      ]
+  in
+  { program; input_slots = [ 0; 1; 4 ]; output_slot = 5 }
+
+let merkle_level ~vector_len =
+  {
+    program =
+      [
+        Isa.Vload (0, 0);
+        (* Chunks of 4 elements are digests; interleaving with group 2^2
+           compacts even-indexed digests into the low half and odd-indexed
+           ones into the high half... *)
+        Isa.Vinterleave (1, 0, 2);
+        (* ...and a half-vector rotation aligns each odd digest with its even
+           partner. *)
+        Isa.Vrotate (2, 1, vector_len / 2);
+        Isa.Vhash (3, 1, 2);
+        Isa.Vstore (1, 3);
+      ];
+    input_slots = [ 0 ];
+    output_slot = 1;
+  }
+
+let poly_mul_cyclic =
+  {
+    program =
+      [
+        Isa.Vload (0, 0);
+        Isa.Vload (1, 1);
+        Isa.Vntt { dst = 2; src = 0; inverse = false };
+        Isa.Vntt { dst = 3; src = 1; inverse = false };
+        Isa.Vmul (4, 2, 3);
+        Isa.Vntt { dst = 5; src = 4; inverse = true };
+        Isa.Vstore (2, 5);
+      ];
+    input_slots = [ 0; 1 ];
+    output_slot = 2;
+  }
+
+(* Permutation sending the row-major (rows x cols) matrix to its transpose
+   (cols x rows), as perm.(dst) = src for Vshuffle. *)
+let transpose_perm ~rows ~cols =
+  Array.init (rows * cols) (fun i ->
+      let c = i / rows and r = i mod rows in
+      (r * cols) + c)
+
+let four_step_ntt ~rows ~cols =
+  let module Gf = Zk_field.Gf in
+  let k = rows * cols in
+  let log_k =
+    let rec go a m = if m <= 1 then a else go (a + 1) (m / 2) in
+    go 0 k
+  in
+  let w = Gf.root_of_unity log_k in
+  (* Twiddle (r, c) = w^(r*c), row-major. *)
+  let twiddles = Array.make k Gf.one in
+  let wr = ref Gf.one in
+  for r = 0 to rows - 1 do
+    let f = ref Gf.one in
+    for c = 0 to cols - 1 do
+      twiddles.((r * cols) + c) <- !f;
+      f := Gf.mul !f !wr
+    done;
+    wr := Gf.mul !wr w
+  done;
+  let kernel =
+    {
+      program =
+        [
+          Isa.Vload (0, 0);
+          (* Step 1: transpose, then NTT each original column as a tile. *)
+          Isa.Vshuffle (1, 0, transpose_perm ~rows ~cols);
+          Isa.Vntt_tiled { dst = 2; src = 1; tile = rows; inverse = false };
+          Isa.Vshuffle (3, 2, transpose_perm ~rows:cols ~cols:rows);
+          (* Step 2: twiddle scaling. *)
+          Isa.Vload (4, 1);
+          Isa.Vmul (5, 3, 4);
+          (* Step 3: NTT each row in place. *)
+          Isa.Vntt_tiled { dst = 6; src = 5; tile = cols; inverse = false };
+          (* Step 4: transpose into the flat transform's natural order. *)
+          Isa.Vshuffle (7, 6, transpose_perm ~rows ~cols);
+          Isa.Vstore (2, 7);
+        ];
+      input_slots = [ 0; 1 ];
+      output_slot = 2;
+    }
+  in
+  (kernel, twiddles)

@@ -1,0 +1,45 @@
+(** ISA-level kernel programs for the tasks of Sec. V-A, written the way the
+    paper describes the hardware executing them: reductions by cyclic shifts,
+    Merkle compaction by grouped interleavings, polynomial products through
+    the NTT FU. Each generator returns a program plus the memory-slot layout
+    so tests can validate the VM's results against the pure software
+    implementations, and the {!Schedule} cycle counts against the analytic
+    task model. *)
+
+type kernel = {
+  program : Isa.program;
+  input_slots : int list;
+  output_slot : int;
+}
+
+val elementwise_mul : kernel
+(** out = a .* b (slots 0, 1 -> 2). *)
+
+val sumcheck_round : vector_len:int -> kernel
+(** One round of the sumcheck DP (Listing 1) on a table split across slots 0
+    (low half) and 1 (high half): writes the round sums g(0) and g(1)
+    (replicated across lanes) to slots 2 and 3, and the folded table
+    [lo + r * (hi - lo)] to slot 5. The challenge vector is read from slot 4
+    (splatted by the host). Reductions use the paper's rotate-and-add tree. *)
+
+val merkle_level : vector_len:int -> kernel
+(** Hash adjacent digest pairs of the vector in slot 0 into slot 1; the first
+    half of the output vector holds the parent digests (grouped interleaving
+    compacts even/odd digests, Sec. IV-B). *)
+
+val poly_mul_cyclic : kernel
+(** Cyclic convolution of the polynomials in slots 0 and 1 via forward NTTs,
+    a pointwise multiply, and an inverse NTT; result in slot 2. *)
+
+val reduce_add_program :
+  vector_len:int -> src:Isa.vreg -> scratch:Isa.vreg -> Isa.program
+(** The rotate-and-add reduction tree: leaves the total of the [src] vector
+    replicated in every lane of [src]. *)
+
+val four_step_ntt : rows:int -> cols:int -> kernel * Zk_field.Gf.t array
+(** A [rows * cols]-point NTT built from the NTT FU's native tile size, via
+    transpose, tiled column NTTs, twiddle scaling, tiled row NTTs, and a
+    final transpose — the Sec. V-A mapping of Reed-Solomon's large NTTs onto
+    the 64-lane FU. Input in slot 0; the returned twiddle vector must be
+    loaded into slot 1 by the host; output (natural order, identical to a
+    flat NTT) lands in slot 2. *)

@@ -1,0 +1,52 @@
+type result = {
+  chips : int;
+  shard_seconds : float;
+  exchange_seconds : float;
+  aggregate_seconds : float;
+  total_seconds : float;
+  speedup : float;
+  efficiency : float;
+}
+
+let prove_seconds config n =
+  (Simulator.run config (Workload.spartan_orion ~n_constraints:n ())).Simulator.total_seconds
+
+let run ?(config = Config.default) ?(interconnect_gbps = 64.0)
+    ?(boundary_fraction = 0.01) ~chips ~n_constraints () =
+  if chips < 1 then invalid_arg "Multichip.run";
+  let single = prove_seconds config n_constraints in
+  if chips = 1 then
+    {
+      chips;
+      shard_seconds = single;
+      exchange_seconds = 0.0;
+      aggregate_seconds = 0.0;
+      total_seconds = single;
+      speedup = 1.0;
+      efficiency = 1.0;
+    }
+  else begin
+    let shard_n = n_constraints /. float_of_int chips in
+    let shard_seconds = prove_seconds config shard_n in
+    (* Boundary wires: each shard exchanges its boundary witness values
+       (8 bytes each) with neighbours over the interconnect. *)
+    let boundary_wires = boundary_fraction *. shard_n in
+    let exchange_seconds = 8.0 *. boundary_wires /. (interconnect_gbps *. 1e9) in
+    (* The combining proof spans all boundary wires plus one consistency
+       constraint per shard pair. *)
+    let aggregate_n = max 1024.0 (boundary_wires *. float_of_int chips) in
+    let aggregate_seconds = prove_seconds config aggregate_n in
+    let total_seconds = shard_seconds +. exchange_seconds +. aggregate_seconds in
+    {
+      chips;
+      shard_seconds;
+      exchange_seconds;
+      aggregate_seconds;
+      total_seconds;
+      speedup = single /. total_seconds;
+      efficiency = single /. total_seconds /. float_of_int chips;
+    }
+  end
+
+let sweep ?(config = Config.default) ~n_constraints ~chips () =
+  List.map (fun c -> run ~config ~chips:c ~n_constraints ()) chips

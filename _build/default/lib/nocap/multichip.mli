@@ -1,0 +1,37 @@
+(** Rack-scale multi-accelerator proving (the Sec. X future-work direction):
+    "large proofs could be parallelized across many accelerators, with little
+    communication among them".
+
+    The model partitions a statement into [chips] equal shards, proves the
+    shards in parallel (each on one NoCap), and accounts for the two glue
+    costs the paper identifies: cross-shard wire consistency (the shards'
+    boundary witnesses must be exchanged and re-committed) and the final
+    aggregation proof that ties the shard proofs together (costed like one
+    more proof over [chips * boundary] constraints, cf. {!Zk_spartan.Aggregate}
+    which implements the single-chip analogue of that aggregation). *)
+
+type result = {
+  chips : int;
+  shard_seconds : float; (** parallel shard proving time *)
+  exchange_seconds : float; (** boundary-witness exchange over the interconnect *)
+  aggregate_seconds : float; (** the final combining proof *)
+  total_seconds : float;
+  speedup : float; (** vs a single chip *)
+  efficiency : float; (** speedup / chips *)
+}
+
+val run :
+  ?config:Config.t ->
+  ?interconnect_gbps:float ->
+  ?boundary_fraction:float ->
+  chips:int ->
+  n_constraints:float ->
+  unit ->
+  result
+(** [interconnect_gbps] defaults to 64 GB/s (PCIe 5.0, Sec. IV-D);
+    [boundary_fraction] is the share of each shard's wires that cross shard
+    boundaries (default 1%). *)
+
+val sweep :
+  ?config:Config.t -> n_constraints:float -> chips:int list -> unit -> result list
+(** The scaling curve: one {!result} per chip count. *)

@@ -1,0 +1,18 @@
+(** Power model (Fig. 5): per-event energies from RTL synthesis combined with
+    the simulator's activity factors (Sec. VII). The default configuration on
+    a 16M-constraint run draws ~62 W: 13% in the FUs, 44% in the register
+    file, 42% in HBM. Energy constants are physically grounded (pJ-scale 64-bit
+    multiplies, ~0.4 pJ/B SRAM, ~31 pJ/B HBM2E end to end). *)
+
+type breakdown = {
+  fu_w : float;
+  regfile_w : float;
+  hbm_w : float;
+}
+
+val of_result : Simulator.result -> breakdown
+
+val total : breakdown -> float
+
+val fractions : breakdown -> float * float * float
+(** (fu, regfile, hbm) shares of total. *)

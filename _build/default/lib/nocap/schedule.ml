@@ -1,0 +1,87 @@
+type slot = { instr : Isa.instr; issue : int; finish : int }
+
+type schedule = {
+  slots : slot list;
+  makespan : int;
+  fu_busy : (Simulator.resource * int) list;
+}
+
+let cdiv a b = (a + b - 1) / b
+
+let occupancy (c : Config.t) ~vector_len instr =
+  let k = vector_len in
+  match (instr : Isa.instr) with
+  | Isa.Vadd _ | Isa.Vsub _ -> cdiv k c.Config.add_lanes
+  | Isa.Vmul _ -> cdiv k c.Config.mul_lanes
+  | Isa.Vntt _ ->
+    (* n/2 * log2 n butterflies through the NTT pipeline. *)
+    let log_k =
+      let rec go a m = if m <= 1 then a else go (a + 1) (m / 2) in
+      go 0 k
+    in
+    cdiv (k / 2 * log_k) c.Config.ntt_lanes
+  | Isa.Vntt_tiled { tile; _ } ->
+    let log_t =
+      let rec go a m = if m <= 1 then a else go (a + 1) (m / 2) in
+      go 0 tile
+    in
+    cdiv (k / tile * (tile / 2) * log_t) c.Config.ntt_lanes
+  | Isa.Vhash _ -> cdiv k c.Config.hash_lanes
+  | Isa.Vshuffle _ | Isa.Vrotate _ | Isa.Vinterleave _ -> cdiv k c.Config.shuffle_lanes
+  | Isa.Vload _ | Isa.Vstore _ ->
+    cdiv (8 * k) (int_of_float (Config.hbm_bytes_per_cycle c))
+  | Isa.Vsplat _ -> 1
+  | Isa.Delay n -> n
+
+(* Pipeline depths per FU type. *)
+let pipe_depth = function
+  | Isa.Vadd _ | Isa.Vsub _ -> 2
+  | Isa.Vmul _ -> 6
+  | Isa.Vntt _ | Isa.Vntt_tiled _ -> 24
+  | Isa.Vhash _ -> 48 (* 24 Keccak rounds, 2 per cycle *)
+  | Isa.Vshuffle _ | Isa.Vrotate _ | Isa.Vinterleave _ -> 14 (* Benes stages *)
+  | Isa.Vload _ | Isa.Vstore _ -> 100 (* worst-case HBM latency, Sec. IV-A *)
+  | Isa.Vsplat _ -> 1
+  | Isa.Delay _ -> 0
+
+let latency c ~vector_len instr = occupancy c ~vector_len instr + pipe_depth instr
+
+let run config ~vector_len program =
+  (* ready.(r): cycle at which register r's latest value is available.
+     fu_free: next cycle each FU can accept an instruction. *)
+  let ready = Hashtbl.create 64 in
+  let fu_free = Hashtbl.create 8 in
+  let fu_busy = Hashtbl.create 8 in
+  let reg_ready r = Option.value (Hashtbl.find_opt ready r) ~default:0 in
+  let fu_next fu = Option.value (Hashtbl.find_opt fu_free fu) ~default:0 in
+  let clock = ref 0 in
+  let slots =
+    List.map
+      (fun instr ->
+        let deps = Isa.reads instr in
+        let data_ready = List.fold_left (fun acc r -> max acc (reg_ready r)) 0 deps in
+        let occ = occupancy config ~vector_len instr in
+        let issue =
+          match Isa.which_fu instr with
+          | None -> max data_ready !clock
+          | Some fu -> max (max data_ready (fu_next fu)) 0
+        in
+        let finish = issue + latency config ~vector_len instr in
+        (match Isa.which_fu instr with
+        | None -> ()
+        | Some fu ->
+          Hashtbl.replace fu_free fu (issue + occ);
+          Hashtbl.replace fu_busy fu (Option.value (Hashtbl.find_opt fu_busy fu) ~default:0 + occ));
+        (match Isa.writes instr with
+        | Some d -> Hashtbl.replace ready d finish
+        | None -> ());
+        clock := max !clock issue;
+        { instr; issue; finish })
+      program
+  in
+  let makespan = List.fold_left (fun acc s -> max acc s.finish) 0 slots in
+  {
+    slots;
+    makespan;
+    fu_busy = Hashtbl.fold (fun fu n acc -> (fu, n) :: acc) fu_busy [];
+  }

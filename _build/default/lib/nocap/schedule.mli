@@ -1,0 +1,30 @@
+(** Static cycle-accurate scheduling of ISA programs (Sec. IV-A).
+
+    NoCap is statically scheduled: every instruction has a fixed latency known
+    to the compiler, which places issue cycles to respect data dependencies
+    and functional-unit structural hazards. This module is that compiler pass:
+    greedy list scheduling in program order, with each FU modelled as a fully
+    pipelined unit that accepts one vector instruction per [occupancy]
+    cycles (the cycles a [k]-element vector needs through an FU with fewer
+    than [k] lanes). *)
+
+type slot = {
+  instr : Isa.instr;
+  issue : int; (** cycle the instruction starts *)
+  finish : int; (** cycle its result is available *)
+}
+
+type schedule = {
+  slots : slot list;
+  makespan : int; (** total cycles *)
+  fu_busy : (Simulator.resource * int) list; (** occupied cycles per FU *)
+}
+
+val occupancy : Config.t -> vector_len:int -> Isa.instr -> int
+(** Cycles the instruction occupies its FU (issue-to-issue). *)
+
+val latency : Config.t -> vector_len:int -> Isa.instr -> int
+(** Cycles from issue until the result may be consumed (occupancy plus the
+    pipeline depth of the FU). *)
+
+val run : Config.t -> vector_len:int -> Isa.program -> schedule

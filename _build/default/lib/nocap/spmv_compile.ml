@@ -1,0 +1,120 @@
+module Gf = Zk_field.Gf
+module Sparse = Zk_r1cs.Sparse
+
+type schedule = {
+  program : Isa.program;
+  x_slots : int array;
+  coeff_slots : int list;
+  coeff_data : Gf.t array list;
+  y_slot_base : int;
+  num_y_chunks : int;
+  x_chunk_loads : int;
+  matrix_values_streamed : int;
+}
+
+(* Registers: 0 = current x chunk, 1 = aligned operands, 2 = streamed
+   coefficients, 3 = partial products, 4 = output accumulator. *)
+let r_x = 0
+
+let r_aligned = 1
+
+let r_coeff = 2
+
+let r_prod = 3
+
+let r_acc = 4
+
+let compile ~vector_len (m : Sparse.t) =
+  let k = vector_len in
+  if m.Sparse.nrows mod k <> 0 || m.Sparse.ncols mod k <> 0 then
+    invalid_arg "Spmv_compile.compile: dimensions must be multiples of vector_len";
+  let num_y_chunks = m.Sparse.nrows / k in
+  let num_x_chunks = m.Sparse.ncols / k in
+  let x_slots = Array.init num_x_chunks (fun i -> i) in
+  let y_slot_base = num_x_chunks in
+  let coeff_base = num_x_chunks + num_y_chunks in
+  (* Bucket nonzeros by (output chunk, input chunk). *)
+  let buckets = Hashtbl.create 64 in
+  Seq.iter
+    (fun (r, c, v) ->
+      let key = (r / k, c / k) in
+      let cur = Option.value (Hashtbl.find_opt buckets key) ~default:[] in
+      Hashtbl.replace buckets key ((r mod k, c mod k, v) :: cur))
+    (Sparse.entries m);
+  let program = ref [] in
+  let emit i = program := i :: !program in
+  let coeff_slots = ref [] in
+  let coeff_data = ref [] in
+  let next_coeff = ref coeff_base in
+  let x_chunk_loads = ref 0 in
+  let matrix_values_streamed = ref 0 in
+  for yc = 0 to num_y_chunks - 1 do
+    emit (Isa.Vsplat (r_acc, Gf.zero));
+    for xc = 0 to num_x_chunks - 1 do
+      match Hashtbl.find_opt buckets (yc, xc) with
+      | None -> ()
+      | Some nonzeros ->
+        (* One x-chunk load serves every round of this bucket: the vector
+           reuse the output-stationary dataflow exists to get. *)
+        emit (Isa.Vload (r_x, x_slots.(xc)));
+        incr x_chunk_loads;
+        (* Greedily pack nonzeros into rounds with at most one per output
+           lane (the Benes network delivers one operand per destination). *)
+        let remaining = ref nonzeros in
+        while !remaining <> [] do
+          let taken = Array.make k None in
+          let rest =
+            List.filter
+              (fun (dst, src, v) ->
+                match taken.(dst) with
+                | None ->
+                  taken.(dst) <- Some (src, v);
+                  false
+                | Some _ -> true)
+              !remaining
+          in
+          remaining := rest;
+          let perm = Array.make k 0 in
+          let coeffs = Array.make k Gf.zero in
+          Array.iteri
+            (fun dst slot ->
+              match slot with
+              | Some (src, v) ->
+                perm.(dst) <- src;
+                coeffs.(dst) <- v;
+                incr matrix_values_streamed
+              | None -> ())
+            taken;
+          let slot = !next_coeff in
+          incr next_coeff;
+          coeff_slots := slot :: !coeff_slots;
+          coeff_data := coeffs :: !coeff_data;
+          emit (Isa.Vshuffle (r_aligned, r_x, perm));
+          emit (Isa.Vload (r_coeff, slot));
+          emit (Isa.Vmul (r_prod, r_aligned, r_coeff));
+          emit (Isa.Vadd (r_acc, r_acc, r_prod))
+        done
+    done;
+    emit (Isa.Vstore (y_slot_base + yc, r_acc))
+  done;
+  {
+    program = List.rev !program;
+    x_slots;
+    coeff_slots = List.rev !coeff_slots;
+    coeff_data = List.rev !coeff_data;
+    y_slot_base;
+    num_y_chunks;
+    x_chunk_loads = !x_chunk_loads;
+    matrix_values_streamed = !matrix_values_streamed;
+  }
+
+let run vm schedule x =
+  let k = Vm.vector_len vm in
+  Array.iteri
+    (fun i slot -> Vm.write_mem vm slot (Array.sub x (i * k) k))
+    schedule.x_slots;
+  List.iter2 (fun slot data -> Vm.write_mem vm slot data) schedule.coeff_slots
+    schedule.coeff_data;
+  Vm.exec vm schedule.program;
+  Array.concat
+    (List.init schedule.num_y_chunks (fun c -> Vm.read_mem vm (schedule.y_slot_base + c)))

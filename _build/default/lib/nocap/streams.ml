@@ -1,0 +1,85 @@
+type stream = {
+  fu : Simulator.resource option;
+  ops : Isa.instr list;
+}
+
+type t = {
+  streams : stream list;
+  makespan : int;
+  config : Config.t;
+  vector_len : int;
+}
+
+let stream_slots slots fu =
+  List.filter (fun (s : Schedule.slot) -> Isa.which_fu s.Schedule.instr = fu) slots
+
+let build_stream config ~vector_len fu slots =
+  (* Slots arrive in program order; on one FU that is also issue order
+     (the scheduler never reorders within a unit). Insert delays to recover
+     the exact issue cycles. *)
+  let ops, _ =
+    List.fold_left
+      (fun (acc, clock) (s : Schedule.slot) ->
+        let acc =
+          if s.Schedule.issue > clock then Isa.Delay (s.Schedule.issue - clock) :: acc
+          else acc
+        in
+        let occ =
+          match (s.Schedule.instr, fu) with
+          | Isa.Delay n, _ -> n
+          | _, None -> 1
+          | _, Some _ -> Schedule.occupancy config ~vector_len s.Schedule.instr
+        in
+        (s.Schedule.instr :: acc, max s.Schedule.issue clock + occ))
+      ([], 0) slots
+  in
+  { fu; ops = List.rev ops }
+
+let split config ~vector_len program =
+  let sched = Schedule.run config ~vector_len program in
+  let fus =
+    [
+      Some Simulator.Mul; Some Simulator.Add; Some Simulator.Hash;
+      Some Simulator.Ntt; Some Simulator.Shuffle; Some Simulator.Hbm; None;
+    ]
+  in
+  let streams =
+    List.filter_map
+      (fun fu ->
+        match stream_slots sched.Schedule.slots fu with
+        | [] -> None
+        | slots -> Some (build_stream config ~vector_len fu slots))
+      fus
+  in
+  { streams; makespan = sched.Schedule.makespan; config; vector_len }
+
+let replay t =
+  let issues =
+    List.concat_map
+      (fun stream ->
+        let out, _ =
+          List.fold_left
+            (fun (acc, clock) instr ->
+              match instr with
+              | Isa.Delay n ->
+                (* Padding (and original control delays) just advance the
+                   stream clock. *)
+                (acc, clock + n)
+              | _ ->
+                let occ =
+                  match stream.fu with
+                  | None -> 1
+                  | Some _ -> Schedule.occupancy t.config ~vector_len:t.vector_len instr
+                in
+                ((instr, clock) :: acc, clock + occ))
+            ([], 0) stream.ops
+        in
+        List.rev out)
+      t.streams
+  in
+  List.stable_sort (fun (_, c1) (_, c2) -> compare c1 c2) issues
+
+let instruction_count t =
+  List.fold_left (fun acc s -> acc + List.length s.ops) 0 t.streams
+
+let vliw_word_count t = t.makespan

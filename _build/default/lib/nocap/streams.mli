@@ -1,0 +1,41 @@
+(** Distributed control (Sec. IV-A): NoCap does not fetch one wide VLIW word
+    per cycle — each functional unit runs its own instruction stream, padded
+    with [Delay] instructions so that every operation still issues at the
+    cycle the static schedule assigned (the "components can be scheduled
+    cycle-accurately" property).
+
+    [split] compiles a scheduled program into per-FU streams; [replay]
+    recovers each instruction's issue cycle from the streams alone, which the
+    tests use to prove the decomposition preserves the schedule. [code_size]
+    quantifies the paper's claim that distributed streams with delay slots
+    are smaller than equivalent VLIW encoding. *)
+
+type stream = {
+  fu : Simulator.resource option; (** [None] is the control stream *)
+  ops : Isa.instr list; (** [Delay] interleaved with the FU's instructions *)
+}
+
+type t = {
+  streams : stream list;
+  makespan : int;
+  config : Config.t;
+  vector_len : int;
+}
+
+val split : Config.t -> vector_len:int -> Isa.program -> t
+(** Compile via {!Schedule.run} and slice per functional unit. Control-only
+    instructions ([Vsplat], [Delay]) get their own control stream. *)
+
+val replay : t -> (Isa.instr * int) list
+(** Issue cycles recovered by walking each stream: a [Delay n] advances the
+    stream clock by [n]; any other instruction issues at the current clock
+    and advances it by its occupancy. Order across streams is by issue
+    cycle. *)
+
+val instruction_count : t -> int
+(** Total instructions across streams, delays included. *)
+
+val vliw_word_count : t -> int
+(** Instruction words a single-stream VLIW encoding of the same schedule
+    would need (one wide word per cycle up to the makespan) — the baseline
+    the paper's distributed control improves on. *)

@@ -1,0 +1,24 @@
+(** Functional simulator for the NoCap vector ISA.
+
+    Executes {!Isa.program}s over a register file of [k]-element Goldilocks
+    vectors and a vector-addressed main memory, producing bit-exact results —
+    used to validate that kernels scheduled for the accelerator compute the
+    same values as the reference software implementation. *)
+
+type t
+
+val create : vector_len:int -> num_regs:int -> mem_slots:int -> t
+
+val vector_len : t -> int
+
+val write_mem : t -> int -> Zk_field.Gf.t array -> unit
+(** Fill a main-memory vector slot (length must match [vector_len]). *)
+
+val read_mem : t -> int -> Zk_field.Gf.t array
+
+val read_reg : t -> Isa.vreg -> Zk_field.Gf.t array
+
+val exec : t -> Isa.program -> unit
+(** Run a program to completion.
+    @raise Invalid_argument on malformed programs (bad register, unloaded
+    NTT size, etc.). *)

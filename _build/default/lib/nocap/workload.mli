@@ -1,0 +1,61 @@
+(** The Spartan+Orion proving workload expressed as per-task operation and
+    traffic counts — the input to the timing {!Simulator}.
+
+    This mirrors the paper's methodology (Sec. VII): the prover program is a
+    serial sequence of tasks (Fig. 4), each characterized by how many
+    element-operations it issues to each functional unit and how many bytes it
+    moves to/from HBM. Counts are per R1CS constraint and scale linearly with
+    circuit size over the relevant range (Sec. VIII-B), with the full 128-bit
+    protocol configuration baked in: 3 sumcheck repetitions, 4 multiset-hash
+    instantiations, 4 proximity vectors, Reed-Solomon blowup 4 (Sec. VII-A).
+
+    The coefficients are calibrated so the default configuration reproduces
+    the paper's measured behaviour: 9.46 ns/constraint total (Table IV),
+    the task breakdown of Fig. 6a, and the recomputation ablation of
+    Sec. VIII-C; see EXPERIMENTS.md for the calibration notes and
+    {!Zk_perf.Opcounts} for the cross-validation against the instrumented
+    software prover. *)
+
+type task = Sumcheck | Reed_solomon | Merkle_tree | Spmv | Poly_arith
+
+val task_name : task -> string
+val all_tasks : task list
+
+type work = {
+  mul_ops : float; (** element multiplies issued to the multiply FU *)
+  add_ops : float;
+  hash_bytes : float; (** bytes through the SHA3 FU *)
+  ntt_butterflies : float;
+  shuffle_ops : float; (** elements routed through the Benes network *)
+  hbm_bytes : float;
+  spill_sensitive : bool;
+      (** true for tasks whose intermediates spill to HBM when the register
+          file shrinks below the default 8 MB (sumcheck recomputation,
+          Sec. VIII-D) *)
+}
+
+type t = (task * work) list
+
+val spartan_orion :
+  ?recompute:bool ->
+  ?repetitions:int ->
+  ?code:[ `Reed_solomon | `Expander ] ->
+  ?density:float ->
+  n_constraints:float ->
+  unit ->
+  t
+(** The full prover workload for an [n_constraints]-sized R1CS statement.
+
+    - [recompute] (default true): the paper's sumcheck recomputation
+      optimization — trades multiplies for a 31% cut in sumcheck traffic
+      (Sec. V-A).
+    - [repetitions] (default 3): sumcheck soundness repetitions; work in the
+      repetition-scaled tasks varies proportionally.
+    - [code] (default [`Reed_solomon]): [`Expander] models the original
+      Orion expander encoder — data-dependent gathers turn the encoding task
+      memory-bound (Sec. II, Sec. VIII-C).
+    - [density] (default 1.0): average R1CS matrix nonzeros per row relative
+      to the AES benchmark; denser circuits (e.g. Auction's comparators) do
+      proportionally more work everywhere. *)
+
+val total_hbm_bytes : t -> float

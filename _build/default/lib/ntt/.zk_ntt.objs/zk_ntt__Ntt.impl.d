@@ -1,0 +1,1 @@
+lib/ntt/ntt.ml: Array Hashtbl Zk_field

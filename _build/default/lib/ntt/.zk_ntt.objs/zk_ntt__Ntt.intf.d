@@ -1,0 +1,1 @@
+lib/ntt/ntt.mli: Zk_field

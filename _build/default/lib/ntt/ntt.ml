@@ -1,0 +1,184 @@
+module type FIELD = sig
+  type t
+
+  val zero : t
+  val one : t
+  val equal : t -> t -> bool
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val inv : t -> t
+  val of_int : int -> t
+  val two_adicity : int
+  val root_of_unity : int -> t
+end
+
+module type S = sig
+  type elt
+  type plan
+
+  val plan : int -> plan
+  val size : plan -> int
+  val forward : plan -> elt array -> unit
+  val inverse : plan -> elt array -> unit
+  val forward_copy : plan -> elt array -> elt array
+  val inverse_copy : plan -> elt array -> elt array
+  val four_step_forward : rows:int -> cols:int -> elt array -> elt array
+  val butterfly_count : int -> int
+end
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2_exact n =
+  if not (is_pow2 n) then invalid_arg "Ntt: size must be a power of two";
+  let rec go k m = if m = 1 then k else go (k + 1) (m lsr 1) in
+  go 0 n
+
+module Make (F : FIELD) : S with type elt = F.t = struct
+  type elt = F.t
+
+  type plan = {
+    n : int;
+    log_n : int;
+    twiddles : F.t array; (* w^0 .. w^(n/2-1) for the primitive n-th root w *)
+    inv_twiddles : F.t array;
+    n_inv : F.t;
+  }
+
+  let plans : (int, plan) Hashtbl.t = Hashtbl.create 16
+
+  let make_plan n =
+    let log_n = log2_exact n in
+    if log_n > F.two_adicity then invalid_arg "Ntt.plan: size exceeds 2-adicity";
+    let w = F.root_of_unity log_n in
+    let w_inv = F.inv w in
+    let half = max 1 (n / 2) in
+    let twiddles = Array.make half F.one in
+    let inv_twiddles = Array.make half F.one in
+    for i = 1 to half - 1 do
+      twiddles.(i) <- F.mul twiddles.(i - 1) w;
+      inv_twiddles.(i) <- F.mul inv_twiddles.(i - 1) w_inv
+    done;
+    { n; log_n; twiddles; inv_twiddles; n_inv = F.inv (F.of_int n) }
+
+  let plan n =
+    match Hashtbl.find_opt plans n with
+    | Some p -> p
+    | None ->
+      let p = make_plan n in
+      Hashtbl.add plans n p;
+      p
+
+  let size p = p.n
+
+  let bit_reverse_permute a =
+    let n = Array.length a in
+    let log_n = log2_exact n in
+    for i = 0 to n - 1 do
+      (* Reverse the low log_n bits of i. *)
+      let rec rev acc k x =
+        if k = 0 then acc else rev ((acc lsl 1) lor (x land 1)) (k - 1) (x lsr 1)
+      in
+      let j = rev 0 log_n i in
+      if j > i then begin
+        let t = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- t
+      end
+    done
+
+  let transform twiddles p a =
+    let n = p.n in
+    if Array.length a <> n then invalid_arg "Ntt: array length mismatch";
+    bit_reverse_permute a;
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let stride = n / !len in
+      let k = ref 0 in
+      while !k < n do
+        for j = 0 to half - 1 do
+          let w = twiddles.(j * stride) in
+          let u = a.(!k + j) in
+          let t = F.mul w a.(!k + j + half) in
+          a.(!k + j) <- F.add u t;
+          a.(!k + j + half) <- F.sub u t
+        done;
+        k := !k + !len
+      done;
+      len := !len * 2
+    done
+
+  let forward p a = transform p.twiddles p a
+
+  let inverse p a =
+    transform p.inv_twiddles p a;
+    for i = 0 to p.n - 1 do
+      a.(i) <- F.mul a.(i) p.n_inv
+    done
+
+  let forward_copy p a =
+    let b = Array.copy a in
+    forward p b;
+    b
+
+  let inverse_copy p a =
+    let b = Array.copy a in
+    inverse p b;
+    b
+
+  let four_step_forward ~rows ~cols a =
+    let n = rows * cols in
+    if Array.length a <> n then invalid_arg "Ntt.four_step_forward: size";
+    let log_n = log2_exact n in
+    ignore (log2_exact rows);
+    ignore (log2_exact cols);
+    let w = F.root_of_unity log_n in
+    let col_plan = plan rows and row_plan = plan cols in
+    (* Step 1: NTT down each column (stride [cols] in the row-major layout). *)
+    let col = Array.make rows F.zero in
+    let out = Array.copy a in
+    for c = 0 to cols - 1 do
+      for r = 0 to rows - 1 do
+        col.(r) <- out.((r * cols) + c)
+      done;
+      forward col_plan col;
+      for r = 0 to rows - 1 do
+        out.((r * cols) + c) <- col.(r)
+      done
+    done;
+    (* Step 2: scale entry (r, c) by w^(r*c). *)
+    let w_r = ref F.one in
+    for r = 0 to rows - 1 do
+      let f = ref F.one in
+      for c = 0 to cols - 1 do
+        out.((r * cols) + c) <- F.mul out.((r * cols) + c) !f;
+        f := F.mul !f !w_r
+      done;
+      w_r := F.mul !w_r w
+    done;
+    (* Step 3: NTT along each row. *)
+    let row = Array.make cols F.zero in
+    for r = 0 to rows - 1 do
+      Array.blit out (r * cols) row 0 cols;
+      forward row_plan row;
+      Array.blit row 0 out (r * cols) cols
+    done;
+    (* Step 4: transpose, so that output index k = c * rows + r holds
+       X_k with k = c * rows + r, matching the flat transform's order. *)
+    let res = Array.make n F.zero in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        res.((c * rows) + r) <- out.((r * cols) + c)
+      done
+    done;
+    res
+
+  let butterfly_count n = n / 2 * log2_exact n
+end
+
+module Gf_ntt = Make (Zk_field.Gf)
+
+module Fr_ntt = Make (struct
+  include Zk_field.Fr_bls
+end)

@@ -1,0 +1,60 @@
+(** Number-theoretic transforms.
+
+    The functor works over any field with enough 2-adicity; it is instantiated
+    over Goldilocks-64 ({!Gf_ntt}, the transform NoCap's NTT FU performs) and
+    over the BLS12-381 scalar field ({!Fr_ntt}) for the Groth16 baseline's QAP
+    arithmetic. *)
+
+module type FIELD = sig
+  type t
+
+  val zero : t
+  val one : t
+  val equal : t -> t -> bool
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val inv : t -> t
+  val of_int : int -> t
+  val two_adicity : int
+  val root_of_unity : int -> t
+end
+
+module type S = sig
+  type elt
+
+  type plan
+  (** Precomputed twiddle factors for one transform size. *)
+
+  val plan : int -> plan
+  (** [plan n] for a power-of-two [n] up to [2^two_adicity]. Plans are
+      cached. *)
+
+  val size : plan -> int
+
+  val forward : plan -> elt array -> unit
+  (** In-place forward NTT (natural order in, natural order out). *)
+
+  val inverse : plan -> elt array -> unit
+  (** In-place inverse NTT; [inverse p (forward p a)] is the identity. *)
+
+  val forward_copy : plan -> elt array -> elt array
+  val inverse_copy : plan -> elt array -> elt array
+
+  val four_step_forward : rows:int -> cols:int -> elt array -> elt array
+  (** Bailey's four-step NTT of a [rows * cols] array viewed as a row-major
+      matrix: column transforms, twiddle scaling, row transforms, transpose.
+      This is the decomposition NoCap's 64-lane NTT FU uses for transforms
+      larger than 2^12 (Sec. V-A); the result equals {!forward} of the flat
+      array. *)
+
+  val butterfly_count : int -> int
+  (** [butterfly_count n] = [n/2 * log2 n]: work metric used by the
+      performance model. *)
+end
+
+module Make (F : FIELD) : S with type elt = F.t
+
+module Gf_ntt : S with type elt = Zk_field.Gf.t
+
+module Fr_ntt : S with type elt = Zk_field.Fr_bls.t

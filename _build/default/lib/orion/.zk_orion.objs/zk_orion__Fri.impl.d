@@ -1,0 +1,1 @@
+lib/orion/fri.ml: Array Int64 List Printf Result Zk_field Zk_hash Zk_merkle Zk_ntt

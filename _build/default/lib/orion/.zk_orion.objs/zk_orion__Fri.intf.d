@@ -1,0 +1,1 @@
+lib/orion/fri.mli: Zk_field Zk_hash Zk_merkle

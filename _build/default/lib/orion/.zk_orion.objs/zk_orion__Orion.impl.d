@@ -1,0 +1,1 @@
+lib/orion/orion.ml: Array List Printf Result Zk_ecc Zk_field Zk_hash Zk_merkle Zk_poly

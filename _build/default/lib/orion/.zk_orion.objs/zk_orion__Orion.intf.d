@@ -1,0 +1,1 @@
+lib/orion/orion.mli: Zk_ecc Zk_field Zk_hash Zk_merkle Zk_util

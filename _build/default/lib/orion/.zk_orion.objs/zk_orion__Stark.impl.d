@@ -1,0 +1,1 @@
+lib/orion/stark.ml: Array Fri Int64 List Printf Result Zk_field Zk_hash Zk_merkle Zk_ntt

@@ -1,0 +1,1 @@
+lib/orion/stark.mli: Fri Zk_field Zk_merkle

@@ -1,0 +1,59 @@
+(** FRI (Fast Reed-Solomon IOP of Proximity) — the low-degree test behind
+    STARKs, one of the hash-based protocol families NoCap's programmability
+    covers (Sec. IV-E; the paper cites FRI as [81] and STARKs as [62]).
+
+    The prover commits (via SHA3 Merkle trees) to a polynomial's evaluations
+    over a multiplicative coset domain of size [blowup * degree_bound], then
+    repeatedly folds even/odd parts with transcript challenges, halving the
+    domain until a constant remains. The verifier spot-checks each fold at
+    random positions:
+    [f_{i+1}(x^2) = (f_i(x) + f_i(-x)) / 2 + beta * (f_i(x) - f_i(-x)) / (2x)]
+    and accepts only if the final layer is the claimed constant.
+
+    Every primitive here is a NoCap FU operation: NTTs to evaluate, SHA3 to
+    commit, element-wise arithmetic to fold — which is the generality point
+    this module exists to demonstrate (its kernels are benchmarked alongside
+    Orion's in [bench/main.exe]). *)
+
+module Gf = Zk_field.Gf
+
+type params = {
+  blowup_log2 : int; (** domain = 2^blowup_log2 * degree bound; 2 here *)
+  num_queries : int; (** spot checks per fold; 30 at blowup 4 ~ 60-bit LDT *)
+}
+
+val default_params : params
+
+type proof = {
+  layer_roots : Zk_merkle.Merkle.digest array; (** one per fold layer *)
+  final_constant : Gf.t;
+  queries : query array;
+}
+
+and query = {
+  position : int;
+  layers : (Gf.t * Gf.t * Zk_merkle.Merkle.digest list * Zk_merkle.Merkle.digest list) array;
+      (** per layer: f(x), f(-x) and their authentication paths *)
+}
+
+val prove :
+  ?shift:Gf.t ->
+  params ->
+  Zk_hash.Transcript.t ->
+  Gf.t array ->
+  proof
+(** [prove params t coeffs] commits to the polynomial with coefficient vector
+    [coeffs] (power-of-two length = the degree bound) and proves it is within
+    degree. [shift] evaluates over the coset [shift * <w>] instead of the
+    plain subgroup — STARKs need this so constraint quotients are defined
+    everywhere on the evaluation domain ({!Stark}). *)
+
+val verify :
+  ?shift:Gf.t ->
+  params ->
+  Zk_hash.Transcript.t ->
+  degree_bound:int ->
+  proof ->
+  (unit, string) result
+
+val proof_size_bytes : proof -> int

@@ -1,0 +1,244 @@
+module Gf = Zk_field.Gf
+module Mle = Zk_poly.Mle
+module Merkle = Zk_merkle.Merkle
+module Transcript = Zk_hash.Transcript
+
+type params = {
+  rows : int;
+  code : Zk_ecc.Linear_code.t;
+  proximity_count : int;
+  zk : bool;
+}
+
+let default_params =
+  { rows = 128; code = (module Zk_ecc.Reed_solomon); proximity_count = 4; zk = true }
+
+type commitment = {
+  root : Merkle.digest;
+  num_vars : int;
+  mat_rows : int;
+  mat_cols : int;
+}
+
+type committed = {
+  c_params : params;
+  c_commitment : commitment;
+  matrix : Gf.t array array; (* mat_rows data rows, each mat_cols wide *)
+  masks : Gf.t array array; (* proximity_count mask rows (empty if not zk) *)
+  encoded : Gf.t array array; (* all rows encoded: data then masks *)
+  tree : Merkle.tree;
+}
+
+type eval_proof = {
+  u : Gf.t array;
+  proximity : Gf.t array array;
+  columns : (int * Gf.t array * Merkle.digest list) array;
+}
+
+let log2_exact n =
+  if n <= 0 || n land (n - 1) <> 0 then invalid_arg "Orion: size must be a power of two";
+  let rec go k m = if m = 1 then k else go (k + 1) (m lsr 1) in
+  go 0 n
+
+let layout params table =
+  let n = Array.length table in
+  let _ = log2_exact n in
+  let rows = min params.rows n in
+  let cols = n / rows in
+  (rows, cols)
+
+let commit params rng table =
+  let module Code = (val params.code : Zk_ecc.Linear_code.S) in
+  let rows, cols = layout params table in
+  let matrix = Array.init rows (fun r -> Array.sub table (r * cols) cols) in
+  let masks =
+    if params.zk then
+      Array.init params.proximity_count (fun _ ->
+          Array.init cols (fun _ -> Gf.random rng))
+    else [||]
+  in
+  let all_rows = Array.append matrix masks in
+  let encoded = Array.map Code.encode all_rows in
+  let code_len = Code.blowup * cols in
+  let leaves =
+    Array.init code_len (fun j ->
+        Merkle.leaf_of_column (Array.map (fun row -> row.(j)) encoded))
+  in
+  let tree = Merkle.build leaves in
+  let commitment =
+    { root = Merkle.root tree; num_vars = log2_exact (Array.length table); mat_rows = rows; mat_cols = cols }
+  in
+  ({ c_params = params; c_commitment = commitment; matrix; masks; encoded; tree }, commitment)
+
+let absorb_commitment transcript (cm : commitment) =
+  Transcript.absorb_digest transcript "orion/root" cm.root;
+  Transcript.absorb_int transcript "orion/num_vars" cm.num_vars;
+  Transcript.absorb_int transcript "orion/rows" cm.mat_rows
+
+let split_point (cm : commitment) point =
+  if Array.length point <> cm.num_vars then invalid_arg "Orion.split_point: dimension";
+  let log_rows = log2_exact cm.mat_rows in
+  (Array.sub point 0 log_rows, Array.sub point log_rows (cm.num_vars - log_rows))
+
+(* combo coeffs^T M for a list of rows. *)
+let row_combination coeffs rows_arr cols =
+  let out = Array.make cols Gf.zero in
+  Array.iteri
+    (fun r coeff ->
+      let row = rows_arr.(r) in
+      for j = 0 to cols - 1 do
+        out.(j) <- Gf.add out.(j) (Gf.mul coeff row.(j))
+      done)
+    coeffs;
+  out
+
+let code_length params (cm : commitment) =
+  let module Code = (val params.code : Zk_ecc.Linear_code.S) in
+  Code.blowup * cm.mat_cols
+
+let prove_eval params committed transcript point =
+  let cm = committed.c_commitment in
+  let module Code = (val params.code : Zk_ecc.Linear_code.S) in
+  let cols = cm.mat_cols in
+  let q_row, q_col = split_point cm point in
+  Transcript.absorb_gf transcript "orion/point" point;
+  (* Proximity test: random combinations of the data rows, each masked by its
+     own committed random row so that nothing about the witness leaks. *)
+  let proximity =
+    Array.init params.proximity_count (fun i ->
+        let rho = Transcript.challenge_gf_vec transcript "orion/rho" cm.mat_rows in
+        let v = row_combination rho committed.matrix cols in
+        let v =
+          if params.zk then Array.mapi (fun j x -> Gf.add x committed.masks.(i).(j)) v
+          else v
+        in
+        Transcript.absorb_gf transcript "orion/proximity" v;
+        v)
+  in
+  (* Consistency: the eq(q_row) combination, whose inner product with
+     eq(q_col) is the evaluation. *)
+  let eq_row = Mle.eq_table q_row in
+  let u = row_combination eq_row committed.matrix cols in
+  Transcript.absorb_gf transcript "orion/u" u;
+  (* Column queries over the codeword domain. *)
+  let bound = code_length params cm in
+  let indices =
+    Transcript.challenge_indices transcript "orion/columns" ~bound ~count:Code.query_count
+  in
+  let columns =
+    Array.map
+      (fun j ->
+        let col = Array.map (fun row -> row.(j)) committed.encoded in
+        (j, col, Merkle.path committed.tree j))
+      indices
+  in
+  let eq_col = Mle.eq_table q_col in
+  let value = ref Gf.zero in
+  for j = 0 to cols - 1 do
+    value := Gf.add !value (Gf.mul u.(j) eq_col.(j))
+  done;
+  (!value, { u; proximity; columns })
+
+let verify_eval params (cm : commitment) transcript point value proof =
+  let module Code = (val params.code : Zk_ecc.Linear_code.S) in
+  let cols = cm.mat_cols in
+  let ( let* ) = Result.bind in
+  let* () =
+    if Array.length point <> cm.num_vars then Error "point dimension mismatch" else Ok ()
+  in
+  let q_row, q_col = split_point cm point in
+  Transcript.absorb_gf transcript "orion/point" point;
+  (* Recreate the proximity challenges in transcript order. *)
+  let* rhos =
+    if Array.length proof.proximity <> params.proximity_count then
+      Error "wrong number of proximity vectors"
+    else
+      Ok
+        (Array.map
+           (fun v ->
+             let rho = Transcript.challenge_gf_vec transcript "orion/rho" cm.mat_rows in
+             Transcript.absorb_gf transcript "orion/proximity" v;
+             rho)
+           proof.proximity)
+  in
+  let* () = if Array.length proof.u = cols then Ok () else Error "u has wrong length" in
+  Transcript.absorb_gf transcript "orion/u" proof.u;
+  let bound = code_length params cm in
+  let indices =
+    Transcript.challenge_indices transcript "orion/columns" ~bound ~count:Code.query_count
+  in
+  let* () =
+    if Array.length proof.columns = Code.query_count then Ok ()
+    else Error "wrong number of column openings"
+  in
+  (* The verifier encodes the claimed combinations itself (O(cols log cols)). *)
+  let encoded_u = Code.encode proof.u in
+  let encoded_prox = Array.map Code.encode proof.proximity in
+  let eq_row = Mle.eq_table q_row in
+  let expected_rows = cm.mat_rows + if params.zk then params.proximity_count else 0 in
+  let check_column k =
+    let j, col, path = proof.columns.(k) in
+    if j <> indices.(k) then Error (Printf.sprintf "column %d: index mismatch" k)
+    else if Array.length col <> expected_rows then
+      Error (Printf.sprintf "column %d: wrong height" k)
+    else if
+      not
+        (Merkle.verify ~root:cm.root ~index:j ~leaf:(Merkle.leaf_of_column col) ~path)
+    then Error (Printf.sprintf "column %d: bad Merkle path" k)
+    else begin
+      (* Consistency of u with the committed data rows at this column. *)
+      let dot coeffs =
+        let acc = ref Gf.zero in
+        Array.iteri (fun r c -> acc := Gf.add !acc (Gf.mul c col.(r))) coeffs;
+        !acc
+      in
+      if not (Gf.equal encoded_u.(j) (dot eq_row)) then
+        Error (Printf.sprintf "column %d: u consistency failed" k)
+      else begin
+        (* Proximity combinations, each shifted by its mask row. *)
+        let rec prox i =
+          if i >= params.proximity_count then Ok ()
+          else begin
+            let expected = dot rhos.(i) in
+            let expected =
+              if params.zk then Gf.add expected col.(cm.mat_rows + i) else expected
+            in
+            if Gf.equal encoded_prox.(i).(j) expected then prox (i + 1)
+            else Error (Printf.sprintf "column %d: proximity %d failed" k i)
+          end
+        in
+        prox 0
+      end
+    end
+  in
+  let rec all k =
+    if k >= Array.length proof.columns then Ok ()
+    else
+      let* () = check_column k in
+      all (k + 1)
+  in
+  let* () = all 0 in
+  (* Finally the claimed evaluation. *)
+  let eq_col = Mle.eq_table q_col in
+  let v = ref Gf.zero in
+  for j = 0 to cols - 1 do
+    v := Gf.add !v (Gf.mul proof.u.(j) eq_col.(j))
+  done;
+  if Gf.equal !v value then Ok () else Error "evaluation mismatch"
+
+let proof_size_bytes params (cm : commitment) proof =
+  let field_bytes = 8 and digest_bytes = 32 and index_bytes = 8 in
+  let u_bytes = field_bytes * Array.length proof.u in
+  let prox_bytes =
+    Array.fold_left (fun acc v -> acc + (field_bytes * Array.length v)) 0 proof.proximity
+  in
+  let col_bytes =
+    Array.fold_left
+      (fun acc (_, col, path) ->
+        acc + index_bytes + (field_bytes * Array.length col)
+        + (digest_bytes * List.length path))
+      0 proof.columns
+  in
+  ignore params;
+  ignore cm;
+  u_bytes + prox_bytes + col_bytes

@@ -1,0 +1,86 @@
+(** The Orion polynomial commitment scheme in its accelerator-friendly
+    configuration (Sec. II, Sec. VII-A): Reed-Solomon codes at blowup 4
+    (the Shockwave substitution), 128-row matrices, 189 column queries, and
+    4 random-combination proximity tests.
+
+    To commit to a multilinear polynomial with [2^L] coefficients, the prover
+    arranges the coefficient table into a [rows x cols] matrix, encodes every
+    row, hashes each codeword column into a Merkle leaf, and publishes the
+    root. An evaluation proof at point [q = (q_row, q_col)] sends the
+    combination [u = eq(q_row)^T W] plus masked random combinations for
+    proximity, and answers [189] column queries with Merkle openings; the
+    verifier re-encodes the combinations and spot-checks them column-wise, so
+    its work is [O(cols log cols + queries * rows)] instead of [O(2^L)].
+
+    When [zk] is set, each proximity combination is additively masked by a
+    committed random row, hiding the witness rows (the paper's masking
+    polynomial, Sec. VII-A). The evaluation combination itself follows the
+    non-hiding Brakedown/Shockwave variant — full hiding needs Orion's
+    recursive inner proof, which this reproduction substitutes away (see
+    DESIGN.md). *)
+
+module Gf = Zk_field.Gf
+
+type params = {
+  rows : int; (** data rows in the matrix; 128 in the paper *)
+  code : Zk_ecc.Linear_code.t;
+  proximity_count : int; (** random combinations for the proximity test; 4 *)
+  zk : bool;
+}
+
+val default_params : params
+(** rows = 128, Reed-Solomon blowup 4, 4 proximity vectors, zk masking on. *)
+
+type commitment = {
+  root : Zk_merkle.Merkle.digest;
+  num_vars : int;
+  mat_rows : int; (** data rows actually used (min rows (2^num_vars)) *)
+  mat_cols : int;
+}
+
+type committed
+(** Prover-side state: the coefficient matrix, its encoding, mask rows, and
+    the Merkle tree. *)
+
+type eval_proof = {
+  u : Gf.t array; (** eq(q_row)^T W, length mat_cols *)
+  proximity : Gf.t array array; (** masked random row-combinations *)
+  columns : (int * Gf.t array * Zk_merkle.Merkle.digest list) array;
+      (** queried codeword columns with authentication paths *)
+}
+
+val commit : params -> Zk_util.Rng.t -> Gf.t array -> committed * commitment
+(** [commit params rng table] commits to the multilinear polynomial whose
+    evaluation table is [table] (power-of-two length). [rng] draws the zk
+    mask rows (unused when [params.zk] is false). *)
+
+val prove_eval :
+  params ->
+  committed ->
+  Zk_hash.Transcript.t ->
+  Gf.t array ->
+  Gf.t * eval_proof
+(** [prove_eval params cm transcript point] opens the polynomial at [point]
+    (length [num_vars]), returning the value and the proof. The commitment
+    must have been absorbed by the caller via {!absorb_commitment}. *)
+
+val verify_eval :
+  params ->
+  commitment ->
+  Zk_hash.Transcript.t ->
+  Gf.t array ->
+  Gf.t ->
+  eval_proof ->
+  (unit, string) result
+(** Verifies that the committed polynomial evaluates to the claimed value at
+    the point. The transcript must mirror the prover's. *)
+
+val absorb_commitment : Zk_hash.Transcript.t -> commitment -> unit
+
+val proof_size_bytes : params -> commitment -> eval_proof -> int
+(** Serialized size: 8 bytes per field element, 32 per digest, 8 per column
+    index — the proof-size accounting behind Table III. *)
+
+val split_point : commitment -> Gf.t array -> Gf.t array * Gf.t array
+(** Split an evaluation point into (row part, column part) per the matrix
+    layout. *)

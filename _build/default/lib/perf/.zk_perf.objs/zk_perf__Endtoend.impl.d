@@ -1,0 +1,1 @@
+lib/perf/endtoend.ml: Nocap_model Zk_baseline Zk_workloads

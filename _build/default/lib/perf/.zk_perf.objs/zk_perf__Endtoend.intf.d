@@ -1,0 +1,1 @@
+lib/perf/endtoend.mli: Zk_workloads

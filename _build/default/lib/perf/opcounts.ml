@@ -1,0 +1,17 @@
+(* Derivations, for an instance of size n = 2^L:
+
+   Sumcheck #1 runs over 4 tables at degree 3. Round i processes
+   half = n / 2^i index pairs; summed over rounds, half totals (n - 1).
+   Per index pair: 4 evaluation points x 2 multiplies in the combination
+   eq * (az*bz - cz) = 8 multiplies, plus 4 fold multiplies = 12.
+   Sumcheck #2 (2 tables, degree 2): 3 points x 1 multiply + 2 folds = 5.
+
+   Additions per index pair: the prover's generic loop counts
+   (degree + 1) * (k + 1) evaluation adds plus 2k fold adds:
+   sumcheck #1: 4 * 5 + 2 * 4 = 28; sumcheck #2: 3 * 3 + 2 * 2 = 13. *)
+
+let sumcheck_mults ~n ~repetitions = repetitions * 17 * (n - 1)
+
+let sumcheck_adds ~n ~repetitions = repetitions * (28 + 13) * (n - 1)
+
+let spmv_mults ~nnz ~repetitions = (1 + repetitions) * nnz

@@ -1,0 +1,23 @@
+(** Closed-form operation counts for the software Spartan+Orion prover,
+    cross-validated against the instrumented implementation (the "op-count
+    validation" of DESIGN.md Sec. 4).
+
+    These formulas describe {e this repository's} prover (Spartan NIZK
+    variant, parameterizable repetitions); the accelerator's task model
+    ({!Nocap_model.Workload}) uses the paper-calibrated full-protocol
+    coefficients. The tests assert the formulas here match
+    {!Zk_spartan.Spartan.prover_stats} exactly, grounding the model pipeline
+    in executed code. *)
+
+val sumcheck_mults : n:int -> repetitions:int -> int
+(** Prover field multiplications across both sumchecks:
+    [reps * 17 * (n - 1)] for an instance of size [n]
+    (12 per element for the degree-3 sumcheck, 5 for the degree-2). *)
+
+val sumcheck_adds : n:int -> repetitions:int -> int
+(** [reps * ((16 + 2*4)*(n-1) + (9 + 2*2)*(n-1))]: evaluation-point updates
+    plus fold additions, both sumchecks. *)
+
+val spmv_mults : nnz:int -> repetitions:int -> int
+(** One forward SpMV over A, B, C plus one transpose SpMV per repetition:
+    [(1 + reps) * nnz]. *)

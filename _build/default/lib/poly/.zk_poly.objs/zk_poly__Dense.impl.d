@@ -1,0 +1,1 @@
+lib/poly/dense.ml: Array Int64 List Zk_field Zk_ntt Zk_util

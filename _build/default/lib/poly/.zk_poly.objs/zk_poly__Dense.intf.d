@@ -1,0 +1,1 @@
+lib/poly/dense.mli: Zk_field Zk_util

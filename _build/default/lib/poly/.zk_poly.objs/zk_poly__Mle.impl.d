@@ -1,0 +1,1 @@
+lib/poly/mle.ml: Array Zk_field

@@ -1,0 +1,1 @@
+lib/poly/mle.mli: Zk_field

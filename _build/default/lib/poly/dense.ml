@@ -1,0 +1,161 @@
+module Gf = Zk_field.Gf
+module Ntt = Zk_ntt.Ntt.Gf_ntt
+
+type t = Gf.t array
+
+let zero = [||]
+
+let constant c = if Gf.equal c Gf.zero then [||] else [| c |]
+
+let of_coeffs = Array.copy
+
+let degree p =
+  let rec go i = if i < 0 then -1 else if Gf.equal p.(i) Gf.zero then go (i - 1) else i in
+  go (Array.length p - 1)
+
+let trim p =
+  let d = degree p in
+  Array.sub p 0 (d + 1)
+
+let equal p q =
+  let dp = degree p and dq = degree q in
+  dp = dq
+  &&
+  let rec go i = i > dp || (Gf.equal p.(i) q.(i) && go (i + 1)) in
+  go 0
+
+let add p q =
+  let n = max (Array.length p) (Array.length q) in
+  Array.init n (fun i ->
+      let a = if i < Array.length p then p.(i) else Gf.zero in
+      let b = if i < Array.length q then q.(i) else Gf.zero in
+      Gf.add a b)
+
+let sub p q =
+  let n = max (Array.length p) (Array.length q) in
+  Array.init n (fun i ->
+      let a = if i < Array.length p then p.(i) else Gf.zero in
+      let b = if i < Array.length q then q.(i) else Gf.zero in
+      Gf.sub a b)
+
+let scale c p = Array.map (Gf.mul c) p
+
+let next_pow2 n =
+  let rec go k = if k >= n then k else go (2 * k) in
+  go 1
+
+let mul_naive p q =
+  let dp = degree p and dq = degree q in
+  if dp < 0 || dq < 0 then [||]
+  else begin
+    let out = Array.make (dp + dq + 1) Gf.zero in
+    for i = 0 to dp do
+      for j = 0 to dq do
+        out.(i + j) <- Gf.add out.(i + j) (Gf.mul p.(i) q.(j))
+      done
+    done;
+    out
+  end
+
+let mul p q =
+  let dp = degree p and dq = degree q in
+  if dp < 0 || dq < 0 then [||]
+  else if dp + dq < 32 then mul_naive p q
+  else begin
+    let n = next_pow2 (dp + dq + 1) in
+    let plan = Ntt.plan n in
+    let pa = Array.make n Gf.zero and qa = Array.make n Gf.zero in
+    Array.blit p 0 pa 0 (dp + 1);
+    Array.blit q 0 qa 0 (dq + 1);
+    Ntt.forward plan pa;
+    Ntt.forward plan qa;
+    for i = 0 to n - 1 do
+      pa.(i) <- Gf.mul pa.(i) qa.(i)
+    done;
+    Ntt.inverse plan pa;
+    Array.sub pa 0 (dp + dq + 1)
+  end
+
+let eval p x =
+  let acc = ref Gf.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Gf.add (Gf.mul !acc x) p.(i)
+  done;
+  !acc
+
+let random rng ~degree:d =
+  Array.init (d + 1) (fun i ->
+      if i = d then
+        (* Keep the leading coefficient nonzero so the degree is exact. *)
+        Gf.add Gf.one (Gf.of_int64 (Int64.rem (Zk_util.Rng.next rng) (Int64.sub Gf.p 1L)))
+      else Gf.random rng)
+
+let interpolate_eval ~xs ~ys r =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Dense.interpolate_eval";
+  (* If r coincides with a node, return the tabulated value (the barycentric
+     formula below would divide by zero). *)
+  let hit = ref None in
+  Array.iteri (fun i x -> if Gf.equal x r then hit := Some ys.(i)) xs;
+  match !hit with
+  | Some y -> y
+  | None ->
+    (* Lagrange: sum_i ys_i * prod_{j<>i} (r - xs_j) / (xs_i - xs_j). *)
+    let num = Array.map (fun x -> Gf.sub r x) xs in
+    let full = Array.fold_left Gf.mul Gf.one num in
+    let acc = ref Gf.zero in
+    for i = 0 to n - 1 do
+      let denom = ref num.(i) in
+      for j = 0 to n - 1 do
+        if j <> i then denom := Gf.mul !denom (Gf.sub xs.(i) xs.(j))
+      done;
+      acc := Gf.add !acc (Gf.mul ys.(i) (Gf.div full !denom))
+    done;
+    !acc
+
+let interpolate_eval_small ys r =
+  let xs = Array.init (Array.length ys) Gf.of_int in
+  interpolate_eval ~xs ~ys r
+
+let div_rem p q =
+  let dq = degree q in
+  if dq < 0 then raise Division_by_zero;
+  let lead_inv = Gf.inv q.(dq) in
+  let r = Array.copy (trim p) in
+  let dp = degree r in
+  if dp < dq then ([||], Array.copy r)
+  else begin
+    let quot = Array.make (dp - dq + 1) Gf.zero in
+    for i = dp downto dq do
+      let c = Gf.mul r.(i) lead_inv in
+      if not (Gf.equal c Gf.zero) then begin
+        quot.(i - dq) <- c;
+        for j = 0 to dq do
+          r.(i - dq + j) <- Gf.sub r.(i - dq + j) (Gf.mul c q.(j))
+        done
+      end
+    done;
+    (quot, trim r)
+  end
+
+let vanishing xs =
+  Array.fold_left
+    (fun acc x -> mul acc [| Gf.neg x; Gf.one |])
+    [| Gf.one |] xs
+
+let interpolate ~xs ~ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Dense.interpolate";
+  let acc = ref [||] in
+  for i = 0 to n - 1 do
+    (* Basis polynomial through (xs_i, 1), zero at the other nodes. *)
+    let others = Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list xs)) in
+    let basis = vanishing others in
+    let scale_factor =
+      let denom = ref Gf.one in
+      Array.iter (fun x -> denom := Gf.mul !denom (Gf.sub xs.(i) x)) others;
+      Gf.div ys.(i) !denom
+    in
+    acc := add !acc (scale scale_factor basis)
+  done;
+  trim !acc

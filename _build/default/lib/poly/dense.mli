@@ -1,0 +1,55 @@
+(** Dense univariate polynomials over Goldilocks-64, coefficients in
+    little-endian order ([coeffs.(i)] multiplies [x^i]).
+
+    Products go through the NTT (transform, pointwise multiply, inverse
+    transform), which is the "polynomial arithmetic" task of Sec. V-A. *)
+
+type t = Zk_field.Gf.t array
+
+val zero : t
+val constant : Zk_field.Gf.t -> t
+val of_coeffs : Zk_field.Gf.t array -> t
+
+val degree : t -> int
+(** Degree of the trimmed polynomial; [-1] for the zero polynomial. *)
+
+val trim : t -> t
+(** Drop trailing zero coefficients. *)
+
+val equal : t -> t -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Zk_field.Gf.t -> t -> t
+
+val mul : t -> t -> t
+(** NTT-based product. *)
+
+val mul_naive : t -> t -> t
+(** Quadratic schoolbook product (reference for tests). *)
+
+val eval : t -> Zk_field.Gf.t -> Zk_field.Gf.t
+(** Horner evaluation. *)
+
+val random : Zk_util.Rng.t -> degree:int -> t
+
+val interpolate_eval :
+  xs:Zk_field.Gf.t array -> ys:Zk_field.Gf.t array -> Zk_field.Gf.t -> Zk_field.Gf.t
+(** [interpolate_eval ~xs ~ys r] evaluates at [r] the unique polynomial of
+    degree [< length xs] through the points [(xs.(i), ys.(i))] (Lagrange).
+    Used by the sumcheck verifier to evaluate round polynomials. *)
+
+val interpolate_eval_small : Zk_field.Gf.t array -> Zk_field.Gf.t -> Zk_field.Gf.t
+(** Specialization of {!interpolate_eval} to nodes [0, 1, ..., d]: evaluates
+    the degree-[d] polynomial with values [ys] on [0..d] at a point. *)
+
+val div_rem : t -> t -> t * t
+(** [div_rem p q] is [(quotient, remainder)] with
+    [p = quotient * q + remainder] and [degree remainder < degree q].
+    @raise Division_by_zero on a zero divisor. *)
+
+val interpolate : xs:Zk_field.Gf.t array -> ys:Zk_field.Gf.t array -> t
+(** The unique polynomial of degree [< length xs] through the points
+    (Lagrange; O(n^2)). Node values must be distinct. *)
+
+val vanishing : Zk_field.Gf.t array -> t
+(** [vanishing xs] = [prod_i (X - xs_i)]. *)

@@ -1,0 +1,65 @@
+module Gf = Zk_field.Gf
+
+type point = Gf.t array
+
+let num_vars a =
+  let n = Array.length a in
+  if n = 0 || n land (n - 1) <> 0 then invalid_arg "Mle: table must be a power of two";
+  let rec go k m = if m = 1 then k else go (k + 1) (m lsr 1) in
+  go 0 n
+
+let fold_top a r =
+  let n = Array.length a in
+  if n < 2 then invalid_arg "Mle.fold_top";
+  let half = n / 2 in
+  Array.init half (fun b ->
+      Gf.add a.(b) (Gf.mul r (Gf.sub a.(b + half) a.(b))))
+
+let fold_top_in_place a ~len r =
+  if len < 2 || len > Array.length a then invalid_arg "Mle.fold_top_in_place";
+  let half = len / 2 in
+  for b = 0 to half - 1 do
+    a.(b) <- Gf.add a.(b) (Gf.mul r (Gf.sub a.(b + half) a.(b)))
+  done;
+  half
+
+let eval a point =
+  let l = num_vars a in
+  if Array.length point <> l then invalid_arg "Mle.eval: dimension mismatch";
+  let cur = ref (Array.copy a) in
+  Array.iter (fun r -> cur := fold_top !cur r) point;
+  (!cur).(0)
+
+let eq_table point =
+  let l = Array.length point in
+  let table = Array.make (1 lsl l) Gf.one in
+  let size = ref 1 in
+  (* Each new variable becomes the low bit, so after processing all L
+     variables, variable i sits at bit position (L - i): variable 1 is the
+     most significant bit, as required. *)
+  for i = 0 to l - 1 do
+    let r = point.(i) in
+    for b = !size - 1 downto 0 do
+      let v = table.(b) in
+      let hi = Gf.mul v r in
+      table.((2 * b) + 1) <- hi;
+      table.(2 * b) <- Gf.sub v hi
+    done;
+    size := 2 * !size
+  done;
+  table
+
+let eq_point r s =
+  let l = Array.length r in
+  if Array.length s <> l then invalid_arg "Mle.eq_point";
+  let acc = ref Gf.one in
+  for i = 0 to l - 1 do
+    let term =
+      Gf.add (Gf.mul r.(i) s.(i)) (Gf.mul (Gf.sub Gf.one r.(i)) (Gf.sub Gf.one s.(i)))
+    in
+    acc := Gf.mul !acc term
+  done;
+  !acc
+
+let eval_of_index l i =
+  Array.init l (fun j -> if (i lsr (l - 1 - j)) land 1 = 1 then Gf.one else Gf.zero)

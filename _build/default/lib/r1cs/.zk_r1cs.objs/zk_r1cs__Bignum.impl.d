@@ -1,0 +1,1 @@
+lib/r1cs/bignum.ml: Array Builder Gadgets Int64 List Stdlib Zk_field

@@ -1,0 +1,1 @@
+lib/r1cs/builder.ml: Array List Printf R1cs Sparse Zk_field

@@ -1,0 +1,1 @@
+lib/r1cs/builder.mli: R1cs Zk_field

@@ -1,0 +1,1 @@
+lib/r1cs/gadgets.ml: Array Builder Int64 List Zk_field

@@ -1,0 +1,1 @@
+lib/r1cs/lang.ml: Builder Gadgets Int64 List Printf Zk_field

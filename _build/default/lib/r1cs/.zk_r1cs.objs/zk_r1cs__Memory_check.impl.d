@@ -1,0 +1,1 @@
+lib/r1cs/memory_check.ml: Array Builder Gadgets List Zk_field

@@ -1,0 +1,1 @@
+lib/r1cs/memory_check.mli: Builder R1cs Zk_field

@@ -1,0 +1,1 @@
+lib/r1cs/r1cs.ml: Array Printf Sparse Zk_field

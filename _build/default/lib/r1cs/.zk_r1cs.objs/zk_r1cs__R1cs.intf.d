@@ -1,0 +1,1 @@
+lib/r1cs/r1cs.mli: Sparse Zk_field

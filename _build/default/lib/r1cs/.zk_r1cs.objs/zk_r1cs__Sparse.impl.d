@@ -1,0 +1,1 @@
+lib/r1cs/sparse.ml: Array Int List Seq Zk_field

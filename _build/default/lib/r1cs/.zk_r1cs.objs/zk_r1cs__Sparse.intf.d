@@ -1,0 +1,1 @@
+lib/r1cs/sparse.mli: Seq Zk_field

@@ -1,0 +1,114 @@
+module Gf = Zk_field.Gf
+
+type var = Witness of int | Io of int
+
+type lc = (var * Gf.t) list
+
+(* Growable value store. *)
+module Vec = struct
+  type t = { mutable data : Gf.t array; mutable len : int }
+
+  let create () = { data = Array.make 16 Gf.zero; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let bigger = Array.make (2 * v.len) Gf.zero in
+      Array.blit v.data 0 bigger 0 v.len;
+      v.data <- bigger
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1;
+    v.len - 1
+
+  let get v i =
+    if i >= v.len then invalid_arg "Builder: variable out of range";
+    v.data.(i)
+
+  let to_array v = Array.sub v.data 0 v.len
+end
+
+type t = {
+  wvals : Vec.t;
+  iovals : Vec.t;
+  mutable constraints : (lc * lc * lc) list; (* reversed *)
+  mutable n_constraints : int;
+}
+
+let create () =
+  let b =
+    { wvals = Vec.create (); iovals = Vec.create (); constraints = []; n_constraints = 0 }
+  in
+  ignore (Vec.push b.iovals Gf.one);
+  b
+
+let one = Io 0
+
+let input t v = Io (Vec.push t.iovals v)
+
+let witness t v = Witness (Vec.push t.wvals v)
+
+let value t = function
+  | Witness i -> Vec.get t.wvals i
+  | Io i -> Vec.get t.iovals i
+
+let lc_var v = [ (v, Gf.one) ]
+
+let lc_const k = if Gf.equal k Gf.zero then [] else [ (one, k) ]
+
+let lc_scale k lc =
+  if Gf.equal k Gf.zero then []
+  else List.map (fun (v, c) -> (v, Gf.mul k c)) lc
+
+let lc_add a b = a @ b
+
+let lc_value t lc =
+  List.fold_left (fun acc (v, c) -> Gf.add acc (Gf.mul c (value t v))) Gf.zero lc
+
+let constrain t a b c =
+  let va = lc_value t a and vb = lc_value t b and vc = lc_value t c in
+  if not (Gf.equal (Gf.mul va vb) vc) then
+    invalid_arg
+      (Printf.sprintf "Builder.constrain: unsatisfied constraint %d (%s * %s <> %s)"
+         t.n_constraints (Gf.to_string va) (Gf.to_string vb) (Gf.to_string vc));
+  t.constraints <- (a, b, c) :: t.constraints;
+  t.n_constraints <- t.n_constraints + 1
+
+let num_constraints t = t.n_constraints
+
+let num_witness t = t.wvals.Vec.len
+
+let next_pow2 n =
+  let rec go k = if k >= n then k else go (2 * k) in
+  go 1
+
+let finalize t =
+  let nw = t.wvals.Vec.len and nio = t.iovals.Vec.len in
+  let half_min = next_pow2 (max 1 (max nw nio)) in
+  let n = next_pow2 (max (max 2 t.n_constraints) (2 * half_min)) in
+  let half = n / 2 in
+  let col = function Witness i -> i | Io i -> half + i in
+  let entries_of select =
+    List.concat
+      (List.mapi
+         (fun k (a, b, c) ->
+           let row = t.n_constraints - 1 - k in
+           List.map (fun (v, coeff) -> (row, col v, coeff)) (select (a, b, c)))
+         t.constraints)
+  in
+  let a = Sparse.of_entries ~nrows:n ~ncols:n (entries_of (fun (a, _, _) -> a)) in
+  let b = Sparse.of_entries ~nrows:n ~ncols:n (entries_of (fun (_, b, _) -> b)) in
+  let c = Sparse.of_entries ~nrows:n ~ncols:n (entries_of (fun (_, _, c) -> c)) in
+  let log_size =
+    let rec go k m = if m = 1 then k else go (k + 1) (m lsr 1) in
+    go 0 n
+  in
+  let inst =
+    R1cs.make ~a ~b ~c ~log_size ~num_constraints:t.n_constraints ~num_witness:nw
+      ~num_io:nio
+  in
+  let pad vec =
+    let arr = Array.make half Gf.zero in
+    Array.blit (Vec.to_array vec) 0 arr 0 vec.Vec.len;
+    arr
+  in
+  (inst, { R1cs.w = pad t.wvals; io = pad t.iovals })

@@ -1,0 +1,151 @@
+module Gf = Zk_field.Gf
+open Builder
+
+let add t x y =
+  let s = witness t (Gf.add (value t x) (value t y)) in
+  constrain t (lc_add (lc_var x) (lc_var y)) (lc_var one) (lc_var s);
+  s
+
+let add_lc t lc =
+  let s = witness t (lc_value t lc) in
+  constrain t lc (lc_var one) (lc_var s);
+  s
+
+let mul t x y =
+  let z = witness t (Gf.mul (value t x) (value t y)) in
+  constrain t (lc_var x) (lc_var y) (lc_var z);
+  z
+
+let mul_lc t a b =
+  let z = witness t (Gf.mul (lc_value t a) (lc_value t b)) in
+  constrain t a b (lc_var z);
+  z
+
+let assert_equal t a b = constrain t a (lc_var one) b
+
+let assert_bool t v =
+  constrain t (lc_var v) (lc_add (lc_var v) (lc_const (Gf.neg Gf.one))) []
+
+let bits_of t ~width v =
+  if width < 1 || width > 63 then invalid_arg "Gadgets.bits_of: width";
+  let x = Gf.to_int64 (value t v) in
+  if width < 63 && Int64.unsigned_compare x (Int64.shift_left 1L width) >= 0 then
+    invalid_arg "Gadgets.bits_of: value does not fit";
+  let bits =
+    Array.init width (fun i ->
+        let bit = Int64.logand (Int64.shift_right_logical x i) 1L in
+        witness t (Gf.of_int64 bit))
+  in
+  Array.iter (assert_bool t) bits;
+  let packing =
+    Array.to_list bits
+    |> List.mapi (fun i b -> (b, Gf.of_int64 (Int64.shift_left 1L i)))
+  in
+  assert_equal t packing (lc_var v);
+  bits
+
+let pack t bits =
+  let lc =
+    Array.to_list bits
+    |> List.mapi (fun i b -> (b, Gf.of_int64 (Int64.shift_left 1L i)))
+  in
+  add_lc t lc
+
+let bxor t a b =
+  (* x = a + b - 2ab, via the single constraint (2a) * b = a + b - x. *)
+  let va = value t a and vb = value t b in
+  let x = witness t (Gf.sub (Gf.add va vb) (Gf.mul Gf.two (Gf.mul va vb))) in
+  constrain t
+    (lc_scale Gf.two (lc_var a))
+    (lc_var b)
+    (lc_add (lc_add (lc_var a) (lc_var b)) (lc_scale (Gf.neg Gf.one) (lc_var x)));
+  x
+
+let band t a b = mul t a b
+
+let bor t a b =
+  let va = value t a and vb = value t b in
+  let x = witness t (Gf.sub (Gf.add va vb) (Gf.mul va vb)) in
+  constrain t (lc_var a) (lc_var b)
+    (lc_add (lc_add (lc_var a) (lc_var b)) (lc_scale (Gf.neg Gf.one) (lc_var x)));
+  x
+
+let bnot t a =
+  let x = witness t (Gf.sub Gf.one (value t a)) in
+  assert_equal t (lc_add (lc_const Gf.one) (lc_scale (Gf.neg Gf.one) (lc_var a))) (lc_var x);
+  x
+
+let select t ~cond x y =
+  (* s = y + cond * (x - y). *)
+  let vc = value t cond in
+  let s =
+    witness t (Gf.add (value t y) (Gf.mul vc (Gf.sub (value t x) (value t y))))
+  in
+  constrain t (lc_var cond)
+    (lc_add (lc_var x) (lc_scale (Gf.neg Gf.one) (lc_var y)))
+    (lc_add (lc_var s) (lc_scale (Gf.neg Gf.one) (lc_var y)));
+  s
+
+let is_zero t v =
+  let x = value t v in
+  let isz = witness t (if Gf.equal x Gf.zero then Gf.one else Gf.zero) in
+  let inv = witness t (if Gf.equal x Gf.zero then Gf.zero else Gf.inv x) in
+  (* v * inv = 1 - isz  and  v * isz = 0 force isz = [v = 0]. *)
+  constrain t (lc_var v) (lc_var inv)
+    (lc_add (lc_const Gf.one) (lc_scale (Gf.neg Gf.one) (lc_var isz)));
+  constrain t (lc_var v) (lc_var isz) [];
+  isz
+
+let equal t a b =
+  let d = add_lc t (lc_add (lc_var a) (lc_scale (Gf.neg Gf.one) (lc_var b))) in
+  is_zero t d
+
+let less_than t ~width a b =
+  if width > 62 then invalid_arg "Gadgets.less_than: width";
+  (* d = a - b + 2^width sits in [1, 2^(width+1)); its top bit is [a >= b]. *)
+  let shift = Gf.of_int64 (Int64.shift_left 1L width) in
+  let d =
+    add_lc t
+      (lc_add
+         (lc_add (lc_var a) (lc_scale (Gf.neg Gf.one) (lc_var b)))
+         (lc_const shift))
+  in
+  let bits = bits_of t ~width:(width + 1) d in
+  bnot t bits.(width)
+
+let xor_word t a b =
+  if Array.length a <> Array.length b then invalid_arg "Gadgets.xor_word";
+  Array.map2 (fun x y -> bxor t x y) a b
+
+let rotl_word bits k =
+  let n = Array.length bits in
+  Array.init n (fun i -> bits.((i - k + n) mod n))
+
+let const_word t ~width v =
+  Array.init width (fun i ->
+      let bit = Int64.logand (Int64.shift_right_logical v i) 1L in
+      let w = witness t (Gf.of_int64 bit) in
+      assert_equal t (lc_const (Gf.of_int64 bit)) (lc_var w);
+      w)
+
+let divmod t ~width a n =
+  if n <= 0 then invalid_arg "Gadgets.divmod: divisor";
+  if width < 1 || width > 30 then invalid_arg "Gadgets.divmod: width";
+  let va = Int64.to_int (Gf.to_int64 (value t a)) in
+  let q = witness t (Gf.of_int (va / n)) in
+  let r = witness t (Gf.of_int (va mod n)) in
+  assert_equal t
+    (lc_add (lc_scale (Gf.of_int n) (lc_var q)) (lc_var r))
+    (lc_var a);
+  ignore (bits_of t ~width q);
+  ignore (bits_of t ~width r);
+  let bound = add_lc t (lc_const (Gf.of_int n)) in
+  let lt = less_than t ~width r bound in
+  assert_equal t (lc_var lt) (lc_const Gf.one);
+  (q, r)
+
+let assert_nonzero t v =
+  let x = value t v in
+  if Gf.equal x Gf.zero then invalid_arg "Gadgets.assert_nonzero: zero value";
+  let inv = witness t (Gf.inv x) in
+  constrain t (lc_var v) (lc_var inv) (lc_const Gf.one)

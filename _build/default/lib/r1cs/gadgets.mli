@@ -1,0 +1,67 @@
+(** Reusable R1CS gadgets over the {!Builder} DSL: arithmetic, Boolean logic,
+    bit decomposition, comparisons and multiplexing. The workload circuits
+    (AES/SHA/RSA/Auction/Litmus, Sec. VII-B) are assembled from these. *)
+
+open Builder
+
+val add : t -> var -> var -> var
+(** Materialized sum (one constraint). Prefer raw [lc]s when the sum feeds a
+    multiplication anyway. *)
+
+val add_lc : t -> lc -> var
+(** Materialize an arbitrary linear combination as a wire. *)
+
+val mul : t -> var -> var -> var
+
+val mul_lc : t -> lc -> lc -> var
+
+val assert_equal : t -> lc -> lc -> unit
+
+val assert_bool : t -> var -> unit
+(** Constrain [v * (v - 1) = 0]. *)
+
+val bits_of : t -> width:int -> var -> var array
+(** Decompose into [width] Boolean wires, little-endian, and constrain the
+    packing [sum 2^i b_i = v]. The value must fit in [width] bits (and
+    [width <= 63]). *)
+
+val pack : t -> var array -> var
+(** Inverse of {!bits_of} (little-endian). *)
+
+val bxor : t -> var -> var -> var
+(** XOR of Boolean wires: [a + b - 2ab]. *)
+
+val band : t -> var -> var -> var
+val bor : t -> var -> var -> var
+val bnot : t -> var -> var
+
+val select : t -> cond:var -> var -> var -> var
+(** [select ~cond x y] is [x] if [cond = 1] else [y] ([cond] Boolean). *)
+
+val is_zero : t -> var -> var
+(** Boolean wire that is 1 iff the input is 0 (inverse-hint gadget, two
+    constraints). *)
+
+val equal : t -> var -> var -> var
+(** Boolean equality test. *)
+
+val less_than : t -> width:int -> var -> var -> var
+(** [less_than ~width a b] is the Boolean [a < b]; both inputs must already be
+    constrained to [width] bits ([width <= 62]). *)
+
+val xor_word : t -> var array -> var array -> var array
+(** Bitwise XOR of equal-length bit vectors. *)
+
+val rotl_word : var array -> int -> var array
+(** Rotate a bit vector left (free: just re-indexing wires). *)
+
+val const_word : t -> width:int -> int64 -> var array
+(** Bits of a compile-time constant (allocated as constrained wires). *)
+
+val divmod : t -> width:int -> var -> int -> var * var
+(** [divmod t ~width a n] for a compile-time positive divisor [n] returns
+    witnessed [(quotient, remainder)] with [a = q * n + r], [r < n] and
+    [q < 2^width] enforced. The dividend must fit [2 * width] bits. *)
+
+val assert_nonzero : t -> var -> unit
+(** Constrain a wire to be invertible (one constraint, inverse hint). *)

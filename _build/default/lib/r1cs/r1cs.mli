@@ -1,0 +1,51 @@
+(** Rank-1 constraint systems (Sec. II-B).
+
+    An instance is three square sparse matrices A, B, C of side [2^log_size]
+    such that the circuit is satisfied iff [(Az) o (Bz) = Cz] (elementwise),
+    where [z] is the wire-value vector.
+
+    Layout (Spartan's convention): [z = w || io], each half of length
+    [2^(log_size - 1)]; [io.(0)] is the constant 1, followed by the public
+    inputs, zero-padded. The split lets the multilinear extension of [z]
+    decompose as [(1 - y_1) * w~(rest) + y_1 * io~(rest)], so the verifier
+    only needs a commitment opening for the witness half. *)
+
+type instance = private {
+  a : Sparse.t;
+  b : Sparse.t;
+  c : Sparse.t;
+  log_size : int; (* matrices are 2^log_size x 2^log_size, >= 1 *)
+  num_constraints : int; (* real constraint rows *)
+  num_witness : int; (* live entries of w *)
+  num_io : int; (* live entries of io, including the constant 1 *)
+}
+
+type assignment = { w : Zk_field.Gf.t array; io : Zk_field.Gf.t array }
+(** Both halves have length [2^(log_size - 1)]; [io.(0) = 1]. *)
+
+val make :
+  a:Sparse.t ->
+  b:Sparse.t ->
+  c:Sparse.t ->
+  log_size:int ->
+  num_constraints:int ->
+  num_witness:int ->
+  num_io:int ->
+  instance
+(** Validates dimensions. The matrices must already be [2^log_size] square. *)
+
+val size : instance -> int
+(** [2^log_size]. *)
+
+val z : instance -> assignment -> Zk_field.Gf.t array
+(** The full wire vector [w || io]. *)
+
+val satisfied : instance -> assignment -> bool
+(** Check [(Az) o (Bz) = Cz]. *)
+
+val public_io : instance -> assignment -> Zk_field.Gf.t array
+(** The live io prefix (constant 1 and public inputs) — what the verifier
+    sees. *)
+
+val nnz : instance -> int
+(** Total nonzeros across A, B, C. *)

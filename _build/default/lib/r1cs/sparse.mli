@@ -1,0 +1,41 @@
+(** Sparse matrices in compressed-sparse-row form, and the SpMV task of
+    Sec. V-A. The R1CS matrices A, B, C are "limited-bandwidth" — most
+    nonzeros sit near the diagonal — which is what lets NoCap stream them with
+    good vector reuse; {!bandwidth_profile} measures that property so the
+    performance model can exploit it. *)
+
+type t = private {
+  nrows : int;
+  ncols : int;
+  row_ptr : int array; (* length nrows + 1 *)
+  col_idx : int array;
+  values : Zk_field.Gf.t array;
+}
+
+val of_entries : nrows:int -> ncols:int -> (int * int * Zk_field.Gf.t) list -> t
+(** Build from (row, col, value) triples. Duplicate (row, col) entries are
+    summed; zero values are dropped. *)
+
+val nnz : t -> int
+
+val spmv : t -> Zk_field.Gf.t array -> Zk_field.Gf.t array
+(** [spmv m x] is [m * x]. @raise Invalid_argument on dimension mismatch. *)
+
+val spmv_transpose : t -> Zk_field.Gf.t array -> Zk_field.Gf.t array
+(** [spmv_transpose m y] is [m^T * y] — used to build the second-sumcheck
+    table [M(y) = sum_i eq(rx,i) M_{i,y}] without materializing M^T. *)
+
+val entries : t -> (int * int * Zk_field.Gf.t) Seq.t
+(** All nonzero entries in row-major order. *)
+
+val mle_eval : t -> row_eq:Zk_field.Gf.t array -> col_eq:Zk_field.Gf.t array -> Zk_field.Gf.t
+(** [mle_eval m ~row_eq ~col_eq] = [sum_{(i,j,v)} v * row_eq.(i) * col_eq.(j)]
+    — the matrix MLE evaluated at a point, given precomputed eq tables
+    ({!Zk_poly.Mle.eq_table}). This is how the Spartan verifier evaluates
+    A(rx, ry), B(rx, ry), C(rx, ry) in O(nnz). *)
+
+val bandwidth_profile : t -> int * float
+(** [(max_band, mean_band)] where band is [abs (col - row)] over nonzeros. *)
+
+val pad_to : t -> nrows:int -> ncols:int -> t
+(** Embed into a larger zero matrix (dimensions must not shrink). *)

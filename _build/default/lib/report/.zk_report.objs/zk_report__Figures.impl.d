@@ -1,0 +1,1 @@
+lib/report/figures.ml: Array List Nocap_model Printf Render Zk_baseline Zk_field Zk_hash Zk_sumcheck Zk_util Zk_workloads Zk_zkdb

@@ -1,0 +1,1 @@
+lib/report/render.ml: List Printf String

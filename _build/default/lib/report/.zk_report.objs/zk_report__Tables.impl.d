@@ -1,0 +1,1 @@
+lib/report/tables.ml: List Nocap_model Printf Render Zk_baseline Zk_perf Zk_util Zk_workloads

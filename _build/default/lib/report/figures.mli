@@ -1,0 +1,41 @@
+(** Regeneration of the paper's evaluation figures (as data series) plus the
+    Sec. VIII-C ablations and the application case studies of Sec. I. *)
+
+val fig5 : unit -> unit
+(** Power breakdown for a 16M-constraint statement. *)
+
+val fig6 : unit -> unit
+(** Runtime breakdown (CPU and NoCap) and NoCap memory-traffic breakdown. *)
+
+val fig7 : unit -> unit
+(** Parameter sensitivity: sweep each FU, HBM bandwidth, and register-file
+    size across 1/4x..4x; gmean performance relative to default. *)
+
+val fig7_data : unit -> (string * (float * float) list) list
+(** For each knob, (scale factor, speedup vs default) series. *)
+
+val fig8 : unit -> unit
+(** Design space: (area, performance) scatter for 1 TB/s and 2 TB/s HBM with
+    the Pareto frontier marked. *)
+
+val fig8_pareto : hbm_factor:float -> (float * float) list
+(** Pareto-optimal (area mm^2, gmean seconds) points for one memory
+    bandwidth. *)
+
+val ablations : unit -> unit
+(** Sec. VIII-C: Goldilocks64, Reed-Solomon vs expander, sumcheck
+    recomputation, on both CPU and NoCap. *)
+
+val db_throughput : unit -> unit
+(** The Sec. VIII real-time verifiable database claim. *)
+
+val applications : unit -> unit
+(** Sec. I case studies: photo cropping, confidential-DP training. *)
+
+val scaling : unit -> unit
+(** Sec. X: rack-scale multi-accelerator proving — the speedup curve of
+    sharding one large proof across 1..32 NoCap chips. *)
+
+val soundness_ablation : unit -> unit
+(** Extension-field challenges (GF(p^2)) versus the paper's 3x sumcheck
+    repetition: prover cost and proof size for the same 128-bit soundness. *)

@@ -1,0 +1,41 @@
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar title bar
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s  " (List.nth widths c) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  List.iteri
+    (fun c _ -> Printf.printf "%s  " (String.make (List.nth widths c) '-'))
+    header;
+  print_newline ();
+  List.iter print_row rows
+
+let seconds s =
+  if s < 1e-3 then Printf.sprintf "%.1f us" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.1f ms" (s *. 1e3)
+  else if s < 120.0 then Printf.sprintf "%.2f s" s
+  else if s < 7200.0 then Printf.sprintf "%.1f min" (s /. 60.0)
+  else Printf.sprintf "%.1f h" (s /. 3600.0)
+
+let ratio r =
+  if r >= 100.0 then Printf.sprintf "%.0fx" r
+  else if r >= 10.0 then Printf.sprintf "%.1fx" r
+  else Printf.sprintf "%.2fx" r
+
+let mb bytes = Printf.sprintf "%.1f MB" (bytes /. (1024.0 *. 1024.0))
+
+let watts w = Printf.sprintf "%.1f W" w
+
+let percent p = Printf.sprintf "%.1f%%" (100.0 *. p)

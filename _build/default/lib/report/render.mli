@@ -1,0 +1,17 @@
+(** Plain-text rendering of the evaluation tables and figure data. *)
+
+val section : string -> unit
+(** Print a section banner. *)
+
+val table : header:string list -> string list list -> unit
+(** Column-aligned table. *)
+
+val seconds : float -> string
+(** Human scale: "151.3 ms", "2.6 s", "1.7 h". *)
+
+val ratio : float -> string
+(** "586x". *)
+
+val mb : float -> string
+val watts : float -> string
+val percent : float -> string

@@ -1,0 +1,183 @@
+module Endtoend = Zk_perf.Endtoend
+module Benchmarks = Zk_workloads.Benchmarks
+module Proofsize = Zk_baseline.Proofsize
+module Area = Nocap_model.Area
+module Config = Nocap_model.Config
+module Workload = Nocap_model.Workload
+module Simulator = Nocap_model.Simulator
+module Pipezk = Zk_baseline.Pipezk
+module Cpu_model = Zk_baseline.Cpu_model
+module Stats = Zk_util.Stats
+
+let f2 = Printf.sprintf "%.2f"
+
+let table1 () =
+  Render.section "Table I: end-to-end zk-SNARK / prover-hardware comparison (16M constraints)";
+  let n = 16.0e6 in
+  let paper =
+    [
+      (Endtoend.Groth16_cpu, 54.00);
+      (Endtoend.Groth16_gpu, 37.45);
+      (Endtoend.Groth16_pipezk, 8.03);
+      (Endtoend.Spartan_cpu, 95.14);
+      (Endtoend.Spartan_nocap, 1.09);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (platform, paper_total) ->
+        let b = Endtoend.run platform ~n_constraints:n () in
+        [
+          Endtoend.platform_name platform;
+          f2 b.Endtoend.prover;
+          f2 b.Endtoend.send;
+          f2 b.Endtoend.verifier;
+          f2 (Endtoend.total b);
+          f2 paper_total;
+        ])
+      paper
+  in
+  Render.table
+    ~header:[ "zkSNARK / Prover"; "Prover [s]"; "Send [s]"; "Verifier [s]"; "Total [s]"; "Paper total [s]" ]
+    rows
+
+let table2 () =
+  Render.section "Table II: NoCap area breakdown (14nm, mm^2)";
+  let b = Area.of_config Config.default in
+  let paper =
+    [
+      1.80; 6.34; 0.96; 0.84; 9.95; 6.01; 0.11; 29.80; 35.92; 45.87;
+    ]
+  in
+  let rows =
+    List.map2
+      (fun (name, ours) paper -> [ name; f2 ours; f2 paper ])
+      (Area.table_rows b) paper
+  in
+  Render.table ~header:[ "Building block"; "Ours [mm^2]"; "Paper [mm^2]" ] rows
+
+let table3 () =
+  Render.section "Table III: benchmark characteristics";
+  let rows =
+    List.map
+      (fun (b : Benchmarks.t) ->
+        let n = b.Benchmarks.r1cs_size in
+        let proof = Proofsize.spartan_orion_proof_bytes ~n_constraints:n in
+        let verify = Proofsize.spartan_orion_verifier_seconds ~n_constraints:n in
+        [
+          b.Benchmarks.name;
+          Printf.sprintf "%.1fM" (n /. 1e6);
+          Printf.sprintf "%.1f" (proof /. (1024.0 *. 1024.0));
+          Printf.sprintf "%.1f" b.Benchmarks.paper_proof_mb;
+          Printf.sprintf "%.1f" (verify *. 1000.0);
+          Printf.sprintf "%.1f" b.Benchmarks.paper_verify_ms;
+        ])
+      Benchmarks.all
+  in
+  Render.table
+    ~header:
+      [ "Benchmark"; "R1CS size"; "Proof [MB]"; "(paper)"; "V time [ms]"; "(paper)" ]
+    rows
+
+type table4_row = {
+  name : string;
+  nocap_s : float;
+  cpu_s : float;
+  cpu_speedup : float;
+  pipezk_s : float;
+  pipezk_speedup : float;
+}
+
+let table4_data () =
+  let rows =
+    List.map
+      (fun (b : Benchmarks.t) ->
+        let n = b.Benchmarks.r1cs_size and density = b.Benchmarks.density in
+        let wl = Workload.spartan_orion ~density ~n_constraints:n () in
+        let nocap_s = (Simulator.run Config.default wl).Simulator.total_seconds in
+        let cpu_s = Cpu_model.spartan_orion_seconds ~density ~n_constraints:n () in
+        let pipezk_s = Pipezk.seconds ~n_constraints:n in
+        {
+          name = b.Benchmarks.name;
+          nocap_s;
+          cpu_s;
+          cpu_speedup = cpu_s /. nocap_s;
+          pipezk_s;
+          pipezk_speedup = pipezk_s /. nocap_s;
+        })
+      Benchmarks.all
+  in
+  let gmean f = Stats.gmean (List.map f rows) in
+  (rows, gmean (fun r -> r.cpu_speedup), gmean (fun r -> r.pipezk_speedup))
+
+let table4 () =
+  Render.section "Table IV: proof generation time and speedups";
+  let rows, g_cpu, g_pipezk = table4_data () in
+  let paper = [ (622.0, 53.0); (605.0, 51.0); (578.0, 37.0); (571.0, 50.0); (560.0, 25.0) ] in
+  Render.table
+    ~header:
+      [
+        "Benchmark"; "NoCap"; "CPU"; "vs CPU"; "(paper)"; "PipeZK"; "vs PipeZK"; "(paper)";
+      ]
+    (List.map2
+       (fun r (p_cpu, p_zk) ->
+         [
+           r.name;
+           Render.seconds r.nocap_s;
+           Render.seconds r.cpu_s;
+           Render.ratio r.cpu_speedup;
+           Render.ratio p_cpu;
+           Render.seconds r.pipezk_s;
+           Render.ratio r.pipezk_speedup;
+           Render.ratio p_zk;
+         ])
+       rows paper);
+  Printf.printf "gmean speedup vs CPU: %s (paper: 586x)   vs PipeZK: %s (paper: 41x)\n"
+    (Render.ratio g_cpu) (Render.ratio g_pipezk)
+
+type table5_row = {
+  t5_name : string;
+  t5_prover : float;
+  t5_send : float;
+  t5_verifier : float;
+  t5_total : float;
+  t5_vs_pipezk : float;
+}
+
+let table5_data () =
+  let rows =
+    List.map
+      (fun (b : Benchmarks.t) ->
+        let ours = Endtoend.benchmark_breakdown Endtoend.Spartan_nocap b in
+        let pipezk = Endtoend.benchmark_breakdown Endtoend.Groth16_pipezk b in
+        {
+          t5_name = b.Benchmarks.name;
+          t5_prover = ours.Endtoend.prover;
+          t5_send = ours.Endtoend.send;
+          t5_verifier = ours.Endtoend.verifier;
+          t5_total = Endtoend.total ours;
+          t5_vs_pipezk = Endtoend.speedup pipezk ours;
+        })
+      Benchmarks.all
+  in
+  (rows, Stats.gmean (List.map (fun r -> r.t5_vs_pipezk) rows))
+
+let table5 () =
+  Render.section "Table V: end-to-end runtime and speedup vs PipeZK";
+  let rows, g = table5_data () in
+  let paper = [ 7.4; 12.1; 19.6; 34.1; 22.4 ] in
+  Render.table
+    ~header:[ "Benchmark"; "Prover"; "Send"; "Verifier"; "Total"; "vs PipeZK"; "(paper)" ]
+    (List.map2
+       (fun r p ->
+         [
+           r.t5_name;
+           f2 r.t5_prover;
+           f2 r.t5_send;
+           f2 r.t5_verifier;
+           f2 r.t5_total;
+           Render.ratio r.t5_vs_pipezk;
+           Render.ratio p;
+         ])
+       rows paper);
+  Printf.printf "gmean end-to-end speedup vs PipeZK: %s (paper: 16.8x)\n" (Render.ratio g)

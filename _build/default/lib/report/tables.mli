@@ -1,0 +1,42 @@
+(** Regeneration of the paper's evaluation tables (paper value vs. model
+    output side by side). Each [tableN] prints; the [_data] accessors expose
+    the computed rows for tests and EXPERIMENTS.md. *)
+
+val table1 : unit -> unit
+(** End-to-end platform comparison at 16M constraints. *)
+
+val table2 : unit -> unit
+(** NoCap area breakdown. *)
+
+val table3 : unit -> unit
+(** Benchmark characteristics: size, proof size, verifier time. *)
+
+val table4 : unit -> unit
+(** Proving times and speedups. *)
+
+val table5 : unit -> unit
+(** End-to-end runtimes and speedups vs. PipeZK. *)
+
+type table4_row = {
+  name : string;
+  nocap_s : float;
+  cpu_s : float;
+  cpu_speedup : float;
+  pipezk_s : float;
+  pipezk_speedup : float;
+}
+
+val table4_data : unit -> table4_row list * float * float
+(** Rows plus (gmean vs CPU, gmean vs PipeZK). *)
+
+type table5_row = {
+  t5_name : string;
+  t5_prover : float;
+  t5_send : float;
+  t5_verifier : float;
+  t5_total : float;
+  t5_vs_pipezk : float;
+}
+
+val table5_data : unit -> table5_row list * float
+(** Rows plus gmean end-to-end speedup vs. PipeZK. *)

@@ -1,0 +1,1 @@
+lib/spartan/aggregate.ml: Array List Printf Result Spartan Zk_field Zk_hash Zk_orion Zk_poly Zk_r1cs Zk_sumcheck Zk_util

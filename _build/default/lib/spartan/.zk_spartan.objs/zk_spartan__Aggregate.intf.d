@@ -1,0 +1,1 @@
+lib/spartan/aggregate.mli: Spartan Zk_field Zk_orion Zk_r1cs Zk_sumcheck Zk_util

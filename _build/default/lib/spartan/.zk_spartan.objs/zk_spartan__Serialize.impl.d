@@ -1,0 +1,1 @@
+lib/spartan/serialize.ml: Array Buffer Bytes Int64 List Result Spartan String Zk_field Zk_orion Zk_sumcheck

@@ -1,0 +1,1 @@
+lib/spartan/serialize.mli: Spartan

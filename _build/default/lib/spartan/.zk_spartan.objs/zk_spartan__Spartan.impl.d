@@ -1,0 +1,1 @@
+lib/spartan/spartan.ml: Array Buffer Bytes Int64 Printf Result Seq Zk_field Zk_hash Zk_orion Zk_poly Zk_r1cs Zk_sumcheck Zk_util

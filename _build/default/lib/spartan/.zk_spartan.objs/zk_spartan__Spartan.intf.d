@@ -1,0 +1,1 @@
+lib/spartan/spartan.mli: Zk_field Zk_hash Zk_orion Zk_r1cs Zk_sumcheck Zk_util

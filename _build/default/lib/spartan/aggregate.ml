@@ -1,0 +1,276 @@
+module Gf = Zk_field.Gf
+module Transcript = Zk_hash.Transcript
+module Mle = Zk_poly.Mle
+module Sparse = Zk_r1cs.Sparse
+module R1cs = Zk_r1cs.R1cs
+module Sumcheck = Zk_sumcheck.Sumcheck
+module Orion = Zk_orion.Orion
+
+type proof = {
+  commitments : Orion.commitment array;
+  reps : rep_proof array;
+}
+
+and rep_proof = {
+  sc1 : Sumcheck.proof;
+  claims_abc : (Gf.t * Gf.t * Gf.t) array;
+  sc2 : Sumcheck.proof;
+  vws : Gf.t array;
+  w_opens : Orion.eval_proof array;
+}
+
+let start_transcript params inst ios =
+  let t = Transcript.create "spartan-orion-batch" in
+  Transcript.absorb_digest t "instance" (Spartan.instance_digest inst);
+  Transcript.absorb_int t "repetitions" params.Spartan.repetitions;
+  Transcript.absorb_int t "batch" (Array.length ios);
+  Array.iter (Transcript.absorb_gf t "io") ios;
+  t
+
+(* comb for the batched first sumcheck over tables
+   [eq; a_1; b_1; c_1; ...; a_k; b_k; c_k] with coefficients rho. *)
+let comb1 rho v =
+  let k = Array.length rho in
+  let acc = ref Gf.zero in
+  for i = 0 to k - 1 do
+    let a = v.((3 * i) + 1) and b = v.((3 * i) + 2) and c = v.((3 * i) + 3) in
+    acc := Gf.add !acc (Gf.mul rho.(i) (Gf.sub (Gf.mul a b) c))
+  done;
+  Gf.mul v.(0) !acc
+
+let comb2 v = Gf.mul v.(0) v.(1)
+
+let io_mle_eval io_live point =
+  let eq = Mle.eq_table point in
+  let acc = ref Gf.zero in
+  Array.iteri (fun j v -> acc := Gf.add !acc (Gf.mul v eq.(j))) io_live;
+  !acc
+
+let prove ?(rng = Zk_util.Rng.create 0xA66_CAFEL) params inst assignments =
+  let k = Array.length assignments in
+  if k = 0 then invalid_arg "Aggregate.prove: empty batch";
+  Array.iter
+    (fun asn ->
+      if not (R1cs.satisfied inst asn) then
+        invalid_arg "Aggregate.prove: unsatisfied assignment in batch")
+    assignments;
+  let ios = Array.map (R1cs.public_io inst) assignments in
+  let transcript = start_transcript params inst ios in
+  let l = inst.R1cs.log_size in
+  let committed_and_cm =
+    Array.map (fun asn -> Orion.commit params.Spartan.orion rng asn.R1cs.w) assignments
+  in
+  Array.iter (fun (_, cm) -> Orion.absorb_commitment transcript cm) committed_and_cm;
+  let zs = Array.map (R1cs.z inst) assignments in
+  let az = Array.map (Sparse.spmv inst.R1cs.a) zs in
+  let bz = Array.map (Sparse.spmv inst.R1cs.b) zs in
+  let cz = Array.map (Sparse.spmv inst.R1cs.c) zs in
+  let reps =
+    Array.init params.Spartan.repetitions (fun _ ->
+        let rho = Transcript.challenge_gf_vec transcript "rho" k in
+        let tau = Transcript.challenge_gf_vec transcript "tau" l in
+        let eq_tau = Mle.eq_table tau in
+        let tables =
+          Array.of_list
+            (eq_tau
+            :: List.concat
+                 (List.init k (fun i -> [ az.(i); bz.(i); cz.(i) ])))
+        in
+        let r1 =
+          Sumcheck.prove ~comb_mults:(2 * k) transcript ~degree:3 ~tables
+            ~comb:(comb1 rho) ~claim:Gf.zero
+        in
+        let rx = r1.Sumcheck.challenges in
+        let claims_abc =
+          Array.init k (fun i ->
+              ( r1.Sumcheck.final_values.((3 * i) + 1),
+                r1.Sumcheck.final_values.((3 * i) + 2),
+                r1.Sumcheck.final_values.((3 * i) + 3) ))
+        in
+        Array.iter
+          (fun (va, vb, vc) ->
+            Transcript.absorb_gf transcript "claims-abc" [| va; vb; vc |])
+          claims_abc;
+        let r_abc = Transcript.challenge_gf_vec transcript "r-abc" 3 in
+        let sigma = Transcript.challenge_gf_vec transcript "sigma" k in
+        let claim2 =
+          let acc = ref Gf.zero in
+          Array.iteri
+            (fun i (va, vb, vc) ->
+              let combined =
+                Gf.add
+                  (Gf.mul r_abc.(0) va)
+                  (Gf.add (Gf.mul r_abc.(1) vb) (Gf.mul r_abc.(2) vc))
+              in
+              acc := Gf.add !acc (Gf.mul sigma.(i) combined))
+            claims_abc;
+          !acc
+        in
+        (* The M-table is built once for the whole batch. *)
+        let eq_rx = Mle.eq_table rx in
+        let ta = Sparse.spmv_transpose inst.R1cs.a eq_rx in
+        let tb = Sparse.spmv_transpose inst.R1cs.b eq_rx in
+        let tc = Sparse.spmv_transpose inst.R1cs.c eq_rx in
+        let m_table =
+          Array.init (R1cs.size inst) (fun y ->
+              Gf.add
+                (Gf.mul r_abc.(0) ta.(y))
+                (Gf.add (Gf.mul r_abc.(1) tb.(y)) (Gf.mul r_abc.(2) tc.(y))))
+        in
+        let z_comb =
+          Array.init (R1cs.size inst) (fun y ->
+              let acc = ref Gf.zero in
+              for i = 0 to k - 1 do
+                acc := Gf.add !acc (Gf.mul sigma.(i) zs.(i).(y))
+              done;
+              !acc)
+        in
+        let r2 =
+          Sumcheck.prove ~comb_mults:1 transcript ~degree:2
+            ~tables:[| m_table; z_comb |] ~comb:comb2 ~claim:claim2
+        in
+        let ry = r2.Sumcheck.challenges in
+        let ry_rest = Array.sub ry 1 (l - 1) in
+        let opens =
+          Array.map
+            (fun (committed, _) ->
+              Orion.prove_eval params.Spartan.orion committed transcript ry_rest)
+            committed_and_cm
+        in
+        let vws = Array.map fst opens in
+        Transcript.absorb_gf transcript "vws" vws;
+        { sc1 = r1.Sumcheck.proof; claims_abc; sc2 = r2.Sumcheck.proof; vws;
+          w_opens = Array.map snd opens })
+  in
+  { commitments = Array.map snd committed_and_cm; reps }
+
+let verify params inst ~ios proof =
+  let ( let* ) = Result.bind in
+  let k = Array.length ios in
+  let* () =
+    if k = 0 then Error "empty batch"
+    else if Array.length proof.commitments <> k then Error "commitment count mismatch"
+    else if Array.length proof.reps <> params.Spartan.repetitions then
+      Error "wrong number of repetitions"
+    else Ok ()
+  in
+  let* () =
+    if Array.for_all (fun io -> Array.length io >= 1 && Gf.equal io.(0) Gf.one) ios
+    then Ok ()
+    else Error "every io must start with the constant 1"
+  in
+  let transcript = start_transcript params inst ios in
+  Array.iter (Orion.absorb_commitment transcript) proof.commitments;
+  let l = inst.R1cs.log_size in
+  let rec check_rep r =
+    if r >= Array.length proof.reps then Ok ()
+    else begin
+      let rep = proof.reps.(r) in
+      let* () =
+        if Array.length rep.claims_abc = k && Array.length rep.vws = k
+           && Array.length rep.w_opens = k
+        then Ok ()
+        else Error "per-instance component count mismatch"
+      in
+      let rho = Transcript.challenge_gf_vec transcript "rho" k in
+      let tau = Transcript.challenge_gf_vec transcript "tau" l in
+      let* v1 =
+        Sumcheck.verify transcript ~degree:3 ~num_vars:l ~claim:Gf.zero rep.sc1
+      in
+      let rx = v1.Sumcheck.point in
+      let eq_tau_rx = Mle.eq_point tau rx in
+      let expected1 =
+        let acc = ref Gf.zero in
+        Array.iteri
+          (fun i (va, vb, vc) ->
+            acc := Gf.add !acc (Gf.mul rho.(i) (Gf.sub (Gf.mul va vb) vc)))
+          rep.claims_abc;
+        Gf.mul eq_tau_rx !acc
+      in
+      let* () =
+        if Gf.equal expected1 v1.Sumcheck.value then Ok ()
+        else Error (Printf.sprintf "rep %d: batched sumcheck-1 mismatch" r)
+      in
+      Array.iter
+        (fun (va, vb, vc) ->
+          Transcript.absorb_gf transcript "claims-abc" [| va; vb; vc |])
+        rep.claims_abc;
+      let r_abc = Transcript.challenge_gf_vec transcript "r-abc" 3 in
+      let sigma = Transcript.challenge_gf_vec transcript "sigma" k in
+      let claim2 =
+        let acc = ref Gf.zero in
+        Array.iteri
+          (fun i (va, vb, vc) ->
+            let combined =
+              Gf.add
+                (Gf.mul r_abc.(0) va)
+                (Gf.add (Gf.mul r_abc.(1) vb) (Gf.mul r_abc.(2) vc))
+            in
+            acc := Gf.add !acc (Gf.mul sigma.(i) combined))
+          rep.claims_abc;
+        !acc
+      in
+      let* v2 =
+        Sumcheck.verify transcript ~degree:2 ~num_vars:l ~claim:claim2 rep.sc2
+      in
+      let ry = v2.Sumcheck.point in
+      (* One O(nnz) matrix evaluation serves the whole batch. *)
+      let row_eq = Mle.eq_table rx and col_eq = Mle.eq_table ry in
+      let ma = Sparse.mle_eval inst.R1cs.a ~row_eq ~col_eq in
+      let mb = Sparse.mle_eval inst.R1cs.b ~row_eq ~col_eq in
+      let mc = Sparse.mle_eval inst.R1cs.c ~row_eq ~col_eq in
+      let m_at_ry =
+        Gf.add (Gf.mul r_abc.(0) ma) (Gf.add (Gf.mul r_abc.(1) mb) (Gf.mul r_abc.(2) mc))
+      in
+      let ry_rest = Array.sub ry 1 (l - 1) in
+      let z_comb_at_ry =
+        let acc = ref Gf.zero in
+        Array.iteri
+          (fun i io ->
+            let z_i =
+              Gf.add
+                (Gf.mul (Gf.sub Gf.one ry.(0)) rep.vws.(i))
+                (Gf.mul ry.(0) (io_mle_eval io ry_rest))
+            in
+            acc := Gf.add !acc (Gf.mul sigma.(i) z_i))
+          ios;
+        !acc
+      in
+      let* () =
+        if Gf.equal (Gf.mul m_at_ry z_comb_at_ry) v2.Sumcheck.value then Ok ()
+        else Error (Printf.sprintf "rep %d: batched sumcheck-2 mismatch" r)
+      in
+      let rec check_open i =
+        if i >= k then Ok ()
+        else
+          let* () =
+            Orion.verify_eval params.Spartan.orion proof.commitments.(i) transcript
+              ry_rest rep.vws.(i) rep.w_opens.(i)
+          in
+          check_open (i + 1)
+      in
+      let* () = check_open 0 in
+      Transcript.absorb_gf transcript "vws" rep.vws;
+      check_rep (r + 1)
+    end
+  in
+  check_rep 0
+
+let proof_size_bytes params proof =
+  let field = 8 and digest = 32 in
+  let sumcheck_bytes (p : Sumcheck.proof) =
+    Array.fold_left (fun acc g -> acc + (field * Array.length g)) 0 p.Sumcheck.round_polys
+  in
+  let rep_bytes rep =
+    sumcheck_bytes rep.sc1
+    + (3 * field * Array.length rep.claims_abc)
+    + sumcheck_bytes rep.sc2
+    + (field * Array.length rep.vws)
+    + Array.fold_left
+        (fun acc (i, o) ->
+          acc + Orion.proof_size_bytes params.Spartan.orion proof.commitments.(i) o)
+        0
+        (Array.mapi (fun i o -> (i, o)) rep.w_opens)
+  in
+  (digest * Array.length proof.commitments)
+  + Array.fold_left (fun acc r -> acc + rep_bytes r) 0 proof.reps

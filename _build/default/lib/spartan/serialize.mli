@@ -1,0 +1,15 @@
+(** Binary serialization of Spartan+Orion proofs.
+
+    Proofs cross the wire in the paper's deployment (the 10 MB/s link of
+    Table I), so the library provides a canonical byte format:
+    little-endian u64 for field elements and lengths, raw 32-byte digests,
+    length-prefixed arrays. Decoding is total: malformed input yields
+    [Error], never an exception, and decoders bound every length field
+    against the remaining input. *)
+
+val proof_to_bytes : Spartan.proof -> bytes
+
+val proof_of_bytes : bytes -> (Spartan.proof, string) result
+
+val serialized_size : Spartan.proof -> int
+(** Exact byte length [proof_to_bytes] produces (payload plus framing). *)

@@ -1,0 +1,83 @@
+(** The Spartan+Orion zk-SNARK — the scheme NoCap accelerates (Sec. II-A,
+    Sec. V).
+
+    Pipeline, following Fig. 2 and Fig. 4:
+
+    + the witness half of the wire vector is committed with the Orion
+      polynomial commitment (Reed-Solomon + Merkle);
+    + sumcheck #1 proves [sum_x eq(tau, x) * (Az(x) * Bz(x) - Cz(x)) = 0],
+      reducing R1CS satisfiability to evaluation claims on Az~, Bz~, Cz~ at a
+      random point [rx];
+    + sumcheck #2 proves the random linear combination
+      [sum_y (rA * A(rx,y) + rB * B(rx,y) + rC * C(rx,y)) * z(y)], reducing
+      to one evaluation claim on [z~] at [ry];
+    + [z~(ry)] splits into a public-input part the verifier computes itself
+      and a witness part opened through Orion.
+
+    The verifier evaluates the matrix MLEs [A~(rx,ry)], [B~], [C~] directly
+    from the sparse matrices (O(nnz) — Spartan's NIZK variant without the
+    SPARK preprocessing commitment; see DESIGN.md). Soundness over the
+    Goldilocks-64 field is amplified by running the IOP [repetitions] times
+    (the paper uses 3, Sec. VII-A). *)
+
+module Gf = Zk_field.Gf
+
+type params = {
+  orion : Zk_orion.Orion.params;
+  repetitions : int; (** 3 in the paper's 128-bit configuration *)
+}
+
+val default_params : params
+(** Orion defaults, 3 repetitions. *)
+
+val test_params : params
+(** 1 repetition, 8-row Orion matrices: fast configuration for unit tests. *)
+
+type rep_proof = {
+  sc1 : Zk_sumcheck.Sumcheck.proof;
+  va : Gf.t; (** Az~(rx) *)
+  vb : Gf.t; (** Bz~(rx) *)
+  vc : Gf.t; (** Cz~(rx) *)
+  sc2 : Zk_sumcheck.Sumcheck.proof;
+  vw : Gf.t; (** w~(ry minus the top variable) *)
+  w_open : Zk_orion.Orion.eval_proof;
+}
+
+type proof = {
+  w_commitment : Zk_orion.Orion.commitment;
+  reps : rep_proof array;
+}
+
+type prover_stats = {
+  sumcheck_mults : int;
+  sumcheck_adds : int;
+  spmv_mults : int;
+  transcript_hashes : int;
+}
+
+val prove :
+  ?rng:Zk_util.Rng.t ->
+  params ->
+  Zk_r1cs.R1cs.instance ->
+  Zk_r1cs.R1cs.assignment ->
+  proof * prover_stats
+(** Produce a proof that the instance is satisfied by a witness whose public
+    io the verifier will see. [rng] seeds the zk mask rows.
+    @raise Invalid_argument if the assignment does not satisfy the instance. *)
+
+val verify :
+  params ->
+  Zk_r1cs.R1cs.instance ->
+  io:Gf.t array ->
+  proof ->
+  (unit, string) result
+(** [verify params instance ~io proof]: [io] is the live public io prefix
+    (constant 1 followed by public inputs), as returned by
+    {!Zk_r1cs.R1cs.public_io}. *)
+
+val proof_size_bytes : params -> proof -> int
+(** Serialized proof size (8 B per field element, 32 B per digest). *)
+
+val instance_digest : Zk_r1cs.R1cs.instance -> Zk_hash.Keccak.digest
+(** Binding digest of the constraint matrices; absorbed into the transcript
+    by both parties so proofs are tied to a specific circuit. *)

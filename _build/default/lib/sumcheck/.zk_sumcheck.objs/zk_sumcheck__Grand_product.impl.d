@@ -1,0 +1,1 @@
+lib/sumcheck/grand_product.ml: Array Printf Result Sumcheck Zk_field Zk_hash Zk_poly

@@ -1,0 +1,1 @@
+lib/sumcheck/grand_product.mli: Sumcheck Zk_field Zk_hash

@@ -1,0 +1,1 @@
+lib/sumcheck/sumcheck.ml: Array Printf Zk_field Zk_hash Zk_poly

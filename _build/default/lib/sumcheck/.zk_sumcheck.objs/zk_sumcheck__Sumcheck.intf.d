@@ -1,0 +1,1 @@
+lib/sumcheck/sumcheck.mli: Zk_field Zk_hash

@@ -1,0 +1,1 @@
+lib/sumcheck/sumcheck_ext.ml: Array Printf Zk_field Zk_hash

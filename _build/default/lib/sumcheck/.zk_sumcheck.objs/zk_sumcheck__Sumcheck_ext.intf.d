@@ -1,0 +1,1 @@
+lib/sumcheck/sumcheck_ext.mli: Zk_field Zk_hash

@@ -1,0 +1,109 @@
+module Gf = Zk_field.Gf
+module Transcript = Zk_hash.Transcript
+module Mle = Zk_poly.Mle
+module Dense = Zk_poly.Dense
+
+type proof = { round_polys : Gf.t array array }
+
+type stats = { rounds : int; mults : int; adds : int }
+
+type prover_result = {
+  proof : proof;
+  challenges : Gf.t array;
+  final_values : Gf.t array;
+  stats : stats;
+}
+
+type verifier_result = { point : Gf.t array; value : Gf.t }
+
+let log2_exact n =
+  if n <= 0 || n land (n - 1) <> 0 then invalid_arg "Sumcheck: table size must be a power of two";
+  let rec go k m = if m = 1 then k else go (k + 1) (m lsr 1) in
+  go 0 n
+
+let prove ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
+  let k = Array.length tables in
+  if k = 0 then invalid_arg "Sumcheck.prove: no tables";
+  let n = Array.length tables.(0) in
+  let num_vars = log2_exact n in
+  Array.iter
+    (fun t -> if Array.length t <> n then invalid_arg "Sumcheck.prove: table size mismatch")
+    tables;
+  Transcript.absorb_int transcript "sumcheck/num_vars" num_vars;
+  Transcript.absorb_int transcript "sumcheck/degree" degree;
+  Transcript.absorb_gf transcript "sumcheck/claim" [| claim |];
+  let tables = Array.map Array.copy tables in
+  let len = ref n in
+  let mults = ref 0 and adds = ref 0 in
+  let round_polys = Array.make num_vars [||] in
+  let challenges = Array.make num_vars Gf.zero in
+  let vals = Array.make k Gf.zero in
+  let deltas = Array.make k Gf.zero in
+  for round = 0 to num_vars - 1 do
+    let half = !len / 2 in
+    (* Round polynomial g(t) at t = 0..degree. For each b, each table
+       restricted to the top variable is the line lo + t*(hi - lo); we walk t
+       by repeated addition of the delta, avoiding multiplications. *)
+    let g = Array.make (degree + 1) Gf.zero in
+    for b = 0 to half - 1 do
+      for j = 0 to k - 1 do
+        let lo = tables.(j).(b) and hi = tables.(j).(b + half) in
+        vals.(j) <- lo;
+        deltas.(j) <- Gf.sub hi lo
+      done;
+      for t = 0 to degree do
+        if t > 0 then
+          for j = 0 to k - 1 do
+            vals.(j) <- Gf.add vals.(j) deltas.(j)
+          done;
+        g.(t) <- Gf.add g.(t) (comb vals)
+      done;
+      adds := !adds + ((degree + 1) * (k + 1));
+      mults := !mults + ((degree + 1) * comb_mults)
+    done;
+    round_polys.(round) <- g;
+    Transcript.absorb_gf transcript "sumcheck/round" g;
+    let r = Transcript.challenge_gf transcript "sumcheck/challenge" in
+    challenges.(round) <- r;
+    (* Fold every table: T(b) <- T(b) + r * (T(b + half) - T(b)). *)
+    for j = 0 to k - 1 do
+      ignore (Mle.fold_top_in_place tables.(j) ~len:!len r)
+    done;
+    mults := !mults + (k * half);
+    adds := !adds + (2 * k * half);
+    len := half
+  done;
+  let final_values = Array.map (fun t -> t.(0)) tables in
+  {
+    proof = { round_polys };
+    challenges;
+    final_values;
+    stats = { rounds = num_vars; mults = !mults; adds = !adds };
+  }
+
+let verify transcript ~degree ~num_vars ~claim proof =
+  if Array.length proof.round_polys <> num_vars then Error "wrong number of rounds"
+  else begin
+    Transcript.absorb_int transcript "sumcheck/num_vars" num_vars;
+    Transcript.absorb_int transcript "sumcheck/degree" degree;
+    Transcript.absorb_gf transcript "sumcheck/claim" [| claim |];
+    let expected = ref claim in
+    let point = Array.make num_vars Gf.zero in
+    let rec go round =
+      if round = num_vars then Ok { point; value = !expected }
+      else begin
+        let g = proof.round_polys.(round) in
+        if Array.length g <> degree + 1 then Error (Printf.sprintf "round %d: wrong degree" round)
+        else if not (Gf.equal (Gf.add g.(0) g.(1)) !expected) then
+          Error (Printf.sprintf "round %d: g(0) + g(1) mismatch" round)
+        else begin
+          Transcript.absorb_gf transcript "sumcheck/round" g;
+          let r = Transcript.challenge_gf transcript "sumcheck/challenge" in
+          point.(round) <- r;
+          expected := Dense.interpolate_eval_small g r;
+          go (round + 1)
+        end
+      end
+    in
+    go 0
+  end

@@ -1,0 +1,66 @@
+(** The sumcheck protocol (Listing 1 of the paper, generalized to products of
+    multilinear tables).
+
+    The prover convinces the verifier that
+    [sum_{b in {0,1}^L} comb(T_1(b), ..., T_k(b)) = claim], where each [T_j]
+    is a multilinear table of size [2^L] and [comb] is a polynomial of total
+    degree at most [degree] in its arguments.
+
+    Each of the [L] rounds the prover sends the round polynomial
+    [g_i(t) = sum_b comb(...)] restricted to the current top variable,
+    tabulated at [t = 0..degree]; the verifier checks
+    [g_i(0) + g_i(1) = previous claim], derives the Fiat-Shamir challenge
+    [r_i], and reduces to the claim [g_i(r_i)]. After all rounds the claim
+    must equal [comb] of the tables' multilinear evaluations at [r], which the
+    caller ties to commitment openings.
+
+    This is the dominant task in Spartan+Orion (~70% of runtime, Fig. 6); the
+    [stats] record feeds the NoCap performance model. *)
+
+module Gf = Zk_field.Gf
+
+type proof = { round_polys : Gf.t array array }
+(** [round_polys.(i)] has [degree + 1] evaluations of [g_i] at [0..degree]. *)
+
+type stats = {
+  rounds : int;
+  mults : int; (** field multiplications performed by the prover *)
+  adds : int; (** field additions performed by the prover *)
+}
+
+type prover_result = {
+  proof : proof;
+  challenges : Gf.t array; (** the random point r, one entry per round *)
+  final_values : Gf.t array; (** each table folded down to its MLE at r *)
+  stats : stats;
+}
+
+val prove :
+  ?comb_mults:int ->
+  Zk_hash.Transcript.t ->
+  degree:int ->
+  tables:Gf.t array array ->
+  comb:(Gf.t array -> Gf.t) ->
+  claim:Gf.t ->
+  prover_result
+(** Runs the prover. [tables] are not mutated (they are copied once).
+    [comb] receives one value per table; [comb_mults] is the number of field
+    multiplications one [comb] call performs (default 0), so [stats] can
+    account for them. The claim is absorbed into the transcript, so prover
+    and verifier bind to it. *)
+
+type verifier_result = {
+  point : Gf.t array;
+  value : Gf.t; (** the reduced claim comb(T_1(r), ..., T_k(r)) must equal *)
+}
+
+val verify :
+  Zk_hash.Transcript.t ->
+  degree:int ->
+  num_vars:int ->
+  claim:Gf.t ->
+  proof ->
+  (verifier_result, string) result
+(** Replays the rounds, checking [g_i(0) + g_i(1)] against the running claim.
+    The caller must still check [result.value] against oracle evaluations of
+    the tables at [result.point]. *)

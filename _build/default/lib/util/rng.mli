@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All randomness in the library flows through an explicit generator state so
+    that tests, benchmarks and protocol transcripts are reproducible. This is
+    not a cryptographically secure generator; the protocols only use it for
+    test data and for verifier challenges in the {e interactive} setting, while
+    the non-interactive protocols derive challenges from the Fiat-Shamir
+    transcript ({!Zk_hash.Transcript}). *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator seeded with [seed]. *)
+
+val copy : t -> t
+(** Independent copy of the generator state. *)
+
+val next : t -> int64
+(** Next raw 64-bit output (uniform over all of [int64]). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)

@@ -1,0 +1,9 @@
+(** Small numeric helpers shared by the evaluation harness. *)
+
+val mean : float list -> float
+
+val gmean : float list -> float
+(** Geometric mean; all inputs must be positive. *)
+
+val percent : float -> float -> float
+(** [percent part whole] is [100 *. part /. whole]. *)

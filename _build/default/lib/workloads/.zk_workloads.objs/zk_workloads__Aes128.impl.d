@@ -1,0 +1,1 @@
+lib/workloads/aes128.ml: Array Int64 List Option Zk_field Zk_r1cs Zk_util

@@ -1,0 +1,1 @@
+lib/workloads/aes128.mli: Zk_r1cs

@@ -1,0 +1,1 @@
+lib/workloads/auction_circuit.ml: Array Zk_field Zk_r1cs Zk_util

@@ -1,0 +1,1 @@
+lib/workloads/auction_circuit.mli: Zk_r1cs

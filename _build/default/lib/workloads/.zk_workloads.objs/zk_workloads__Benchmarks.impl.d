@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.ml: Aes128 Auction_circuit List Litmus_circuit Modexp Sha256_circuit String Zk_r1cs Zk_util

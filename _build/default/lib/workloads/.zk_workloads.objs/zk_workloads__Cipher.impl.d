@@ -1,0 +1,1 @@
+lib/workloads/cipher.ml: Array Zk_field Zk_r1cs Zk_util

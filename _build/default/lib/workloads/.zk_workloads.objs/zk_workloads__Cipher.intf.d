@@ -1,0 +1,1 @@
+lib/workloads/cipher.mli: Zk_r1cs

@@ -1,0 +1,1 @@
+lib/workloads/keccak_circuit.mli: Zk_r1cs

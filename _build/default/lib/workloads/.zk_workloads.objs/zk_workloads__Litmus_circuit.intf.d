@@ -1,0 +1,1 @@
+lib/workloads/litmus_circuit.mli: Zk_r1cs Zk_util

@@ -1,0 +1,1 @@
+lib/workloads/modexp.ml: Int64 List Zk_field Zk_r1cs Zk_util

@@ -1,0 +1,1 @@
+lib/workloads/modexp.mli: Zk_r1cs

@@ -1,0 +1,1 @@
+lib/workloads/sha256_circuit.ml: Array Bytes Char Int64 List Printf String Zk_field Zk_r1cs Zk_util

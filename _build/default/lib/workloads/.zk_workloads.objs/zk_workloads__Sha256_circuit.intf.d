@@ -1,0 +1,1 @@
+lib/workloads/sha256_circuit.mli: Zk_r1cs

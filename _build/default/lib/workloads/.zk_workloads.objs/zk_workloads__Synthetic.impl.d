@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Array List Zk_field Zk_r1cs Zk_util

@@ -1,0 +1,1 @@
+lib/workloads/synthetic.mli: Zk_r1cs

@@ -1,0 +1,268 @@
+module Gf = Zk_field.Gf
+module Builder = Zk_r1cs.Builder
+module Gadgets = Zk_r1cs.Gadgets
+module Rng = Zk_util.Rng
+
+(* --- software reference (FIPS-197) --- *)
+
+let xtime x =
+  let y = x lsl 1 in
+  if y land 0x100 <> 0 then (y lxor 0x1b) land 0xff else y
+
+let gf256_mul a b =
+  let acc = ref 0 and a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 = 1 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc
+
+let gf256_inv x =
+  if x = 0 then 0
+  else begin
+    (* x^254 by square-and-multiply. *)
+    let rec pow acc base e =
+      if e = 0 then acc
+      else pow (if e land 1 = 1 then gf256_mul acc base else acc) (gf256_mul base base) (e lsr 1)
+    in
+    pow 1 x 254
+  end
+
+let sbox_affine y =
+  let bit v i = (v lsr i) land 1 in
+  let out = ref 0 in
+  for i = 0 to 7 do
+    let b =
+      bit y i lxor bit y ((i + 4) mod 8) lxor bit y ((i + 5) mod 8)
+      lxor bit y ((i + 6) mod 8)
+      lxor bit y ((i + 7) mod 8)
+      lxor bit 0x63 i
+    in
+    out := !out lor (b lsl i)
+  done;
+  !out
+
+let sbox x = sbox_affine (gf256_inv x)
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+(* Key schedule: 11 round keys of 16 bytes, from a 16-byte key. Words are
+   4 bytes; w.(i) for i in 0..43. *)
+let expand_key_ref key =
+  let w = Array.make 44 [||] in
+  for i = 0 to 3 do
+    w.(i) <- Array.init 4 (fun j -> key.((4 * i) + j))
+  done;
+  for i = 4 to 43 do
+    let temp = Array.copy w.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then begin
+        let rotated = [| temp.(1); temp.(2); temp.(3); temp.(0) |] in
+        let subbed = Array.map sbox rotated in
+        subbed.(0) <- subbed.(0) lxor rcon.((i / 4) - 1);
+        subbed
+      end
+      else temp
+    in
+    w.(i) <- Array.map2 (fun a b -> a lxor b) w.(i - 4) temp
+  done;
+  Array.init 11 (fun r -> Array.init 16 (fun j -> w.((4 * r) + (j / 4)).(j mod 4)))
+
+(* State bytes in FIPS order: state.(r + 4*c) = input.(r + 4*c)?  FIPS maps
+   in.(i) to s.(i mod 4, i / 4); we keep the flat input order and index
+   s r c = state.((4 * c) + r). *)
+let sref state r c = state.((4 * c) + r)
+
+let shift_rows_ref state =
+  Array.init 16 (fun i ->
+      let r = i mod 4 and c = i / 4 in
+      sref state r ((c + r) mod 4))
+
+let mix_columns_ref state =
+  Array.init 16 (fun i ->
+      let r = i mod 4 and c = i / 4 in
+      let s k = sref state k c in
+      match r with
+      | 0 -> gf256_mul 2 (s 0) lxor gf256_mul 3 (s 1) lxor s 2 lxor s 3
+      | 1 -> s 0 lxor gf256_mul 2 (s 1) lxor gf256_mul 3 (s 2) lxor s 3
+      | 2 -> s 0 lxor s 1 lxor gf256_mul 2 (s 2) lxor gf256_mul 3 (s 3)
+      | _ -> gf256_mul 3 (s 0) lxor s 1 lxor s 2 lxor gf256_mul 2 (s 3))
+
+let add_round_key_ref state rk = Array.map2 (fun a b -> a lxor b) state rk
+
+let encrypt_reference ~key block =
+  if Array.length key <> 16 || Array.length block <> 16 then
+    invalid_arg "Aes128.encrypt_reference";
+  let round_keys = expand_key_ref key in
+  let state = ref (add_round_key_ref block round_keys.(0)) in
+  for round = 1 to 9 do
+    state := Array.map sbox !state;
+    state := shift_rows_ref !state;
+    state := mix_columns_ref !state;
+    state := add_round_key_ref !state round_keys.(round)
+  done;
+  state := Array.map sbox !state;
+  state := shift_rows_ref !state;
+  add_round_key_ref !state round_keys.(10)
+
+(* --- circuit --- *)
+
+(* Bytes are little-endian arrays of 8 Boolean wires. *)
+
+let xor_bytes b x y = Gadgets.xor_word b x y
+
+(* Carryless GF(2^8) product of two bit-decomposed bytes, reduced mod
+   x^8 + x^4 + x^3 + x + 1. *)
+let gf256_mul_bits b x y =
+  (* 15 partial-product bits p_k = xor_{i+j=k} x_i y_j. *)
+  let partial = Array.make 15 None in
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      let prod = Gadgets.band b x.(i) y.(j) in
+      let k = i + j in
+      partial.(k) <-
+        (match partial.(k) with
+        | None -> Some prod
+        | Some acc -> Some (Gadgets.bxor b acc prod))
+    done
+  done;
+  let p = Array.map Option.get partial in
+  (* Reduce the high bits: x^k = x^(k-8) * (x^4 + x^3 + x + 1) for k >= 8. *)
+  let out = Array.sub p 0 8 in
+  for k = 14 downto 8 do
+    let hi = p.(k) in
+    List.iter
+      (fun off ->
+        let dst = k - 8 + off in
+        if dst < 8 then out.(dst) <- Gadgets.bxor b out.(dst) hi
+        else p.(dst) <- Gadgets.bxor b p.(dst) hi)
+      [ 0; 1; 3; 4 ]
+  done;
+  out
+
+let byte_wires b ~public v =
+  let wire = if public then Builder.input b (Gf.of_int v) else Builder.witness b (Gf.of_int v) in
+  Gadgets.bits_of b ~width:8 wire
+
+let value_of_bits b bits =
+  Array.to_list bits
+  |> List.mapi (fun i w -> Int64.to_int (Gf.to_int64 (Builder.value b w)) lsl i)
+  |> List.fold_left ( lor ) 0
+
+(* In-circuit S-box: witness the GF(2^8) inverse, check x * inv = 1 (or both
+   zero), apply the affine map. *)
+let sbox_bits b x =
+  let xv = value_of_bits b x in
+  let inv = Array.init 8 (fun i ->
+      let bit = (gf256_inv xv lsr i) land 1 in
+      let w = Builder.witness b (Gf.of_int bit) in
+      Gadgets.assert_bool b w;
+      w)
+  in
+  (* is_zero(x) over the packed byte. *)
+  let packed = Gadgets.pack b x in
+  let isz = Gadgets.is_zero b packed in
+  let prod = gf256_mul_bits b x inv in
+  (* prod = 1 - isz in the low bit, 0 elsewhere; and isz forces inv = 0. *)
+  Gadgets.assert_equal b
+    (Builder.lc_var prod.(0))
+    (Builder.lc_add (Builder.lc_const Gf.one) (Builder.lc_scale (Gf.neg Gf.one) (Builder.lc_var isz)));
+  for i = 1 to 7 do
+    Gadgets.assert_equal b (Builder.lc_var prod.(i)) []
+  done;
+  Array.iter (fun iw -> Builder.constrain b (Builder.lc_var isz) (Builder.lc_var iw) []) inv;
+  (* Affine map: XORs of rotated bits plus the 0x63 constant. *)
+  Array.init 8 (fun i ->
+      let t1 = Gadgets.bxor b inv.(i) inv.((i + 4) mod 8) in
+      let t2 = Gadgets.bxor b inv.((i + 5) mod 8) inv.((i + 6) mod 8) in
+      let t3 = Gadgets.bxor b t1 t2 in
+      let t4 = Gadgets.bxor b t3 inv.((i + 7) mod 8) in
+      if (0x63 lsr i) land 1 = 1 then Gadgets.bnot b t4 else t4)
+
+let xtime_bits b x =
+  let msb = x.(7) in
+  Array.init 8 (fun i ->
+      let shifted = if i = 0 then None else Some x.(i - 1) in
+      let needs_poly = (0x1b lsr i) land 1 = 1 in
+      match (shifted, needs_poly) with
+      | None, true -> msb (* bit 0: 0 ^ msb *)
+      | None, false -> Gadgets.band b msb (Gadgets.bnot b msb) (* constant 0 *)
+      | Some s, true -> Gadgets.bxor b s msb
+      | Some s, false -> s)
+
+let mix_columns_bits b state =
+  let s r c = state.((4 * c) + r) in
+  Array.init 16 (fun i ->
+      let r = i mod 4 and c = i / 4 in
+      let two x = xtime_bits b x in
+      let three x = xor_bytes b (xtime_bits b x) x in
+      let ( ^^ ) = xor_bytes b in
+      match r with
+      | 0 -> two (s 0 c) ^^ three (s 1 c) ^^ s 2 c ^^ s 3 c
+      | 1 -> s 0 c ^^ two (s 1 c) ^^ three (s 2 c) ^^ s 3 c
+      | 2 -> s 0 c ^^ s 1 c ^^ two (s 2 c) ^^ three (s 3 c)
+      | _ -> three (s 0 c) ^^ s 1 c ^^ s 2 c ^^ two (s 3 c))
+
+let shift_rows_bits state =
+  Array.init 16 (fun i ->
+      let r = i mod 4 and c = i / 4 in
+      state.((4 * (((c + r) mod 4)) + r)))
+
+let expand_key_bits b key_bytes =
+  let w = Array.make 44 [||] in
+  for i = 0 to 3 do
+    w.(i) <- Array.init 4 (fun j -> key_bytes.((4 * i) + j))
+  done;
+  for i = 4 to 43 do
+    let temp =
+      if i mod 4 = 0 then begin
+        let rotated = [| w.(i - 1).(1); w.(i - 1).(2); w.(i - 1).(3); w.(i - 1).(0) |] in
+        let subbed = Array.map (sbox_bits b) rotated in
+        let rc = rcon.((i / 4) - 1) in
+        subbed.(0) <-
+          Array.mapi
+            (fun bit wv -> if (rc lsr bit) land 1 = 1 then Gadgets.bnot b wv else wv)
+            subbed.(0);
+        subbed
+      end
+      else w.(i - 1)
+    in
+    w.(i) <- Array.map2 (fun a t -> xor_bytes b a t) w.(i - 4) temp
+  done;
+  Array.init 11 (fun r -> Array.init 16 (fun j -> w.((4 * r) + (j / 4)).(j mod 4)))
+
+let build b ~key ~plaintext =
+  if Array.length key <> 16 || Array.length plaintext <> 16 then
+    invalid_arg "Aes128.build";
+  let key_bits = Array.map (fun v -> byte_wires b ~public:false v) key in
+  let pt_bits = Array.map (fun v -> byte_wires b ~public:true v) plaintext in
+  let round_keys = expand_key_bits b key_bits in
+  let add_rk state rk = Array.map2 (fun s k -> xor_bytes b s k) state rk in
+  let state = ref (add_rk pt_bits round_keys.(0)) in
+  for round = 1 to 9 do
+    state := Array.map (sbox_bits b) !state;
+    state := shift_rows_bits !state;
+    state := mix_columns_bits b !state;
+    state := add_rk !state round_keys.(round)
+  done;
+  state := Array.map (sbox_bits b) !state;
+  state := shift_rows_bits !state;
+  state := add_rk !state round_keys.(10);
+  Array.map (fun bits -> Gadgets.pack b bits) !state
+
+let circuit ~blocks ~seed () =
+  let rng = Rng.create seed in
+  let b = Builder.create () in
+  let key = Array.init 16 (fun _ -> Rng.int rng 256) in
+  for _ = 1 to blocks do
+    let plaintext = Array.init 16 (fun _ -> Rng.int rng 256) in
+    let expected = encrypt_reference ~key plaintext in
+    let ct = build b ~key ~plaintext in
+    Array.iteri
+      (fun i wire ->
+        let out = Builder.input b (Gf.of_int expected.(i)) in
+        Gadgets.assert_equal b (Builder.lc_var wire) (Builder.lc_var out))
+      ct
+  done;
+  Builder.finalize b

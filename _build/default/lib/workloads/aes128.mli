@@ -1,0 +1,32 @@
+(** Bit-accurate AES-128 as an R1CS circuit — the paper's AES benchmark
+    (Sec. VII-B) for real, at feasible block counts.
+
+    Every component is the FIPS-197 algorithm over bit wires: SubBytes is a
+    witnessed GF(2^8) inversion (checked by an in-circuit carryless multiply
+    against the Rijndael polynomial) followed by the affine map; ShiftRows is
+    free rewiring; MixColumns is xtime/XOR networks; the key schedule runs
+    in-circuit on the secret key. ~160 constraints per S-box, ~33k per block
+    (200 S-boxes including key expansion).
+
+    The proof statement: "I know a key under which this public plaintext
+    encrypts to this public ciphertext." *)
+
+val encrypt_reference : key:int array -> int array -> int array
+(** Software AES-128: 16-byte key, 16-byte block; checked against the
+    FIPS-197 vectors in the tests. *)
+
+val build :
+  Zk_r1cs.Builder.t ->
+  key:int array ->
+  plaintext:int array ->
+  Zk_r1cs.Builder.var array
+(** Allocate the key as witness bytes and the plaintext as public inputs;
+    returns the 16 ciphertext byte wires. *)
+
+val circuit :
+  blocks:int ->
+  seed:int64 ->
+  unit ->
+  Zk_r1cs.R1cs.instance * Zk_r1cs.R1cs.assignment
+(** [blocks] random blocks under one random key, plaintexts and ciphertexts
+    public. *)

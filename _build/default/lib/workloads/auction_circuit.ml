@@ -1,0 +1,29 @@
+module Gf = Zk_field.Gf
+module Builder = Zk_r1cs.Builder
+module Gadgets = Zk_r1cs.Gadgets
+module Rng = Zk_util.Rng
+
+let circuit ?(bid_bits = 16) ~bids ~seed () =
+  if bids < 1 then invalid_arg "Auction_circuit.circuit: need at least one bid";
+  let rng = Rng.create seed in
+  let b = Builder.create () in
+  let bid_values = Array.init bids (fun _ -> Rng.int rng (1 lsl bid_bits)) in
+  let bid_wires =
+    Array.map
+      (fun v ->
+        let w = Builder.witness b (Gf.of_int v) in
+        ignore (Gadgets.bits_of b ~width:bid_bits w);
+        w)
+      bid_values
+  in
+  (* Fold a max chain: each step compares the running maximum with the next
+     bid and selects the larger. *)
+  let best = ref bid_wires.(0) in
+  for i = 1 to bids - 1 do
+    let is_less = Gadgets.less_than b ~width:bid_bits !best bid_wires.(i) in
+    best := Gadgets.select b ~cond:is_less bid_wires.(i) !best
+  done;
+  let expected = Array.fold_left max 0 bid_values in
+  let out = Builder.input b (Gf.of_int expected) in
+  Gadgets.assert_equal b (Builder.lc_var !best) (Builder.lc_var out);
+  Builder.finalize b

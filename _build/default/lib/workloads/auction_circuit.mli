@@ -1,0 +1,16 @@
+(** Verifiable sealed-bid auction (Galal & Youssef, FC'18; the paper's
+    "Auction" benchmark): the auctioneer proves the announced winning price is
+    the maximum of the sealed bids without revealing losing bids.
+
+    The circuit range-checks every bid and folds a comparator/select chain
+    over them; the wide comparison rows make this the densest benchmark
+    matrix (Table III's Auction is ~2x the per-constraint work of AES). *)
+
+val circuit :
+  ?bid_bits:int ->
+  bids:int ->
+  seed:int64 ->
+  unit ->
+  Zk_r1cs.R1cs.instance * Zk_r1cs.R1cs.assignment
+(** [bids] sealed bids of [bid_bits] (default 16) bits each; the winning
+    price is the only public output. *)

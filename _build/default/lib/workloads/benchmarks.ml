@@ -1,0 +1,88 @@
+module Sparse = Zk_r1cs.Sparse
+module R1cs = Zk_r1cs.R1cs
+
+type t = {
+  name : string;
+  description : string;
+  r1cs_size : float;
+  density : float;
+  paper_proof_mb : float;
+  paper_verify_ms : float;
+  generate : int -> R1cs.instance * R1cs.assignment;
+}
+
+(* Density factors are the per-constraint work of each benchmark relative to
+   AES, derived from the paper's per-benchmark CPU times (Table IV): denser
+   matrix rows (RSA's range checks, Auction's comparators) do proportionally
+   more SpMV and sumcheck work per constraint. *)
+
+let aes =
+  {
+    name = "AES";
+    description = "encryption of a 16 KB message (1,000 AES blocks)";
+    r1cs_size = 16.0e6;
+    density = 1.0;
+    paper_proof_mb = 8.1;
+    paper_verify_ms = 134.0;
+    generate = (fun scale -> Aes128.circuit ~blocks:(max 1 scale) ~seed:101L ());
+  }
+
+let sha =
+  {
+    name = "SHA";
+    description = "hash of a 64 KB file (1,000 512-bit blocks)";
+    r1cs_size = 32.0e6;
+    density = 1.0;
+    paper_proof_mb = 8.7;
+    paper_verify_ms = 153.7;
+    generate = (fun scale -> Sha256_circuit.circuit ~blocks:(max 1 scale) ~seed:102L ());
+  }
+
+let rsa =
+  {
+    name = "RSA";
+    description = "RSA operations over a 256 KB message";
+    r1cs_size = 98.0e6;
+    density = 1.306;
+    paper_proof_mb = 10.1;
+    paper_verify_ms = 198.0;
+    generate = (fun scale -> Modexp.circuit ~instances:(max 1 scale) ~seed:103L ());
+  }
+
+let litmus =
+  {
+    name = "Litmus";
+    description = "10,000 YCSB transactions over two random rows each";
+    r1cs_size = 268.4e6;
+    density = 0.9536;
+    paper_proof_mb = 10.9;
+    paper_verify_ms = 222.4;
+    generate =
+      (fun scale ->
+        let rng = Zk_util.Rng.create 104L in
+        let rows = 8 in
+        let txs =
+          Litmus_circuit.random_transactions rng ~rows ~count:(max 1 scale)
+        in
+        Litmus_circuit.circuit ~rows ~transactions:txs ~seed:105L ());
+  }
+
+let auction =
+  {
+    name = "Auction";
+    description = "sealed-bid auction over 100x the bids of prior work";
+    r1cs_size = 550.0e6;
+    density = 1.891;
+    paper_proof_mb = 12.5;
+    paper_verify_ms = 276.1;
+    generate = (fun scale -> Auction_circuit.circuit ~bids:(max 2 scale) ~seed:106L ());
+  }
+
+let all = [ aes; sha; rsa; litmus; auction ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find (fun b -> String.lowercase_ascii b.name = lower) all
+
+let measured_density inst =
+  float_of_int (R1cs.nnz inst) /. (3.0 *. float_of_int inst.R1cs.num_constraints)

@@ -1,0 +1,40 @@
+(** The paper's benchmark suite (Table III): scaled-up PipeZK circuits plus
+    the Litmus verifiable database.
+
+    Each descriptor records the paper-scale R1CS size and the matrix-density
+    factor relative to AES (derived from the paper's per-benchmark
+    measurements; denser circuits such as Auction's comparator trees do
+    proportionally more work per constraint). [generate] builds a {e real}
+    satisfiable circuit of the same kind at a feasible size for correctness
+    runs; the paper-scale sizes drive the performance models. *)
+
+type t = {
+  name : string;
+  description : string;
+  r1cs_size : float; (** paper-scale constraint count (Table III) *)
+  density : float; (** average matrix-row density relative to AES *)
+  paper_proof_mb : float; (** Table III *)
+  paper_verify_ms : float; (** Table III *)
+  generate : int -> Zk_r1cs.R1cs.instance * Zk_r1cs.R1cs.assignment;
+      (** [generate scale] builds a real instance; [scale] is a small
+          repetition count (blocks / bids / transactions). The AES benchmark
+          uses the bit-accurate {!Aes128} (~49k constraints per block). *)
+}
+
+val aes : t
+val sha : t
+val rsa : t
+val litmus : t
+val auction : t
+
+val all : t list
+(** In Table III order. *)
+
+val find : string -> t
+(** Lookup by (case-insensitive) name. @raise Not_found. *)
+
+val measured_density :
+  Zk_r1cs.R1cs.instance -> float
+(** Nonzeros per constraint row of a generated instance — used to check that
+    the density ordering of the real generators matches the calibrated
+    factors. *)

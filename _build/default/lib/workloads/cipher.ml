@@ -1,0 +1,89 @@
+module Gf = Zk_field.Gf
+module Builder = Zk_r1cs.Builder
+module Gadgets = Zk_r1cs.Gadgets
+module Rng = Zk_util.Rng
+
+let state_bytes = 16
+
+(* chi-style S-box on a byte: bit i becomes b_i xor (not b_{i+1} and b_{i+2}). *)
+let sbox_ref b =
+  let bit x i = (x lsr i) land 1 in
+  let out = ref 0 in
+  for i = 0 to 7 do
+    let v = bit b i lxor (lnot (bit b ((i + 1) mod 8)) land 1 land bit b ((i + 2) mod 8)) in
+    out := !out lor (v lsl i)
+  done;
+  !out
+
+(* ShiftRows-style byte rotation: row r of the 4x4 state rotates by r. *)
+let shift_rows_ref st =
+  Array.init state_bytes (fun i ->
+      let r = i / 4 and c = i mod 4 in
+      st.((r * 4) + ((c + r) mod 4)))
+
+(* MixColumns-lite: XOR each byte with the next byte in its column. *)
+let mix_columns_ref st =
+  Array.init state_bytes (fun i ->
+      let r = i / 4 and c = i mod 4 in
+      st.(i) lxor st.((((r + 1) mod 4) * 4) + c))
+
+let reference ~plaintext ~keys =
+  Array.fold_left
+    (fun st key ->
+      let st = Array.mapi (fun i b -> b lxor key.(i)) st in
+      let st = Array.map sbox_ref st in
+      let st = shift_rows_ref st in
+      mix_columns_ref st)
+    (Array.copy plaintext) keys
+
+(* Circuit versions operating on bytes as arrays of 8 Boolean wires. *)
+
+let sbox_gadget b bits =
+  Array.init 8 (fun i ->
+      let t = Gadgets.band b (Gadgets.bnot b bits.((i + 1) mod 8)) bits.((i + 2) mod 8) in
+      Gadgets.bxor b bits.(i) t)
+
+let build b ~plaintext ~keys =
+  let to_bits_public byte =
+    let v = Builder.input b (Gf.of_int byte) in
+    Gadgets.bits_of b ~width:8 v
+  in
+  let to_bits_witness byte =
+    let v = Builder.witness b (Gf.of_int byte) in
+    Gadgets.bits_of b ~width:8 v
+  in
+  let state = ref (Array.map to_bits_public plaintext) in
+  Array.iter
+    (fun key ->
+      let key_bits = Array.map to_bits_witness key in
+      let st = Array.map2 (fun s k -> Gadgets.xor_word b s k) !state key_bits in
+      let st = Array.map (sbox_gadget b) st in
+      let st =
+        Array.init state_bytes (fun i ->
+            let r = i / 4 and c = i mod 4 in
+            st.((r * 4) + ((c + r) mod 4)))
+      in
+      let st =
+        Array.init state_bytes (fun i ->
+            let r = i / 4 and c = i mod 4 in
+            Gadgets.xor_word b st.(i) st.((((r + 1) mod 4) * 4) + c))
+      in
+      state := st)
+    keys;
+  Array.map (fun bits -> Gadgets.pack b bits) !state
+
+let circuit ?(rounds = 10) ~blocks ~seed () =
+  let rng = Rng.create seed in
+  let b = Builder.create () in
+  for _ = 1 to blocks do
+    let plaintext = Array.init state_bytes (fun _ -> Rng.int rng 256) in
+    let keys = Array.init rounds (fun _ -> Array.init state_bytes (fun _ -> Rng.int rng 256)) in
+    let expected = reference ~plaintext ~keys in
+    let ct = build b ~plaintext ~keys in
+    Array.iteri
+      (fun i wire ->
+        let out = Builder.input b (Gf.of_int expected.(i)) in
+        Gadgets.assert_equal b (Builder.lc_var wire) (Builder.lc_var out))
+      ct
+  done;
+  Builder.finalize b

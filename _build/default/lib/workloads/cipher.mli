@@ -1,0 +1,30 @@
+(** A bit-accurate AES-style substitution-permutation cipher circuit: the
+    "AES" benchmark's stand-in at feasible scale (see DESIGN.md).
+
+    The state is 16 bytes. Each round XORs a witness round key, applies a
+    chi-style nonlinear byte S-box, rotates rows (free rewiring), and mixes
+    columns with XORs — the same gate profile (bitwise XOR/AND over
+    bit-decomposed bytes) that makes real AES circuits large. The proof shows
+    knowledge of a key taking a public plaintext to a public ciphertext. *)
+
+val reference : plaintext:int array -> keys:int array array -> int array
+(** Software model: 16 plaintext bytes, one 16-byte key per round; returns
+    the ciphertext bytes. *)
+
+val build :
+  Zk_r1cs.Builder.t ->
+  plaintext:int array ->
+  keys:int array array ->
+  Zk_r1cs.Builder.var array
+(** Append the cipher to a builder: allocates the plaintext as public inputs
+    and the keys as witnesses, returns the ciphertext wires (callers assert
+    them against public outputs). *)
+
+val circuit :
+  ?rounds:int ->
+  blocks:int ->
+  seed:int64 ->
+  unit ->
+  Zk_r1cs.R1cs.instance * Zk_r1cs.R1cs.assignment
+(** A complete instance encrypting [blocks] random blocks under random keys
+    (10 rounds each by default), with plaintexts and ciphertexts public. *)

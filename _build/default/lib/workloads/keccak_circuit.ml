@@ -1,0 +1,105 @@
+module Gf = Zk_field.Gf
+module Builder = Zk_r1cs.Builder
+module Gadgets = Zk_r1cs.Gadgets
+module Rng = Zk_util.Rng
+
+let lanes = 25
+
+let rotations =
+  [| 0; 1; 6; 4; 3; 4; 4; 6; 7; 4; 3; 2; 3; 1; 7; 1; 5; 7; 5; 0; 2; 2; 5; 0; 6 |]
+(* Keccak rho offsets reduced mod the lane width (8). *)
+
+let round_constants = [| 0x01; 0x82; 0x8A; 0x00; 0x8B; 0x01; 0x81; 0x09; 0x8A; 0x88; 0x09; 0x0A |]
+
+let rotl w x n =
+  let n = n mod w in
+  ((x lsl n) lor (x lsr (w - n))) land ((1 lsl w) - 1)
+
+let reference ~rounds ~lane_bits st0 =
+  let mask = (1 lsl lane_bits) - 1 in
+  let st = Array.copy st0 in
+  for round = 0 to rounds - 1 do
+    (* theta *)
+    let c = Array.init 5 (fun x -> st.(x) lxor st.(x + 5) lxor st.(x + 10) lxor st.(x + 15) lxor st.(x + 20)) in
+    let d = Array.init 5 (fun x -> c.((x + 4) mod 5) lxor rotl lane_bits c.((x + 1) mod 5) 1) in
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        st.(x + (5 * y)) <- st.(x + (5 * y)) lxor d.(x)
+      done
+    done;
+    (* rho + pi *)
+    let b = Array.make lanes 0 in
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        let src = x + (5 * y) in
+        b.(y + (5 * (((2 * x) + (3 * y)) mod 5))) <- rotl lane_bits st.(src) rotations.(src)
+      done
+    done;
+    (* chi *)
+    for y = 0 to 4 do
+      for x = 0 to 4 do
+        st.(x + (5 * y)) <-
+          b.(x + (5 * y)) lxor (lnot b.(((x + 1) mod 5) + (5 * y)) land mask land b.(((x + 2) mod 5) + (5 * y)))
+      done
+    done;
+    (* iota *)
+    st.(0) <- st.(0) lxor (round_constants.(round mod Array.length round_constants) land mask)
+  done;
+  st
+
+let build b ~rounds ~lane_bits ~preimage =
+  let w = lane_bits in
+  let lane_of_int v =
+    let wire = Builder.witness b (Gf.of_int v) in
+    Gadgets.bits_of b ~width:w wire
+  in
+  let st = ref (Array.map lane_of_int preimage) in
+  for round = 0 to rounds - 1 do
+    let cur = !st in
+    let xor = Gadgets.xor_word b in
+    let c =
+      Array.init 5 (fun x ->
+          xor (xor (xor (xor cur.(x) cur.(x + 5)) cur.(x + 10)) cur.(x + 15)) cur.(x + 20))
+    in
+    let d = Array.init 5 (fun x -> xor c.((x + 4) mod 5) (Gadgets.rotl_word c.((x + 1) mod 5) 1)) in
+    let st1 = Array.init lanes (fun i -> xor cur.(i) d.(i mod 5)) in
+    let bmat = Array.make lanes [||] in
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        let src = x + (5 * y) in
+        bmat.(y + (5 * (((2 * x) + (3 * y)) mod 5))) <- Gadgets.rotl_word st1.(src) rotations.(src)
+      done
+    done;
+    let st2 =
+      Array.init lanes (fun i ->
+          let x = i mod 5 and y = i / 5 in
+          let nb = Array.map (Gadgets.bnot b) bmat.(((x + 1) mod 5) + (5 * y)) in
+          let t = Array.map2 (fun p q -> Gadgets.band b p q) nb bmat.(((x + 2) mod 5) + (5 * y)) in
+          Array.map2 (fun p q -> Gadgets.bxor b p q) bmat.(i) t)
+    in
+    (* iota: xor a constant into lane 0 (flip the constrained constant bits). *)
+    let rc = round_constants.(round mod Array.length round_constants) land ((1 lsl w) - 1) in
+    let lane0 =
+      Array.mapi
+        (fun i bit -> if (rc lsr i) land 1 = 1 then Gadgets.bnot b bit else bit)
+        st2.(0)
+    in
+    st2.(0) <- lane0;
+    st := st2
+  done;
+  Array.map (fun bits -> Gadgets.pack b bits) !st
+
+let circuit ?(rounds = 12) ?(lane_bits = 8) ~blocks ~seed () =
+  let rng = Rng.create seed in
+  let b = Builder.create () in
+  for _ = 1 to blocks do
+    let preimage = Array.init lanes (fun _ -> Rng.int rng (1 lsl lane_bits)) in
+    let expected = reference ~rounds ~lane_bits preimage in
+    let out = build b ~rounds ~lane_bits ~preimage in
+    Array.iteri
+      (fun i wire ->
+        let pub = Builder.input b (Gf.of_int expected.(i)) in
+        Gadgets.assert_equal b (Builder.lc_var wire) (Builder.lc_var pub))
+      out
+  done;
+  Builder.finalize b

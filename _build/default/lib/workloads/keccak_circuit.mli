@@ -1,0 +1,27 @@
+(** A reduced-width Keccak permutation as an R1CS circuit — the "SHA"
+    benchmark's stand-in: the real theta/rho/pi/chi/iota round structure over
+    a 5x5 state of [w]-bit lanes (w = 8 here instead of 64), built from
+    XOR/AND bit gadgets. Proves knowledge of a preimage state mapping to a
+    public output state. *)
+
+val lanes : int
+(** 25. *)
+
+val reference : rounds:int -> lane_bits:int -> int array -> int array
+(** Software model of the reduced permutation on 25 lanes. *)
+
+val build :
+  Zk_r1cs.Builder.t ->
+  rounds:int ->
+  lane_bits:int ->
+  preimage:int array ->
+  Zk_r1cs.Builder.var array
+(** Allocates the preimage as witness lanes, returns the output lane wires. *)
+
+val circuit :
+  ?rounds:int ->
+  ?lane_bits:int ->
+  blocks:int ->
+  seed:int64 ->
+  unit ->
+  Zk_r1cs.R1cs.instance * Zk_r1cs.R1cs.assignment

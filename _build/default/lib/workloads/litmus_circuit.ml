@@ -1,0 +1,75 @@
+module Gf = Zk_field.Gf
+module Builder = Zk_r1cs.Builder
+module Gadgets = Zk_r1cs.Gadgets
+module Rng = Zk_util.Rng
+
+type op = Read | Write of int
+
+type transaction = { row_a : int; op_a : op; row_b : int; op_b : op }
+
+let value_bits = 16
+
+let random_transactions rng ~rows ~count =
+  let access () =
+    let row = Rng.int rng rows in
+    let op = if Rng.bool rng then Read else Write (Rng.int rng (1 lsl value_bits)) in
+    (row, op)
+  in
+  List.init count (fun _ ->
+      let row_a, op_a = access () in
+      let row_b, op_b = access () in
+      { row_a; op_a; row_b; op_b })
+
+let apply state txs =
+  let st = Array.copy state in
+  List.iter
+    (fun tx ->
+      (match tx.op_a with Read -> () | Write v -> st.(tx.row_a) <- v);
+      match tx.op_b with Read -> () | Write v -> st.(tx.row_b) <- v)
+    txs;
+  st
+
+(* One data-dependent access: returns the read value wire and the updated
+   state wires. *)
+let access b state ~rows ~row ~op =
+  (* One-hot selector over the table, witnessed and constrained. *)
+  let sel =
+    Array.init rows (fun j ->
+        let bit = Builder.witness b (if j = row then Gf.one else Gf.zero) in
+        Gadgets.assert_bool b bit;
+        bit)
+  in
+  let sum_lc = Array.to_list sel |> List.map (fun s -> (s, Gf.one)) in
+  Gadgets.assert_equal b sum_lc (Builder.lc_const Gf.one);
+  (* Read: value = sum_j sel_j * state_j. *)
+  let partials = Array.mapi (fun j s -> Gadgets.mul b sel.(j) (ignore s; state.(j))) sel in
+  let read =
+    Gadgets.add_lc b (Array.to_list partials |> List.map (fun p -> (p, Gf.one)))
+  in
+  match op with
+  | Read -> (read, state)
+  | Write v ->
+    let newval = Builder.witness b (Gf.of_int v) in
+    let state' =
+      Array.mapi (fun j old -> Gadgets.select b ~cond:sel.(j) newval old) state
+    in
+    (read, state')
+
+let circuit ~rows ~transactions ~seed () =
+  let rng = Rng.create seed in
+  let b = Builder.create () in
+  let init = Array.init rows (fun _ -> Rng.int rng (1 lsl value_bits)) in
+  let state = ref (Array.map (fun v -> Builder.input b (Gf.of_int v)) init) in
+  List.iter
+    (fun tx ->
+      let _, st1 = access b !state ~rows ~row:tx.row_a ~op:tx.op_a in
+      let _, st2 = access b st1 ~rows ~row:tx.row_b ~op:tx.op_b in
+      state := st2)
+    transactions;
+  let expected = apply init transactions in
+  Array.iteri
+    (fun j wire ->
+      let out = Builder.input b (Gf.of_int expected.(j)) in
+      Gadgets.assert_equal b (Builder.lc_var wire) (Builder.lc_var out))
+    !state;
+  Builder.finalize b

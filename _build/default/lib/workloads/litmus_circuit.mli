@@ -1,0 +1,30 @@
+(** Litmus-style verifiable database transactions (SIGMOD'22; the paper's
+    "Litmus" benchmark): prove that a batch of YCSB-style transactions — each
+    touching two rows, reading or writing with equal probability (Sec. VII-B)
+    — takes a public initial table state to a public final state.
+
+    Row addressing is data-dependent, so each access multiplexes over the
+    whole table with a one-hot selector (the standard R1CS memory circuit):
+    selector bits are Boolean-constrained, sum to one, and gate both the read
+    value and the conditional write-back. *)
+
+type op = Read | Write of int
+
+type transaction = { row_a : int; op_a : op; row_b : int; op_b : op }
+
+val random_transactions :
+  Zk_util.Rng.t -> rows:int -> count:int -> transaction list
+(** YCSB-style: two uniform rows per transaction, read or write with equal
+    probability. *)
+
+val apply : int array -> transaction list -> int array
+(** Software reference: final table contents. *)
+
+val circuit :
+  rows:int ->
+  transactions:transaction list ->
+  seed:int64 ->
+  unit ->
+  Zk_r1cs.R1cs.instance * Zk_r1cs.R1cs.assignment
+(** Initial and final states are public; row indices and written values are
+    witness data. *)

@@ -1,0 +1,60 @@
+module Gf = Zk_field.Gf
+module Builder = Zk_r1cs.Builder
+module Gadgets = Zk_r1cs.Gadgets
+module Rng = Zk_util.Rng
+
+let reference ~x ~e ~n =
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then acc * base mod n else acc in
+      go acc (base * base mod n) (e lsr 1)
+  in
+  go 1 (x mod n) e
+
+(* r = a * b mod n as a gadget: witness q, r with a*b = q*n + r, r < n,
+   q < 2^width. *)
+let mulmod b ~width ~n va vb =
+  let a = Gf.to_int64 (Builder.value b va) |> Int64.to_int in
+  let bb = Gf.to_int64 (Builder.value b vb) |> Int64.to_int in
+  let product = a * bb in
+  let q = Builder.witness b (Gf.of_int (product / n)) in
+  let r = Builder.witness b (Gf.of_int (product mod n)) in
+  (* a * b = q * n + r *)
+  Builder.constrain b (Builder.lc_var va) (Builder.lc_var vb)
+    (Builder.lc_add (Builder.lc_scale (Gf.of_int n) (Builder.lc_var q)) (Builder.lc_var r));
+  (* Range checks. *)
+  ignore (Gadgets.bits_of b ~width:(2 * width) q);
+  ignore (Gadgets.bits_of b ~width r);
+  let nv = Gadgets.add_lc b (Builder.lc_const (Gf.of_int n)) in
+  let lt = Gadgets.less_than b ~width r nv in
+  Gadgets.assert_equal b (Builder.lc_var lt) (Builder.lc_const Gf.one);
+  r
+
+let circuit ?(modulus = 3329) ?(exponent = 17) ~instances ~seed () =
+  let width =
+    let rec go w = if 1 lsl w > modulus then w else go (w + 1) in
+    go 1
+  in
+  let rng = Rng.create seed in
+  let b = Builder.create () in
+  for _ = 1 to instances do
+    let x = 1 + Rng.int rng (modulus - 1) in
+    let y = reference ~x ~e:exponent ~n:modulus in
+    let xv = Builder.witness b (Gf.of_int x) in
+    ignore (Gadgets.bits_of b ~width xv);
+    (* Square-and-multiply over the fixed public exponent. *)
+    let bits =
+      let rec go e acc = if e = 0 then acc else go (e lsr 1) ((e land 1) :: acc) in
+      go exponent []
+    in
+    let acc = ref (Gadgets.add_lc b (Builder.lc_const Gf.one)) in
+    List.iter
+      (fun bit ->
+        acc := mulmod b ~width ~n:modulus !acc !acc;
+        if bit = 1 then acc := mulmod b ~width ~n:modulus !acc xv)
+      bits;
+    let out = Builder.input b (Gf.of_int y) in
+    Gadgets.assert_equal b (Builder.lc_var !acc) (Builder.lc_var out)
+  done;
+  Builder.finalize b

@@ -1,0 +1,21 @@
+(** Modular exponentiation circuit — the "RSA" benchmark's stand-in: prove
+    knowledge of [x] with [x^e = y (mod n)] for public [e], [n], [y].
+
+    Square-and-multiply, with each modular step done the standard R1CS way:
+    witness the quotient and remainder of [t = q*n + r], range-check both
+    (bit decomposition plus a comparison against [n]). The modulus is small
+    (default 12 bits) but the constraint profile — big packing rows from the
+    range checks — is the dense-row shape that makes RSA circuits heavier per
+    constraint than AES (Table III vs. Table IV). *)
+
+val reference : x:int -> e:int -> n:int -> int
+
+val circuit :
+  ?modulus:int ->
+  ?exponent:int ->
+  instances:int ->
+  seed:int64 ->
+  unit ->
+  Zk_r1cs.R1cs.instance * Zk_r1cs.R1cs.assignment
+(** [instances] independent exponentiation proofs; modulus defaults to 3329
+    (12 bits), exponent to 65537's small stand-in 17. *)

@@ -1,0 +1,203 @@
+module Gf = Zk_field.Gf
+module Builder = Zk_r1cs.Builder
+module Gadgets = Zk_r1cs.Gadgets
+module Rng = Zk_util.Rng
+
+let k_constants =
+  [|
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+    0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+    0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+    0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+    0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+    0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+    0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+    0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+    0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+    0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+    0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
+  |]
+
+let iv =
+  [|
+    0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+    0x1f83d9ab; 0x5be0cd19;
+  |]
+
+let mask = 0xffffffff
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+let shr x n = x lsr n
+
+let compress_reference ~block state =
+  if Array.length block <> 16 || Array.length state <> 8 then
+    invalid_arg "Sha256_circuit.compress_reference";
+  let w = Array.make 64 0 in
+  Array.blit block 0 w 0 16;
+  for t = 16 to 63 do
+    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor shr w.(t - 15) 3 in
+    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor shr w.(t - 2) 10 in
+    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask
+  done;
+  let a = ref state.(0) and b = ref state.(1) and c = ref state.(2) and d = ref state.(3) in
+  let e = ref state.(4) and f = ref state.(5) and g = ref state.(6) and h = ref state.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = !e land !f lxor (lnot !e land mask land !g) in
+    let t1 = (!h + s1 + ch + k_constants.(t) + w.(t)) land mask in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + maj) land mask in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := (!d + t1) land mask;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (t1 + t2) land mask
+  done;
+  [|
+    (state.(0) + !a) land mask; (state.(1) + !b) land mask;
+    (state.(2) + !c) land mask; (state.(3) + !d) land mask;
+    (state.(4) + !e) land mask; (state.(5) + !f) land mask;
+    (state.(6) + !g) land mask; (state.(7) + !h) land mask;
+  |]
+
+let sha256_reference msg =
+  let len = Bytes.length msg in
+  (* Pad: 0x80, zeros, 64-bit big-endian bit length. *)
+  let total = ((len + 8) / 64 * 64) + 64 in
+  let padded = Bytes.make total '\x00' in
+  Bytes.blit msg 0 padded 0 len;
+  Bytes.set padded len '\x80';
+  let bits = Int64.of_int (8 * len) in
+  for i = 0 to 7 do
+    Bytes.set padded
+      (total - 1 - i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done;
+  let state = ref (Array.copy iv) in
+  for blk = 0 to (total / 64) - 1 do
+    let block =
+      Array.init 16 (fun w ->
+          let base = (blk * 64) + (4 * w) in
+          (Char.code (Bytes.get padded base) lsl 24)
+          lor (Char.code (Bytes.get padded (base + 1)) lsl 16)
+          lor (Char.code (Bytes.get padded (base + 2)) lsl 8)
+          lor Char.code (Bytes.get padded (base + 3)))
+    in
+    state := compress_reference ~block !state
+  done;
+  String.concat "" (Array.to_list (Array.map (Printf.sprintf "%08x") !state))
+
+(* --- circuit: words are 32-element little-endian bit-wire arrays --- *)
+
+let word_wires b ~public v =
+  let wire =
+    if public then Builder.input b (Gf.of_int v) else Builder.witness b (Gf.of_int v)
+  in
+  Gadgets.bits_of b ~width:32 wire
+
+let const_word b v = Gadgets.const_word b ~width:32 (Int64.of_int v)
+
+let rotr_bits bits n = Array.init 32 (fun i -> bits.((i + n) mod 32))
+
+(* Logical right shift: the vacated high bits become a shared constant-zero
+   wire. *)
+let shr_bits b bits n =
+  let zero =
+    let w = Builder.witness b Gf.zero in
+    Gadgets.assert_equal b (Builder.lc_var w) [];
+    w
+  in
+  Array.init 32 (fun i -> if i + n < 32 then bits.(i + n) else zero)
+
+let xor3 b x y z = Gadgets.xor_word b (Gadgets.xor_word b x y) z
+
+(* Modular 2^32 sum of several words: add the packed values over the field,
+   decompose the wide sum, keep the low 32 bits. *)
+let add_mod32 b words =
+  let lc =
+    List.concat_map
+      (fun bits ->
+        Array.to_list bits
+        |> List.mapi (fun i w -> (w, Gf.of_int64 (Int64.shift_left 1L i))))
+      words
+  in
+  let total = Gadgets.add_lc b lc in
+  let extra =
+    let rec bits_needed n acc = if n <= 1 then acc else bits_needed ((n + 1) / 2) (acc + 1) in
+    bits_needed (List.length words) 0
+  in
+  let wide = Gadgets.bits_of b ~width:(32 + extra) total in
+  Array.sub wide 0 32
+
+let ch_bits b e f g =
+  (* ch = (e & f) ^ (~e & g) *)
+  Array.init 32 (fun i ->
+      let ef = Gadgets.band b e.(i) f.(i) in
+      let neg = Gadgets.band b (Gadgets.bnot b e.(i)) g.(i) in
+      Gadgets.bxor b ef neg)
+
+let maj_bits b a bb c =
+  Array.init 32 (fun i ->
+      let ab = Gadgets.band b a.(i) bb.(i) in
+      let ac = Gadgets.band b a.(i) c.(i) in
+      let bc = Gadgets.band b bb.(i) c.(i) in
+      Gadgets.bxor b (Gadgets.bxor b ab ac) bc)
+
+let build b ~block =
+  if Array.length block <> 16 then invalid_arg "Sha256_circuit.build";
+  let w = Array.make 64 [||] in
+  for t = 0 to 15 do
+    w.(t) <- word_wires b ~public:false block.(t)
+  done;
+  for t = 16 to 63 do
+    let s0 =
+      xor3 b (rotr_bits w.(t - 15) 7) (rotr_bits w.(t - 15) 18) (shr_bits b w.(t - 15) 3)
+    in
+    let s1 =
+      xor3 b (rotr_bits w.(t - 2) 17) (rotr_bits w.(t - 2) 19) (shr_bits b w.(t - 2) 10)
+    in
+    w.(t) <- add_mod32 b [ w.(t - 16); s0; w.(t - 7); s1 ]
+  done;
+  let state = Array.map (fun v -> const_word b v) iv in
+  let a = ref state.(0) and bb = ref state.(1) and c = ref state.(2) and d = ref state.(3) in
+  let e = ref state.(4) and f = ref state.(5) and g = ref state.(6) and h = ref state.(7) in
+  for t = 0 to 63 do
+    let s1 = xor3 b (rotr_bits !e 6) (rotr_bits !e 11) (rotr_bits !e 25) in
+    let ch = ch_bits b !e !f !g in
+    let t1 = add_mod32 b [ !h; s1; ch; const_word b k_constants.(t); w.(t) ] in
+    let s0 = xor3 b (rotr_bits !a 2) (rotr_bits !a 13) (rotr_bits !a 22) in
+    let maj = maj_bits b !a !bb !c in
+    let t2 = add_mod32 b [ s0; maj ] in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := add_mod32 b [ !d; t1 ];
+    d := !c;
+    c := !bb;
+    bb := !a;
+    a := add_mod32 b [ t1; t2 ]
+  done;
+  let finals = [| !a; !bb; !c; !d; !e; !f; !g; !h |] in
+  Array.mapi
+    (fun i final -> Gadgets.pack b (add_mod32 b [ state.(i); final ]))
+    finals
+
+let circuit ~blocks ~seed () =
+  let rng = Rng.create seed in
+  let b = Builder.create () in
+  for _ = 1 to blocks do
+    let block = Array.init 16 (fun _ -> Rng.int rng (1 lsl 30) lor (Rng.int rng 4 lsl 30)) in
+    let expected = compress_reference ~block (Array.copy iv) in
+    let digest = build b ~block in
+    Array.iteri
+      (fun i wire ->
+        let out = Builder.input b (Gf.of_int expected.(i)) in
+        Gadgets.assert_equal b (Builder.lc_var wire) (Builder.lc_var out))
+      digest
+  done;
+  Builder.finalize b

@@ -1,0 +1,34 @@
+(** Bit-accurate SHA-256 compression as an R1CS circuit — the paper's SHA
+    benchmark (Sec. VII-B: 512-bit hash blocks) for real.
+
+    The full FIPS-180-4 round function over bit wires: Ch/Maj as AND/XOR
+    networks, the big and small sigmas as free rotations XORed together, and
+    modular 2^32 addition by witnessing the wide sum's bit decomposition and
+    keeping the low 32 bits. ~30k constraints per 512-bit block.
+
+    The proof statement: "I know a 512-bit message block whose SHA-256
+    compression from the standard IV yields this public digest" — proving
+    ownership of data matching a hash without revealing it (the paper's SHA
+    use case). *)
+
+val compress_reference : block:int array -> int array -> int array
+(** [compress_reference ~block state]: one compression of a 64-byte block
+    (16 big-endian 32-bit words) into the 8-word state. *)
+
+val sha256_reference : bytes -> string
+(** Full SHA-256 with padding, as lowercase hex (for the known-answer
+    tests). *)
+
+val build :
+  Zk_r1cs.Builder.t ->
+  block:int array ->
+  Zk_r1cs.Builder.var array
+(** Allocate the 16 message words as witnesses and compress from the
+    standard IV; returns the 8 digest-word wires. *)
+
+val circuit :
+  blocks:int ->
+  seed:int64 ->
+  unit ->
+  Zk_r1cs.R1cs.instance * Zk_r1cs.R1cs.assignment
+(** [blocks] independent compressions with public digests. *)

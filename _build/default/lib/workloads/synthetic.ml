@@ -1,0 +1,30 @@
+module Gf = Zk_field.Gf
+module Builder = Zk_r1cs.Builder
+module Rng = Zk_util.Rng
+
+let circuit ~n_constraints ?(band = 64) ?(row_nnz = 2) ~seed () =
+  if n_constraints < 1 then invalid_arg "Synthetic.circuit";
+  let rng = Rng.create seed in
+  let b = Builder.create () in
+  let pool = ref [| Builder.witness b (Gf.of_int (2 + Rng.int rng 1000)) |] in
+  let pool_len = ref 1 in
+  let grow = Array.make (max 16 (n_constraints + 1)) !pool.(0) in
+  grow.(0) <- !pool.(0);
+  pool := grow;
+  let pick () =
+    let lo = max 0 (!pool_len - band) in
+    !pool.(lo + Rng.int rng (!pool_len - lo))
+  in
+  for _ = 1 to n_constraints do
+    (* (sum of row_nnz recent wires) * recent wire = new wire. *)
+    let lhs =
+      List.init row_nnz (fun _ -> (pick (), Gf.of_int (1 + Rng.int rng 7)))
+    in
+    let rhs = pick () in
+    let value = Gf.mul (Builder.lc_value b lhs) (Builder.value b rhs) in
+    let out = Builder.witness b value in
+    Builder.constrain b lhs (Builder.lc_var rhs) (Builder.lc_var out);
+    !pool.(!pool_len) <- out;
+    incr pool_len
+  done;
+  Builder.finalize b

@@ -1,0 +1,18 @@
+(** Structure-matched synthetic circuits for performance runs at sizes where
+    assembling a real gadget circuit is infeasible.
+
+    The generator emits satisfiable constraint chains whose matrices have the
+    two properties the paper's SpMV mapping exploits (Sec. V-A): O(1)
+    nonzeros per row and limited bandwidth (nonzeros clustered near the
+    diagonal). Row density is tunable to match a target benchmark's density
+    factor. *)
+
+val circuit :
+  n_constraints:int ->
+  ?band:int ->
+  ?row_nnz:int ->
+  seed:int64 ->
+  unit ->
+  Zk_r1cs.R1cs.instance * Zk_r1cs.R1cs.assignment
+(** [band] (default 64) bounds how far a constraint reaches back into the
+    witness; [row_nnz] (default 2) sets the A-row density. *)

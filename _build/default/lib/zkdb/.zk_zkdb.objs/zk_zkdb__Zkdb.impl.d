@@ -1,0 +1,1 @@
+lib/zkdb/zkdb.ml: Array Int64 List Nocap_model Zk_baseline Zk_field Zk_r1cs Zk_spartan Zk_util Zk_workloads

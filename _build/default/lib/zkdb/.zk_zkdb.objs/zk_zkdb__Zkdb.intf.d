@@ -1,0 +1,1 @@
+lib/zkdb/zkdb.mli: Zk_field Zk_r1cs Zk_spartan Zk_workloads

@@ -1,0 +1,1 @@
+test/test_additions.ml: Alcotest Array Int64 List Nocap_model Printf QCheck QCheck_alcotest Zk_field Zk_perf Zk_poly Zk_r1cs Zk_util Zk_workloads

@@ -1,0 +1,1 @@
+test/test_aes.ml: Alcotest Array Lazy Printf QCheck QCheck_alcotest String Zk_field Zk_r1cs Zk_spartan Zk_workloads

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Zk_field Zk_r1cs Zk_spartan Zk_util

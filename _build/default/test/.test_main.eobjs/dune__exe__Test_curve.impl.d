@@ -1,0 +1,1 @@
+test/test_curve.ml: Alcotest Array List Printf Zk_curve Zk_field Zk_util

@@ -1,0 +1,1 @@
+test/test_ecc.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Zk_ecc Zk_field Zk_util

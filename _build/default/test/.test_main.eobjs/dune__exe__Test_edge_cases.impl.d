@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Int64 Nocap_model Printf Zk_field Zk_hash Zk_merkle Zk_orion Zk_poly Zk_r1cs Zk_spartan Zk_sumcheck Zk_util

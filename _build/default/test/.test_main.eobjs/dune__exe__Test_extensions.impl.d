@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bytes Char Int64 Lazy List Nocap_model Printf QCheck QCheck_alcotest Zk_field Zk_hash Zk_ntt Zk_r1cs Zk_spartan Zk_sumcheck Zk_util Zk_workloads

@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Zk_field Zk_util

@@ -1,0 +1,1 @@
+test/test_fri.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Zk_field Zk_hash Zk_orion Zk_util

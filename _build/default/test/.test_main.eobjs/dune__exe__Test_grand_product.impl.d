@@ -1,0 +1,1 @@
+test/test_grand_product.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Zk_field Zk_hash Zk_orion Zk_poly Zk_sumcheck Zk_util

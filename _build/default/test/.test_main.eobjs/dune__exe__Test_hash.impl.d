@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Array Bytes QCheck QCheck_alcotest String Zk_field Zk_hash

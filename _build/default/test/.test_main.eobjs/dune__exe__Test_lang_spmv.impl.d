@@ -1,0 +1,1 @@
+test/test_lang_spmv.ml: Alcotest Array Int64 List Nocap_model Printf QCheck QCheck_alcotest Zk_field Zk_r1cs Zk_spartan Zk_util Zk_workloads

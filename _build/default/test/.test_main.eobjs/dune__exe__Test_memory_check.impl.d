@@ -1,0 +1,1 @@
+test/test_memory_check.ml: Alcotest Array List Printf Zk_field Zk_hash Zk_r1cs Zk_spartan Zk_util Zk_workloads

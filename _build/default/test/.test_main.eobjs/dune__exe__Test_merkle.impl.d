@@ -1,0 +1,1 @@
+test/test_merkle.ml: Alcotest Array List Printf String Zk_field Zk_hash Zk_merkle

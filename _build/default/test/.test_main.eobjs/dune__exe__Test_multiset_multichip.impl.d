@@ -1,0 +1,1 @@
+test/test_multiset_multichip.ml: Alcotest Int64 List Nocap_model Printf QCheck QCheck_alcotest Zk_field Zk_hash Zk_util

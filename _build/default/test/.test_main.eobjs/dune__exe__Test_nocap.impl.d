@@ -1,0 +1,1 @@
+test/test_nocap.ml: Alcotest Array Bytes Fun Hashtbl List Nocap_model Printf Zk_field Zk_hash Zk_util

@@ -1,0 +1,1 @@
+test/test_ntt.ml: Alcotest Array Int64 List Printf Zk_field Zk_ntt Zk_util

@@ -1,0 +1,1 @@
+test/test_orion.ml: Alcotest Array Int64 List Zk_ecc Zk_field Zk_hash Zk_merkle Zk_orion Zk_poly Zk_util

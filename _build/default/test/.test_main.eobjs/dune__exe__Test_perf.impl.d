@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Int64 List Printf Zk_baseline Zk_perf Zk_r1cs Zk_report Zk_spartan Zk_workloads Zk_zkdb

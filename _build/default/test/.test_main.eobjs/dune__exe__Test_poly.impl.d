@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Int64 Printf QCheck QCheck_alcotest Zk_field Zk_poly Zk_util

@@ -1,0 +1,1 @@
+test/test_r1cs.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Seq Zk_field Zk_poly Zk_r1cs Zk_util

@@ -1,0 +1,1 @@
+test/test_sha256.ml: Alcotest Array Bytes Lazy String Zk_field Zk_r1cs Zk_spartan Zk_workloads

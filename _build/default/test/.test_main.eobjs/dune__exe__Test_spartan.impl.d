@@ -1,0 +1,1 @@
+test/test_spartan.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Zk_field Zk_orion Zk_r1cs Zk_spartan Zk_sumcheck Zk_util

@@ -1,0 +1,1 @@
+test/test_stark.ml: Alcotest Array List Printf Zk_field Zk_orion

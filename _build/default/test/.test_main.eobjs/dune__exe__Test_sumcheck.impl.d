@@ -1,0 +1,1 @@
+test/test_sumcheck.ml: Alcotest Array Int64 Printf QCheck QCheck_alcotest Zk_field Zk_hash Zk_poly Zk_sumcheck Zk_util

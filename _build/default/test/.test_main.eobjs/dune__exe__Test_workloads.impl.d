@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array List Zk_field Zk_r1cs Zk_spartan Zk_util Zk_workloads

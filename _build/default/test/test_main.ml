@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "nocap_repro"
+    [
+      ("field", Test_field.suite);
+      ("hash", Test_hash.suite);
+      ("ntt", Test_ntt.suite);
+      ("poly", Test_poly.suite);
+      ("ecc", Test_ecc.suite);
+      ("merkle", Test_merkle.suite);
+      ("r1cs", Test_r1cs.suite);
+      ("sumcheck", Test_sumcheck.suite);
+      ("orion", Test_orion.suite);
+      ("spartan", Test_spartan.suite);
+      ("curve", Test_curve.suite);
+      ("nocap", Test_nocap.suite);
+      ("workloads", Test_workloads.suite);
+      ("perf", Test_perf.suite);
+      ("zkdb", Test_zkdb.suite);
+      ("extensions", Test_extensions.suite);
+      ("multiset+multichip", Test_multiset_multichip.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("lang+spmv", Test_lang_spmv.suite);
+      ("memory-check", Test_memory_check.suite);
+      ("additions", Test_additions.suite);
+      ("aes", Test_aes.suite);
+      ("sha256", Test_sha256.suite);
+      ("bignum", Test_bignum.suite);
+      ("fri", Test_fri.suite);
+      ("stark", Test_stark.suite);
+      ("grand-product", Test_grand_product.suite);
+    ]

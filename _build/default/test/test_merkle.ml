@@ -1,0 +1,66 @@
+(* Merkle-tree tests: paths verify, wrong anything fails. *)
+
+module Merkle = Zk_merkle.Merkle
+module Keccak = Zk_hash.Keccak
+module Gf = Zk_field.Gf
+
+let leaves n = Array.init n (fun i -> Keccak.sha3_256_string (Printf.sprintf "leaf-%d" i))
+
+let test_roundtrip () =
+  List.iter
+    (fun n ->
+      let ls = leaves n in
+      let t = Merkle.build ls in
+      Alcotest.(check int) "num_leaves" n (Merkle.num_leaves t);
+      for i = 0 to n - 1 do
+        let ok =
+          Merkle.verify ~root:(Merkle.root t) ~index:i ~leaf:ls.(i) ~path:(Merkle.path t i)
+        in
+        Alcotest.(check bool) (Printf.sprintf "n=%d leaf %d verifies" n i) true ok
+      done)
+    [ 1; 2; 3; 7; 8; 16; 100 ]
+
+let test_rejections () =
+  let ls = leaves 16 in
+  let t = Merkle.build ls in
+  let root = Merkle.root t in
+  let path5 = Merkle.path t 5 in
+  Alcotest.(check bool) "wrong leaf" false
+    (Merkle.verify ~root ~index:5 ~leaf:ls.(6) ~path:path5);
+  Alcotest.(check bool) "wrong index" false
+    (Merkle.verify ~root ~index:6 ~leaf:ls.(5) ~path:path5);
+  Alcotest.(check bool) "wrong root" false
+    (Merkle.verify ~root:(Keccak.sha3_256_string "evil") ~index:5 ~leaf:ls.(5) ~path:path5);
+  let tampered = match path5 with x :: rest -> Keccak.sha3_256_string "x" :: rest @ [ x ] |> List.tl | [] -> [] in
+  Alcotest.(check bool) "tampered path" false
+    (Merkle.verify ~root ~index:5 ~leaf:ls.(5) ~path:tampered)
+
+let test_depth_and_path_length () =
+  let t = Merkle.build (leaves 16) in
+  Alcotest.(check int) "depth 16" 4 (Merkle.depth t);
+  Alcotest.(check int) "path length matches" 4 (List.length (Merkle.path t 3));
+  Alcotest.(check int) "path_length 16" 4 (Merkle.path_length 16);
+  Alcotest.(check int) "path_length 17" 5 (Merkle.path_length 17);
+  Alcotest.(check int) "path_length 1" 0 (Merkle.path_length 1)
+
+let test_column_leaf () =
+  let col = Array.init 128 Gf.of_int in
+  Alcotest.(check string) "column leaf = hash_gf"
+    (Keccak.to_hex (Keccak.hash_gf col))
+    (Keccak.to_hex (Merkle.leaf_of_column col))
+
+let test_root_depends_on_all_leaves () =
+  let ls = leaves 8 in
+  let r1 = Merkle.root (Merkle.build ls) in
+  ls.(7) <- Keccak.sha3_256_string "changed";
+  let r2 = Merkle.root (Merkle.build ls) in
+  Alcotest.(check bool) "root changed" false (String.equal r1 r2)
+
+let suite =
+  [
+    Alcotest.test_case "build and verify" `Quick test_roundtrip;
+    Alcotest.test_case "rejections" `Quick test_rejections;
+    Alcotest.test_case "depth and path length" `Quick test_depth_and_path_length;
+    Alcotest.test_case "column leaf" `Quick test_column_leaf;
+    Alcotest.test_case "root covers all leaves" `Quick test_root_depends_on_all_leaves;
+  ]

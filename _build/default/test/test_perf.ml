@@ -1,0 +1,165 @@
+(* End-to-end models (Tables I, IV, V), op-count validation, and the report
+   data plumbing. *)
+
+module Endtoend = Zk_perf.Endtoend
+module Opcounts = Zk_perf.Opcounts
+module Spartan = Zk_spartan.Spartan
+module R1cs = Zk_r1cs.R1cs
+module Synthetic = Zk_workloads.Synthetic
+module Tables = Zk_report.Tables
+module Figures = Zk_report.Figures
+
+let close ?(tol = 0.02) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %.4g, got %.4g)" msg expected actual)
+    true
+    (abs_float (actual -. expected) <= tol *. abs_float expected)
+
+let test_table1_totals () =
+  (* Paper's Table I totals at 16M constraints. *)
+  let check platform expected tol =
+    let b = Endtoend.run platform ~n_constraints:16.0e6 () in
+    close ~tol (Endtoend.platform_name platform) expected (Endtoend.total b)
+  in
+  check Endtoend.Groth16_cpu 54.00 0.01;
+  check Endtoend.Groth16_gpu 37.45 0.01;
+  check Endtoend.Groth16_pipezk 8.03 0.01;
+  check Endtoend.Spartan_cpu 95.14 0.01;
+  check Endtoend.Spartan_nocap 1.09 0.03
+
+let test_table1_structure () =
+  (* Groth16 is prover-dominated; NoCap makes proving a minority share. *)
+  let g16 = Endtoend.run Endtoend.Groth16_cpu ~n_constraints:16.0e6 () in
+  Alcotest.(check bool) "Groth16 prover-dominated" true
+    (g16.Endtoend.prover /. Endtoend.total g16 > 0.99);
+  let nocap = Endtoend.run Endtoend.Spartan_nocap ~n_constraints:16.0e6 () in
+  Alcotest.(check bool) "NoCap proving ~14% of total" true
+    (let f = nocap.Endtoend.prover /. Endtoend.total nocap in
+     f > 0.10 && f < 0.20)
+
+let test_table4_gmeans () =
+  let _, g_cpu, g_pipezk = Tables.table4_data () in
+  (* Paper: 586x and 41x; our per-benchmark densities give slightly higher
+     but same-magnitude speedups. *)
+  close ~tol:0.10 "gmean vs CPU" 586.0 g_cpu;
+  close ~tol:0.15 "gmean vs PipeZK" 41.0 g_pipezk
+
+let test_table5_gmean () =
+  let rows, g = Tables.table5_data () in
+  close ~tol:0.08 "gmean end-to-end vs PipeZK" 16.8 g;
+  (* Speedups grow with circuit size (Sec. VIII-F) up to Auction's dip. *)
+  let by_name n = List.find (fun (r : Tables.table5_row) -> r.Tables.t5_name = n) rows in
+  Alcotest.(check bool) "Litmus > AES" true
+    ((by_name "Litmus").Tables.t5_vs_pipezk > (by_name "AES").Tables.t5_vs_pipezk)
+
+let test_fig7_shape () =
+  let data = Figures.fig7_data () in
+  let series name = List.assoc name data in
+  let at series f = List.assoc f series in
+  (* Among the FU-throughput knobs, arithmetic is the most sensitive
+     (Sec. VIII-D); the register file is a capacity cliff handled below. *)
+  Alcotest.(check bool) "arith most sensitive FU downward" true
+    (List.for_all
+       (fun (name, s) ->
+         name = "arith" || name = "regfile" || at s 0.25 >= at (series "arith") 0.25)
+       data);
+  (* Defaults are at the knee: 4x any knob gains < 20%. *)
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check bool) (name ^ " saturates") true (at s 4.0 < 1.25))
+    data;
+  (* Shrinking the register file degrades sharply. *)
+  Alcotest.(check bool) "regfile cliff" true (at (series "regfile") 0.25 < 0.5)
+
+let test_fig8_pareto () =
+  let frontier = Figures.fig8_pareto ~hbm_factor:1.0 in
+  Alcotest.(check bool) "nonempty" true (List.length frontier > 3);
+  (* Monotone: increasing area strictly improves time along the frontier. *)
+  let rec monotone = function
+    | (a1, t1) :: ((a2, t2) :: _ as rest) ->
+      a1 < a2 && t1 > t2 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly improving" true (monotone frontier);
+  (* 2 TB/s frontier reaches faster points at higher area. *)
+  let f2 = Figures.fig8_pareto ~hbm_factor:2.0 in
+  let best l = List.fold_left (fun acc (_, t) -> min acc t) infinity l in
+  Alcotest.(check bool) "2 TB/s reaches lower times" true (best f2 < best frontier)
+
+let test_opcount_validation () =
+  (* The closed forms must match the instrumented prover exactly. *)
+  List.iter
+    (fun (n_constraints, reps) ->
+      let inst, asn = Synthetic.circuit ~n_constraints ~seed:(Int64.of_int n_constraints) () in
+      let params = { Spartan.test_params with Spartan.repetitions = reps } in
+      let _, stats = Spartan.prove params inst asn in
+      let n = R1cs.size inst in
+      Alcotest.(check int)
+        (Printf.sprintf "sumcheck mults n=%d reps=%d" n reps)
+        (Opcounts.sumcheck_mults ~n ~repetitions:reps)
+        stats.Spartan.sumcheck_mults;
+      Alcotest.(check int)
+        (Printf.sprintf "sumcheck adds n=%d reps=%d" n reps)
+        (Opcounts.sumcheck_adds ~n ~repetitions:reps)
+        stats.Spartan.sumcheck_adds;
+      Alcotest.(check int)
+        (Printf.sprintf "spmv mults n=%d reps=%d" n reps)
+        (Opcounts.spmv_mults ~nnz:(R1cs.nnz inst) ~repetitions:reps)
+        stats.Spartan.spmv_mults)
+    [ (100, 1); (100, 3); (700, 2) ]
+
+let test_proofsize_fits () =
+  (* The log^2 fits stay within 5% of the paper's five points. *)
+  let proof = Zk_baseline.Proofsize.spartan_orion_proof_bytes in
+  let verify = Zk_baseline.Proofsize.spartan_orion_verifier_seconds in
+  List.iter
+    (fun (n, p_mb, v_ms) ->
+      close ~tol:0.05 "proof size" p_mb (proof ~n_constraints:n /. (1024.0 *. 1024.0));
+      close ~tol:0.07 "verify time" v_ms (verify ~n_constraints:n *. 1000.0))
+    [
+      (16.0e6, 8.1, 134.0);
+      (32.0e6, 8.7, 153.7);
+      (98.0e6, 10.1, 198.0);
+      (268.4e6, 10.9, 222.4);
+      (550.0e6, 12.5, 276.1);
+    ]
+
+let test_sec3_efficiency_analysis () =
+  (* The Sec. III disentanglement: 4.66 / 4.94 / (2.7 / 5.0) = 1.74x. *)
+  let m = Zk_baseline.Cpu_model.serial_mult_rate_ratio in
+  let w = Zk_baseline.Cpu_model.multiplies_ratio in
+  let p =
+    Zk_baseline.Cpu_model.parallel_speedup_spartan
+    /. Zk_baseline.Cpu_model.parallel_speedup_groth16
+  in
+  close ~tol:0.01 "1.74x slower" 1.74 (m /. w /. p);
+  (* And indeed the measured CPU times are ~1.74x apart. *)
+  close ~tol:0.01 "94.2 / 53.99" (94.2 /. 53.99) (m /. w /. p)
+
+let test_db_throughput_shape () =
+  let module Zkdb = Zk_zkdb.Zkdb in
+  let cpu = Zkdb.max_throughput ~platform:Zkdb.Cpu ~include_send:false ~latency_budget:1.0 in
+  let nocap = Zkdb.max_throughput ~platform:Zkdb.Nocap ~include_send:false ~latency_budget:1.0 in
+  Alcotest.(check bool) "CPU a handful of tx/s" true (cpu >= 1.0 && cpu < 20.0);
+  Alcotest.(check bool) "NoCap hundreds-to-thousands" true (nocap > 400.0);
+  Alcotest.(check bool) "2-3 orders of magnitude" true (nocap /. cpu > 100.0);
+  (* The paper's 1,142 tx/s sits inside our send-inclusive..send-exclusive
+     bracket. *)
+  let with_send =
+    Zkdb.max_throughput ~platform:Zkdb.Nocap ~include_send:true ~latency_budget:1.0
+  in
+  Alcotest.(check bool) "bracket contains 1142" true (with_send < 1142.0 && nocap > 1142.0)
+
+let suite =
+  [
+    Alcotest.test_case "Table I totals" `Quick test_table1_totals;
+    Alcotest.test_case "Table I structure" `Quick test_table1_structure;
+    Alcotest.test_case "Table IV gmeans" `Quick test_table4_gmeans;
+    Alcotest.test_case "Table V gmean" `Quick test_table5_gmean;
+    Alcotest.test_case "Fig 7 shape" `Quick test_fig7_shape;
+    Alcotest.test_case "Fig 8 Pareto" `Quick test_fig8_pareto;
+    Alcotest.test_case "op-count validation" `Quick test_opcount_validation;
+    Alcotest.test_case "proof-size fits" `Quick test_proofsize_fits;
+    Alcotest.test_case "Sec III efficiency analysis" `Quick test_sec3_efficiency_analysis;
+    Alcotest.test_case "DB throughput shape" `Quick test_db_throughput_shape;
+  ]

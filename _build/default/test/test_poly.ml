@@ -1,0 +1,135 @@
+(* Dense polynomial and multilinear-extension tests. *)
+
+module Gf = Zk_field.Gf
+module Dense = Zk_poly.Dense
+module Mle = Zk_poly.Mle
+module Rng = Zk_util.Rng
+
+let gf = Alcotest.testable Gf.pp Gf.equal
+
+let random_poly rng d = Dense.random rng ~degree:d
+
+let test_degree_trim () =
+  Alcotest.(check int) "zero" (-1) (Dense.degree Dense.zero);
+  Alcotest.(check int) "constant" 0 (Dense.degree (Dense.constant Gf.one));
+  let p = [| Gf.one; Gf.zero; Gf.zero |] in
+  Alcotest.(check int) "trailing zeros" 0 (Dense.degree p);
+  Alcotest.(check int) "trimmed length" 1 (Array.length (Dense.trim p))
+
+let test_eval () =
+  (* p(x) = 3 + 2x + x^2, p(5) = 38 *)
+  let p = [| Gf.of_int 3; Gf.of_int 2; Gf.one |] in
+  Alcotest.check gf "horner" (Gf.of_int 38) (Dense.eval p (Gf.of_int 5));
+  Alcotest.check gf "at 0" (Gf.of_int 3) (Dense.eval p Gf.zero);
+  Alcotest.check gf "zero poly" Gf.zero (Dense.eval Dense.zero (Gf.of_int 9))
+
+let prop_mul_matches_naive =
+  QCheck.Test.make ~count:60 ~name:"Dense.mul matches schoolbook"
+    QCheck.(pair (int_range 0 80) (int_range 0 80))
+    (fun (d1, d2) ->
+      let rng = Rng.create (Int64.of_int ((d1 * 131) + d2)) in
+      let p = random_poly rng d1 and q = random_poly rng d2 in
+      Dense.equal (Dense.mul p q) (Dense.mul_naive p q))
+
+let prop_mul_eval_homomorphism =
+  QCheck.Test.make ~count:60 ~name:"(p*q)(x) = p(x) * q(x)"
+    QCheck.(int_range 0 50)
+    (fun d ->
+      let rng = Rng.create (Int64.of_int (d + 1000)) in
+      let p = random_poly rng d and q = random_poly rng (d / 2) in
+      let x = Gf.random rng in
+      Gf.equal (Dense.eval (Dense.mul p q) x) (Gf.mul (Dense.eval p x) (Dense.eval q x)))
+
+let test_interpolate () =
+  let rng = Rng.create 10L in
+  let p = random_poly rng 5 in
+  let xs = Array.init 6 Gf.of_int in
+  let ys = Array.map (Dense.eval p) xs in
+  let r = Gf.random rng in
+  Alcotest.check gf "lagrange recovers evaluation" (Dense.eval p r)
+    (Dense.interpolate_eval ~xs ~ys r);
+  (* Evaluation at a node returns the tabulated value. *)
+  Alcotest.check gf "at node" ys.(3) (Dense.interpolate_eval ~xs ~ys (Gf.of_int 3));
+  Alcotest.check gf "small variant" (Dense.eval p r) (Dense.interpolate_eval_small ys r)
+
+(* --- MLE --- *)
+
+let test_mle_on_cube () =
+  (* On Boolean points the MLE reproduces the table. *)
+  let rng = Rng.create 11L in
+  let l = 4 in
+  let table = Array.init (1 lsl l) (fun _ -> Gf.random rng) in
+  for i = 0 to (1 lsl l) - 1 do
+    Alcotest.check gf
+      (Printf.sprintf "table[%d]" i)
+      table.(i)
+      (Mle.eval table (Mle.eval_of_index l i))
+  done
+
+let test_eq_table () =
+  let rng = Rng.create 12L in
+  let l = 5 in
+  let r = Array.init l (fun _ -> Gf.random rng) in
+  let eq = Mle.eq_table r in
+  (* sum_b eq(r, b) = 1 *)
+  Alcotest.check gf "partition of unity" Gf.one (Array.fold_left Gf.add Gf.zero eq);
+  (* eq-table entries agree with the closed form. *)
+  for b = 0 to (1 lsl l) - 1 do
+    Alcotest.check gf "pointwise" (Mle.eq_point r (Mle.eval_of_index l b)) eq.(b)
+  done;
+  (* eval via inner product with the eq table. *)
+  let table = Array.init (1 lsl l) (fun _ -> Gf.random rng) in
+  let dot = ref Gf.zero in
+  Array.iteri (fun i e -> dot := Gf.add !dot (Gf.mul e table.(i))) eq;
+  Alcotest.check gf "eval = <table, eq>" (Mle.eval table r) !dot
+
+let test_fold_top () =
+  let rng = Rng.create 13L in
+  let l = 6 in
+  let table = Array.init (1 lsl l) (fun _ -> Gf.random rng) in
+  let r = Array.init l (fun _ -> Gf.random rng) in
+  (* Folding variable-by-variable equals direct evaluation. *)
+  let cur = ref (Array.copy table) in
+  Array.iter (fun ri -> cur := Mle.fold_top !cur ri) r;
+  Alcotest.check gf "fold chain" (Mle.eval table r) (!cur).(0);
+  (* In-place fold agrees with the copying fold. *)
+  let buf = Array.copy table in
+  let len = ref (Array.length buf) in
+  Array.iter (fun ri -> len := Mle.fold_top_in_place buf ~len:!len ri) r;
+  Alcotest.(check int) "folded to one" 1 !len;
+  Alcotest.check gf "in-place" (Mle.eval table r) buf.(0)
+
+let prop_fold_linear =
+  QCheck.Test.make ~count:40 ~name:"fold_top at 0/1 selects halves"
+    QCheck.(int_range 1 6)
+    (fun l ->
+      let rng = Rng.create (Int64.of_int (l + 77)) in
+      let n = 1 lsl l in
+      let table = Array.init n (fun _ -> Gf.random rng) in
+      let lo = Mle.fold_top table Gf.zero and hi = Mle.fold_top table Gf.one in
+      let ok = ref true in
+      for b = 0 to (n / 2) - 1 do
+        if not (Gf.equal lo.(b) table.(b) && Gf.equal hi.(b) table.(b + (n / 2))) then
+          ok := false
+      done;
+      !ok)
+
+let test_num_vars () =
+  Alcotest.(check int) "8 -> 3" 3 (Mle.num_vars (Array.make 8 Gf.zero));
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Mle: table must be a power of two") (fun () ->
+      ignore (Mle.num_vars (Array.make 6 Gf.zero)))
+
+let suite =
+  [
+    Alcotest.test_case "degree and trim" `Quick test_degree_trim;
+    Alcotest.test_case "evaluation" `Quick test_eval;
+    Alcotest.test_case "lagrange interpolation" `Quick test_interpolate;
+    Alcotest.test_case "MLE on hypercube" `Quick test_mle_on_cube;
+    Alcotest.test_case "eq table" `Quick test_eq_table;
+    Alcotest.test_case "fold_top" `Quick test_fold_top;
+    Alcotest.test_case "num_vars" `Quick test_num_vars;
+    QCheck_alcotest.to_alcotest prop_mul_matches_naive;
+    QCheck_alcotest.to_alcotest prop_mul_eval_homomorphism;
+    QCheck_alcotest.to_alcotest prop_fold_linear;
+  ]

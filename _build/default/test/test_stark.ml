@@ -1,0 +1,65 @@
+(* The mini-STARK (Fibonacci AIR over FRI): completeness, boundary and
+   transition soundness, and trace-binding. *)
+
+module Gf = Zk_field.Gf
+module Stark = Zk_orion.Stark
+module Fri = Zk_orion.Fri
+
+let test_trace () =
+  let t = Stark.trace_of ~n:8 ~a0:Gf.one ~a1:Gf.one in
+  Alcotest.(check bool) "fib" true
+    (Array.map Gf.to_int64 t = [| 1L; 1L; 2L; 3L; 5L; 8L; 13L; 21L |])
+
+let test_completeness () =
+  List.iter
+    (fun n ->
+      let a0 = Gf.of_int 3 and a1 = Gf.of_int 7 in
+      let proof, last = Stark.prove ~n ~a0 ~a1 in
+      match Stark.verify ~n ~a0 ~a1 ~claimed_last:last proof with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "n=%d: %s" n e)
+    [ 4; 16; 64; 256 ]
+
+let test_wrong_boundary_rejected () =
+  let n = 64 in
+  let a0 = Gf.one and a1 = Gf.one in
+  let proof, last = Stark.prove ~n ~a0 ~a1 in
+  (match Stark.verify ~n ~a0 ~a1 ~claimed_last:(Gf.add last Gf.one) proof with
+  | Ok () -> Alcotest.fail "accepted a wrong final value"
+  | Error _ -> ());
+  match Stark.verify ~n ~a0:(Gf.of_int 2) ~a1 ~claimed_last:last proof with
+  | Ok () -> Alcotest.fail "accepted a wrong initial value"
+  | Error _ -> ()
+
+let test_tampered_openings_rejected () =
+  let n = 32 in
+  let a0 = Gf.of_int 5 and a1 = Gf.of_int 9 in
+  let proof, last = Stark.prove ~n ~a0 ~a1 in
+  (* Corrupt one opened trace value. *)
+  let opens = proof.Stark.openings.(0) in
+  let v, path = opens.(0) in
+  opens.(0) <- (Gf.add v Gf.one, path);
+  match Stark.verify ~n ~a0 ~a1 ~claimed_last:last proof with
+  | Ok () -> Alcotest.fail "accepted a tampered trace opening"
+  | Error _ -> ()
+
+let test_proof_scales_logarithmically () =
+  let size n =
+    let proof, _ = Stark.prove ~n ~a0:Gf.one ~a1:Gf.one in
+    Stark.proof_size_bytes proof
+  in
+  let s64 = size 64 and s1024 = size 1024 in
+  (* 16x the computation, far less than 16x the proof. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "sublinear growth (%d -> %d)" s64 s1024)
+    true
+    (s1024 < 3 * s64)
+
+let suite =
+  [
+    Alcotest.test_case "trace" `Quick test_trace;
+    Alcotest.test_case "completeness" `Quick test_completeness;
+    Alcotest.test_case "wrong boundary rejected" `Quick test_wrong_boundary_rejected;
+    Alcotest.test_case "tampered openings rejected" `Quick test_tampered_openings_rejected;
+    Alcotest.test_case "logarithmic proofs" `Quick test_proof_scales_logarithmically;
+  ]

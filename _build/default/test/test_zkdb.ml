@@ -1,0 +1,57 @@
+(* Verifiable database: real prove/verify round trips over batches of
+   transactions, state evolution, and rejection of forged receipts. *)
+
+module Zkdb = Zk_zkdb.Zkdb
+module Litmus = Zk_workloads.Litmus_circuit
+module Rng = Zk_util.Rng
+module Gf = Zk_field.Gf
+
+let test_batch_roundtrip () =
+  let db = Zkdb.create ~rows:8 ~seed:11L in
+  let before = Zkdb.state db in
+  let rng = Rng.create 12L in
+  let txs = Litmus.random_transactions rng ~rows:8 ~count:4 in
+  let receipt = Zkdb.prove_batch db txs in
+  Alcotest.(check bool) "verifies" true (Zkdb.verify_batch receipt);
+  let after = Zkdb.state db in
+  Alcotest.(check (array int)) "state advanced per the reference" (Litmus.apply before txs) after
+
+let test_multiple_batches () =
+  let db = Zkdb.create ~rows:8 ~seed:13L in
+  let rng = Rng.create 14L in
+  for _ = 1 to 3 do
+    let txs = Litmus.random_transactions rng ~rows:8 ~count:3 in
+    let receipt = Zkdb.prove_batch db txs in
+    Alcotest.(check bool) "each batch verifies" true (Zkdb.verify_batch receipt)
+  done
+
+let test_forged_receipt_rejected () =
+  let db = Zkdb.create ~rows:8 ~seed:15L in
+  let rng = Rng.create 16L in
+  let txs = Litmus.random_transactions rng ~rows:8 ~count:3 in
+  let receipt = Zkdb.prove_batch db txs in
+  (* Claim a different final state: flip one public output. *)
+  let io = Array.copy receipt.Zkdb.io in
+  let last = Array.length io - 1 in
+  io.(last) <- Gf.add io.(last) Gf.one;
+  let forged = { receipt with Zkdb.io } in
+  Alcotest.(check bool) "forged io rejected" false (Zkdb.verify_batch forged)
+
+let test_latency_monotone () =
+  let lat b = Zkdb.batch_latency ~platform:Zkdb.Nocap ~include_send:true ~batch:b in
+  Alcotest.(check bool) "monotone in batch" true (lat 10 < lat 100 && lat 100 < lat 1000);
+  Alcotest.(check bool) "constraints per tx" true
+    (abs_float (Zkdb.constraints_per_transaction -. 26840.0) < 1.0)
+
+let test_throughput_zero_when_impossible () =
+  Alcotest.(check (float 0.0)) "impossible budget" 0.0
+    (Zkdb.max_throughput ~platform:Zkdb.Cpu ~include_send:true ~latency_budget:0.01)
+
+let suite =
+  [
+    Alcotest.test_case "batch roundtrip" `Quick test_batch_roundtrip;
+    Alcotest.test_case "multiple batches" `Quick test_multiple_batches;
+    Alcotest.test_case "forged receipt rejected" `Quick test_forged_receipt_rejected;
+    Alcotest.test_case "latency model" `Quick test_latency_monotone;
+    Alcotest.test_case "impossible budget" `Quick test_throughput_zero_when_impossible;
+  ]
