@@ -12,8 +12,44 @@ open Nocap_repro
 open Bechamel
 open Toolkit
 
+(* Static verification of every schedule the harness produces: each kernel
+   program at the vector lengths the benches use, linted and checked against
+   its Schedule.run schedule. Fails loudly — a dirty program here means a
+   kernel generator or the scheduler regressed. *)
+let run_lint () =
+  Zk_report.Render.section "Static analysis: program lint + schedule check";
+  let verdicts =
+    List.concat_map
+      (fun k -> Program_corpus.verify_all Hw_config.default (Program_corpus.kernels ~vector_len:k))
+      [ 64; 256; 2048 ]
+  in
+  Zk_report.Render.table
+    ~header:[ "program"; "k"; "errors"; "warnings"; "makespan"; "critical path" ]
+    (List.map
+       (fun (v : Program_corpus.verdict) ->
+         [
+           v.Program_corpus.entry.Program_corpus.name;
+           string_of_int v.Program_corpus.entry.Program_corpus.vector_len;
+           string_of_int
+             (List.length
+                (Diag.errors
+                   (v.Program_corpus.lint.Lint.diags @ v.Program_corpus.check.Schedule_check.diags)));
+           string_of_int
+             (List.length (Diag.warnings v.Program_corpus.lint.Lint.diags));
+           string_of_int v.Program_corpus.check.Schedule_check.makespan;
+           string_of_int v.Program_corpus.check.Schedule_check.critical_path;
+         ])
+       verdicts);
+  let bad = List.filter (fun v -> not (Program_corpus.clean v)) verdicts in
+  if bad <> [] then (
+    List.iter
+      (fun v -> Printf.eprintf "%s\n" (Program_corpus.summary v))
+      bad;
+    failwith "static analysis found errors in harness programs")
+
 let report_items : (string * (unit -> unit)) list =
   [
+    ("lint", run_lint);
     ("table1", Zk_report.Tables.table1);
     ("table2", Zk_report.Tables.table2);
     ("table3", Zk_report.Tables.table3);
@@ -215,6 +251,14 @@ let bench_four_step =
   Test.make ~name:"extension/four-step-ntt-256" (staged (fun () ->
       Vm.exec vm kern.Kernels.program))
 
+let bench_analysis =
+  let entries = Program_corpus.kernels ~vector_len:256 in
+  Test.make ~name:"extension/analysis-verify" (staged (fun () ->
+      List.iter
+        (fun v ->
+          if not (Program_corpus.clean v) then failwith "analysis: unclean program")
+        (Program_corpus.verify_all Hw_config.default entries)))
+
 let bench_multichip =
   Test.make ~name:"extension/multichip-sweep" (staged (fun () ->
       ignore (Multichip.sweep ~n_constraints:550.0e6 ~chips:[ 1; 2; 4; 8; 16 ] ())))
@@ -248,7 +292,7 @@ let all_benches =
     bench_gf_mul; bench_ntt; bench_sha3; bench_rs_encode; bench_expander_encode;
     bench_merkle; bench_sumcheck; bench_spartan_prove; bench_msm; bench_vm_kernel;
     bench_aggregate; bench_sumcheck_ext; bench_streams; bench_four_step;
-    bench_multichip; bench_serialize; bench_fri; bench_stark;
+    bench_multichip; bench_serialize; bench_fri; bench_stark; bench_analysis;
   ]
 
 let run_benches () =

@@ -203,6 +203,58 @@ let batch_cmd =
     (Cmd.info "batch" ~doc:"Prove many statements of one circuit with shared sumchecks.")
     Term.(const run $ size_arg)
 
+let lint_cmd =
+  let vector_len_arg =
+    let doc = "Vector length for the kernel programs (power of two >= 8)." in
+    Arg.(value & opt int 64 & info [ "vector-len"; "k" ] ~docv:"K" ~doc)
+  in
+  let run name scale vector_len =
+    let b =
+      try Benchmarks.find name
+      with Not_found ->
+        Printf.eprintf "unknown benchmark %s\n" name;
+        exit 1
+    in
+    Printf.printf "linting built-in kernels (k = %d) and the %s workload's SpMV programs (scale %d)\n%!"
+      vector_len b.Benchmarks.name scale;
+    let inst, _ = b.Benchmarks.generate scale in
+    let pad m =
+      let n = max (R1cs.size inst) vector_len in
+      Sparse.pad_to m ~nrows:n ~ncols:n
+    in
+    let entries =
+      Program_corpus.kernels ~vector_len
+      @ [
+          Program_corpus.of_spmv ~name:(b.Benchmarks.name ^ "-spmv-A")
+            ~vector_len (pad inst.R1cs.a);
+          Program_corpus.of_spmv ~name:(b.Benchmarks.name ^ "-spmv-B")
+            ~vector_len (pad inst.R1cs.b);
+          Program_corpus.of_spmv ~name:(b.Benchmarks.name ^ "-spmv-C")
+            ~vector_len (pad inst.R1cs.c);
+        ]
+    in
+    let verdicts = Program_corpus.verify_all Hw_config.default entries in
+    List.iter (fun v -> Printf.printf "%s\n%!" (Program_corpus.summary v)) verdicts;
+    let bad = List.filter (fun v -> not (Program_corpus.clean v)) verdicts in
+    if bad = [] then
+      Printf.printf "all %d programs lint clean and schedule-check clean\n"
+        (List.length verdicts)
+    else begin
+      Printf.printf "%d of %d programs FAILED verification: %s\n" (List.length bad)
+        (List.length verdicts)
+        (String.concat ", "
+           (List.map (fun v -> v.Program_corpus.entry.Program_corpus.name) bad));
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify ISA programs and schedules: kernels plus a \
+          benchmark workload's compiled SpMV, checked for dataflow, \
+          permutation, register-pressure, and schedule-hazard violations.")
+    Term.(const run $ benchmark_arg $ scale_arg $ vector_len_arg)
+
 let () =
   let info = Cmd.info "nocap-cli" ~doc:"NoCap reproduction: hash-based ZKP proving and accelerator modeling." in
-  exit (Cmd.eval (Cmd.group info [ prove_cmd; simulate_cmd; report_cmd; db_cmd; batch_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ prove_cmd; simulate_cmd; report_cmd; db_cmd; batch_cmd; lint_cmd ]))

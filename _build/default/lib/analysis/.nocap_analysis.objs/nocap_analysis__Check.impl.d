@@ -1,0 +1,1 @@
+lib/analysis/check.ml: Array Buffer Diag Hashtbl List Nocap_model Option Printf

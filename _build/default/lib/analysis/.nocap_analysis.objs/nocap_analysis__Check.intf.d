@@ -1,0 +1,1 @@
+lib/analysis/check.mli: Diag Nocap_model

@@ -1,0 +1,1 @@
+lib/analysis/corpus.ml: Check Lint List Nocap_model Printf

@@ -1,0 +1,1 @@
+lib/analysis/corpus.mli: Check Lint Nocap_model Zk_r1cs

@@ -1,0 +1,1 @@
+lib/analysis/diag.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/analysis/diag.mli: Format

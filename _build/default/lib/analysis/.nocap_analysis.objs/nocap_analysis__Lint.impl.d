@@ -1,0 +1,1 @@
+lib/analysis/lint.ml: Array Buffer Diag Hashtbl List Nocap_model Printf String

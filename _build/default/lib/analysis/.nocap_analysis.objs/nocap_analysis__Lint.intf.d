@@ -1,0 +1,1 @@
+lib/analysis/lint.mli: Diag Nocap_model

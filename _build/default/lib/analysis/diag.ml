@@ -1,0 +1,31 @@
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  index : int;
+  rule : string;
+  message : string;
+}
+
+let program_level = -1
+
+let error ~index ~rule message = { severity = Error; index; rule; message }
+
+let warning ~index ~rule message = { severity = Warning; index; rule; message }
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+let is_clean ds = errors ds = []
+
+let has_rule rule ds = List.exists (fun d -> d.rule = rule) ds
+
+let to_string d =
+  let sev = match d.severity with Error -> "error" | Warning -> "warning" in
+  let where =
+    if d.index = program_level then "program" else Printf.sprintf "#%d" d.index
+  in
+  Printf.sprintf "%s[%s] at %s: %s" sev d.rule where d.message
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

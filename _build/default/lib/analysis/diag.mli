@@ -1,0 +1,38 @@
+(** Structured diagnostics shared by the {!Lint} program linter and the
+    {!Check} schedule checker.
+
+    Every finding is anchored to an instruction index so that it can be
+    cross-referenced with {!Nocap_model.Vm.exec} failures (which report the
+    same index) and with {!Nocap_model.Schedule.schedule} slots. Analyses
+    return diagnostics instead of raising: a broken program yields a report
+    that names every violation, not just the first. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  index : int;  (** instruction index; {!program_level} for whole-program findings *)
+  rule : string;  (** stable kebab-case rule name, e.g. ["uninitialized-read"] *)
+  message : string;
+}
+
+val program_level : int
+(** Sentinel index ([-1]) for diagnostics not tied to one instruction. *)
+
+val error : index:int -> rule:string -> string -> t
+val warning : index:int -> rule:string -> string -> t
+
+val errors : t list -> t list
+val warnings : t list -> t list
+
+val is_clean : t list -> bool
+(** No [Error]-severity diagnostics ([Warning]s are advisory: e.g. the SpMV
+    compiler's gather shuffles are flagged but valid). *)
+
+val has_rule : string -> t list -> bool
+(** Is there a diagnostic with the given rule name? *)
+
+val to_string : t -> string
+(** ["error[uninitialized-read] at #3: ..."]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+(** Static program linter for {!Nocap_model.Isa.program}s.
+
+    NoCap is statically scheduled (Sec. IV-A of the paper): there is no
+    hardware interlock, so a kernel generator that emits a read of a
+    never-written register, an out-of-range shuffle, or a tile the NTT FU
+    cannot form silently produces wrong values or wrong timing. [lint] checks
+    every generated program before the {!Nocap_model.Vm}, the
+    {!Nocap_model.Schedule} scheduler, or the report tables trust it.
+
+    Rules (by stable name):
+    - [bad-vector-len] (error, program-level): [vector_len] is not a power of
+      two >= 4 — no FU or {!Nocap_model.Vm.create} accepts it.
+    - [bad-register] (error): a register operand is negative or outside the
+      [num_regs] budget when one is given.
+    - [uninitialized-read] (error): a register is read before any
+      instruction writes it (register-file contents are undefined to the
+      program; only memory slots are host-initialized).
+    - [dead-write] (warning): a register write that no later instruction
+      reads before it is overwritten or the program ends.
+    - [bad-slot] (error): a memory-slot operand is negative or outside the
+      [mem_slots] bound when one is given.
+    - [dead-store] (warning): a [Vstore] overwritten by a later [Vstore] to
+      the same slot with no intervening [Vload].
+    - [input-output-alias] (warning): a [Vstore] to a slot the program
+      earlier treated as an input (loaded before any store) — legal on the
+      VM but it destroys the host's input and makes the program non-reusable.
+    - [bad-permutation] (error): a [Vshuffle] permutation whose length is not
+      [vector_len] or with an entry outside [0, vector_len).
+    - [non-bijective-shuffle] (warning): an in-range shuffle that repeats a
+      source lane — a gather, not a permutation. The SpMV compiler emits
+      these deliberately (one operand per destination lane), so this is
+      advisory.
+    - [bad-rotate] (error): negative rotation amount (the VM faults);
+      [rotate-wraps] (warning): amount >= [vector_len] (reduced mod [k]).
+    - [bad-interleave] (error): group size such that [vector_len] is not a
+      multiple of twice the [2^group]-element chunk.
+    - [bad-tile] (error): a [Vntt_tiled] tile that is < 2, not a power of
+      two, or does not divide [vector_len].
+    - [bad-delay] (error): negative delay.
+
+    A report is {e clean} when it has no [Error]-severity diagnostics;
+    warnings are advisory. *)
+
+type pressure = {
+  max_reg : int;  (** highest register index referenced; -1 if none *)
+  regs_used : int;  (** distinct registers referenced *)
+  peak_live : int;  (** maximum simultaneously live registers *)
+  peak_live_index : int;
+      (** instruction index where the peak is live-in; -1 if no registers *)
+}
+
+type report = {
+  diags : Diag.t list;  (** in instruction order *)
+  pressure : pressure;
+  input_slots : int list;
+      (** slots loaded before any store — the host must fill these *)
+  output_slots : int list;  (** slots the program stores to *)
+  instr_count : int;
+}
+
+val lint :
+  ?num_regs:int -> ?mem_slots:int -> vector_len:int -> Nocap_model.Isa.program -> report
+(** Never raises; malformed programs yield [Error] diagnostics. [num_regs]
+    and [mem_slots], when given, bound the register file and memory exactly
+    as {!Nocap_model.Vm.create} would. *)
+
+val is_clean : report -> bool
+(** No errors (warnings allowed). *)
+
+val min_registers : report -> int
+(** Registers a VM needs to run the program: [max_reg + 1]. *)
+
+val min_mem_slots : Nocap_model.Isa.program -> int
+(** Memory slots a VM needs: highest slot referenced + 1. *)
+
+val summary : report -> string
+(** Multi-line human-readable report: diagnostics, pressure, slot map. *)

@@ -73,6 +73,12 @@ module Multichip = Nocap_model.Multichip
 module Kernels = Nocap_model.Kernels
 module Spmv_compile = Nocap_model.Spmv_compile
 
+(* Static analysis & verification *)
+module Diag = Nocap_analysis.Diag
+module Lint = Nocap_analysis.Lint
+module Schedule_check = Nocap_analysis.Check
+module Program_corpus = Nocap_analysis.Corpus
+
 (* Baselines and evaluation *)
 module Cpu_model = Zk_baseline.Cpu_model
 module Pipezk = Zk_baseline.Pipezk

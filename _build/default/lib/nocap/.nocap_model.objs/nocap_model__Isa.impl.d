@@ -1,1 +1,1 @@
-lib/nocap/isa.ml: Array Simulator Zk_field
+lib/nocap/isa.ml: Array Printf Simulator Zk_field

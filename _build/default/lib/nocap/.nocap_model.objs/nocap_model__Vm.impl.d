@@ -1,1 +1,1 @@
-lib/nocap/vm.ml: Array Bytes Isa List Zk_field Zk_hash Zk_ntt
+lib/nocap/vm.ml: Array Bytes Isa List Printf Zk_field Zk_hash Zk_ntt

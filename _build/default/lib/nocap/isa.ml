@@ -47,6 +47,41 @@ let writes = function
   | Vntt { dst; _ } | Vntt_tiled { dst; _ } -> Some dst
   | Vstore _ | Delay _ -> None
 
+let instr_name = function
+  | Vadd _ -> "Vadd"
+  | Vsub _ -> "Vsub"
+  | Vmul _ -> "Vmul"
+  | Vntt _ -> "Vntt"
+  | Vntt_tiled _ -> "Vntt_tiled"
+  | Vhash _ -> "Vhash"
+  | Vshuffle _ -> "Vshuffle"
+  | Vrotate _ -> "Vrotate"
+  | Vinterleave _ -> "Vinterleave"
+  | Vsplat _ -> "Vsplat"
+  | Vload _ -> "Vload"
+  | Vstore _ -> "Vstore"
+  | Delay _ -> "Delay"
+
+let describe = function
+  | Vadd (d, a, b) -> Printf.sprintf "Vadd r%d, r%d, r%d" d a b
+  | Vsub (d, a, b) -> Printf.sprintf "Vsub r%d, r%d, r%d" d a b
+  | Vmul (d, a, b) -> Printf.sprintf "Vmul r%d, r%d, r%d" d a b
+  | Vntt { dst; src; inverse } ->
+    Printf.sprintf "Vntt%s r%d, r%d" (if inverse then "-inv" else "") dst src
+  | Vntt_tiled { dst; src; tile; inverse } ->
+    Printf.sprintf "Vntt_tiled%s r%d, r%d, tile=%d"
+      (if inverse then "-inv" else "")
+      dst src tile
+  | Vhash (d, a, b) -> Printf.sprintf "Vhash r%d, r%d, r%d" d a b
+  | Vshuffle (d, s, perm) ->
+    Printf.sprintf "Vshuffle r%d, r%d, perm[%d]" d s (Array.length perm)
+  | Vrotate (d, s, n) -> Printf.sprintf "Vrotate r%d, r%d, %d" d s n
+  | Vinterleave (d, s, g) -> Printf.sprintf "Vinterleave r%d, r%d, group=%d" d s g
+  | Vsplat (d, x) -> Printf.sprintf "Vsplat r%d, %s" d (Zk_field.Gf.to_string x)
+  | Vload (d, slot) -> Printf.sprintf "Vload r%d, m%d" d slot
+  | Vstore (slot, s) -> Printf.sprintf "Vstore m%d, r%d" slot s
+  | Delay n -> Printf.sprintf "Delay %d" n
+
 let interleave_perm ~len ~group =
   let chunk = 1 lsl group in
   if len mod (2 * chunk) <> 0 then invalid_arg "Isa.interleave_perm";

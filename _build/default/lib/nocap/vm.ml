@@ -27,6 +27,11 @@ let read_mem t slot = Array.copy t.mem.(slot)
 
 let read_reg t r = Array.copy t.regs.(r)
 
+let write_reg t r v =
+  if r < 0 || r >= Array.length t.regs then invalid_arg "Vm.write_reg: bad register";
+  if Array.length v <> t.k then invalid_arg "Vm.write_reg: length";
+  t.regs.(r) <- Array.copy v
+
 let exec_one t instr =
   let reg r =
     if r < 0 || r >= Array.length t.regs then invalid_arg "Vm: bad register";
@@ -94,4 +99,12 @@ let exec_one t instr =
     t.mem.(slot) <- Array.copy (reg s)
   | Isa.Delay _ -> ()
 
-let exec t program = List.iter (exec_one t) program
+let exec t program =
+  List.iteri
+    (fun i instr ->
+      try exec_one t instr
+      with Invalid_argument msg ->
+        invalid_arg
+          (Printf.sprintf "Vm.exec: instruction %d (%s): %s" i (Isa.instr_name instr)
+             msg))
+    program

@@ -18,7 +18,15 @@ val read_mem : t -> int -> Zk_field.Gf.t array
 
 val read_reg : t -> Isa.vreg -> Zk_field.Gf.t array
 
+val write_reg : t -> Isa.vreg -> Zk_field.Gf.t array -> unit
+(** Poke a register directly — instrumentation for the static-analysis
+    property tests, which compare {!Isa.reads}/{!Isa.writes} against the
+    registers an instruction actually observes and modifies. *)
+
 val exec : t -> Isa.program -> unit
 (** Run a program to completion.
     @raise Invalid_argument on malformed programs (bad register, unloaded
-    NTT size, etc.). *)
+    NTT size, etc.). The message names the failing instruction's index and
+    constructor (["Vm.exec: instruction 3 (Vload): ..."]) so failures
+    cross-reference with {!Nocap_analysis.Lint} diagnostics, which anchor to
+    the same indices. *)

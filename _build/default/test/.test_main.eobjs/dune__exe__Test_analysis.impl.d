@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array List Nocap_analysis Nocap_model Printf String Zk_field Zk_r1cs Zk_util Zk_workloads

@@ -1,0 +1,430 @@
+(* Static-analysis tests: the Lint program linter, the Check schedule
+   checker (used as an oracle against injected mutations), and the fuzz
+   property tying the linter's "clean" verdict to VM executability and
+   Isa.reads/writes to the registers the VM actually touches. *)
+
+module Config = Nocap_model.Config
+module Isa = Nocap_model.Isa
+module Vm = Nocap_model.Vm
+module Schedule = Nocap_model.Schedule
+module Kernels = Nocap_model.Kernels
+module Spmv_compile = Nocap_model.Spmv_compile
+module Diag = Nocap_analysis.Diag
+module Lint = Nocap_analysis.Lint
+module Check = Nocap_analysis.Check
+module Corpus = Nocap_analysis.Corpus
+module Gf = Zk_field.Gf
+module Sparse = Zk_r1cs.Sparse
+module R1cs = Zk_r1cs.R1cs
+module Rng = Zk_util.Rng
+
+let gf = Alcotest.testable Gf.pp Gf.equal
+
+let check_rule msg rule diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expect %s in [%s]" msg rule
+       (String.concat "; " (List.map Diag.to_string diags)))
+    true (Diag.has_rule rule diags)
+
+(* --- linter over the real program generators --- *)
+
+let test_kernels_clean () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (v : Corpus.verdict) ->
+          let name = Printf.sprintf "%s k=%d" v.Corpus.entry.Corpus.name k in
+          Alcotest.(check bool)
+            (name ^ " clean: " ^ Corpus.summary v)
+            true (Corpus.clean v);
+          (* Hand-written kernels should be warning-free too. *)
+          Alcotest.(check (list string))
+            (name ^ " warning-free")
+            []
+            (List.map Diag.to_string (Diag.warnings v.Corpus.lint.Lint.diags)))
+        (Corpus.verify_all Config.default (Corpus.kernels ~vector_len:k)))
+    [ 8; 64; 512 ]
+
+let test_spmv_programs_clean () =
+  let k = 8 in
+  let rng = Rng.create 11L in
+  for trial = 0 to 4 do
+    let n = k * (1 + Rng.int rng 3) in
+    let nnz = 1 + Rng.int rng (2 * n) in
+    let entries =
+      List.init nnz (fun _ ->
+          (Rng.int rng n, Rng.int rng n, Gf.of_int (1 + Rng.int rng 1000)))
+    in
+    let m = Sparse.of_entries ~nrows:n ~ncols:n entries in
+    let name = Printf.sprintf "spmv-%d" trial in
+    let v = Corpus.verify Config.default (Corpus.of_spmv ~name ~vector_len:k m) in
+    Alcotest.(check bool) (name ^ " clean: " ^ Corpus.summary v) true (Corpus.clean v);
+    (* The linted program really computes A x on the VM. *)
+    let sched = Spmv_compile.compile ~vector_len:k m in
+    let vm =
+      Vm.create ~vector_len:k ~num_regs:8
+        ~mem_slots:(Lint.min_mem_slots sched.Spmv_compile.program)
+    in
+    let x = Array.init n (fun _ -> Gf.random rng) in
+    let y = Spmv_compile.run vm sched x in
+    let expected = Sparse.spmv m x in
+    Array.iteri
+      (fun i v -> Alcotest.check gf (Printf.sprintf "%s y.(%d)" name i) expected.(i) v)
+      y
+  done
+
+let test_workload_programs_clean () =
+  (* The benchmark workload generators' R1CS matrices, compiled by
+     Spmv_compile, pass the linter and the schedule checker. *)
+  let k = 64 in
+  let b = Zk_workloads.Benchmarks.litmus in
+  let inst, _ = b.Zk_workloads.Benchmarks.generate 1 in
+  let pad m =
+    let n = max (R1cs.size inst) k in
+    Sparse.pad_to m ~nrows:n ~ncols:n
+  in
+  List.iter
+    (fun (name, m) ->
+      let v = Corpus.verify Config.default (Corpus.of_spmv ~name ~vector_len:k (pad m)) in
+      Alcotest.(check bool) (name ^ " clean: " ^ Corpus.summary v) true (Corpus.clean v))
+    [ ("litmus-A", inst.R1cs.a); ("litmus-B", inst.R1cs.b); ("litmus-C", inst.R1cs.c) ]
+
+(* --- injected program mutations --- *)
+
+let lint8 ?num_regs ?mem_slots p = (Lint.lint ?num_regs ?mem_slots ~vector_len:8 p).Lint.diags
+
+let test_lint_detects () =
+  let k = 8 in
+  (* Uninitialized read: r0/r1 never written. *)
+  check_rule "uninit" "uninitialized-read" (lint8 [ Isa.Vadd (2, 0, 1) ]);
+  (* Register budget. *)
+  check_rule "budget" "bad-register" (lint8 ~num_regs:8 [ Isa.Vsplat (9, Gf.one) ]);
+  check_rule "negative reg" "bad-register" (lint8 [ Isa.Vsplat (-1, Gf.one) ]);
+  (* Memory-slot bound. *)
+  check_rule "slot" "bad-slot" (lint8 ~mem_slots:4 [ Isa.Vload (0, 5) ]);
+  (* Permutation shape and range. *)
+  check_rule "perm length" "bad-permutation"
+    (lint8 [ Isa.Vload (0, 0); Isa.Vshuffle (1, 0, Array.make 4 0) ]);
+  let oor = Array.init k (fun i -> i) in
+  oor.(3) <- k;
+  check_rule "perm range" "bad-permutation"
+    (lint8 [ Isa.Vload (0, 0); Isa.Vshuffle (1, 0, oor) ]);
+  (* A gather is a warning, not an error. *)
+  let gather_diags =
+    lint8
+      [ Isa.Vload (0, 0); Isa.Vshuffle (1, 0, Array.make k 0); Isa.Vstore (1, 1) ]
+  in
+  check_rule "gather" "non-bijective-shuffle" gather_diags;
+  Alcotest.(check bool) "gather is still clean" true (Diag.is_clean gather_diags);
+  (* Rotate/interleave/tile/delay shapes. *)
+  check_rule "rotate" "bad-rotate" (lint8 [ Isa.Vload (0, 0); Isa.Vrotate (1, 0, -1) ]);
+  check_rule "rotate wrap" "rotate-wraps"
+    (lint8 [ Isa.Vload (0, 0); Isa.Vrotate (1, 0, k) ]);
+  check_rule "interleave" "bad-interleave"
+    (lint8 [ Isa.Vload (0, 0); Isa.Vinterleave (1, 0, 3) ]);
+  check_rule "tile" "bad-tile"
+    (lint8 [ Isa.Vload (0, 0); Isa.Vntt_tiled { dst = 1; src = 0; tile = 3; inverse = false } ]);
+  check_rule "delay" "bad-delay" (lint8 [ Isa.Delay (-2) ]);
+  (* Dead code. *)
+  check_rule "dead write" "dead-write"
+    (lint8 [ Isa.Vsplat (0, Gf.one); Isa.Vsplat (0, Gf.two); Isa.Vstore (0, 0) ]);
+  check_rule "dead store" "dead-store"
+    (lint8 [ Isa.Vsplat (0, Gf.one); Isa.Vstore (0, 0); Isa.Vstore (0, 0) ]);
+  check_rule "alias" "input-output-alias" (lint8 [ Isa.Vload (0, 0); Isa.Vstore (0, 0) ]);
+  (* Vector length itself. *)
+  check_rule "vector len" "bad-vector-len"
+    (Lint.lint ~vector_len:6 [ Isa.Vsplat (0, Gf.one) ]).Lint.diags
+
+let test_pressure_accounting () =
+  let r = Lint.lint ~vector_len:64 Kernels.elementwise_mul.Kernels.program in
+  Alcotest.(check int) "min registers" 3 (Lint.min_registers r);
+  Alcotest.(check int) "regs used" 3 r.Lint.pressure.Lint.regs_used;
+  Alcotest.(check int) "peak live" 2 r.Lint.pressure.Lint.peak_live;
+  Alcotest.(check (list int)) "inputs" [ 0; 1 ] r.Lint.input_slots;
+  Alcotest.(check (list int)) "outputs" [ 2 ] r.Lint.output_slots;
+  Alcotest.(check int) "mem slots" 3
+    (Lint.min_mem_slots Kernels.elementwise_mul.Kernels.program);
+  let r = Lint.lint ~vector_len:64 (Kernels.sumcheck_round ~vector_len:64).Kernels.program in
+  Alcotest.(check int) "sumcheck registers" 8 (Lint.min_registers r);
+  Alcotest.(check bool) "sumcheck peak within file" true
+    (r.Lint.pressure.Lint.peak_live >= 3 && r.Lint.pressure.Lint.peak_live <= 8)
+
+(* --- schedule checker as an oracle --- *)
+
+let test_schedules_clean () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (v : Corpus.verdict) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d schedule clean: %s" v.Corpus.entry.Corpus.name k
+               (Check.summary v.Corpus.check))
+            true
+            (Check.is_clean v.Corpus.check);
+          (* The dependence critical path lower-bounds any legal schedule. *)
+          Alcotest.(check bool) "makespan >= critical path" true
+            (v.Corpus.check.Check.makespan >= v.Corpus.check.Check.critical_path))
+        (Corpus.verify_all Config.default (Corpus.kernels ~vector_len:k)))
+    [ 64; 2048 ]
+
+let mutate_slot i f (s : Schedule.schedule) =
+  {
+    s with
+    Schedule.slots =
+      List.mapi (fun j slot -> if i = j then f slot else slot) s.Schedule.slots;
+  }
+
+let test_check_oracle () =
+  let k = 64 in
+  let config = Config.default in
+  let program = (Kernels.sumcheck_round ~vector_len:k).Kernels.program in
+  let sched = Schedule.run config ~vector_len:k program in
+  let diags s = (Check.check config ~vector_len:k program s).Check.diags in
+  Alcotest.(check bool) "valid schedule clean" true (Diag.is_clean (diags sched));
+  (* Early issue: instruction 3 (Vrotate r6, r0) consumes the slot-0 load;
+     issuing it at cycle 0 violates the dependence. Keep finish consistent so
+     only the hazard fires. *)
+  (match List.nth program 3 with
+  | Isa.Vrotate (6, 0, 0) -> ()
+  | i -> Alcotest.failf "fixture drifted: instruction 3 is %s" (Isa.describe i));
+  let early =
+    mutate_slot 3
+      (fun slot ->
+        {
+          slot with
+          Schedule.issue = 0;
+          finish = Schedule.latency config ~vector_len:k slot.Schedule.instr;
+        })
+      sched
+  in
+  check_rule "early issue" "raw-hazard" (diags early);
+  (* Swap the timing of two identical Vadd slots on the Add FU: the later
+     reduction step now pretends to run before its producer rotate. *)
+  let adds =
+    List.filteri
+      (fun _ (s : Schedule.slot) ->
+        match s.Schedule.instr with Isa.Vadd (6, 6, 5) -> true | _ -> false)
+      sched.Schedule.slots
+  in
+  Alcotest.(check bool) "fixture has reduction adds" true (List.length adds >= 2);
+  let indices =
+    List.filteri (fun _ _ -> true) (List.mapi (fun i s -> (i, s)) sched.Schedule.slots)
+    |> List.filter_map (fun (i, (s : Schedule.slot)) ->
+           match s.Schedule.instr with Isa.Vadd (6, 6, 5) -> Some i | _ -> None)
+  in
+  let i1 = List.nth indices 0 and i2 = List.nth indices 1 in
+  let s1 = List.nth sched.Schedule.slots i1 and s2 = List.nth sched.Schedule.slots i2 in
+  let swapped =
+    sched
+    |> mutate_slot i1 (fun slot ->
+           { slot with Schedule.issue = s2.Schedule.issue; finish = s2.Schedule.finish })
+    |> mutate_slot i2 (fun slot ->
+           { slot with Schedule.issue = s1.Schedule.issue; finish = s1.Schedule.finish })
+  in
+  Alcotest.(check bool) "swapped slots flagged" false (Diag.is_clean (diags swapped));
+  (* Bookkeeping tampering. *)
+  check_rule "makespan" "makespan-mismatch"
+    (diags { sched with Schedule.makespan = sched.Schedule.makespan + 1 });
+  check_rule "fu busy" "fu-busy-mismatch"
+    (diags
+       {
+         sched with
+         Schedule.fu_busy =
+           (match sched.Schedule.fu_busy with
+           | (fu, n) :: rest -> (fu, n + 1) :: rest
+           | [] -> assert false);
+       });
+  check_rule "missing slot" "length-mismatch"
+    (diags { sched with Schedule.slots = List.tl sched.Schedule.slots });
+  check_rule "foreign instr" "instr-mismatch"
+    (diags (mutate_slot 3 (fun slot -> { slot with Schedule.instr = Isa.Delay 0 }) sched));
+  (* Finish inconsistent with the latency model. *)
+  check_rule "finish" "finish-mismatch"
+    (diags (mutate_slot 5 (fun slot -> { slot with Schedule.finish = slot.Schedule.finish - 1 }) sched))
+
+(* --- fuzz property: lint-clean programs execute, and reads/writes match the
+   VM's observed register accesses --- *)
+
+let num_regs = 6
+let mem_slots = 4
+let fuzz_k = 8
+
+let random_instr rng =
+  (* Sources lean on the registers the prelude defines (r0..r3) so a useful
+     share of programs is lint-clean; destinations roam the whole file, and a
+     small defect rate exercises every error rule. *)
+  let src () =
+    match Rng.int rng 20 with
+    | 0 -> num_regs + Rng.int rng 3 (* bad-register *)
+    | 1 | 2 -> Rng.int rng num_regs (* possibly uninitialized *)
+    | _ -> Rng.int rng 4
+  in
+  let dst () = if Rng.int rng 20 = 0 then num_regs + Rng.int rng 3 else Rng.int rng num_regs in
+  let slot () = if Rng.int rng 20 = 0 then mem_slots else Rng.int rng mem_slots in
+  match Rng.int rng 13 with
+  | 0 -> Isa.Vadd (dst (), src (), src ())
+  | 1 -> Isa.Vsub (dst (), src (), src ())
+  | 2 -> Isa.Vmul (dst (), src (), src ())
+  | 3 -> Isa.Vhash (dst (), src (), src ())
+  | 4 -> Isa.Vntt { dst = dst (); src = src (); inverse = Rng.bool rng }
+  | 5 ->
+    let tile = if Rng.int rng 8 = 0 then 3 else [| 2; 4; 8 |].(Rng.int rng 3) in
+    Isa.Vntt_tiled { dst = dst (); src = src (); tile; inverse = Rng.bool rng }
+  | 6 ->
+    let perm =
+      match Rng.int rng 10 with
+      | 0 | 1 -> Array.init fuzz_k (fun _ -> Rng.int rng fuzz_k) (* gather *)
+      | 2 -> Array.init fuzz_k (fun i -> if i = 0 then fuzz_k else i) (* bad *)
+      | _ ->
+        let p = Array.init fuzz_k (fun i -> i) in
+        for i = fuzz_k - 1 downto 1 do
+          let j = Rng.int rng (i + 1) in
+          let t = p.(i) in
+          p.(i) <- p.(j);
+          p.(j) <- t
+        done;
+        p
+    in
+    Isa.Vshuffle (dst (), src (), perm)
+  | 7 ->
+    let n = if Rng.int rng 20 = 0 then -1 else Rng.int rng (fuzz_k + 1) in
+    Isa.Vrotate (dst (), src (), n)
+  | 8 ->
+    let g = if Rng.int rng 8 = 0 then 3 (* bad for k=8 *) else Rng.int rng 3 in
+    Isa.Vinterleave (dst (), src (), g)
+  | 9 -> Isa.Vsplat (dst (), Gf.random rng)
+  | 10 -> Isa.Vload (dst (), slot ())
+  | 11 -> Isa.Vstore (slot (), src ())
+  | _ -> Isa.Delay (Rng.int rng 4)
+
+let random_program rng =
+  (* Seed some defined registers so not every program trips def-before-use. *)
+  let prelude =
+    [
+      Isa.Vload (0, 0);
+      Isa.Vload (1, 1);
+      Isa.Vsplat (2, Gf.random rng);
+      Isa.Vsplat (3, Gf.random rng);
+    ]
+  in
+  prelude @ List.init (2 + Rng.int rng 10) (fun _ -> random_instr rng)
+
+let fill_vm rng vm =
+  for s = 0 to mem_slots - 1 do
+    Vm.write_mem vm s (Array.init fuzz_k (fun _ -> Gf.random rng))
+  done
+
+let test_fuzz_clean_programs_execute () =
+  let rng = Rng.create 2024L in
+  let clean_count = ref 0 in
+  for trial = 0 to 299 do
+    let program = random_program rng in
+    let report = Lint.lint ~num_regs ~mem_slots ~vector_len:fuzz_k program in
+    if Lint.is_clean report then begin
+      incr clean_count;
+      let vm = Vm.create ~vector_len:fuzz_k ~num_regs ~mem_slots in
+      fill_vm rng vm;
+      try Vm.exec vm program
+      with Invalid_argument msg ->
+        Alcotest.failf "trial %d: lint-clean program raised %S\n%s" trial msg
+          (Lint.summary report)
+    end
+  done;
+  (* The generator is seeded; make sure the property is not vacuous. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "enough clean programs (%d)" !clean_count)
+    true (!clean_count >= 30)
+
+let test_fuzz_reads_writes_observed () =
+  let rng = Rng.create 4047L in
+  let checked = ref 0 in
+  for _trial = 0 to 199 do
+    let program = random_program rng in
+    let report = Lint.lint ~num_regs ~mem_slots ~vector_len:fuzz_k program in
+    if Lint.is_clean report then begin
+      let vm = Vm.create ~vector_len:fuzz_k ~num_regs ~mem_slots in
+      fill_vm rng vm;
+      List.iteri
+        (fun i instr ->
+          incr checked;
+          let before = Array.init num_regs (fun r -> Vm.read_reg vm r) in
+          (* A shadow VM agreeing with [vm] only on memory and the declared
+             source registers: if Isa.reads is complete, the destination value
+             cannot differ. *)
+          let shadow = Vm.create ~vector_len:fuzz_k ~num_regs ~mem_slots in
+          for s = 0 to mem_slots - 1 do
+            Vm.write_mem shadow s (Vm.read_mem vm s)
+          done;
+          let reads = Isa.reads instr in
+          for r = 0 to num_regs - 1 do
+            if List.mem r reads then Vm.write_reg shadow r before.(r)
+            else Vm.write_reg shadow r (Array.init fuzz_k (fun _ -> Gf.random rng))
+          done;
+          Vm.exec vm [ instr ];
+          Vm.exec shadow [ instr ];
+          (* Observed register writes are declared by Isa.writes. *)
+          let declared = Isa.writes instr in
+          for r = 0 to num_regs - 1 do
+            if Vm.read_reg vm r <> before.(r) then
+              Alcotest.(check (option int))
+                (Printf.sprintf "#%d %s: modified r%d must be declared" i
+                   (Isa.describe instr) r)
+                (Some r) declared
+          done;
+          (* The declared destination depends only on declared reads. *)
+          match declared with
+          | Some d ->
+            Array.iteri
+              (fun lane v ->
+                Alcotest.check gf
+                  (Printf.sprintf "#%d %s: r%d lane %d from declared reads only" i
+                     (Isa.describe instr) d lane)
+                  v
+                  (Vm.read_reg shadow d).(lane))
+              (Vm.read_reg vm d)
+          | None -> ())
+        program
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "enough instructions checked (%d)" !checked)
+    true (!checked >= 200)
+
+(* --- VM error cross-referencing (instruction index + constructor) --- *)
+
+let test_vm_error_index () =
+  let vm = Vm.create ~vector_len:8 ~num_regs:4 ~mem_slots:4 in
+  (match Vm.exec vm [ Isa.Vsplat (0, Gf.one); Isa.Vload (1, 99) ] with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    let has sub =
+      let rec scan i =
+        i + String.length sub <= String.length msg
+        && (String.sub msg i (String.length sub) = sub || scan (i + 1))
+      in
+      scan 0
+    in
+    Alcotest.(check bool) (Printf.sprintf "index in %S" msg) true (has "instruction 1");
+    Alcotest.(check bool) (Printf.sprintf "constructor in %S" msg) true (has "(Vload)"));
+  (* The index matches what the linter reports for the same defect. *)
+  let report =
+    Lint.lint ~num_regs:4 ~mem_slots:4 ~vector_len:8
+      [ Isa.Vsplat (0, Gf.one); Isa.Vload (1, 99) ]
+  in
+  match Diag.errors report.Lint.diags with
+  | [ d ] -> Alcotest.(check int) "lint anchors to the same index" 1 d.Diag.index
+  | ds -> Alcotest.failf "expected one error, got %d" (List.length ds)
+
+let suite =
+  [
+    Alcotest.test_case "kernel programs lint clean" `Quick test_kernels_clean;
+    Alcotest.test_case "spmv programs lint clean + compute" `Quick test_spmv_programs_clean;
+    Alcotest.test_case "workload spmv programs clean" `Quick test_workload_programs_clean;
+    Alcotest.test_case "linter detects injected defects" `Quick test_lint_detects;
+    Alcotest.test_case "register pressure accounting" `Quick test_pressure_accounting;
+    Alcotest.test_case "kernel schedules check clean" `Quick test_schedules_clean;
+    Alcotest.test_case "schedule checker as oracle" `Quick test_check_oracle;
+    Alcotest.test_case "fuzz: clean programs execute" `Quick test_fuzz_clean_programs_execute;
+    Alcotest.test_case "fuzz: reads/writes observed" `Quick test_fuzz_reads_writes_observed;
+    Alcotest.test_case "VM errors carry instruction index" `Quick test_vm_error_index;
+  ]

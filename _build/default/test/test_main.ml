@@ -13,6 +13,7 @@ let () =
       ("spartan", Test_spartan.suite);
       ("curve", Test_curve.suite);
       ("nocap", Test_nocap.suite);
+      ("analysis", Test_analysis.suite);
       ("workloads", Test_workloads.suite);
       ("perf", Test_perf.suite);
       ("zkdb", Test_zkdb.suite);

@@ -1,0 +1,223 @@
+module Isa = Nocap_model.Isa
+module Schedule = Nocap_model.Schedule
+module Simulator = Nocap_model.Simulator
+
+type report = {
+  diags : Diag.t list;
+  makespan : int;
+  critical_path : int;
+  critical_path_indices : int list;
+  fu_utilization : (Simulator.resource * float) list;
+}
+
+(* Longest register-dependence chain by summed latency, with one witness
+   path. Producers are re-derived from Isa.reads/writes in program order. *)
+let critical_path config ~vector_len instrs =
+  let n = Array.length instrs in
+  let cp = Array.make n 0 in
+  let pred = Array.make n (-1) in
+  let last_writer = Hashtbl.create 32 in
+  let best = ref 0 and best_i = ref (-1) in
+  for i = 0 to n - 1 do
+    let instr = instrs.(i) in
+    let chain = ref 0 in
+    List.iter
+      (fun r ->
+        match Hashtbl.find_opt last_writer r with
+        | Some j when cp.(j) > !chain ->
+          chain := cp.(j);
+          pred.(i) <- j
+        | _ -> ())
+      (Isa.reads instr);
+    cp.(i) <- !chain + Schedule.latency config ~vector_len instr;
+    (match Isa.writes instr with
+    | Some d -> Hashtbl.replace last_writer d i
+    | None -> ());
+    if cp.(i) > !best then (
+      best := cp.(i);
+      best_i := i)
+  done;
+  let rec walk acc i = if i < 0 then acc else walk (i :: acc) pred.(i) in
+  (!best, if !best_i < 0 then [] else walk [] !best_i)
+
+let check config ~vector_len program (sched : Schedule.schedule) =
+  let instrs = Array.of_list program in
+  let slots = Array.of_list sched.Schedule.slots in
+  let n = Array.length instrs in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let cp, cp_indices = critical_path config ~vector_len instrs in
+  if Array.length slots <> n then begin
+    emit
+      (Diag.error ~index:Diag.program_level ~rule:"length-mismatch"
+         (Printf.sprintf "schedule has %d slots for a %d-instruction program"
+            (Array.length slots) n));
+    {
+      diags = List.rev !diags;
+      makespan = sched.Schedule.makespan;
+      critical_path = cp;
+      critical_path_indices = cp_indices;
+      fu_utilization = [];
+    }
+  end
+  else begin
+    let occ = Array.make n 0 in
+    Array.iteri
+      (fun i (s : Schedule.slot) ->
+        occ.(i) <- Schedule.occupancy config ~vector_len s.Schedule.instr;
+        if s.Schedule.instr <> instrs.(i) then
+          emit
+            (Diag.error ~index:i ~rule:"instr-mismatch"
+               (Printf.sprintf "slot holds %s, program has %s"
+                  (Isa.describe s.Schedule.instr)
+                  (Isa.describe instrs.(i))));
+        if s.Schedule.issue < 0 then
+          emit
+            (Diag.error ~index:i ~rule:"negative-issue"
+               (Printf.sprintf "%s issues at cycle %d"
+                  (Isa.describe s.Schedule.instr)
+                  s.Schedule.issue));
+        let expected_finish =
+          s.Schedule.issue + Schedule.latency config ~vector_len s.Schedule.instr
+        in
+        if s.Schedule.finish <> expected_finish then
+          emit
+            (Diag.error ~index:i ~rule:"finish-mismatch"
+               (Printf.sprintf "%s finishes at %d, issue + latency = %d"
+                  (Isa.describe s.Schedule.instr)
+                  s.Schedule.finish expected_finish)))
+      slots;
+    (* RAW hazards against the re-derived dependence graph. *)
+    let last_writer = Hashtbl.create 32 in
+    Array.iteri
+      (fun i (s : Schedule.slot) ->
+        List.iter
+          (fun r ->
+            match Hashtbl.find_opt last_writer r with
+            | Some j ->
+              let producer : Schedule.slot = slots.(j) in
+              if s.Schedule.issue < producer.Schedule.finish then
+                emit
+                  (Diag.error ~index:i ~rule:"raw-hazard"
+                     (Printf.sprintf
+                        "%s issues at %d but r%d is produced by instruction %d \
+                         only at %d"
+                        (Isa.describe s.Schedule.instr)
+                        s.Schedule.issue r j producer.Schedule.finish))
+            | None -> ())
+          (Isa.reads s.Schedule.instr);
+        match Isa.writes s.Schedule.instr with
+        | Some d -> Hashtbl.replace last_writer d i
+        | None -> ())
+      slots;
+    (* FU structural hazards: sort each FU's slots by issue and verify the
+       issue-to-issue spacing respects occupancy. *)
+    let by_fu = Hashtbl.create 8 in
+    Array.iteri
+      (fun i (s : Schedule.slot) ->
+        match Isa.which_fu s.Schedule.instr with
+        | Some fu ->
+          let cur = Option.value (Hashtbl.find_opt by_fu fu) ~default:[] in
+          Hashtbl.replace by_fu fu ((i, s) :: cur)
+        | None -> ())
+      slots;
+    let busy_expected = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun fu islots ->
+        let sorted =
+          List.sort
+            (fun (_, (a : Schedule.slot)) (_, (b : Schedule.slot)) ->
+              compare (a.Schedule.issue, a.Schedule.finish)
+                (b.Schedule.issue, b.Schedule.finish))
+            islots
+        in
+        let total = List.fold_left (fun acc (i, _) -> acc + occ.(i)) 0 sorted in
+        Hashtbl.replace busy_expected fu total;
+        ignore
+          (List.fold_left
+             (fun prev (i, (s : Schedule.slot)) ->
+               (match prev with
+               | Some (j, free_at) when s.Schedule.issue < free_at ->
+                 emit
+                   (Diag.error ~index:i ~rule:"fu-overlap"
+                      (Printf.sprintf
+                         "%s FU accepts %s at %d while instruction %d occupies \
+                          it until %d"
+                         (Simulator.resource_name fu)
+                         (Isa.describe s.Schedule.instr)
+                         s.Schedule.issue j free_at))
+               | _ -> ());
+               Some (i, s.Schedule.issue + occ.(i)))
+             None sorted))
+      by_fu;
+    (* Recorded fu_busy totals. *)
+    let recorded fu =
+      Option.value (List.assoc_opt fu sched.Schedule.fu_busy) ~default:0
+    in
+    Hashtbl.iter
+      (fun fu expected ->
+        if recorded fu <> expected then
+          emit
+            (Diag.error ~index:Diag.program_level ~rule:"fu-busy-mismatch"
+               (Printf.sprintf "%s FU: fu_busy records %d cycles, slots occupy %d"
+                  (Simulator.resource_name fu)
+                  (recorded fu) expected)))
+      busy_expected;
+    List.iter
+      (fun (fu, b) ->
+        if b <> 0 && not (Hashtbl.mem busy_expected fu) then
+          emit
+            (Diag.error ~index:Diag.program_level ~rule:"fu-busy-mismatch"
+               (Printf.sprintf "%s FU: fu_busy records %d cycles, no slot uses it"
+                  (Simulator.resource_name fu)
+                  b)))
+      sched.Schedule.fu_busy;
+    (* Makespan. *)
+    let max_finish =
+      Array.fold_left (fun acc (s : Schedule.slot) -> max acc s.Schedule.finish) 0 slots
+    in
+    if sched.Schedule.makespan <> max_finish then
+      emit
+        (Diag.error ~index:Diag.program_level ~rule:"makespan-mismatch"
+           (Printf.sprintf "makespan %d, latest finish %d" sched.Schedule.makespan
+              max_finish));
+    let fu_utilization =
+      Hashtbl.fold
+        (fun fu busy acc ->
+          let frac =
+            if sched.Schedule.makespan <= 0 then 0.0
+            else float_of_int busy /. float_of_int sched.Schedule.makespan
+          in
+          (fu, frac) :: acc)
+        busy_expected []
+      |> List.sort compare
+    in
+    let by_index (a : Diag.t) (b : Diag.t) =
+      compare (a.Diag.index, a.Diag.rule) (b.Diag.index, b.Diag.rule)
+    in
+    {
+      diags = List.stable_sort by_index !diags;
+      makespan = sched.Schedule.makespan;
+      critical_path = cp;
+      critical_path_indices = cp_indices;
+      fu_utilization;
+    }
+  end
+
+let is_clean r = Diag.is_clean r.diags
+
+let summary r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "makespan %d cycles, critical path %d cycles (slack %d)\n"
+       r.makespan r.critical_path (r.makespan - r.critical_path));
+  List.iter (fun d -> Buffer.add_string b ("  " ^ Diag.to_string d ^ "\n")) r.diags;
+  Buffer.add_string b "  FU utilization:";
+  if r.fu_utilization = [] then Buffer.add_string b " (none)"
+  else
+    List.iter
+      (fun (fu, frac) ->
+        Buffer.add_string b
+          (Printf.sprintf " %s %.1f%%" (Simulator.resource_name fu) (100.0 *. frac)))
+      r.fu_utilization;
+  Buffer.contents b

@@ -1,0 +1,53 @@
+(** Independent checker for {!Nocap_model.Schedule.schedule}s.
+
+    {!Nocap_model.Schedule.run} is the compiler pass the statically scheduled
+    hardware trusts blindly; this module re-derives the dependence graph
+    straight from {!Nocap_model.Isa.reads} / {!Nocap_model.Isa.writes} and
+    verifies a schedule against it without reusing the scheduler's own
+    bookkeeping. Rules (by stable name):
+
+    - [length-mismatch] / [instr-mismatch] (error): the slots do not list the
+      program's instructions in program order.
+    - [negative-issue] (error): an instruction issues before cycle 0.
+    - [raw-hazard] (error): a consumer issues before the [finish] of the
+      latest producer of one of its source registers — the no-interlock
+      violation that silently computes with stale values.
+    - [finish-mismatch] (error): [finish <> issue + latency] for the
+      configuration's occupancy and pipeline-depth model.
+    - [fu-overlap] (error): a functional unit accepts an instruction while
+      still consuming a previous one (issues closer together than
+      {!Nocap_model.Schedule.occupancy} allows).
+    - [fu-busy-mismatch] (error): the recorded [fu_busy] totals disagree with
+      the occupancy sum of the slots.
+    - [makespan-mismatch] (error): [makespan] is not the maximum [finish].
+
+    The report also carries the quantities a schedule reviewer wants next to
+    the verdict: per-FU utilization over the makespan, and the
+    data-dependence critical path (the latency lower bound on any legal
+    schedule for this program). *)
+
+type report = {
+  diags : Diag.t list;
+  makespan : int;  (** copied from the schedule under test *)
+  critical_path : int;
+      (** longest register dependence chain, in cycles of summed latency —
+          no schedule of this program on this configuration can finish
+          earlier *)
+  critical_path_indices : int list;
+      (** instruction indices of one longest chain, in program order *)
+  fu_utilization : (Nocap_model.Simulator.resource * float) list;
+      (** occupancy-busy fraction of the makespan, per FU used *)
+}
+
+val check :
+  Nocap_model.Config.t ->
+  vector_len:int ->
+  Nocap_model.Isa.program ->
+  Nocap_model.Schedule.schedule ->
+  report
+(** Never raises. A schedule produced by {!Nocap_model.Schedule.run} on the
+    same configuration, vector length, and program checks clean. *)
+
+val is_clean : report -> bool
+
+val summary : report -> string

@@ -1,0 +1,275 @@
+module Isa = Nocap_model.Isa
+
+type pressure = {
+  max_reg : int;
+  regs_used : int;
+  peak_live : int;
+  peak_live_index : int;
+}
+
+type report = {
+  diags : Diag.t list;
+  pressure : pressure;
+  input_slots : int list;
+  output_slots : int list;
+  instr_count : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* Register operands valid enough to track through the dataflow analyses:
+   negative indices are diagnosed and then ignored. *)
+let valid_reg ?num_regs r =
+  r >= 0 && match num_regs with None -> true | Some n -> r < n
+
+let slot_of = function
+  | Isa.Vload (_, slot) | Isa.Vstore (slot, _) -> Some slot
+  | _ -> None
+
+(* Per-instruction operand/shape rules (everything except the dataflow
+   passes). Returns diagnostics in reverse order. *)
+let check_operands ~vector_len ?num_regs ?mem_slots instrs =
+  let k = vector_len in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let check_regs i instr =
+    let bad r =
+      if r < 0 then
+        emit
+          (Diag.error ~index:i ~rule:"bad-register"
+             (Printf.sprintf "negative register r%d in %s" r (Isa.describe instr)))
+      else
+        match num_regs with
+        | Some n when r >= n ->
+          emit
+            (Diag.error ~index:i ~rule:"bad-register"
+               (Printf.sprintf "register r%d exceeds the %d-register budget in %s" r n
+                  (Isa.describe instr)))
+        | _ -> ()
+    in
+    List.iter bad (Isa.reads instr);
+    match Isa.writes instr with Some d -> bad d | None -> ()
+  in
+  Array.iteri
+    (fun i instr ->
+      check_regs i instr;
+      (match slot_of instr with
+      | Some slot ->
+        if slot < 0 then
+          emit
+            (Diag.error ~index:i ~rule:"bad-slot"
+               (Printf.sprintf "negative memory slot m%d in %s" slot
+                  (Isa.describe instr)))
+        else (
+          match mem_slots with
+          | Some n when slot >= n ->
+            emit
+              (Diag.error ~index:i ~rule:"bad-slot"
+                 (Printf.sprintf "memory slot m%d exceeds the %d-slot memory in %s"
+                    slot n (Isa.describe instr)))
+          | _ -> ())
+      | None -> ());
+      match instr with
+      | Isa.Vshuffle (_, _, perm) ->
+        if Array.length perm <> k then
+          emit
+            (Diag.error ~index:i ~rule:"bad-permutation"
+               (Printf.sprintf "permutation length %d, vector length %d"
+                  (Array.length perm) k))
+        else begin
+          let out_of_range = ref (-1) in
+          let hit = Array.make k 0 in
+          Array.iter
+            (fun src ->
+              if src < 0 || src >= k then (
+                if !out_of_range < 0 then out_of_range := src)
+              else hit.(src) <- hit.(src) + 1)
+            perm;
+          if !out_of_range >= 0 then
+            emit
+              (Diag.error ~index:i ~rule:"bad-permutation"
+                 (Printf.sprintf "source index %d outside [0, %d)" !out_of_range k))
+          else if Array.exists (fun c -> c <> 1) hit then
+            emit
+              (Diag.warning ~index:i ~rule:"non-bijective-shuffle"
+                 "shuffle repeats source lanes (a gather, not a permutation)")
+        end
+      | Isa.Vrotate (_, _, n) ->
+        if n < 0 then
+          emit
+            (Diag.error ~index:i ~rule:"bad-rotate"
+               (Printf.sprintf "negative rotation amount %d" n))
+        else if n >= k then
+          emit
+            (Diag.warning ~index:i ~rule:"rotate-wraps"
+               (Printf.sprintf "rotation amount %d >= vector length %d (wraps)" n k))
+      | Isa.Vinterleave (_, _, g) ->
+        if g < 0 || g >= 30 || k mod (2 * (1 lsl g)) <> 0 then
+          emit
+            (Diag.error ~index:i ~rule:"bad-interleave"
+               (Printf.sprintf
+                  "group %d: vector length %d is not a multiple of 2 * 2^%d" g k g))
+      | Isa.Vntt_tiled { tile; _ } ->
+        if tile < 2 || not (is_power_of_two tile) || k mod tile <> 0 then
+          emit
+            (Diag.error ~index:i ~rule:"bad-tile"
+               (Printf.sprintf
+                  "tile %d must be a power of two >= 2 dividing vector length %d"
+                  tile k))
+      | Isa.Delay n ->
+        if n < 0 then
+          emit
+            (Diag.error ~index:i ~rule:"bad-delay"
+               (Printf.sprintf "negative delay %d" n))
+      | _ -> ())
+    instrs;
+  !diags
+
+(* Forward pass: def-before-use on registers, input/output slot discipline. *)
+let check_dataflow ?num_regs instrs =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let written = Hashtbl.create 16 in
+  (* slot -> state: `Input if first touched by a load, otherwise index of the
+     last store and whether it has been loaded back since. *)
+  let input_slots = ref [] in
+  let stored_ever = Hashtbl.create 16 in
+  let last_store = Hashtbl.create 16 in
+  let outputs = Hashtbl.create 16 in
+  Array.iteri
+    (fun i instr ->
+      List.iter
+        (fun r ->
+          if valid_reg ?num_regs r && not (Hashtbl.mem written r) then
+            emit
+              (Diag.error ~index:i ~rule:"uninitialized-read"
+                 (Printf.sprintf "r%d read by %s before any write" r
+                    (Isa.describe instr))))
+        (Isa.reads instr);
+      (match instr with
+      | Isa.Vload (_, slot) when slot >= 0 ->
+        if not (Hashtbl.mem stored_ever slot) && not (List.mem slot !input_slots)
+        then input_slots := slot :: !input_slots;
+        Hashtbl.remove last_store slot
+      | Isa.Vstore (slot, _) when slot >= 0 ->
+        (match Hashtbl.find_opt last_store slot with
+        | Some j ->
+          emit
+            (Diag.warning ~index:j ~rule:"dead-store"
+               (Printf.sprintf
+                  "store to m%d is overwritten by instruction %d with no \
+                   intervening load"
+                  slot i))
+        | None -> ());
+        if List.mem slot !input_slots then
+          emit
+            (Diag.warning ~index:i ~rule:"input-output-alias"
+               (Printf.sprintf "store overwrites input slot m%d" slot));
+        Hashtbl.replace stored_ever slot ();
+        Hashtbl.replace last_store slot i;
+        Hashtbl.replace outputs slot ()
+      | _ -> ());
+      match Isa.writes instr with
+      | Some d when valid_reg ?num_regs d -> Hashtbl.replace written d ()
+      | _ -> ())
+    instrs;
+  let sorted tbl = Hashtbl.fold (fun s () acc -> s :: acc) tbl [] |> List.sort compare in
+  (!diags, List.sort compare !input_slots, sorted outputs)
+
+(* Backward liveness: dead writes and peak register pressure. *)
+let check_liveness ?num_regs instrs =
+  let n = Array.length instrs in
+  let diags = ref [] in
+  let live = Hashtbl.create 16 in
+  let peak = ref 0 and peak_index = ref (-1) in
+  for i = n - 1 downto 0 do
+    let instr = instrs.(i) in
+    (match Isa.writes instr with
+    | Some d when valid_reg ?num_regs d ->
+      if not (Hashtbl.mem live d) then
+        diags :=
+          Diag.warning ~index:i ~rule:"dead-write"
+            (Printf.sprintf "value written to r%d by %s is never read" d
+               (Isa.describe instr))
+          :: !diags;
+      Hashtbl.remove live d
+    | _ -> ());
+    List.iter
+      (fun r -> if valid_reg ?num_regs r then Hashtbl.replace live r ())
+      (Isa.reads instr);
+    let sz = Hashtbl.length live in
+    if sz > !peak then (
+      peak := sz;
+      peak_index := i)
+  done;
+  (!diags, !peak, !peak_index)
+
+let measure_pressure ?num_regs instrs =
+  let regs = Hashtbl.create 16 in
+  let max_reg = ref (-1) in
+  Array.iter
+    (fun instr ->
+      let touch r =
+        if r >= 0 then begin
+          Hashtbl.replace regs r ();
+          if r > !max_reg then max_reg := r
+        end
+      in
+      List.iter touch (Isa.reads instr);
+      match Isa.writes instr with Some d -> touch d | None -> ())
+    instrs;
+  let dead_diags, peak_live, peak_live_index = check_liveness ?num_regs instrs in
+  ( dead_diags,
+    {
+      max_reg = !max_reg;
+      regs_used = Hashtbl.length regs;
+      peak_live;
+      peak_live_index;
+    } )
+
+let lint ?num_regs ?mem_slots ~vector_len program =
+  let instrs = Array.of_list program in
+  let global =
+    if vector_len < 4 || not (is_power_of_two vector_len) then
+      [
+        Diag.error ~index:Diag.program_level ~rule:"bad-vector-len"
+          (Printf.sprintf "vector length %d is not a power of two >= 4" vector_len);
+      ]
+    else []
+  in
+  let operand_diags = check_operands ~vector_len ?num_regs ?mem_slots instrs in
+  let flow_diags, input_slots, output_slots = check_dataflow ?num_regs instrs in
+  let dead_diags, pressure = measure_pressure ?num_regs instrs in
+  let by_index (a : Diag.t) (b : Diag.t) = compare (a.Diag.index, a.Diag.rule) (b.Diag.index, b.Diag.rule) in
+  let diags =
+    global @ List.stable_sort by_index (operand_diags @ flow_diags @ dead_diags)
+  in
+  { diags; pressure; input_slots; output_slots; instr_count = Array.length instrs }
+
+let is_clean r = Diag.is_clean r.diags
+
+let min_registers r = r.pressure.max_reg + 1
+
+let min_mem_slots program =
+  List.fold_left
+    (fun acc instr ->
+      match slot_of instr with Some s when s >= 0 -> max acc (s + 1) | _ -> acc)
+    0 program
+
+let summary r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%d instructions, %d errors, %d warnings\n" r.instr_count
+       (List.length (Diag.errors r.diags))
+       (List.length (Diag.warnings r.diags)));
+  List.iter (fun d -> Buffer.add_string b ("  " ^ Diag.to_string d ^ "\n")) r.diags;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  registers: %d used (max r%d), peak pressure %d live at #%d\n"
+       r.pressure.regs_used r.pressure.max_reg r.pressure.peak_live
+       r.pressure.peak_live_index);
+  Buffer.add_string b
+    (Printf.sprintf "  slots: inputs [%s], outputs [%s]"
+       (String.concat "; " (List.map string_of_int r.input_slots))
+       (String.concat "; " (List.map string_of_int r.output_slots)));
+  Buffer.contents b

@@ -45,5 +45,12 @@ val which_fu : instr -> Simulator.resource option
 val reads : instr -> vreg list
 val writes : instr -> vreg option
 
+val instr_name : instr -> string
+(** The constructor name, e.g. ["Vshuffle"] — used by {!Vm} failures and the
+    static-analysis diagnostics so the two cross-reference. *)
+
+val describe : instr -> string
+(** One-line rendering with operands, e.g. ["Vadd r2, r0, r1"]. *)
+
 val interleave_perm : len:int -> group:int -> int array
 (** The permutation a grouped interleaving applies (exposed for tests). *)
