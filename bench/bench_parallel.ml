@@ -1,0 +1,389 @@
+(* Parallel-runtime benchmark: times serial vs. multi-domain runs of each
+   converted prover kernel plus an end-to-end Spartan prove, cross-checks
+   that every domain count produced identical results, and emits
+   BENCH_parallel.json (validated against its own schema before exit).
+
+   [run ~smoke:true] uses tiny sizes — it backs the @bench-smoke alias that
+   tier-1 verify builds, so it must stay fast and loud on regressions. *)
+
+open Nocap_repro
+
+let wall () = Unix.gettimeofday ()
+
+(* Best-of-r wall time: robust to scheduler noise without needing a long
+   quota like Bechamel's OLS. *)
+let time_best ~reps f =
+  (* Start each measurement from a settled heap so a major GC triggered by
+     the previous configuration is not charged to this one. *)
+  Gc.major ();
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = wall () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = wall () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type kernel = {
+  k_name : string;
+  k_n : int; (* problem size, for the report *)
+  k_run : unit -> string; (* returns a result fingerprint for equality checks *)
+}
+
+let kernels ~smoke rng =
+  let scale b s = if smoke then s else b in
+  let merkle_n = scale 8192 256 in
+  let leaves =
+    Array.init merkle_n (fun i -> Keccak.sha3_256_string (string_of_int i))
+  in
+  let keccak_n = scale 2048 64 in
+  let keccak_msgs = Array.init keccak_n (fun i -> Bytes.make 512 (Char.chr (i land 0xff))) in
+  let enc_rows = scale 64 8 in
+  let enc_cols = scale 1024 64 in
+  let rows = Array.init enc_rows (fun _ -> Array.init enc_cols (fun _ -> Gf.random rng)) in
+  let sc_n = scale (1 lsl 14) (1 lsl 8) in
+  let sc_tables = Array.init 4 (fun _ -> Array.init sc_n (fun _ -> Gf.random rng)) in
+  let sc_comb v = Gf.mul v.(0) (Gf.sub (Gf.mul v.(1) v.(2)) v.(3)) in
+  let sc_claim =
+    let acc = ref Gf.zero in
+    for b = 0 to sc_n - 1 do
+      acc := Gf.add !acc (sc_comb (Array.map (fun t -> t.(b)) sc_tables))
+    done;
+    !acc
+  in
+  let msm_n = scale 128 16 in
+  let msm_scalars = Array.init msm_n (fun _ -> Fr_bls.random rng) in
+  let msm_points = Array.init msm_n (fun _ -> G1.random rng) in
+  let orion_n = scale (1 lsl 12) (1 lsl 8) in
+  let orion_table = Array.init orion_n (fun _ -> Gf.random rng) in
+  let orion_params =
+    { Orion.rows = scale 64 16; code = (module Reed_solomon); proximity_count = 4; zk = true }
+  in
+  let e2e_constraints = scale 2000 200 in
+  let e2e = lazy (Synthetic.circuit ~n_constraints:e2e_constraints ~seed:42L ()) in
+  [
+    {
+      k_name = "merkle-build";
+      k_n = merkle_n;
+      k_run = (fun () -> Keccak.to_hex (Merkle.root (Merkle.build leaves)));
+    };
+    {
+      k_name = "keccak-batch";
+      k_n = keccak_n;
+      k_run =
+        (fun () ->
+          let ds = Keccak.sha3_256_batch keccak_msgs in
+          Keccak.to_hex ds.(Array.length ds - 1));
+    };
+    {
+      k_name = "rs-encode-rows";
+      k_n = enc_rows * enc_cols;
+      k_run =
+        (fun () ->
+          let e = Reed_solomon.encode_batch rows in
+          Gf.to_string e.(enc_rows - 1).(0));
+    };
+    {
+      k_name = "sumcheck-prove";
+      k_n = sc_n;
+      k_run =
+        (fun () ->
+          let t = Transcript.create "bench-parallel" in
+          let r =
+            Sumcheck.prove ~comb_mults:2 t ~degree:3 ~tables:sc_tables ~comb:sc_comb
+              ~claim:sc_claim
+          in
+          Gf.to_string r.Sumcheck.challenges.(Array.length r.Sumcheck.challenges - 1));
+    };
+    {
+      k_name = "msm-pippenger";
+      k_n = msm_n;
+      k_run = (fun () -> if G1.is_infinity (Msm.pippenger msm_scalars msm_points) then "inf" else "pt");
+    };
+    {
+      k_name = "orion-commit";
+      k_n = orion_n;
+      k_run =
+        (fun () ->
+          let _, cm = Orion.commit orion_params (Rng.create 1L) orion_table in
+          Keccak.to_hex cm.Orion.root);
+    };
+    {
+      k_name = "endtoend-prove";
+      k_n = e2e_constraints;
+      k_run =
+        (fun () ->
+          let inst, asn = Lazy.force e2e in
+          let proof, _ = Spartan.prove Spartan.test_params inst asn in
+          Keccak.to_hex proof.Spartan.w_commitment.Orion.root);
+    };
+  ]
+
+type timing = { domains : int; seconds : float; speedup : float }
+
+type row = { kernel : kernel; serial_seconds : float; timings : timing list }
+
+let domain_counts () =
+  let n = Pool.default_domains () in
+  List.sort_uniq compare (1 :: 2 :: 4 :: [ n ])
+
+let measure ~smoke kernel =
+  let reps = if smoke then 2 else 5 in
+  (* Warm-up run (also the cross-domain-count reference fingerprint) so the
+     serial baseline is not charged for plan/page/GC warm-up. *)
+  let reference = Pool.with_domains 1 kernel.k_run in
+  let serial_seconds =
+    Pool.with_domains 1 (fun () -> time_best ~reps kernel.k_run)
+  in
+  let timings =
+    List.map
+      (fun d ->
+        Pool.with_domains d (fun () ->
+            let fp = kernel.k_run () in
+            if not (String.equal fp reference) then
+              failwith
+                (Printf.sprintf "bench parallel: %s diverged at %d domains" kernel.k_name d);
+            let seconds = time_best ~reps kernel.k_run in
+            { domains = d; seconds; speedup = serial_seconds /. seconds }))
+      (domain_counts ())
+  in
+  { kernel; serial_seconds; timings }
+
+(* --- JSON emission ------------------------------------------------------ *)
+
+let schema_id = "nocap-bench-parallel/v1"
+
+let json_of_rows rows =
+  let buf = Buffer.create 4096 in
+  let adds fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  adds "{\n";
+  adds "  \"schema\": %S,\n" schema_id;
+  adds "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  adds "  \"domains\": [%s],\n"
+    (String.concat ", " (List.map string_of_int (domain_counts ())));
+  adds "  \"kernels\": [\n";
+  List.iteri
+    (fun i r ->
+      adds "    {\n";
+      adds "      \"name\": %S,\n" r.kernel.k_name;
+      adds "      \"n\": %d,\n" r.kernel.k_n;
+      adds "      \"serial_seconds\": %.9f,\n" r.serial_seconds;
+      adds "      \"timings\": [\n";
+      List.iteri
+        (fun j t ->
+          adds "        {\"domains\": %d, \"seconds\": %.9f, \"speedup\": %.4f}%s\n"
+            t.domains t.seconds t.speedup
+            (if j = List.length r.timings - 1 then "" else ","))
+        r.timings;
+      adds "      ]\n";
+      adds "    }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  adds "  ]\n";
+  adds "}\n";
+  Buffer.contents buf
+
+(* --- minimal JSON parser + schema validation ---------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/') ->
+          Buffer.add_char b (Option.get (peek ()));
+          advance ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance ()
+        | Some 't' -> Buffer.add_char b '\t'; advance ()
+        | _ -> fail "unsupported escape");
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Obj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); List [])
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        items []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' ->
+      if !pos + 4 <= len && String.sub s !pos 4 = "true" then (pos := !pos + 4; Bool true)
+      else fail "bad literal"
+    | Some 'f' ->
+      if !pos + 5 <= len && String.sub s !pos 5 = "false" then (pos := !pos + 5; Bool false)
+      else fail "bad literal"
+    | Some 'n' ->
+      if !pos + 4 <= len && String.sub s !pos 4 = "null" then (pos := !pos + 4; Null)
+      else fail "bad literal"
+    | Some _ ->
+      let start = !pos in
+      let is_num_char c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "unexpected character";
+      (match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number")
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let field obj key =
+  match obj with
+  | Obj kvs -> (
+    match List.assoc_opt key kvs with
+    | Some v -> v
+    | None -> raise (Bad_json (Printf.sprintf "missing key %S" key)))
+  | _ -> raise (Bad_json (Printf.sprintf "expected object holding %S" key))
+
+let as_num = function Num f -> f | _ -> raise (Bad_json "expected number")
+let as_str = function Str s -> s | _ -> raise (Bad_json "expected string")
+let as_list = function List l -> l | _ -> raise (Bad_json "expected array")
+
+(* Required shape: schema id, a domains array, and >= 4 kernels + the
+   end-to-end prove, each with serial time and one timing per domain
+   count. *)
+let validate_schema (s : string) : (unit, string) result =
+  try
+    let j = parse_json s in
+    if as_str (field j "schema") <> schema_id then raise (Bad_json "wrong schema id");
+    ignore (as_num (field j "recommended_domains"));
+    let domains = List.map as_num (as_list (field j "domains")) in
+    if domains = [] then raise (Bad_json "empty domains");
+    let kernels = as_list (field j "kernels") in
+    if List.length kernels < 5 then raise (Bad_json "need >= 5 kernels");
+    let names =
+      List.map
+        (fun k ->
+          ignore (as_num (field k "n"));
+          let serial = as_num (field k "serial_seconds") in
+          if not (serial > 0.0) then raise (Bad_json "serial_seconds must be positive");
+          let timings = as_list (field k "timings") in
+          if List.length timings <> List.length domains then
+            raise (Bad_json "one timing per domain count required");
+          List.iter
+            (fun t ->
+              ignore (as_num (field t "domains"));
+              let sec = as_num (field t "seconds") in
+              if not (sec > 0.0) then raise (Bad_json "seconds must be positive");
+              ignore (as_num (field t "speedup")))
+            timings;
+          as_str (field k "name"))
+        kernels
+    in
+    if not (List.mem "endtoend-prove" names) then
+      raise (Bad_json "endtoend-prove kernel missing");
+    Ok ()
+  with Bad_json msg -> Error msg
+
+(* --- driver ------------------------------------------------------------- *)
+
+let run ?(smoke = false) ?(path = "BENCH_parallel.json") () =
+  Zk_report.Render.section
+    (Printf.sprintf "Parallel runtime: serial vs. multi-domain%s"
+       (if smoke then " (smoke)" else ""));
+  let rng = Rng.create 0xD0_5EEDL in
+  let rows = List.map (measure ~smoke) (kernels ~smoke rng) in
+  Zk_report.Render.table
+    ~header:("kernel" :: "n" :: "serial"
+            :: List.map (fun d -> Printf.sprintf "%dd speedup" d) (domain_counts ()))
+    (List.map
+       (fun r ->
+         r.kernel.k_name :: string_of_int r.kernel.k_n
+         :: Zk_report.Render.seconds r.serial_seconds
+         :: List.map (fun t -> Printf.sprintf "%.2fx" t.speedup) r.timings)
+       rows);
+  let json = json_of_rows rows in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  (match validate_schema json with
+  | Ok () -> Printf.printf "wrote %s (schema %s, valid)\n%!" path schema_id
+  | Error msg ->
+    Printf.eprintf "BENCH_parallel.json failed schema validation: %s\n%!" msg;
+    exit 1);
+  rows

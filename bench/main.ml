@@ -319,9 +319,14 @@ let () =
   match args with
   | [] ->
     List.iter (fun (_, f) -> f ()) report_items;
-    run_benches ()
+    run_benches ();
+    ignore (Bench_parallel.run ())
   | [ "report" ] -> List.iter (fun (_, f) -> f ()) report_items
   | [ "bench" ] -> run_benches ()
+  | [ "parallel" ] -> ignore (Bench_parallel.run ())
+  | [ "parallel"; path ] -> ignore (Bench_parallel.run ~path ())
+  | [ "parallel-smoke" ] -> ignore (Bench_parallel.run ~smoke:true ())
+  | [ "parallel-smoke"; path ] -> ignore (Bench_parallel.run ~smoke:true ~path ())
   | ids ->
     List.iter
       (fun id ->

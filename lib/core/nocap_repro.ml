@@ -19,6 +19,7 @@
     ]} *)
 
 (* Substrates *)
+module Pool = Nocap_parallel.Pool
 module Rng = Zk_util.Rng
 module Stats = Zk_util.Stats
 module Gf = Zk_field.Gf

@@ -28,9 +28,13 @@ let sparse_row ~tag ~n ~cols ~row =
       let coeff = Gf.add Gf.one (Gf.of_int64 (Int64.rem (Rng.next rng) (Int64.sub Gf.p 1L))) in
       (col, coeff))
 
+(* Each output symbol is an independent sparse dot product (the row
+   derivation is a pure function of (tag, n, row)), so the gather loop
+   splits across the pool; called from inside a batched encode it runs
+   serially via the pool's nesting fallback. *)
 let apply_graph ~tag ~rows x =
   let cols = Array.length x in
-  Array.init rows (fun r ->
+  Nocap_parallel.Pool.parallel_init ~threshold:512 rows (fun r ->
       let row = sparse_row ~tag ~n:cols ~cols ~row:r in
       Array.fold_left
         (fun acc (c, coeff) -> Gf.add acc (Gf.mul coeff x.(c)))
@@ -51,6 +55,10 @@ let rec encode msg =
     let w = apply_graph ~tag:2 ~rows:n xz in
     Array.concat [ msg; z; w ]
   end
+
+(* Whole messages are independent; the recursion inside each message then
+   runs serially on its worker domain. *)
+let encode_batch rows = Nocap_parallel.Pool.parallel_map ~threshold:1 encode rows
 
 let rec random_accesses n =
   if n <= base_size then 0

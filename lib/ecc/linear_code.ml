@@ -2,6 +2,7 @@ module type S = sig
   val name : string
   val blowup : int
   val encode : Zk_field.Gf.t array -> Zk_field.Gf.t array
+  val encode_batch : Zk_field.Gf.t array array -> Zk_field.Gf.t array array
   val query_count : int
 end
 

@@ -16,6 +16,12 @@ module type S = sig
   val encode : Zk_field.Gf.t array -> Zk_field.Gf.t array
   (** [encode msg] for a power-of-two message length. *)
 
+  val encode_batch : Zk_field.Gf.t array array -> Zk_field.Gf.t array array
+  (** Row-wise encoding of independent messages, split across the
+      {!Nocap_parallel.Pool} domains — the matrix-row encode Orion's commit
+      performs. Codewords are byte-identical to mapping {!encode} for every
+      domain count. *)
+
   val query_count : int
   (** Number of codeword positions the verifier checks for 128-bit security
       (189 for Reed-Solomon at blowup 4; 1,222 for the expander code,

@@ -21,6 +21,31 @@ let encode msg =
 
 let encode_with_plan = encode
 
+(* Row-wise encode: hoist the (lock-guarded) plan lookup out of the hot
+   region, then one independent NTT per row across the pool. *)
+let encode_batch rows =
+  if Array.length rows = 0 then [||]
+  else begin
+    let n = Array.length rows.(0) in
+    if n = 0 || n land (n - 1) <> 0 then
+      invalid_arg "Reed_solomon.encode_batch: message length must be a power of two";
+    Array.iter
+      (fun row ->
+        if Array.length row <> n then
+          invalid_arg "Reed_solomon.encode_batch: ragged rows")
+      rows;
+    let m = blowup * n in
+    let plan = Ntt.plan m in
+    let out =
+      Nocap_parallel.Pool.parallel_init ~threshold:1 (Array.length rows) (fun r ->
+          let buf = Array.make m Gf.zero in
+          Array.blit rows.(r) 0 buf 0 n;
+          buf)
+    in
+    Ntt.forward_rows plan out;
+    out
+  end
+
 let codeword_at msg i =
   let n = Array.length msg in
   let m = blowup * n in

@@ -12,12 +12,15 @@ let zero = 0L
 let one = 1L
 let two = 2L
 
-let ( <^ ) a b = Int64.unsigned_compare a b < 0
-let ( >=^ ) a b = Int64.unsigned_compare a b >= 0
+(* The add/sub/mul below carry [@inline]: they are the per-element body of
+   every pool-parallelized loop (butterflies, row combinations, sumcheck
+   rounds), where the call would otherwise dominate the arithmetic. *)
+let[@inline] ( <^ ) a b = Int64.unsigned_compare a b < 0
+let[@inline] ( >=^ ) a b = Int64.unsigned_compare a b >= 0
 
 let is_canonical x = x <^ p
 
-let of_int64 n = if n >=^ p then Int64.sub n p else n
+let[@inline] of_int64 n = if n >=^ p then Int64.sub n p else n
 
 let of_int n =
   if n >= 0 then of_int64 (Int64.of_int n)
@@ -25,25 +28,25 @@ let of_int n =
 
 let to_int64 x = x
 
-let equal (a : t) (b : t) = Int64.equal a b
+let[@inline] equal (a : t) (b : t) = Int64.equal a b
 let compare (a : t) (b : t) = Int64.unsigned_compare a b
 
-let add a b =
+let[@inline] add a b =
   let s = Int64.add a b in
   (* A wrap past 2^64 contributes epsilon; the wrapped sum is < p so adding
      epsilon cannot wrap again. *)
   let s = if s <^ a then Int64.add s epsilon else s in
   if s >=^ p then Int64.sub s p else s
 
-let sub a b =
+let[@inline] sub a b =
   let d = Int64.sub a b in
   if a <^ b then Int64.sub d epsilon else d
 
-let neg a = if Int64.equal a 0L then 0L else Int64.sub p a
+let[@inline] neg a = if Int64.equal a 0L then 0L else Int64.sub p a
 
-let double a = add a a
+let[@inline] double a = add a a
 
-let reduce128 ~lo ~hi =
+let[@inline] reduce128 ~lo ~hi =
   let hi_hi = Int64.shift_right_logical hi 32 in
   let hi_lo = Int64.logand hi mask32 in
   (* lo + 2^64 * (hi_lo + 2^32 * hi_hi)
@@ -55,7 +58,7 @@ let reduce128 ~lo ~hi =
   let t2 = if t2 <^ t0 then Int64.add t2 epsilon else t2 in
   if t2 >=^ p then Int64.sub t2 p else t2
 
-let mul a b =
+let[@inline] mul a b =
   let a_lo = Int64.logand a mask32 and a_hi = Int64.shift_right_logical a 32 in
   let b_lo = Int64.logand b mask32 and b_hi = Int64.shift_right_logical b 32 in
   let ll = Int64.mul a_lo b_lo in
@@ -72,7 +75,7 @@ let mul a b =
   in
   reduce128 ~lo ~hi
 
-let square a = mul a a
+let[@inline] square a = mul a a
 
 let pow x e =
   let acc = ref one and base = ref x and e = ref e in

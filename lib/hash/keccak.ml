@@ -1,3 +1,5 @@
+module Pool = Nocap_parallel.Pool
+
 type digest = string
 
 let digest_length = 32
@@ -24,10 +26,14 @@ let rotations =
     18; 2; 61; 56; 14;
   |]
 
-let rotl64 x n =
+let[@inline] rotl64 x n =
   if n = 0 then x
   else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
 
+(* The inner rounds use unsafe accesses: every index is x + 5*y (or a
+   rho/pi permutation of one) with x, y in [0, 4] from the loop headers and
+   the 25-lane length checked once on entry, so all indices lie in
+   [0, 24]. *)
 let keccak_f1600 st =
   if Array.length st <> 25 then invalid_arg "Keccak.keccak_f1600: need 25 lanes";
   let c = Array.make 5 0L in
@@ -35,15 +41,22 @@ let keccak_f1600 st =
   for round = 0 to 23 do
     (* theta *)
     for x = 0 to 4 do
-      c.(x) <-
-        Int64.logxor st.(x)
-          (Int64.logxor st.(x + 5)
-             (Int64.logxor st.(x + 10) (Int64.logxor st.(x + 15) st.(x + 20))))
+      Array.unsafe_set c x
+        (Int64.logxor (Array.unsafe_get st x)
+           (Int64.logxor
+              (Array.unsafe_get st (x + 5))
+              (Int64.logxor
+                 (Array.unsafe_get st (x + 10))
+                 (Int64.logxor (Array.unsafe_get st (x + 15)) (Array.unsafe_get st (x + 20))))))
     done;
     for x = 0 to 4 do
-      let d = Int64.logxor c.((x + 4) mod 5) (rotl64 c.((x + 1) mod 5) 1) in
+      let d =
+        Int64.logxor
+          (Array.unsafe_get c ((x + 4) mod 5))
+          (rotl64 (Array.unsafe_get c ((x + 1) mod 5)) 1)
+      in
       for y = 0 to 4 do
-        st.(x + (5 * y)) <- Int64.logxor st.(x + (5 * y)) d
+        Array.unsafe_set st (x + (5 * y)) (Int64.logxor (Array.unsafe_get st (x + (5 * y))) d)
       done
     done;
     (* rho + pi *)
@@ -51,22 +64,22 @@ let keccak_f1600 st =
       for y = 0 to 4 do
         let src = x + (5 * y) in
         let dst = y + (5 * (((2 * x) + (3 * y)) mod 5)) in
-        b.(dst) <- rotl64 st.(src) rotations.(src)
+        Array.unsafe_set b dst (rotl64 (Array.unsafe_get st src) (Array.unsafe_get rotations src))
       done
     done;
     (* chi *)
     for y = 0 to 4 do
       for x = 0 to 4 do
-        st.(x + (5 * y)) <-
-          Int64.logxor
-            b.(x + (5 * y))
-            (Int64.logand
-               (Int64.lognot b.(((x + 1) mod 5) + (5 * y)))
-               b.(((x + 2) mod 5) + (5 * y)))
+        Array.unsafe_set st (x + (5 * y))
+          (Int64.logxor
+             (Array.unsafe_get b (x + (5 * y)))
+             (Int64.logand
+                (Int64.lognot (Array.unsafe_get b (((x + 1) mod 5) + (5 * y))))
+                (Array.unsafe_get b (((x + 2) mod 5) + (5 * y)))))
       done
     done;
     (* iota *)
-    st.(0) <- Int64.logxor st.(0) round_constants.(round)
+    Array.unsafe_set st 0 (Int64.logxor (Array.unsafe_get st 0) (Array.unsafe_get round_constants round))
   done
 
 let rate_bytes = 136 (* SHA3-256: capacity 512 bits *)
@@ -123,6 +136,20 @@ let hash_gf elems =
     Bytes.set_int64_le buf (8 * i) (Zk_field.Gf.to_int64 elems.(i))
   done;
   sha3_256 buf
+
+(* Batched absorption: each input is absorbed by an independent sponge, so
+   the batch splits across pool domains with byte-identical digests for any
+   domain count. These are the entry points the Merkle / Orion hot paths
+   use; the Hash FU analogue is hashing one column per vector lane. *)
+
+let sha3_256_batch msgs = Pool.parallel_map ~threshold:8 sha3_256 msgs
+
+let hash2_pairs level =
+  let n = Array.length level in
+  if n = 0 || n land 1 = 1 then invalid_arg "Keccak.hash2_pairs: need an even, non-empty level";
+  Pool.parallel_init ~threshold:32 (n / 2) (fun i -> hash2 level.(2 * i) level.((2 * i) + 1))
+
+let hash_gf_batch cols = Pool.parallel_map ~threshold:8 hash_gf cols
 
 let to_hex d =
   let buf = Buffer.create 64 in

@@ -27,6 +27,20 @@ val hash_gf : Zk_field.Gf.t array -> digest
     (the Hash FU reinterprets groups of four 64-bit lanes as 256-bit
     inputs). *)
 
+val sha3_256_batch : bytes array -> digest array
+(** Hash a batch of independent messages, split across the
+    {!Nocap_parallel.Pool} domains. Digests are byte-identical to mapping
+    {!sha3_256} for every domain count. *)
+
+val hash2_pairs : digest array -> digest array
+(** [hash2_pairs level] compresses adjacent pairs:
+    [[| hash2 level.(0) level.(1); hash2 level.(2) level.(3); ... |]] —
+    one Merkle level in a single batched call.
+    @raise Invalid_argument on an empty or odd-length array. *)
+
+val hash_gf_batch : Zk_field.Gf.t array array -> digest array
+(** Batched {!hash_gf} over independent columns. *)
+
 val to_hex : digest -> string
 
 val digest_to_gf : digest -> Zk_field.Gf.t array

@@ -16,7 +16,9 @@ let next_pow2 n =
 
 let leaf_of_column col = Keccak.hash_gf col
 
-let build leaves =
+let leaves_of_columns cols = Keccak.hash_gf_batch cols
+
+let build_with ~pairs leaves =
   let n = Array.length leaves in
   if n = 0 then invalid_arg "Merkle.build: empty";
   let padded = next_pow2 n in
@@ -24,16 +26,18 @@ let build leaves =
   Array.blit leaves 0 level0 0 n;
   let rec go acc level =
     if Array.length level = 1 then List.rev (level :: acc)
-    else begin
-      let parent =
-        Array.init
-          (Array.length level / 2)
-          (fun i -> Keccak.hash2 level.(2 * i) level.((2 * i) + 1))
-      in
-      go (level :: acc) parent
-    end
+    else go (level :: acc) (pairs level)
   in
   { levels = Array.of_list (go [] level0); real_leaves = n }
+
+(* Serial oracle for the parallel build: same tree, one domain. *)
+let build_serial leaves =
+  build_with leaves ~pairs:(fun level ->
+      Array.init
+        (Array.length level / 2)
+        (fun i -> Keccak.hash2 level.(2 * i) level.((2 * i) + 1)))
+
+let build leaves = build_with leaves ~pairs:Keccak.hash2_pairs
 
 let root t = t.levels.(Array.length t.levels - 1).(0)
 

@@ -10,12 +10,22 @@ type tree
 
 val build : digest array -> tree
 (** Build over the given leaf digests. The leaf count is padded to a power of
-    two with a distinguished empty digest.
+    two with a distinguished empty digest. Each level is hashed as one
+    batched call split across the {!Nocap_parallel.Pool} domains; the tree
+    is byte-identical to {!build_serial} for every domain count.
     @raise Invalid_argument on an empty leaf array. *)
+
+val build_serial : digest array -> tree
+(** Single-domain reference implementation of {!build} (the oracle the
+    parallel/serial equivalence tests compare against). *)
 
 val leaf_of_column : Zk_field.Gf.t array -> digest
 (** Hash a column of field elements into a leaf (8 LE bytes per element, as
     the Hash FU packs vector lanes). *)
+
+val leaves_of_columns : Zk_field.Gf.t array array -> digest array
+(** Batched {!leaf_of_column} over independent columns, split across the
+    pool domains. *)
 
 val root : tree -> digest
 

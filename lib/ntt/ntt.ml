@@ -23,6 +23,7 @@ module type S = sig
   val inverse : plan -> elt array -> unit
   val forward_copy : plan -> elt array -> elt array
   val inverse_copy : plan -> elt array -> elt array
+  val forward_rows : plan -> elt array array -> unit
   val four_step_forward : rows:int -> cols:int -> elt array -> elt array
   val butterfly_count : int -> int
 end
@@ -33,6 +34,8 @@ let log2_exact n =
   if not (is_pow2 n) then invalid_arg "Ntt: size must be a power of two";
   let rec go k m = if m = 1 then k else go (k + 1) (m lsr 1) in
   go 0 n
+
+module Pool = Nocap_parallel.Pool
 
 module Make (F : FIELD) : S with type elt = F.t = struct
   type elt = F.t
@@ -46,6 +49,11 @@ module Make (F : FIELD) : S with type elt = F.t = struct
   }
 
   let plans : (int, plan) Hashtbl.t = Hashtbl.create 16
+
+  (* Plans are demanded from worker domains (e.g. the expander code's
+     base-case Reed-Solomon encodes inside a batched encode), so the cache
+     needs a lock; a plan itself is immutable after construction. *)
+  let plans_lock = Mutex.create ()
 
   let make_plan n =
     let log_n = log2_exact n in
@@ -62,11 +70,25 @@ module Make (F : FIELD) : S with type elt = F.t = struct
     { n; log_n; twiddles; inv_twiddles; n_inv = F.inv (F.of_int n) }
 
   let plan n =
+    Mutex.lock plans_lock;
     match Hashtbl.find_opt plans n with
-    | Some p -> p
+    | Some p ->
+      Mutex.unlock plans_lock;
+      p
     | None ->
+      Mutex.unlock plans_lock;
       let p = make_plan n in
-      Hashtbl.add plans n p;
+      Mutex.lock plans_lock;
+      (* Another domain may have raced us; keep whichever landed first so
+         every caller shares one plan per size. *)
+      let p =
+        match Hashtbl.find_opt plans n with
+        | Some q -> q
+        | None ->
+          Hashtbl.add plans n p;
+          p
+      in
+      Mutex.unlock plans_lock;
       p
 
   let size p = p.n
@@ -87,6 +109,10 @@ module Make (F : FIELD) : S with type elt = F.t = struct
       end
     done
 
+  (* Butterfly loop with unsafe accesses: the length check above pins
+     [Array.length a = n]; inside, [k + j + half <= k + len - 1 < n] (the
+     outer while stops at k = n) and [j * stride <= (half - 1) * n / len
+     < n / 2], so every index is in bounds. *)
   let transform twiddles p a =
     let n = p.n in
     if Array.length a <> n then invalid_arg "Ntt: array length mismatch";
@@ -98,11 +124,11 @@ module Make (F : FIELD) : S with type elt = F.t = struct
       let k = ref 0 in
       while !k < n do
         for j = 0 to half - 1 do
-          let w = twiddles.(j * stride) in
-          let u = a.(!k + j) in
-          let t = F.mul w a.(!k + j + half) in
-          a.(!k + j) <- F.add u t;
-          a.(!k + j + half) <- F.sub u t
+          let w = Array.unsafe_get twiddles (j * stride) in
+          let u = Array.unsafe_get a (!k + j) in
+          let t = F.mul w (Array.unsafe_get a (!k + j + half)) in
+          Array.unsafe_set a (!k + j) (F.add u t);
+          Array.unsafe_set a (!k + j + half) (F.sub u t)
         done;
         k := !k + !len
       done;
@@ -127,6 +153,12 @@ module Make (F : FIELD) : S with type elt = F.t = struct
     inverse p b;
     b
 
+  (* Row-wise batch: each row is an independent in-place transform, the
+     per-row decomposition both Orion's encoder and the four-step NTT
+     parallelize over. Results are byte-identical for any domain count. *)
+  let forward_rows p rows =
+    Pool.parallel_for ~threshold:1 ~n:(Array.length rows) (fun r -> forward p rows.(r))
+
   let four_step_forward ~rows ~cols a =
     let n = rows * cols in
     if Array.length a <> n then invalid_arg "Ntt.four_step_forward: size";
@@ -135,43 +167,52 @@ module Make (F : FIELD) : S with type elt = F.t = struct
     ignore (log2_exact cols);
     let w = F.root_of_unity log_n in
     let col_plan = plan rows and row_plan = plan cols in
-    (* Step 1: NTT down each column (stride [cols] in the row-major layout). *)
-    let col = Array.make rows F.zero in
+    (* Step 1: NTT down each column (stride [cols] in the row-major layout).
+       Columns are independent; each chunk gathers into its own scratch. *)
     let out = Array.copy a in
-    for c = 0 to cols - 1 do
-      for r = 0 to rows - 1 do
-        col.(r) <- out.((r * cols) + c)
-      done;
-      forward col_plan col;
-      for r = 0 to rows - 1 do
-        out.((r * cols) + c) <- col.(r)
-      done
+    Pool.run ~threshold:4 ~n:cols (fun c_lo c_hi ->
+        let col = Array.make rows F.zero in
+        for c = c_lo to c_hi - 1 do
+          for r = 0 to rows - 1 do
+            col.(r) <- out.((r * cols) + c)
+          done;
+          forward col_plan col;
+          for r = 0 to rows - 1 do
+            out.((r * cols) + c) <- col.(r)
+          done
+        done);
+    (* Step 2: scale entry (r, c) by w^(r*c). The per-row twiddle bases
+       w^r are precomputed serially so row chunks start mid-sequence. *)
+    let w_rows = Array.make rows F.one in
+    for r = 1 to rows - 1 do
+      w_rows.(r) <- F.mul w_rows.(r - 1) w
     done;
-    (* Step 2: scale entry (r, c) by w^(r*c). *)
-    let w_r = ref F.one in
-    for r = 0 to rows - 1 do
-      let f = ref F.one in
-      for c = 0 to cols - 1 do
-        out.((r * cols) + c) <- F.mul out.((r * cols) + c) !f;
-        f := F.mul !f !w_r
-      done;
-      w_r := F.mul !w_r w
-    done;
+    Pool.run ~threshold:4 ~n:rows (fun r_lo r_hi ->
+        for r = r_lo to r_hi - 1 do
+          let w_r = w_rows.(r) in
+          let f = ref F.one in
+          for c = 0 to cols - 1 do
+            out.((r * cols) + c) <- F.mul out.((r * cols) + c) !f;
+            f := F.mul !f w_r
+          done
+        done);
     (* Step 3: NTT along each row. *)
-    let row = Array.make cols F.zero in
-    for r = 0 to rows - 1 do
-      Array.blit out (r * cols) row 0 cols;
-      forward row_plan row;
-      Array.blit row 0 out (r * cols) cols
-    done;
+    Pool.run ~threshold:4 ~n:rows (fun r_lo r_hi ->
+        let row = Array.make cols F.zero in
+        for r = r_lo to r_hi - 1 do
+          Array.blit out (r * cols) row 0 cols;
+          forward row_plan row;
+          Array.blit row 0 out (r * cols) cols
+        done);
     (* Step 4: transpose, so that output index k = c * rows + r holds
        X_k with k = c * rows + r, matching the flat transform's order. *)
     let res = Array.make n F.zero in
-    for r = 0 to rows - 1 do
-      for c = 0 to cols - 1 do
-        res.((c * rows) + r) <- out.((r * cols) + c)
-      done
-    done;
+    Pool.run ~threshold:4 ~n:rows (fun r_lo r_hi ->
+        for r = r_lo to r_hi - 1 do
+          for c = 0 to cols - 1 do
+            res.((c * rows) + r) <- out.((r * cols) + c)
+          done
+        done);
     res
 
   let butterfly_count n = n / 2 * log2_exact n

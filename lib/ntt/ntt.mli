@@ -41,6 +41,11 @@ module type S = sig
   val forward_copy : plan -> elt array -> elt array
   val inverse_copy : plan -> elt array -> elt array
 
+  val forward_rows : plan -> elt array array -> unit
+  (** In-place {!forward} on each row, split across the
+      {!Nocap_parallel.Pool} domains. Byte-identical to a serial loop for
+      every domain count. *)
+
   val four_step_forward : rows:int -> cols:int -> elt array -> elt array
   (** Bailey's four-step NTT of a [rows * cols] array viewed as a row-major
       matrix: column transforms, twiddle scaling, row transforms, transpose.

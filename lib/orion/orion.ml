@@ -2,6 +2,7 @@ module Gf = Zk_field.Gf
 module Mle = Zk_poly.Mle
 module Merkle = Zk_merkle.Merkle
 module Transcript = Zk_hash.Transcript
+module Pool = Nocap_parallel.Pool
 
 type params = {
   rows : int;
@@ -58,11 +59,12 @@ let commit params rng table =
     else [||]
   in
   let all_rows = Array.append matrix masks in
-  let encoded = Array.map Code.encode all_rows in
+  let encoded = Code.encode_batch all_rows in
   let code_len = Code.blowup * cols in
   let leaves =
-    Array.init code_len (fun j ->
-        Merkle.leaf_of_column (Array.map (fun row -> row.(j)) encoded))
+    Merkle.leaves_of_columns
+      (Pool.parallel_init ~threshold:64 code_len (fun j ->
+           Array.map (fun row -> row.(j)) encoded))
   in
   let tree = Merkle.build leaves in
   let commitment =
@@ -80,16 +82,19 @@ let split_point (cm : commitment) point =
   let log_rows = log2_exact cm.mat_rows in
   (Array.sub point 0 log_rows, Array.sub point log_rows (cm.num_vars - log_rows))
 
-(* combo coeffs^T M for a list of rows. *)
+(* combo coeffs^T M for a list of rows. Column chunks are independent, and
+   within a column the accumulation order over rows is the serial one, so
+   the combination is byte-identical for every domain count. *)
 let row_combination coeffs rows_arr cols =
   let out = Array.make cols Gf.zero in
-  Array.iteri
-    (fun r coeff ->
-      let row = rows_arr.(r) in
-      for j = 0 to cols - 1 do
-        out.(j) <- Gf.add out.(j) (Gf.mul coeff row.(j))
-      done)
-    coeffs;
+  Pool.run ~threshold:256 ~n:cols (fun lo hi ->
+      Array.iteri
+        (fun r coeff ->
+          let row = rows_arr.(r) in
+          for j = lo to hi - 1 do
+            out.(j) <- Gf.add out.(j) (Gf.mul coeff row.(j))
+          done)
+        coeffs);
   out
 
 let code_length params (cm : commitment) =
@@ -125,8 +130,10 @@ let prove_eval params committed transcript point =
   let indices =
     Transcript.challenge_indices transcript "orion/columns" ~bound ~count:Code.query_count
   in
+  (* Proximity-test column openings: each query reads the (immutable)
+     encoded matrix and tree independently. *)
   let columns =
-    Array.map
+    Pool.parallel_map ~threshold:16
       (fun j ->
         let col = Array.map (fun row -> row.(j)) committed.encoded in
         (j, col, Merkle.path committed.tree j))

@@ -1,0 +1,297 @@
+(* Fixed Domain pool with a single-slot task board.
+
+   Submission publishes one task (a chunked index range) under [lock] and
+   bumps [generation]; idle workers wake on [work_cond], claim chunks from
+   the task's atomic cursor, and the participant that retires the last
+   index marks the task finished and broadcasts [done_cond]. The submitter
+   participates too, so a pool of size 1 degenerates to a plain loop and
+   progress never depends on workers waking up at all. *)
+
+type task = {
+  body : int -> int -> unit; (* half-open chunk [lo, hi) *)
+  n : int;
+  chunk : int;
+  next : int Atomic.t; (* next unclaimed chunk start *)
+  remaining : int Atomic.t; (* indices not yet retired *)
+  failed : bool Atomic.t;
+  mutable exn : (exn * Printexc.raw_backtrace) option;
+  task_lock : Mutex.t;
+  done_cond : Condition.t;
+  mutable finished : bool;
+}
+
+type t = {
+  pool_size : int;
+  mutable workers : unit Domain.t array;
+  lock : Mutex.t;
+  work_cond : Condition.t;
+  submit_lock : Mutex.t; (* serializes top-level submissions *)
+  mutable current : task option;
+  mutable generation : int;
+  mutable shutdown : bool;
+}
+
+let size p = p.pool_size
+
+(* True while the current domain is executing chunks of some task; nested
+   submissions from such a domain run serially instead of deadlocking on
+   the single task slot. *)
+let in_worker : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let record_exn task e bt =
+  Mutex.lock task.task_lock;
+  if task.exn = None then task.exn <- Some (e, bt);
+  Mutex.unlock task.task_lock;
+  Atomic.set task.failed true
+
+let participate task =
+  let flag = Domain.DLS.get in_worker in
+  let was = !flag in
+  flag := true;
+  let continue = ref true in
+  while !continue do
+    let lo = Atomic.fetch_and_add task.next task.chunk in
+    if lo >= task.n then continue := false
+    else begin
+      let hi = min (lo + task.chunk) task.n in
+      (* After a failure, remaining chunks are drained without running the
+         body: the submitter re-raises the first exception anyway. *)
+      if not (Atomic.get task.failed) then begin
+        try task.body lo hi
+        with e -> record_exn task e (Printexc.get_raw_backtrace ())
+      end;
+      let old = Atomic.fetch_and_add task.remaining (lo - hi) in
+      if old - (hi - lo) = 0 then begin
+        Mutex.lock task.task_lock;
+        task.finished <- true;
+        Condition.broadcast task.done_cond;
+        Mutex.unlock task.task_lock
+      end
+    end
+  done;
+  flag := was
+
+let worker pool () =
+  let last_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.lock;
+    while (not pool.shutdown) && pool.generation = !last_gen do
+      Condition.wait pool.work_cond pool.lock
+    done;
+    if pool.shutdown then begin
+      Mutex.unlock pool.lock;
+      running := false
+    end
+    else begin
+      last_gen := pool.generation;
+      let t = pool.current in
+      Mutex.unlock pool.lock;
+      match t with Some task -> participate task | None -> ()
+    end
+  done
+
+let clamp_domains d = max 1 (min 128 d)
+
+let create ?domains () =
+  let requested =
+    match domains with
+    | Some d -> d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let pool_size = clamp_domains requested in
+  let pool =
+    {
+      pool_size;
+      workers = [||];
+      lock = Mutex.create ();
+      work_cond = Condition.create ();
+      submit_lock = Mutex.create ();
+      current = None;
+      generation = 0;
+      shutdown = false;
+    }
+  in
+  pool.workers <- Array.init (pool_size - 1) (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let teardown pool =
+  Mutex.lock pool.lock;
+  let already = pool.shutdown in
+  pool.shutdown <- true;
+  Condition.broadcast pool.work_cond;
+  Mutex.unlock pool.lock;
+  if not already then Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+(* --- default pool ------------------------------------------------------ *)
+
+let env_domains () =
+  match Sys.getenv_opt "NOCAP_DOMAINS" with
+  | Some s -> (match int_of_string_opt (String.trim s) with
+    | Some d when d > 0 -> Some (clamp_domains d)
+    | _ -> None)
+  | None -> None
+
+let forced_default : int option ref = ref None
+
+let default_domains () =
+  match !forced_default with
+  | Some d -> d
+  | None -> (
+    match env_domains () with
+    | Some d -> d
+    | None -> clamp_domains (Domain.recommended_domain_count ()))
+
+let default_pool : t option ref = ref None
+
+let at_exit_installed = ref false
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+    let p = create ~domains:(default_domains ()) () in
+    default_pool := Some p;
+    if not !at_exit_installed then begin
+      at_exit_installed := true;
+      at_exit (fun () ->
+          match !default_pool with
+          | Some p ->
+            default_pool := None;
+            teardown p
+          | None -> ())
+    end;
+    p
+
+let set_default_domains d =
+  (match !default_pool with
+  | Some p ->
+    default_pool := None;
+    teardown p
+  | None -> ());
+  forced_default := Some (clamp_domains d)
+
+let with_domains d f =
+  let saved = !forced_default in
+  set_default_domains d;
+  Fun.protect
+    ~finally:(fun () ->
+      (match !default_pool with
+      | Some p ->
+        default_pool := None;
+        teardown p
+      | None -> ());
+      forced_default := saved)
+    f
+
+(* --- submission --------------------------------------------------------- *)
+
+let default_threshold = 32
+
+let resolve_pool = function Some p -> p | None -> default ()
+
+let run ?pool ?chunk ?(threshold = default_threshold) ~n body =
+  if n > 0 then begin
+    let serial () = body 0 n in
+    if n <= max 1 threshold || !(Domain.DLS.get in_worker) then serial ()
+    else begin
+      let p = resolve_pool pool in
+      if p.pool_size = 1 || p.shutdown then serial ()
+      else begin
+        let chunk =
+          match chunk with
+          | Some c -> max 1 c
+          | None ->
+            (* ~4 chunks per participant keeps dynamic claiming balanced
+               without shredding the range. *)
+            max 1 ((n + (4 * p.pool_size) - 1) / (4 * p.pool_size))
+        in
+        let task =
+          {
+            body;
+            n;
+            chunk;
+            next = Atomic.make 0;
+            remaining = Atomic.make n;
+            failed = Atomic.make false;
+            exn = None;
+            task_lock = Mutex.create ();
+            done_cond = Condition.create ();
+            finished = false;
+          }
+        in
+        Mutex.lock p.submit_lock;
+        Mutex.lock p.lock;
+        p.generation <- p.generation + 1;
+        p.current <- Some task;
+        Condition.broadcast p.work_cond;
+        Mutex.unlock p.lock;
+        participate task;
+        Mutex.lock task.task_lock;
+        while not task.finished do
+          Condition.wait task.done_cond task.task_lock
+        done;
+        Mutex.unlock task.task_lock;
+        Mutex.lock p.lock;
+        p.current <- None;
+        Mutex.unlock p.lock;
+        Mutex.unlock p.submit_lock;
+        match task.exn with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ()
+      end
+    end
+  end
+
+let parallel_for ?pool ?chunk ?threshold ~n f =
+  run ?pool ?chunk ?threshold ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+let parallel_init ?pool ?chunk ?threshold n f =
+  if n <= 0 then [||]
+  else begin
+    let first = f 0 in
+    let out = Array.make n first in
+    run ?pool ?chunk ?threshold ~n:(n - 1) (fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(i + 1) <- f (i + 1)
+        done);
+    out
+  end
+
+let parallel_map ?pool ?chunk ?threshold f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let first = f a.(0) in
+    let out = Array.make n first in
+    run ?pool ?chunk ?threshold ~n:(n - 1) (fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(i + 1) <- f a.(i + 1)
+        done);
+    out
+  end
+
+let fold_chunks ?pool ?chunk ?threshold ~n ~init ~body ~combine () =
+  if n <= 0 then init
+  else begin
+    (* Chunk geometry is a function of n (and the explicit chunk) only, so
+       the combine order below is identical for every pool size. *)
+    let chunk =
+      match chunk with Some c -> max 1 c | None -> max 1 ((n + 63) / 64)
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let parts = Array.make nchunks None in
+    run ?pool ~chunk:1 ?threshold ~n:nchunks (fun clo chi ->
+        for c = clo to chi - 1 do
+          let lo = c * chunk in
+          let hi = min (lo + chunk) n in
+          parts.(c) <- Some (body lo hi)
+        done);
+    Array.fold_left
+      (fun acc part -> match part with Some v -> combine acc v | None -> acc)
+      init parts
+  end

@@ -1,0 +1,86 @@
+(** Domain-based work pool for the prover hot paths.
+
+    A fixed set of worker domains (sized from [NOCAP_DOMAINS] or
+    {!Domain.recommended_domain_count}) executes chunked index ranges on
+    behalf of a submitting domain, which also participates. The pool is the
+    software analogue of NoCap's vector lanes: every converted kernel
+    (Merkle hashing, row-wise encoding, sumcheck rounds, Pippenger windows)
+    is an embarrassingly parallel loop over disjoint output slots.
+
+    {b Determinism contract.} Results are byte-identical for every domain
+    count, including 1, because (a) all parallelised bodies write disjoint
+    array slots or combine exact field/group elements, and (b)
+    {!fold_chunks} fixes its chunk boundaries and combine order as a pure
+    function of [n] and [chunk] — never of the pool size or of scheduling.
+    The serial fallback (pool of size 1, [n] below [threshold], or a nested
+    call from inside a worker) runs the same chunk decomposition in order. *)
+
+type t
+(** A pool handle. The submitting domain counts towards the size, so a pool
+    of size [k] spawns [k - 1] worker domains. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool of the given total size (default:
+    {!default_domains}[ ()]), clamped to [\[1, 128\]]. A pool of size 1
+    spawns no domains and runs everything serially. *)
+
+val size : t -> int
+
+val teardown : t -> unit
+(** Join all worker domains. The pool must not be used afterwards; calling
+    [teardown] twice is harmless. *)
+
+val default_domains : unit -> int
+(** Size used for the shared default pool: [NOCAP_DOMAINS] if set to a
+    positive integer, else [Domain.recommended_domain_count ()]. *)
+
+val default : unit -> t
+(** The shared default pool, created on first use and torn down via
+    [at_exit]. All converted library hot paths submit here unless handed an
+    explicit pool. *)
+
+val set_default_domains : int -> unit
+(** Tear down the current default pool (if any) and recreate it with the
+    given size on next use. Intended for benchmarks and tests that sweep
+    domain counts inside one process. *)
+
+val with_domains : int -> (unit -> 'a) -> 'a
+(** [with_domains k f] runs [f] with the default pool resized to [k],
+    restoring the previous size afterwards (even on exceptions). *)
+
+val run : ?pool:t -> ?chunk:int -> ?threshold:int -> n:int -> (int -> int -> unit) -> unit
+(** [run ~n body] executes [body lo hi] over half-open chunks covering
+    [\[0, n)]. Chunks are claimed dynamically by participating domains, so
+    [body] must only write state disjoint per index (or commute exactly).
+    [chunk] is the chunk length (default: [n] split ~4 ways per domain);
+    [n <= threshold] (default 32) short-circuits to [body 0 n] in the
+    calling domain. The first exception raised by any participant is
+    re-raised in the submitting domain after all chunks complete. Nested
+    calls from inside a worker run serially. *)
+
+val parallel_for : ?pool:t -> ?chunk:int -> ?threshold:int -> n:int -> (int -> unit) -> unit
+(** Per-index variant of {!run}. *)
+
+val parallel_init : ?pool:t -> ?chunk:int -> ?threshold:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. [f 0] runs first in the submitting domain (to
+    seed the result array), the rest in parallel. *)
+
+val parallel_map : ?pool:t -> ?chunk:int -> ?threshold:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map], same evaluation structure as {!parallel_init}. *)
+
+val fold_chunks :
+  ?pool:t ->
+  ?chunk:int ->
+  ?threshold:int ->
+  n:int ->
+  init:'acc ->
+  body:(int -> int -> 'part) ->
+  combine:('acc -> 'part -> 'acc) ->
+  unit ->
+  'acc
+(** Chunked parallel reduction: [body lo hi] produces a partial result per
+    chunk; partials are combined {e in chunk order} starting from [init].
+    Chunk boundaries depend only on [n] and [chunk] (default
+    [max 1 (ceil (n / 64))]), so the reduction tree is identical for every
+    domain count — this is what makes reductions over inexact operations
+    deterministic too. *)

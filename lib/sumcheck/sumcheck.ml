@@ -2,6 +2,7 @@ module Gf = Zk_field.Gf
 module Transcript = Zk_hash.Transcript
 module Mle = Zk_poly.Mle
 module Dense = Zk_poly.Dense
+module Pool = Nocap_parallel.Pool
 
 type proof = { round_polys : Gf.t array array }
 
@@ -37,37 +38,60 @@ let prove ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
   let mults = ref 0 and adds = ref 0 in
   let round_polys = Array.make num_vars [||] in
   let challenges = Array.make num_vars Gf.zero in
-  let vals = Array.make k Gf.zero in
-  let deltas = Array.make k Gf.zero in
   for round = 0 to num_vars - 1 do
     let half = !len / 2 in
     (* Round polynomial g(t) at t = 0..degree. For each b, each table
        restricted to the top variable is the line lo + t*(hi - lo); we walk t
-       by repeated addition of the delta, avoiding multiplications. *)
-    let g = Array.make (degree + 1) Gf.zero in
-    for b = 0 to half - 1 do
-      for j = 0 to k - 1 do
-        let lo = tables.(j).(b) and hi = tables.(j).(b + half) in
-        vals.(j) <- lo;
-        deltas.(j) <- Gf.sub hi lo
+       by repeated addition of the delta, avoiding multiplications.
+
+       The b-range splits into chunks evaluated in parallel, each producing
+       a partial g; partials are added back in chunk order (and Gf addition
+       is exact), so g is byte-identical for every domain count. *)
+    let eval_chunk lo_b hi_b =
+      let g = Array.make (degree + 1) Gf.zero in
+      let vals = Array.make k Gf.zero in
+      let deltas = Array.make k Gf.zero in
+      for b = lo_b to hi_b - 1 do
+        for j = 0 to k - 1 do
+          let lo = tables.(j).(b) and hi = tables.(j).(b + half) in
+          vals.(j) <- lo;
+          deltas.(j) <- Gf.sub hi lo
+        done;
+        for t = 0 to degree do
+          if t > 0 then
+            for j = 0 to k - 1 do
+              vals.(j) <- Gf.add vals.(j) deltas.(j)
+            done;
+          g.(t) <- Gf.add g.(t) (comb vals)
+        done
       done;
-      for t = 0 to degree do
-        if t > 0 then
-          for j = 0 to k - 1 do
-            vals.(j) <- Gf.add vals.(j) deltas.(j)
+      g
+    in
+    let g =
+      Pool.fold_chunks ~chunk:1024 ~threshold:2048 ~n:half
+        ~init:(Array.make (degree + 1) Gf.zero)
+        ~body:eval_chunk
+        ~combine:(fun acc part ->
+          for t = 0 to degree do
+            acc.(t) <- Gf.add acc.(t) part.(t)
           done;
-        g.(t) <- Gf.add g.(t) (comb vals)
-      done;
-      adds := !adds + ((degree + 1) * (k + 1));
-      mults := !mults + ((degree + 1) * comb_mults)
-    done;
+          acc)
+        ()
+    in
+    adds := !adds + (half * (degree + 1) * (k + 1));
+    mults := !mults + (half * (degree + 1) * comb_mults);
     round_polys.(round) <- g;
     Transcript.absorb_gf transcript "sumcheck/round" g;
     let r = Transcript.challenge_gf transcript "sumcheck/challenge" in
     challenges.(round) <- r;
-    (* Fold every table: T(b) <- T(b) + r * (T(b + half) - T(b)). *)
+    (* Fold every table: T(b) <- T(b) + r * (T(b + half) - T(b)); writes to
+       b < half are disjoint from the reads at b + half. *)
     for j = 0 to k - 1 do
-      ignore (Mle.fold_top_in_place tables.(j) ~len:!len r)
+      let t = tables.(j) in
+      Pool.run ~threshold:2048 ~n:half (fun lo hi ->
+          for b = lo to hi - 1 do
+            t.(b) <- Gf.add t.(b) (Gf.mul r (Gf.sub t.(b + half) t.(b)))
+          done)
     done;
     mults := !mults + (k * half);
     adds := !adds + (2 * k * half);

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "nocap_repro"
     [
+      ("parallel", Test_parallel.suite);
       ("field", Test_field.suite);
       ("hash", Test_hash.suite);
       ("ntt", Test_ntt.suite);

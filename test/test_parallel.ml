@@ -1,0 +1,228 @@
+(* Parallel runtime tests: pool torture (nesting, exceptions, degenerate
+   sizes) plus QCheck parallel/serial equivalence — every converted hot path
+   must produce byte-identical results for domain counts 1, 2, and N. *)
+
+module Pool = Nocap_parallel.Pool
+module Gf = Zk_field.Gf
+module Keccak = Zk_hash.Keccak
+module Transcript = Zk_hash.Transcript
+module Merkle = Zk_merkle.Merkle
+module Ntt = Zk_ntt.Ntt.Gf_ntt
+module Reed_solomon = Zk_ecc.Reed_solomon
+module Expander = Zk_ecc.Expander
+module Sumcheck = Zk_sumcheck.Sumcheck
+module Orion = Zk_orion.Orion
+module Msm = Zk_curve.Msm
+module G1 = Zk_curve.G1
+module Fr = Zk_field.Fr_bls
+module Rng = Zk_util.Rng
+
+(* Domain counts every equivalence property sweeps. The machine may have
+   any core count; correctness must not depend on it. *)
+let domain_counts = [ 1; 2; 3 ]
+
+let with_each_domain_count f = List.map (fun d -> Pool.with_domains d (fun () -> f d)) domain_counts
+
+(* --- pool torture ------------------------------------------------------- *)
+
+let test_degenerate () =
+  Pool.with_domains 3 (fun () ->
+      Pool.parallel_for ~n:0 (fun _ -> failwith "must not run");
+      Pool.run ~n:(-5) (fun _ _ -> failwith "must not run");
+      Alcotest.(check (array int)) "init 0" [||] (Pool.parallel_init 0 (fun i -> i));
+      Alcotest.(check (array int)) "map empty" [||] (Pool.parallel_map (fun x -> x) [||]);
+      Alcotest.(check (array int)) "init 1" [| 7 |] (Pool.parallel_init 1 (fun _ -> 7));
+      let hits = ref 0 in
+      Pool.parallel_for ~threshold:0 ~n:1 (fun _ -> incr hits);
+      Alcotest.(check int) "size-1 input runs once" 1 !hits)
+
+let test_init_matches_serial () =
+  let expected = Array.init 1000 (fun i -> (i * i) + 3) in
+  with_each_domain_count (fun _ ->
+      Pool.parallel_init ~threshold:1 1000 (fun i -> (i * i) + 3))
+  |> List.iter (fun got -> Alcotest.(check (array int)) "parallel_init" expected got)
+
+let test_nested () =
+  Pool.with_domains 3 (fun () ->
+      let got =
+        Pool.parallel_init ~threshold:1 16 (fun i ->
+            (* Nested submission from inside a worker must run serially and
+               still be correct. *)
+            let inner = Pool.parallel_init ~threshold:1 8 (fun j -> (i * 8) + j) in
+            Array.fold_left ( + ) 0 inner)
+      in
+      let expected = Array.init 16 (fun i -> Array.fold_left ( + ) 0 (Array.init 8 (fun j -> (i * 8) + j))) in
+      Alcotest.(check (array int)) "nested" expected got)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Pool.with_domains 3 (fun () ->
+      (match Pool.parallel_for ~threshold:1 ~n:100 (fun i -> if i = 57 then raise (Boom i)) with
+      | () -> Alcotest.fail "expected exception"
+      | exception Boom 57 -> ()
+      | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e));
+      (* The pool must stay usable after a failed task. *)
+      let a = Pool.parallel_init ~threshold:1 64 (fun i -> 2 * i) in
+      Alcotest.(check (array int)) "pool alive after exn" (Array.init 64 (fun i -> 2 * i)) a)
+
+let test_fold_chunks () =
+  List.iter
+    (fun chunk ->
+      with_each_domain_count (fun _ ->
+          Pool.fold_chunks ~chunk ~threshold:1 ~n:1000 ~init:0
+            ~body:(fun lo hi ->
+              let s = ref 0 in
+              for i = lo to hi - 1 do
+                s := !s + i
+              done;
+              !s)
+            ~combine:( + ) ())
+      |> List.iter (fun got -> Alcotest.(check int) "fold sum" (1000 * 999 / 2) got))
+    [ 1; 7; 64; 1000; 4096 ]
+
+let test_with_domains_restores () =
+  let before = Pool.default_domains () in
+  (try Pool.with_domains 2 (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "default restored after exn" before (Pool.default_domains ())
+
+(* --- parallel/serial equivalence (QCheck) ------------------------------ *)
+
+let qcheck ?(count = 10) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let gf_array_gen log_n =
+  QCheck.Gen.(
+    map
+      (fun seed ->
+        let rng = Rng.create (Int64.of_int seed) in
+        Array.init (1 lsl log_n) (fun _ -> Gf.random rng))
+      int)
+
+let qcheck_merkle =
+  qcheck "merkle roots identical across domain counts"
+    QCheck.(make Gen.(pair (int_range 1 200) int))
+    (fun (n, seed) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let leaves =
+        Array.init n (fun _ -> Keccak.sha3_256_string (Int64.to_string (Rng.next rng)))
+      in
+      let serial = Merkle.root (Merkle.build_serial leaves) in
+      with_each_domain_count (fun _ -> Merkle.root (Merkle.build leaves))
+      |> List.for_all (String.equal serial))
+
+let qcheck_ntt_rows =
+  qcheck "row-wise NTT identical across domain counts"
+    QCheck.(make (gf_array_gen 9))
+    (fun flat ->
+      let rows n = Array.init n (fun r -> Array.sub flat (r * 32) 32) in
+      let plan = Ntt.plan 32 in
+      let serial = rows 16 in
+      Array.iter (Ntt.forward plan) serial;
+      with_each_domain_count (fun _ ->
+          let m = rows 16 in
+          Ntt.forward_rows plan m;
+          m)
+      |> List.for_all (( = ) serial))
+
+let qcheck_four_step =
+  qcheck "four-step NTT = flat NTT across domain counts"
+    QCheck.(make (gf_array_gen 8))
+    (fun a ->
+      let flat = Ntt.forward_copy (Ntt.plan 256) a in
+      with_each_domain_count (fun _ -> Ntt.four_step_forward ~rows:16 ~cols:16 a)
+      |> List.for_all (( = ) flat))
+
+let qcheck_codes =
+  qcheck "codewords identical across domain counts"
+    QCheck.(make (gf_array_gen 8))
+    (fun flat ->
+      let rows = Array.init 4 (fun r -> Array.sub flat (r * 64) 64) in
+      List.for_all
+        (fun ((module Code : Zk_ecc.Linear_code.S)) ->
+          let serial = Array.map Code.encode rows in
+          with_each_domain_count (fun _ -> Code.encode_batch rows)
+          |> List.for_all (( = ) serial))
+        [ (module Reed_solomon); (module Expander) ])
+
+let sumcheck_comb v = Gf.mul v.(0) (Gf.sub (Gf.mul v.(1) v.(2)) v.(3))
+
+let qcheck_sumcheck =
+  qcheck "sumcheck transcripts identical across domain counts"
+    QCheck.(make (gf_array_gen 8))
+    (fun flat ->
+      let tables = Array.init 4 (fun j -> Array.sub flat (j * 64) 64) in
+      let claim =
+        let acc = ref Gf.zero in
+        for b = 0 to 63 do
+          acc := Gf.add !acc (sumcheck_comb (Array.map (fun t -> t.(b)) tables))
+        done;
+        !acc
+      in
+      let run () =
+        let t = Transcript.create "test-parallel" in
+        let r =
+          Sumcheck.prove ~comb_mults:2 t ~degree:3 ~tables ~comb:sumcheck_comb ~claim
+        in
+        (* The post-proof challenge pins the entire transcript state. *)
+        (r.Sumcheck.proof, r.Sumcheck.challenges, r.Sumcheck.final_values,
+         Transcript.challenge_gf t "final")
+      in
+      let serial = Pool.with_domains 1 run in
+      with_each_domain_count (fun _ -> run ()) |> List.for_all (( = ) serial))
+
+let orion_params =
+  { Orion.rows = 16; code = (module Reed_solomon); proximity_count = 2; zk = true }
+
+let qcheck_orion =
+  qcheck ~count:5 "orion proofs identical across domain counts"
+    QCheck.(make Gen.(pair (gf_array_gen 8) int))
+    (fun (table, seed) ->
+      let run () =
+        let rng = Rng.create (Int64.of_int seed) in
+        let committed, cm = Orion.commit orion_params rng table in
+        let t = Transcript.create "test-parallel-orion" in
+        Orion.absorb_commitment t cm;
+        let point = Transcript.challenge_gf_vec t "point" cm.Orion.num_vars in
+        let value, proof = Orion.prove_eval orion_params committed t point in
+        (cm, value, proof)
+      in
+      let serial = Pool.with_domains 1 run in
+      let ok = with_each_domain_count (fun _ -> run ()) |> List.for_all (( = ) serial) in
+      (* And the proof must still verify. *)
+      let cm, value, proof = serial in
+      let t = Transcript.create "test-parallel-orion" in
+      Orion.absorb_commitment t cm;
+      let point = Transcript.challenge_gf_vec t "point" cm.Orion.num_vars in
+      ok
+      && Result.is_ok (Orion.verify_eval orion_params cm t point value proof))
+
+let qcheck_msm =
+  qcheck ~count:5 "pippenger identical across domain counts"
+    QCheck.(make Gen.int)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let n = 16 + Rng.int rng 17 in
+      let scalars = Array.init n (fun _ -> Fr.random rng) in
+      let points = Array.init n (fun _ -> G1.random rng) in
+      let serial = Msm.pippenger_serial scalars points in
+      G1.equal serial (Msm.naive scalars points)
+      && with_each_domain_count (fun _ -> Msm.pippenger scalars points)
+         |> List.for_all (G1.equal serial))
+
+let suite =
+  [
+    Alcotest.test_case "degenerate inputs" `Quick test_degenerate;
+    Alcotest.test_case "parallel_init matches serial" `Quick test_init_matches_serial;
+    Alcotest.test_case "nested submissions" `Quick test_nested;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "fold_chunks determinism" `Quick test_fold_chunks;
+    Alcotest.test_case "with_domains restores" `Quick test_with_domains_restores;
+    qcheck_merkle;
+    qcheck_ntt_rows;
+    qcheck_four_step;
+    qcheck_codes;
+    qcheck_sumcheck;
+    qcheck_orion;
+    qcheck_msm;
+  ]
