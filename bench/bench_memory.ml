@@ -1,0 +1,406 @@
+(* Boxed vs. unboxed memory benchmark: times each converted prover kernel in
+   its [Gf.t array] (boxed Int64) and [Fv.t] (flat Bigarray) forms, records
+   per-kernel GC statistics (minor/major allocated words, promotions,
+   collection counts) for both, cross-checks that the two forms produce the
+   same result, and emits BENCH_memory.json (validated against its own
+   schema before exit).
+
+   Everything runs single-domain ([Pool.with_domains 1]): the point is the
+   allocation behaviour of one domain's hot loop, not parallel scaling —
+   BENCH_parallel.json covers that axis.
+
+   NOTE the numbers depend on the build profile: the dev profile passes
+   [-opaque], which blocks cross-module inlining, so the Gf primitives stay
+   out-of-line and even the Fv loops box their intermediates. Run this under
+   [dune exec --profile release] for the intended zero-allocation behaviour
+   (see README "Compiler flags"). The report includes a probe so the profile
+   is visible in the JSON. *)
+
+open Nocap_repro
+module Gf_fv = Ntt.Gf_fv
+
+let wall () = Unix.gettimeofday ()
+
+type gc_sample = {
+  seconds : float;
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+(* Best-of-r wall time plus GC deltas over a single run from a settled
+   heap, so collections triggered by the previous variant are not charged
+   to this one. *)
+let measure ~reps f =
+  Gc.full_major ();
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = wall () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = wall () -. t0 in
+    if dt < !best then best := dt
+  done;
+  Gc.full_major ();
+  let s0 = Gc.quick_stat () in
+  (* [Gc.minor_words] reads the live allocation pointer; quick_stat's
+     minor_words field is only refreshed at collection boundaries, which
+     would report 0 for any kernel that fits in the minor heap. *)
+  let m0 = Gc.minor_words () in
+  ignore (Sys.opaque_identity (f ()));
+  let m1 = Gc.minor_words () in
+  let s1 = Gc.quick_stat () in
+  {
+    seconds = !best;
+    minor_words = m1 -. m0;
+    major_words = s1.Gc.major_words -. s0.Gc.major_words;
+    promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+    minor_collections = s1.Gc.minor_collections - s0.Gc.minor_collections;
+    major_collections = s1.Gc.major_collections - s0.Gc.major_collections;
+  }
+
+(* How many words per element a settled Fv loop allocates right now: ~0
+   under the release profile (inlined Gf ops), ~10+ under dev ([-opaque]).
+   Recorded in the JSON so a dev-profile report is recognizable. *)
+let fv_probe_words_per_elem () =
+  let n = 4096 in
+  let v = Fv.create n in
+  Fv.fill v Gf.one;
+  let dst = Fv.create n in
+  ignore (Sys.opaque_identity (Fv.mul_into ~dst v v));
+  let s0 = Gc.quick_stat () in
+  ignore (Sys.opaque_identity (Fv.mul_into ~dst v v));
+  let s1 = Gc.quick_stat () in
+  (s1.Gc.minor_words -. s0.Gc.minor_words) /. float_of_int n
+
+type kernel = {
+  k_name : string;
+  k_n : int; (* elements processed, for the per-element normalization *)
+  k_boxed : unit -> string; (* each returns a result fingerprint *)
+  k_unboxed : unit -> string;
+}
+
+let kernels ~smoke rng =
+  let scale b s = if smoke then s else b in
+  (* NTT: one full-size in-place transform per run, same preallocated
+     buffer refilled from the same input. *)
+  let ntt_n = scale (1 lsl 18) (1 lsl 10) in
+  let ntt_input = Array.init ntt_n (fun _ -> Gf.random rng) in
+  let ntt_input_fv = Fv.of_array ntt_input in
+  let ntt_buf = Array.make ntt_n Gf.zero in
+  let ntt_buf_fv = Fv.create ntt_n in
+  let ntt_plan = Ntt.Gf_ntt.plan ntt_n in
+  let ntt_plan_fv = Gf_fv.plan ntt_n in
+  (* Merkle build: leaves from a [mk_rows x mk_len] codeword matrix, boxed
+     as gathered columns vs. read strided out of the flat buffer. *)
+  let mk_rows = scale 128 16 in
+  let mk_len = scale 2048 64 in
+  let mk_flat = Fv.create (mk_rows * mk_len) in
+  for i = 0 to (mk_rows * mk_len) - 1 do
+    Fv.set mk_flat i (Gf.random rng)
+  done;
+  let mk_cols =
+    Array.init mk_len (fun j ->
+        Array.init mk_rows (fun r -> Fv.get mk_flat ((r * mk_len) + j)))
+  in
+  (* RS encode: row-wise batch encode of a message matrix. *)
+  let rs_rows = scale 256 8 in
+  let rs_cols = scale 1024 64 in
+  let rs_msgs = Array.init rs_rows (fun _ -> Array.init rs_cols (fun _ -> Gf.random rng)) in
+  let rs_flat = Fv.create (rs_rows * rs_cols) in
+  Array.iteri (fun r row -> Fv.write_array row ~src_pos:0 rs_flat ~dst_pos:(r * rs_cols) ~len:rs_cols) rs_msgs;
+  (* Sumcheck fold: the round-folding recurrence
+     T(b) <- T(b) + r*(T(b+half) - T(b)) run to a single element, with a
+     fixed deterministic challenge per round. *)
+  let sf_n = scale (1 lsl 18) (1 lsl 10) in
+  let sf_table = Array.init sf_n (fun _ -> Gf.random rng) in
+  let sf_table_fv = Fv.of_array sf_table in
+  let sf_buf = Array.make sf_n Gf.zero in
+  let sf_buf_fv = Fv.create sf_n in
+  let sf_challenges =
+    let r = Rng.create 0xF01DL in
+    Array.init 64 (fun _ -> Gf.random r)
+  in
+  (* Full sumcheck prover: boxed reference vs. unboxed production path. *)
+  let sc_n = scale (1 lsl 14) (1 lsl 8) in
+  let sc_tables = Array.init 4 (fun _ -> Array.init sc_n (fun _ -> Gf.random rng)) in
+  let sc_comb v = Gf.mul v.(0) (Gf.sub (Gf.mul v.(1) v.(2)) v.(3)) in
+  let sc_claim =
+    let acc = ref Gf.zero in
+    for b = 0 to sc_n - 1 do
+      acc := Gf.add !acc (sc_comb (Array.map (fun t -> t.(b)) sc_tables))
+    done;
+    !acc
+  in
+  (* Orion commit (zk off so both sides are deterministic): production
+     flat commit vs. the same pipeline assembled from the boxed entry
+     points. *)
+  let orion_n = scale (1 lsl 16) (1 lsl 8) in
+  let orion_table = Array.init orion_n (fun _ -> Gf.random rng) in
+  let orion_params =
+    { Orion.rows = scale 128 16; code = (module Reed_solomon); proximity_count = 4; zk = false }
+  in
+  let orion_rows = min orion_params.Orion.rows orion_n in
+  let orion_cols = orion_n / orion_rows in
+  [
+    {
+      k_name = "ntt";
+      k_n = ntt_n;
+      k_boxed =
+        (fun () ->
+          Array.blit ntt_input 0 ntt_buf 0 ntt_n;
+          Ntt.Gf_ntt.forward ntt_plan ntt_buf;
+          Gf.to_string ntt_buf.(1));
+      k_unboxed =
+        (fun () ->
+          Fv.blit ~src:ntt_input_fv ~src_pos:0 ~dst:ntt_buf_fv ~dst_pos:0 ~len:ntt_n;
+          Gf_fv.forward ntt_plan_fv ntt_buf_fv;
+          Gf.to_string (Fv.get ntt_buf_fv 1));
+    };
+    {
+      k_name = "merkle-build";
+      k_n = mk_rows * mk_len;
+      k_boxed =
+        (fun () -> Keccak.to_hex (Merkle.root (Merkle.build (Merkle.leaves_of_columns mk_cols))));
+      k_unboxed =
+        (fun () ->
+          Keccak.to_hex
+            (Merkle.root (Merkle.build (Merkle.leaves_of_matrix ~rows:mk_rows ~cols:mk_len mk_flat))));
+    };
+    {
+      k_name = "rs-encode";
+      k_n = rs_rows * rs_cols;
+      k_boxed =
+        (fun () ->
+          let e = Reed_solomon.encode_batch rs_msgs in
+          Gf.to_string e.(rs_rows - 1).(1));
+      k_unboxed =
+        (fun () ->
+          let e = Reed_solomon.encode_rows_fv ~rows:rs_rows ~cols:rs_cols rs_flat in
+          Gf.to_string (Fv.get e (((rs_rows - 1) * Reed_solomon.blowup * rs_cols) + 1)));
+    };
+    {
+      k_name = "sumcheck-fold";
+      k_n = sf_n;
+      k_boxed =
+        (fun () ->
+          Array.blit sf_table 0 sf_buf 0 sf_n;
+          let len = ref sf_n and round = ref 0 in
+          while !len > 1 do
+            let half = !len / 2 in
+            let r = sf_challenges.(!round) in
+            for b = 0 to half - 1 do
+              sf_buf.(b) <- Gf.add sf_buf.(b) (Gf.mul r (Gf.sub sf_buf.(b + half) sf_buf.(b)))
+            done;
+            len := half;
+            incr round
+          done;
+          Gf.to_string sf_buf.(0));
+      k_unboxed =
+        (fun () ->
+          Fv.blit ~src:sf_table_fv ~src_pos:0 ~dst:sf_buf_fv ~dst_pos:0 ~len:sf_n;
+          let len = ref sf_n and round = ref 0 in
+          while !len > 1 do
+            let half = !len / 2 in
+            let r = sf_challenges.(!round) in
+            for b = 0 to half - 1 do
+              let x = Fv.unsafe_get sf_buf_fv b in
+              Fv.unsafe_set sf_buf_fv b
+                (Gf.add x (Gf.mul r (Gf.sub (Fv.unsafe_get sf_buf_fv (b + half)) x)))
+            done;
+            len := half;
+            incr round
+          done;
+          Gf.to_string (Fv.get sf_buf_fv 0));
+    };
+    {
+      k_name = "sumcheck-prove";
+      k_n = sc_n;
+      k_boxed =
+        (fun () ->
+          let t = Transcript.create "bench-memory" in
+          let r =
+            Sumcheck.prove_arrays ~comb_mults:2 t ~degree:3 ~tables:sc_tables ~comb:sc_comb
+              ~claim:sc_claim
+          in
+          Gf.to_string r.Sumcheck.challenges.(Array.length r.Sumcheck.challenges - 1));
+      k_unboxed =
+        (fun () ->
+          let t = Transcript.create "bench-memory" in
+          let r =
+            Sumcheck.prove ~comb_mults:2 t ~degree:3 ~tables:sc_tables ~comb:sc_comb
+              ~claim:sc_claim
+          in
+          Gf.to_string r.Sumcheck.challenges.(Array.length r.Sumcheck.challenges - 1));
+    };
+    {
+      k_name = "orion-commit";
+      k_n = orion_n;
+      k_boxed =
+        (fun () ->
+          let matrix = Array.init orion_rows (fun r -> Array.sub orion_table (r * orion_cols) orion_cols) in
+          let encoded = Reed_solomon.encode_batch matrix in
+          let code_len = Reed_solomon.blowup * orion_cols in
+          let cols =
+            Array.init code_len (fun j -> Array.map (fun row -> row.(j)) encoded)
+          in
+          Keccak.to_hex (Merkle.root (Merkle.build (Merkle.leaves_of_columns cols))));
+      k_unboxed =
+        (fun () ->
+          let _, cm = Orion.commit orion_params (Rng.create 1L) orion_table in
+          Keccak.to_hex cm.Orion.root);
+    };
+  ]
+
+type row = { kernel : kernel; boxed : gc_sample; unboxed : gc_sample; fingerprint_equal : bool }
+
+let measure_kernel ~smoke k =
+  let reps = if smoke then 2 else 5 in
+  (* Warm-up both variants (plans, arena growth, page faults) and take the
+     equality fingerprints. *)
+  let fp_boxed = k.k_boxed () in
+  let fp_unboxed = k.k_unboxed () in
+  let boxed = measure ~reps k.k_boxed in
+  let unboxed = measure ~reps k.k_unboxed in
+  { kernel = k; boxed; unboxed; fingerprint_equal = String.equal fp_boxed fp_unboxed }
+
+let speedup r = r.boxed.seconds /. r.unboxed.seconds
+
+(* Total allocation (minor + directly-major) per variant; the reduction
+   ratio floors both sides at one word to stay finite and positive when a
+   variant allocates exactly nothing in the optimized build. *)
+let allocated s = s.minor_words +. s.major_words -. s.promoted_words
+let alloc_reduction r =
+  Float.max 1.0 (allocated r.boxed) /. Float.max 1.0 (allocated r.unboxed)
+
+(* --- JSON emission + schema --------------------------------------------- *)
+
+let schema_id = "nocap-bench-memory/v1"
+
+let json_of_rows ~probe rows =
+  let control = Gc.get () in
+  let buf = Buffer.create 4096 in
+  let adds fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let add_sample name (s : gc_sample) n =
+    adds "      \"%s\": {\"seconds\": %.9f, \"minor_words\": %.1f, \"major_words\": %.1f, \"promoted_words\": %.1f, \"minor_collections\": %d, \"major_collections\": %d, \"words_per_elem\": %.4f},\n"
+      name s.seconds s.minor_words s.major_words s.promoted_words s.minor_collections
+      s.major_collections
+      (allocated s /. float_of_int n)
+  in
+  adds "{\n";
+  adds "  \"schema\": %S,\n" schema_id;
+  adds "  \"domains\": 1,\n";
+  adds "  \"fv_probe_words_per_elem\": %.4f,\n" probe;
+  adds "  \"gc\": {\"minor_heap_words\": %d, \"space_overhead\": %d},\n"
+    control.Gc.minor_heap_size control.Gc.space_overhead;
+  adds "  \"kernels\": [\n";
+  List.iteri
+    (fun i r ->
+      adds "    {\n";
+      adds "      \"name\": %S,\n" r.kernel.k_name;
+      adds "      \"n\": %d,\n" r.kernel.k_n;
+      adds "      \"fingerprint_equal\": %b,\n" r.fingerprint_equal;
+      add_sample "boxed" r.boxed r.kernel.k_n;
+      add_sample "unboxed" r.unboxed r.kernel.k_n;
+      adds "      \"speedup\": %.4f,\n" (speedup r);
+      adds "      \"alloc_reduction\": %.4f\n" (alloc_reduction r);
+      adds "    }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  adds "  ]\n";
+  adds "}\n";
+  Buffer.contents buf
+
+open Json_min
+
+(* Required shape: schema id, single-domain marker, GC settings, and >= 6
+   kernels each carrying both GC samples, matching fingerprints, and the
+   derived ratios. *)
+let validate_schema (s : string) : (unit, string) result =
+  try
+    let j = parse_json s in
+    if as_str (field j "schema") <> schema_id then raise (Bad_json "wrong schema id");
+    if as_num (field j "domains") <> 1.0 then raise (Bad_json "memory bench must be single-domain");
+    ignore (as_num (field j "fv_probe_words_per_elem"));
+    let gc = field j "gc" in
+    if not (as_num (field gc "minor_heap_words") > 0.0) then
+      raise (Bad_json "minor_heap_words must be positive");
+    ignore (as_num (field gc "space_overhead"));
+    let kernels = as_list (field j "kernels") in
+    if List.length kernels < 6 then raise (Bad_json "need >= 6 kernels");
+    let names =
+      List.map
+        (fun k ->
+          ignore (as_num (field k "n"));
+          if not (as_bool (field k "fingerprint_equal")) then
+            raise (Bad_json "boxed/unboxed fingerprints diverged");
+          List.iter
+            (fun v ->
+              let sample = field k v in
+              if not (as_num (field sample "seconds") > 0.0) then
+                raise (Bad_json "seconds must be positive");
+              List.iter
+                (fun key -> ignore (as_num (field sample key)))
+                [ "minor_words"; "major_words"; "promoted_words"; "minor_collections";
+                  "major_collections"; "words_per_elem" ])
+            [ "boxed"; "unboxed" ];
+          if not (as_num (field k "speedup") > 0.0) then
+            raise (Bad_json "speedup must be positive");
+          if not (as_num (field k "alloc_reduction") > 0.0) then
+            raise (Bad_json "alloc_reduction must be positive");
+          as_str (field k "name"))
+        kernels
+    in
+    List.iter
+      (fun required ->
+        if not (List.mem required names) then
+          raise (Bad_json (Printf.sprintf "kernel %S missing" required)))
+      [ "ntt"; "merkle-build"; "rs-encode"; "sumcheck-fold"; "sumcheck-prove"; "orion-commit" ];
+    Ok ()
+  with Bad_json msg -> Error msg
+
+(* --- driver ------------------------------------------------------------- *)
+
+let run ?(smoke = false) ?(path = "BENCH_memory.json") () =
+  Zk_report.Render.section
+    (Printf.sprintf "Memory: boxed Gf.t array vs unboxed Fv (single domain)%s"
+       (if smoke then " (smoke)" else ""));
+  let rng = Rng.create 0x4D454DL in
+  let probe, rows =
+    Pool.with_domains 1 (fun () ->
+        let probe = fv_probe_words_per_elem () in
+        (probe, List.map (measure_kernel ~smoke) (kernels ~smoke rng)))
+  in
+  Zk_report.Render.table
+    ~header:
+      [ "kernel"; "n"; "boxed"; "unboxed"; "speedup"; "boxed w/elem"; "fv w/elem"; "alloc x" ]
+    (List.map
+       (fun r ->
+         [
+           r.kernel.k_name;
+           string_of_int r.kernel.k_n;
+           Zk_report.Render.seconds r.boxed.seconds;
+           Zk_report.Render.seconds r.unboxed.seconds;
+           Printf.sprintf "%.2fx" (speedup r);
+           Printf.sprintf "%.2f" (allocated r.boxed /. float_of_int r.kernel.k_n);
+           Printf.sprintf "%.4f" (allocated r.unboxed /. float_of_int r.kernel.k_n);
+           Printf.sprintf "%.0fx" (alloc_reduction r);
+         ])
+       rows);
+  (match List.filter (fun r -> not r.fingerprint_equal) rows with
+  | [] -> ()
+  | bad ->
+    List.iter
+      (fun r -> Printf.eprintf "bench memory: %s boxed/unboxed diverged\n%!" r.kernel.k_name)
+      bad;
+    exit 1);
+  let json = json_of_rows ~probe rows in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  (match validate_schema json with
+  | Ok () -> Printf.printf "wrote %s (schema %s, valid)\n%!" path schema_id
+  | Error msg ->
+    Printf.eprintf "BENCH_memory.json failed schema validation: %s\n%!" msg;
+    exit 1);
+  rows

@@ -6,11 +6,30 @@
      main.exe            full report + microbenchmarks
      main.exe report     tables/figures only
      main.exe bench      microbenchmarks only
-     main.exe table4     a single table/figure by id *)
+     main.exe parallel   serial vs multi-domain kernels -> BENCH_parallel.json
+     main.exe memory     boxed vs unboxed kernels + GC stats -> BENCH_memory.json
+     main.exe table4     a single table/figure by id
+
+   GC tuning for every mode lives in [tune_gc] below. *)
 
 open Nocap_repro
 open Bechamel
 open Toolkit
+
+(* The one place the harness touches the GC. A larger minor heap keeps the
+   boxed baselines from spending their time in minor collections (so the
+   boxed-vs-unboxed comparison in `memory` measures allocation cost, not
+   collector scheduling), and a higher space_overhead keeps the major GC
+   out of the timed regions. NOCAP_GC_MINOR_MB overrides the minor-heap
+   size in MiB. *)
+let tune_gc () =
+  let minor_mb =
+    match Option.bind (Sys.getenv_opt "NOCAP_GC_MINOR_MB") int_of_string_opt with
+    | Some v when v > 0 -> v
+    | _ -> 16
+  in
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = minor_mb * 1024 * 1024 / 8; space_overhead = 200 }
 
 (* Static verification of every schedule the harness produces: each kernel
    program at the vector lengths the benches use, linted and checked against
@@ -315,18 +334,24 @@ let run_benches () =
     (List.map (fun (name, ns) -> [ name; Zk_report.Render.seconds (ns /. 1e9) ]) rows)
 
 let () =
+  tune_gc ();
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [] ->
     List.iter (fun (_, f) -> f ()) report_items;
     run_benches ();
-    ignore (Bench_parallel.run ())
+    ignore (Bench_parallel.run ());
+    ignore (Bench_memory.run ())
   | [ "report" ] -> List.iter (fun (_, f) -> f ()) report_items
   | [ "bench" ] -> run_benches ()
   | [ "parallel" ] -> ignore (Bench_parallel.run ())
   | [ "parallel"; path ] -> ignore (Bench_parallel.run ~path ())
   | [ "parallel-smoke" ] -> ignore (Bench_parallel.run ~smoke:true ())
   | [ "parallel-smoke"; path ] -> ignore (Bench_parallel.run ~smoke:true ~path ())
+  | [ "memory" ] -> ignore (Bench_memory.run ())
+  | [ "memory"; path ] -> ignore (Bench_memory.run ~path ())
+  | [ "memory-smoke" ] -> ignore (Bench_memory.run ~smoke:true ~path:"BENCH_memory_smoke.json" ())
+  | [ "memory-smoke"; path ] -> ignore (Bench_memory.run ~smoke:true ~path ())
   | ids ->
     List.iter
       (fun id ->

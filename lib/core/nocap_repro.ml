@@ -20,6 +20,8 @@
 
 (* Substrates *)
 module Pool = Nocap_parallel.Pool
+module Fv = Nocap_vec.Fv
+module Arena = Nocap_vec.Arena
 module Rng = Zk_util.Rng
 module Stats = Zk_util.Stats
 module Gf = Zk_field.Gf

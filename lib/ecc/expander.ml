@@ -13,16 +13,16 @@ let base_size = 32
 
 let degree = 8 (* nonzeros per row of each sparse graph matrix *)
 
+let row_seed ~tag ~n ~row =
+  Int64.add
+    (Int64.mul (Int64.of_int n) 0x9E3779B97F4A7C15L)
+    (Int64.add (Int64.mul (Int64.of_int row) 6364136223846793005L) (Int64.of_int tag))
+
 (* A sparse row of a pseudo-random graph matrix: [degree] (column, coeff)
    pairs, derived deterministically from (tag, n, row) so that encoding is a
    fixed linear map per message size. *)
 let sparse_row ~tag ~n ~cols ~row =
-  let seed =
-    Int64.add
-      (Int64.mul (Int64.of_int n) 0x9E3779B97F4A7C15L)
-      (Int64.add (Int64.mul (Int64.of_int row) 6364136223846793005L) (Int64.of_int tag))
-  in
-  let rng = Rng.create seed in
+  let rng = Rng.create (row_seed ~tag ~n ~row) in
   Array.init degree (fun _ ->
       let col = Rng.int rng cols in
       let coeff = Gf.add Gf.one (Gf.of_int64 (Int64.rem (Rng.next rng) (Int64.sub Gf.p 1L))) in
@@ -59,6 +59,67 @@ let rec encode msg =
 (* Whole messages are independent; the recursion inside each message then
    runs serially on its worker domain. *)
 let encode_batch rows = Nocap_parallel.Pool.parallel_map ~threshold:1 encode rows
+
+(* --- unboxed flat path --------------------------------------------------- *)
+
+module Fv = Nocap_vec.Fv
+module Arena = Nocap_vec.Arena
+
+(* [apply_graph] over flat vectors. Same sparse rows, same Rng consumption
+   order (column then coefficient, per entry ascending), same left-to-right
+   accumulation — so results are bit-identical to the array path — but the
+   per-row (column, coeff) pair array never materializes. *)
+let apply_graph_fv ~tag (x : Fv.t) (dst : Fv.t) =
+  let cols = Fv.length x in
+  for r = 0 to Fv.length dst - 1 do
+    let rng = Rng.create (row_seed ~tag ~n:cols ~row:r) in
+    let acc = ref Gf.zero in
+    for _ = 1 to degree do
+      let c = Rng.int rng cols in
+      let coeff = Gf.add Gf.one (Gf.of_int64 (Int64.rem (Rng.next rng) (Int64.sub Gf.p 1L))) in
+      acc := Gf.add !acc (Gf.mul coeff (Fv.get x c))
+    done;
+    Fv.unsafe_set dst r !acc
+  done
+
+(* Encode [src] (length n) into [dst] (length 4n). The output layout
+   [msg; z; w] makes the tag-2 input [msg ++ z] a contiguous prefix of
+   [dst], so only the compressed intermediate [y] needs arena scratch. *)
+let rec encode_fv_into (src : Fv.t) (dst : Fv.t) =
+  let n = Fv.length src in
+  if n <= base_size then begin
+    (* Reed-Solomon base case: zero-extend and NTT in place. *)
+    Fv.zero dst;
+    Fv.blit ~src ~src_pos:0 ~dst ~dst_pos:0 ~len:n;
+    let module Nfv = Zk_ntt.Ntt.Gf_fv in
+    Nfv.forward (Nfv.plan (Fv.length dst)) dst
+  end
+  else begin
+    Fv.blit ~src ~src_pos:0 ~dst ~dst_pos:0 ~len:n;
+    let y = Arena.alloc (n / 2) in
+    apply_graph_fv ~tag:1 src y;
+    encode_fv_into y (Fv.sub_view dst ~pos:n ~len:(2 * n));
+    apply_graph_fv ~tag:2
+      (Fv.sub_view dst ~pos:0 ~len:(3 * n))
+      (Fv.sub_view dst ~pos:(3 * n) ~len:n)
+  end
+
+let encode_rows_fv ~rows ~cols flat =
+  if rows = 0 then Fv.create 0
+  else begin
+    if cols = 0 || cols land (cols - 1) <> 0 then
+      invalid_arg "Expander.encode_rows_fv: message length must be a power of two";
+    if rows < 0 || Fv.length flat <> rows * cols then
+      invalid_arg "Expander.encode_rows_fv: flat length <> rows * cols";
+    let m = blowup * cols in
+    let out = Fv.create (rows * m) in
+    Nocap_parallel.Pool.parallel_for ~threshold:1 ~n:rows (fun r ->
+        Arena.with_frame (fun () ->
+            encode_fv_into
+              (Fv.sub_view flat ~pos:(r * cols) ~len:cols)
+              (Fv.sub_view out ~pos:(r * m) ~len:m)));
+    out
+  end
 
 let rec random_accesses n =
   if n <= base_size then 0

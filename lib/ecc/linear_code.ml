@@ -3,6 +3,7 @@ module type S = sig
   val blowup : int
   val encode : Zk_field.Gf.t array -> Zk_field.Gf.t array
   val encode_batch : Zk_field.Gf.t array array -> Zk_field.Gf.t array array
+  val encode_rows_fv : rows:int -> cols:int -> Nocap_vec.Fv.t -> Nocap_vec.Fv.t
   val query_count : int
 end
 

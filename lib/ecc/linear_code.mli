@@ -22,6 +22,13 @@ module type S = sig
       performs. Codewords are byte-identical to mapping {!encode} for every
       domain count. *)
 
+  val encode_rows_fv : rows:int -> cols:int -> Nocap_vec.Fv.t -> Nocap_vec.Fv.t
+  (** Unboxed {!encode_batch}: the input is a row-major [rows * cols] flat
+      message matrix, the result the row-major [rows * (blowup * cols)] flat
+      codeword matrix. Element-identical to {!encode_batch} of the unpacked
+      rows for every domain count; scratch comes from the per-domain
+      {!Nocap_vec.Arena}. *)
+
   val query_count : int
   (** Number of codeword positions the verifier checks for 128-bit security
       (189 for Reed-Solomon at blowup 4; 1,222 for the expander code,

@@ -46,6 +46,27 @@ let encode_batch rows =
     out
   end
 
+(* Unboxed row-wise encode: zero-extend every row inside one flat
+   [rows * 4n] buffer, then run the in-place flat NTT across the pool. No
+   boxed element is touched anywhere on this path. *)
+let encode_rows_fv ~rows ~cols flat =
+  if rows = 0 then Nocap_vec.Fv.create 0
+  else begin
+    if cols = 0 || cols land (cols - 1) <> 0 then
+      invalid_arg "Reed_solomon.encode_rows_fv: message length must be a power of two";
+    if rows < 0 || Nocap_vec.Fv.length flat <> rows * cols then
+      invalid_arg "Reed_solomon.encode_rows_fv: flat length <> rows * cols";
+    let m = blowup * cols in
+    let out = Nocap_vec.Fv.create (rows * m) in
+    Nocap_vec.Fv.zero out;
+    for r = 0 to rows - 1 do
+      Nocap_vec.Fv.blit ~src:flat ~src_pos:(r * cols) ~dst:out ~dst_pos:(r * m) ~len:cols
+    done;
+    let module Nfv = Zk_ntt.Ntt.Gf_fv in
+    Nfv.forward_rows_flat (Nfv.plan m) ~rows out;
+    out
+  end
+
 let codeword_at msg i =
   let n = Array.length msg in
   let m = blowup * n in

@@ -1,4 +1,6 @@
 module Pool = Nocap_parallel.Pool
+module Fv = Nocap_vec.Fv
+module Gf = Zk_field.Gf
 
 type digest = string
 
@@ -83,59 +85,199 @@ let keccak_f1600 st =
   done
 
 let rate_bytes = 136 (* SHA3-256: capacity 512 bits *)
+let rate_lanes = 17 (* 136 / 8 *)
 
-let absorb_block st (block : bytes) off len =
-  (* XOR [len] bytes (len <= rate) into the state, little-endian lanes. *)
-  for i = 0 to len - 1 do
-    let lane = i / 8 and shift = 8 * (i mod 8) in
-    let byte = Int64.of_int (Char.code (Bytes.get block (off + i))) in
-    st.(lane) <- Int64.logxor st.(lane) (Int64.shift_left byte shift)
+(* --- unboxed sponge ----------------------------------------------------- *)
+
+(* The production sponge keeps its 25-lane state plus the theta/chi scratch
+   in Bigarray-backed vectors: [int64 array] lanes are boxed, so the array
+   permutation above (kept exported as the correctness oracle) allocates a
+   box per lane write, while this one runs on flat int64 with no heap
+   traffic. One scratch record lives per domain, so batched hashing splits
+   across the pool without sharing. *)
+
+type scratch = { st : Fv.t; b : Fv.t; c : Fv.t }
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { st = Fv.create 25; b = Fv.create 25; c = Fv.create 5 })
+
+let f1600 { st; b; c } =
+  for round = 0 to 23 do
+    (* theta *)
+    for x = 0 to 4 do
+      Fv.unsafe_set c x
+        (Int64.logxor (Fv.unsafe_get st x)
+           (Int64.logxor
+              (Fv.unsafe_get st (x + 5))
+              (Int64.logxor
+                 (Fv.unsafe_get st (x + 10))
+                 (Int64.logxor (Fv.unsafe_get st (x + 15)) (Fv.unsafe_get st (x + 20))))))
+    done;
+    for x = 0 to 4 do
+      let d =
+        Int64.logxor
+          (Fv.unsafe_get c ((x + 4) mod 5))
+          (rotl64 (Fv.unsafe_get c ((x + 1) mod 5)) 1)
+      in
+      for y = 0 to 4 do
+        Fv.unsafe_set st (x + (5 * y)) (Int64.logxor (Fv.unsafe_get st (x + (5 * y))) d)
+      done
+    done;
+    (* rho + pi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        let src = x + (5 * y) in
+        let dst = y + (5 * (((2 * x) + (3 * y)) mod 5)) in
+        Fv.unsafe_set b dst (rotl64 (Fv.unsafe_get st src) (Array.unsafe_get rotations src))
+      done
+    done;
+    (* chi *)
+    for y = 0 to 4 do
+      for x = 0 to 4 do
+        Fv.unsafe_set st (x + (5 * y))
+          (Int64.logxor
+             (Fv.unsafe_get b (x + (5 * y)))
+             (Int64.logand
+                (Int64.lognot (Fv.unsafe_get b (((x + 1) mod 5) + (5 * y))))
+                (Fv.unsafe_get b (((x + 2) mod 5) + (5 * y)))))
+      done
+    done;
+    (* iota *)
+    Fv.unsafe_set st 0 (Int64.logxor (Fv.unsafe_get st 0) (Array.unsafe_get round_constants round))
   done
 
-let sha3_256 (msg : bytes) : digest =
-  let st = Array.make 25 0L in
-  let len = Bytes.length msg in
-  (* Full-rate blocks. *)
-  let off = ref 0 in
-  while len - !off >= rate_bytes do
-    absorb_block st msg !off rate_bytes;
-    keccak_f1600 st;
-    off := !off + rate_bytes
+let[@inline] xor_lane st lane v = Fv.unsafe_set st lane (Int64.logxor (Fv.unsafe_get st lane) v)
+
+(* Full-rate absorption reads whole little-endian lanes straight out of the
+   source buffer — no per-byte loop, no division per byte, no staging copy. *)
+let absorb_full_block st (msg : bytes) off =
+  for lane = 0 to rate_lanes - 1 do
+    xor_lane st lane (Bytes.get_int64_le msg (off + (8 * lane)))
+  done
+
+(* Absorb the final [rem < rate_bytes] message bytes plus the SHA3 domain
+   padding byte 0x06 (which lands at byte offset [rem] of the block). The
+   caller XORs the closing 0x80 into the last rate byte. *)
+let absorb_tail_padded st (msg : bytes) off rem =
+  let full = rem / 8 in
+  for lane = 0 to full - 1 do
+    xor_lane st lane (Bytes.get_int64_le msg (off + (8 * lane)))
   done;
-  (* Final partial block with SHA3 domain padding 0x06 .. 0x80. *)
-  let rem = len - !off in
-  absorb_block st msg !off rem;
-  let pad_first = rem in
-  let xor_byte pos v =
-    let lane = pos / 8 and shift = 8 * (pos mod 8) in
-    st.(lane) <- Int64.logxor st.(lane) (Int64.shift_left (Int64.of_int v) shift)
-  in
-  xor_byte pad_first 0x06;
-  xor_byte (rate_bytes - 1) 0x80;
-  keccak_f1600 st;
-  (* Squeeze 32 bytes. *)
+  let tail = ref 0L in
+  for i = rem - 1 downto 8 * full do
+    tail := Int64.logor (Int64.shift_left !tail 8) (Int64.of_int (Char.code (Bytes.get msg (off + i))))
+  done;
+  xor_lane st full (Int64.logor !tail (Int64.shift_left 0x06L (8 * (rem land 7))))
+
+let trailing_pad = Int64.shift_left 0x80L 56 (* byte 135 = lane 16, top byte *)
+
+let squeeze_32 st =
   let out = Bytes.create digest_length in
-  for i = 0 to digest_length - 1 do
-    let lane = i / 8 and shift = 8 * (i mod 8) in
-    Bytes.set out i
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical st.(lane) shift) 0xFFL)))
+  for lane = 0 to 3 do
+    Bytes.set_int64_le out (8 * lane) (Fv.unsafe_get st lane)
   done;
   Bytes.unsafe_to_string out
 
-let sha3_256_string s = sha3_256 (Bytes.of_string s)
+let sha3_256 (msg : bytes) : digest =
+  let s = Domain.DLS.get scratch_key in
+  let st = s.st in
+  Fv.zero st;
+  let len = Bytes.length msg in
+  let off = ref 0 in
+  while len - !off >= rate_bytes do
+    absorb_full_block st msg !off;
+    f1600 s;
+    off := !off + rate_bytes
+  done;
+  absorb_tail_padded st msg !off (len - !off);
+  xor_lane st 16 trailing_pad;
+  f1600 s;
+  squeeze_32 st
 
+let sha3_256_string s = sha3_256 (Bytes.unsafe_of_string s)
+
+(* Two 32-byte digests fill exactly lanes 0-7, so the Merkle compression
+   absorbs both operands in place of the old [a ^ b] concatenation buffer:
+   one permutation, zero intermediate allocation. *)
 let hash2 a b =
   if String.length a <> digest_length || String.length b <> digest_length then
     invalid_arg "Keccak.hash2: digests must be 32 bytes";
-  sha3_256_string (a ^ b)
-
-let hash_gf elems =
-  let n = Array.length elems in
-  let buf = Bytes.create (8 * n) in
-  for i = 0 to n - 1 do
-    Bytes.set_int64_le buf (8 * i) (Zk_field.Gf.to_int64 elems.(i))
+  let s = Domain.DLS.get scratch_key in
+  let st = s.st in
+  Fv.zero st;
+  for lane = 0 to 3 do
+    xor_lane st lane (String.get_int64_le a (8 * lane));
+    xor_lane st (4 + lane) (String.get_int64_le b (8 * lane))
   done;
-  sha3_256 buf
+  xor_lane st 8 0x06L (* pad at byte 64 *);
+  xor_lane st 16 trailing_pad;
+  f1600 s;
+  squeeze_32 st
+
+(* Field elements are 8 LE bytes, so element k of a message lands exactly in
+   lane [k mod rate_lanes]: both Gf-hash entry points absorb elements as
+   lanes directly, skipping the intermediate byte buffer the old
+   implementation built. *)
+
+let finish_gf_block s m =
+  let st = s.st in
+  xor_lane st m 0x06L (* pad at byte 8*m; m < rate_lanes *);
+  xor_lane st 16 trailing_pad;
+  f1600 s;
+  squeeze_32 st
+
+let hash_gf (elems : Gf.t array) =
+  let s = Domain.DLS.get scratch_key in
+  let st = s.st in
+  Fv.zero st;
+  let n = Array.length elems in
+  let off = ref 0 in
+  while n - !off >= rate_lanes do
+    for k = 0 to rate_lanes - 1 do
+      xor_lane st k (Gf.to_int64 (Array.unsafe_get elems (!off + k)))
+    done;
+    f1600 s;
+    off := !off + rate_lanes
+  done;
+  let m = n - !off in
+  for k = 0 to m - 1 do
+    xor_lane st k (Gf.to_int64 (Array.unsafe_get elems (!off + k)))
+  done;
+  finish_gf_block s m
+
+(* Strided flat-vector variant: element i of the message is
+   [v.(pos + i*stride)]. stride = 1 hashes a contiguous vector; stride =
+   n_cols hashes one column of a row-major matrix without gathering it. *)
+let hash_fv_stride (v : Fv.t) ~pos ~stride ~count =
+  if count < 0 || pos < 0 || stride < 1
+     || (count > 0 && pos + ((count - 1) * stride) >= Fv.length v)
+  then invalid_arg "Keccak.hash_fv_stride";
+  let s = Domain.DLS.get scratch_key in
+  let st = s.st in
+  Fv.zero st;
+  let off = ref 0 in
+  while count - !off >= rate_lanes do
+    let base = pos + (!off * stride) in
+    for k = 0 to rate_lanes - 1 do
+      xor_lane st k (Fv.unsafe_get v (base + (k * stride)))
+    done;
+    f1600 s;
+    off := !off + rate_lanes
+  done;
+  let m = count - !off in
+  let base = pos + (!off * stride) in
+  for k = 0 to m - 1 do
+    xor_lane st k (Fv.unsafe_get v (base + (k * stride)))
+  done;
+  finish_gf_block s m
+
+let hash_fv v = hash_fv_stride v ~pos:0 ~stride:1 ~count:(Fv.length v)
+
+let hash_matrix_cols ~rows ~cols (flat : Fv.t) =
+  if rows < 0 || cols <= 0 || Fv.length flat <> rows * cols then
+    invalid_arg "Keccak.hash_matrix_cols";
+  Pool.parallel_init ~threshold:8 cols (fun j ->
+      hash_fv_stride flat ~pos:j ~stride:cols ~count:rows)
 
 (* Batched absorption: each input is absorbed by an independent sponge, so
    the batch splits across pool domains with byte-identical digests for any

@@ -27,6 +27,18 @@ val hash_gf : Zk_field.Gf.t array -> digest
     (the Hash FU reinterprets groups of four 64-bit lanes as 256-bit
     inputs). *)
 
+val hash_fv : Nocap_vec.Fv.t -> digest
+(** {!hash_gf} over an unboxed flat vector; the digest equals
+    [hash_gf (Fv.to_array v)]. Elements are absorbed lane-aligned straight
+    from the Bigarray, with no intermediate byte buffer. *)
+
+val hash_matrix_cols : rows:int -> cols:int -> Nocap_vec.Fv.t -> digest array
+(** [hash_matrix_cols ~rows ~cols flat] hashes each column of the row-major
+    [rows * cols] flat matrix — [hash_gf] of the gathered column, without
+    gathering it. Columns split across the {!Nocap_parallel.Pool} domains;
+    digests are byte-identical for every domain count.
+    @raise Invalid_argument if [Fv.length flat <> rows * cols]. *)
+
 val sha3_256_batch : bytes array -> digest array
 (** Hash a batch of independent messages, split across the
     {!Nocap_parallel.Pool} domains. Digests are byte-identical to mapping

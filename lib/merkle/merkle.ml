@@ -18,6 +18,11 @@ let leaf_of_column col = Keccak.hash_gf col
 
 let leaves_of_columns cols = Keccak.hash_gf_batch cols
 
+(* Flat fast path: leaf j is the hash of column j of the row-major
+   [rows * cols] matrix, absorbed with stride [cols] straight out of the
+   Bigarray — no per-column gather, no boxed intermediate. *)
+let leaves_of_matrix ~rows ~cols flat = Keccak.hash_matrix_cols ~rows ~cols flat
+
 let build_with ~pairs leaves =
   let n = Array.length leaves in
   if n = 0 then invalid_arg "Merkle.build: empty";

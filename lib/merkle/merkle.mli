@@ -27,6 +27,11 @@ val leaves_of_columns : Zk_field.Gf.t array array -> digest array
 (** Batched {!leaf_of_column} over independent columns, split across the
     pool domains. *)
 
+val leaves_of_matrix : rows:int -> cols:int -> Nocap_vec.Fv.t -> digest array
+(** Leaf digests for every column of a row-major [rows * cols] flat encoded
+    matrix, read with stride [cols] straight out of the unboxed buffer.
+    Equals {!leaves_of_columns} of the gathered columns. *)
+
 val root : tree -> digest
 
 val num_leaves : tree -> int

@@ -223,3 +223,192 @@ module Gf_ntt = Make (Zk_field.Gf)
 module Fr_ntt = Make (struct
   include Zk_field.Fr_bls
 end)
+
+(* --- Unboxed Goldilocks NTT over flat Fv buffers ------------------------
+
+   Same radix-2 algorithm as [Gf_ntt] (which stays as the boxed correctness
+   oracle), but data and twiddles live in Bigarray-backed [Fv.t] vectors:
+   every butterfly runs on unboxed int64 with zero heap traffic (in release
+   builds, where cross-module [@inline] is effective — see README). *)
+
+module Fv = Nocap_vec.Fv
+module Arena = Nocap_vec.Arena
+module Gf = Zk_field.Gf
+
+module Gf_fv = struct
+  type plan = {
+    n : int;
+    log_n : int;
+    twiddles : Fv.t; (* w^0 .. w^(n/2-1) *)
+    inv_twiddles : Fv.t;
+    n_inv : Gf.t;
+  }
+
+  let plans : (int, plan) Hashtbl.t = Hashtbl.create 16
+
+  let plans_lock = Mutex.create ()
+
+  let make_plan n =
+    let log_n = log2_exact n in
+    if log_n > Gf.two_adicity then invalid_arg "Ntt.Gf_fv.plan: size exceeds 2-adicity";
+    let w = Gf.root_of_unity log_n in
+    let w_inv = Gf.inv w in
+    let half = max 1 (n / 2) in
+    let twiddles = Fv.create half in
+    let inv_twiddles = Fv.create half in
+    Fv.set twiddles 0 Gf.one;
+    Fv.set inv_twiddles 0 Gf.one;
+    for i = 1 to half - 1 do
+      Fv.set twiddles i (Gf.mul (Fv.get twiddles (i - 1)) w);
+      Fv.set inv_twiddles i (Gf.mul (Fv.get inv_twiddles (i - 1)) w_inv)
+    done;
+    { n; log_n; twiddles; inv_twiddles; n_inv = Gf.inv (Gf.of_int n) }
+
+  let plan n =
+    Mutex.lock plans_lock;
+    match Hashtbl.find_opt plans n with
+    | Some p ->
+      Mutex.unlock plans_lock;
+      p
+    | None ->
+      Mutex.unlock plans_lock;
+      let p = make_plan n in
+      Mutex.lock plans_lock;
+      let p =
+        match Hashtbl.find_opt plans n with
+        | Some q -> q
+        | None ->
+          Hashtbl.add plans n p;
+          p
+      in
+      Mutex.unlock plans_lock;
+      p
+
+  let size p = p.n
+
+  (* Imperative bit-reversal (no helper closure, so the loop body stays
+     allocation-free). *)
+  let bit_reverse_permute log_n (a : Fv.t) =
+    let n = 1 lsl log_n in
+    for i = 0 to n - 1 do
+      let j = ref 0 and x = ref i in
+      for _ = 1 to log_n do
+        j := (!j lsl 1) lor (!x land 1);
+        x := !x lsr 1
+      done;
+      let j = !j in
+      if j > i then begin
+        let t = Fv.unsafe_get a i in
+        Fv.unsafe_set a i (Fv.unsafe_get a j);
+        Fv.unsafe_set a j t
+      end
+    done
+
+  (* Bounds as in [Gf_ntt.transform]: the length check pins the buffer size
+     and every index below is < n, so unsafe accesses are in bounds. *)
+  let transform (twiddles : Fv.t) p (a : Fv.t) =
+    let n = p.n in
+    if Fv.length a <> n then invalid_arg "Ntt.Gf_fv: length mismatch";
+    bit_reverse_permute p.log_n a;
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let stride = n / !len in
+      let k = ref 0 in
+      while !k < n do
+        for j = 0 to half - 1 do
+          let w = Fv.unsafe_get twiddles (j * stride) in
+          let u = Fv.unsafe_get a (!k + j) in
+          let t = Gf.mul w (Fv.unsafe_get a (!k + j + half)) in
+          Fv.unsafe_set a (!k + j) (Gf.add u t);
+          Fv.unsafe_set a (!k + j + half) (Gf.sub u t)
+        done;
+        k := !k + !len
+      done;
+      len := !len * 2
+    done
+
+  let forward p a = transform p.twiddles p a
+
+  let inverse p a =
+    transform p.inv_twiddles p a;
+    let n_inv = p.n_inv in
+    for i = 0 to p.n - 1 do
+      Fv.unsafe_set a i (Gf.mul (Fv.unsafe_get a i) n_inv)
+    done
+
+  let forward_copy p a =
+    let b = Fv.copy a in
+    forward p b;
+    b
+
+  let inverse_copy p a =
+    let b = Fv.copy a in
+    inverse p b;
+    b
+
+  (* Rows live back to back in one flat buffer of [rows * size p] elements;
+     each row is an independent in-place transform. *)
+  let forward_rows_flat p ~rows (flat : Fv.t) =
+    let n = size p in
+    if Fv.length flat <> rows * n then invalid_arg "Ntt.Gf_fv.forward_rows_flat: size";
+    Pool.parallel_for ~threshold:1 ~n:rows (fun r ->
+        forward p (Fv.sub_view flat ~pos:(r * n) ~len:n))
+
+  (* Four-step decomposition over a flat buffer; mirrors
+     [Gf_ntt.four_step_forward] pass for pass (same operation order, so the
+     result is bit-identical to the oracle), with column/row scratch drawn
+     from the per-domain arena. *)
+  let four_step_forward ~rows ~cols (a : Fv.t) : Fv.t =
+    let n = rows * cols in
+    if Fv.length a <> n then invalid_arg "Ntt.Gf_fv.four_step_forward: size";
+    let log_n = log2_exact n in
+    ignore (log2_exact rows);
+    ignore (log2_exact cols);
+    let w = Gf.root_of_unity log_n in
+    let col_plan = plan rows and row_plan = plan cols in
+    let out = Fv.copy a in
+    (* Step 1: column NTTs (stride [cols]); each chunk gathers into arena
+       scratch owned by the executing domain. *)
+    Pool.run ~threshold:4 ~n:cols (fun c_lo c_hi ->
+        Arena.with_frame (fun () ->
+            let col = Arena.alloc rows in
+            for c = c_lo to c_hi - 1 do
+              for r = 0 to rows - 1 do
+                Fv.unsafe_set col r (Fv.unsafe_get out ((r * cols) + c))
+              done;
+              forward col_plan col;
+              for r = 0 to rows - 1 do
+                Fv.unsafe_set out ((r * cols) + c) (Fv.unsafe_get col r)
+              done
+            done));
+    (* Step 2: twiddle scale by w^(r*c), per-row bases precomputed serially. *)
+    let w_rows = Fv.create rows in
+    Fv.set w_rows 0 Gf.one;
+    for r = 1 to rows - 1 do
+      Fv.set w_rows r (Gf.mul (Fv.get w_rows (r - 1)) w)
+    done;
+    Pool.run ~threshold:4 ~n:rows (fun r_lo r_hi ->
+        for r = r_lo to r_hi - 1 do
+          let w_r = Fv.unsafe_get w_rows r in
+          let f = ref Gf.one in
+          for c = 0 to cols - 1 do
+            Fv.unsafe_set out ((r * cols) + c) (Gf.mul (Fv.unsafe_get out ((r * cols) + c)) !f);
+            f := Gf.mul !f w_r
+          done
+        done);
+    (* Step 3: row NTTs, in place (rows are contiguous). *)
+    Pool.run ~threshold:4 ~n:rows (fun r_lo r_hi ->
+        for r = r_lo to r_hi - 1 do
+          forward row_plan (Fv.sub_view out ~pos:(r * cols) ~len:cols)
+        done);
+    (* Step 4: transpose into the flat transform's output order. *)
+    let res = Fv.create n in
+    Pool.run ~threshold:4 ~n:rows (fun r_lo r_hi ->
+        for r = r_lo to r_hi - 1 do
+          for c = 0 to cols - 1 do
+            Fv.unsafe_set res ((c * rows) + r) (Fv.unsafe_get out ((r * cols) + c))
+          done
+        done);
+    res
+end

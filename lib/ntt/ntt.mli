@@ -63,3 +63,36 @@ module Make (F : FIELD) : S with type elt = F.t
 module Gf_ntt : S with type elt = Zk_field.Gf.t
 
 module Fr_ntt : S with type elt = Zk_field.Fr_bls.t
+
+(** Unboxed Goldilocks NTT over flat {!Nocap_vec.Fv} buffers: the same
+    radix-2 transform as {!Gf_ntt} (which remains the boxed correctness
+    oracle), with data and twiddles in Bigarray-backed vectors so every
+    butterfly runs on unboxed int64 without heap allocation. Results are
+    bit-identical to {!Gf_ntt} on the same input. *)
+module Gf_fv : sig
+  type plan
+
+  val plan : int -> plan
+  (** Cached, safe to demand from any domain. *)
+
+  val size : plan -> int
+
+  val forward : plan -> Nocap_vec.Fv.t -> unit
+  (** In-place forward NTT. *)
+
+  val inverse : plan -> Nocap_vec.Fv.t -> unit
+
+  val forward_copy : plan -> Nocap_vec.Fv.t -> Nocap_vec.Fv.t
+  val inverse_copy : plan -> Nocap_vec.Fv.t -> Nocap_vec.Fv.t
+
+  val forward_rows_flat : plan -> rows:int -> Nocap_vec.Fv.t -> unit
+  (** [forward_rows_flat p ~rows flat] transforms each of the [rows]
+      contiguous rows of the [rows * size p] flat buffer in place, split
+      across the {!Nocap_parallel.Pool} domains. *)
+
+  val four_step_forward : rows:int -> cols:int -> Nocap_vec.Fv.t -> Nocap_vec.Fv.t
+  (** Bailey four-step NTT of a flat [rows * cols] buffer; equals
+      {!forward} of the flat vector (and {!Gf_ntt.four_step_forward} of the
+      boxed copy). Column/row scratch comes from the per-domain
+      {!Nocap_vec.Arena}. *)
+end

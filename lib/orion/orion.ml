@@ -3,6 +3,7 @@ module Mle = Zk_poly.Mle
 module Merkle = Zk_merkle.Merkle
 module Transcript = Zk_hash.Transcript
 module Pool = Nocap_parallel.Pool
+module Fv = Nocap_vec.Fv
 
 type params = {
   rows : int;
@@ -21,12 +22,16 @@ type commitment = {
   mat_cols : int;
 }
 
+(* Prover-side state is kept unboxed: each matrix is one row-major flat
+   vector, so row combinations and column openings stream over contiguous
+   (or fixed-stride) int64 instead of chasing a pointer per element. *)
 type committed = {
   c_params : params;
   c_commitment : commitment;
-  matrix : Gf.t array array; (* mat_rows data rows, each mat_cols wide *)
-  masks : Gf.t array array; (* proximity_count mask rows (empty if not zk) *)
-  encoded : Gf.t array array; (* all rows encoded: data then masks *)
+  matrix : Fv.t; (* mat_rows x mat_cols data rows, row-major *)
+  masks : Fv.t; (* proximity_count x mat_cols mask rows (length 0 if not zk) *)
+  encoded : Fv.t; (* all rows encoded, data then masks, x code_len *)
+  enc_rows : int; (* rows in [encoded] *)
   tree : Merkle.tree;
 }
 
@@ -51,26 +56,27 @@ let layout params table =
 let commit params rng table =
   let module Code = (val params.code : Zk_ecc.Linear_code.S) in
   let rows, cols = layout params table in
-  let matrix = Array.init rows (fun r -> Array.sub table (r * cols) cols) in
-  let masks =
-    if params.zk then
-      Array.init params.proximity_count (fun _ ->
-          Array.init cols (fun _ -> Gf.random rng))
-    else [||]
-  in
-  let all_rows = Array.append matrix masks in
-  let encoded = Code.encode_batch all_rows in
+  (* The row-major matrix of a flat table is the table itself. *)
+  let matrix = Fv.of_array table in
+  let mask_rows = if params.zk then params.proximity_count else 0 in
+  let masks = Fv.create (mask_rows * cols) in
+  (* Same draw order as the boxed path: mask rows in order, each row left to
+     right, one [Gf.random] per cell. *)
+  for i = 0 to (mask_rows * cols) - 1 do
+    Fv.unsafe_set masks i (Gf.random rng)
+  done;
+  let enc_rows = rows + mask_rows in
+  let all_rows = Fv.create (enc_rows * cols) in
+  Fv.blit ~src:matrix ~src_pos:0 ~dst:all_rows ~dst_pos:0 ~len:(rows * cols);
+  Fv.blit ~src:masks ~src_pos:0 ~dst:all_rows ~dst_pos:(rows * cols) ~len:(mask_rows * cols);
+  let encoded = Code.encode_rows_fv ~rows:enc_rows ~cols all_rows in
   let code_len = Code.blowup * cols in
-  let leaves =
-    Merkle.leaves_of_columns
-      (Pool.parallel_init ~threshold:64 code_len (fun j ->
-           Array.map (fun row -> row.(j)) encoded))
-  in
+  let leaves = Merkle.leaves_of_matrix ~rows:enc_rows ~cols:code_len encoded in
   let tree = Merkle.build leaves in
   let commitment =
     { root = Merkle.root tree; num_vars = log2_exact (Array.length table); mat_rows = rows; mat_cols = cols }
   in
-  ({ c_params = params; c_commitment = commitment; matrix; masks; encoded; tree }, commitment)
+  ({ c_params = params; c_commitment = commitment; matrix; masks; encoded; enc_rows; tree }, commitment)
 
 let absorb_commitment transcript (cm : commitment) =
   Transcript.absorb_digest transcript "orion/root" cm.root;
@@ -82,20 +88,26 @@ let split_point (cm : commitment) point =
   let log_rows = log2_exact cm.mat_rows in
   (Array.sub point 0 log_rows, Array.sub point log_rows (cm.num_vars - log_rows))
 
-(* combo coeffs^T M for a list of rows. Column chunks are independent, and
-   within a column the accumulation order over rows is the serial one, so
-   the combination is byte-identical for every domain count. *)
-let row_combination coeffs rows_arr cols =
-  let out = Array.make cols Gf.zero in
+(* combo coeffs^T M over a row-major flat matrix. Column chunks are
+   independent, and within a column the accumulation order over rows is the
+   serial one, so the combination is byte-identical for every domain count.
+   The accumulator is a flat vector too: the loop body is pure unboxed
+   int64, and only the final result is materialized as a boxed array for
+   the (public) proof record. *)
+let row_combination coeffs (mat : Fv.t) cols =
+  let nrows = Array.length coeffs in
+  let out = Fv.create cols in
+  Fv.zero out;
   Pool.run ~threshold:256 ~n:cols (fun lo hi ->
-      Array.iteri
-        (fun r coeff ->
-          let row = rows_arr.(r) in
-          for j = lo to hi - 1 do
-            out.(j) <- Gf.add out.(j) (Gf.mul coeff row.(j))
-          done)
-        coeffs);
-  out
+      for r = 0 to nrows - 1 do
+        let coeff = Array.unsafe_get coeffs r in
+        let base = r * cols in
+        for j = lo to hi - 1 do
+          Fv.unsafe_set out j
+            (Gf.add (Fv.unsafe_get out j) (Gf.mul coeff (Fv.unsafe_get mat (base + j))))
+        done
+      done);
+  Fv.to_array out
 
 let code_length params (cm : commitment) =
   let module Code = (val params.code : Zk_ecc.Linear_code.S) in
@@ -114,7 +126,8 @@ let prove_eval params committed transcript point =
         let rho = Transcript.challenge_gf_vec transcript "orion/rho" cm.mat_rows in
         let v = row_combination rho committed.matrix cols in
         let v =
-          if params.zk then Array.mapi (fun j x -> Gf.add x committed.masks.(i).(j)) v
+          if params.zk then
+            Array.mapi (fun j x -> Gf.add x (Fv.get committed.masks ((i * cols) + j))) v
           else v
         in
         Transcript.absorb_gf transcript "orion/proximity" v;
@@ -131,11 +144,14 @@ let prove_eval params committed transcript point =
     Transcript.challenge_indices transcript "orion/columns" ~bound ~count:Code.query_count
   in
   (* Proximity-test column openings: each query reads the (immutable)
-     encoded matrix and tree independently. *)
+     encoded matrix and tree independently; a column is a stride-[bound]
+     walk of the flat encoding. *)
   let columns =
     Pool.parallel_map ~threshold:16
       (fun j ->
-        let col = Array.map (fun row -> row.(j)) committed.encoded in
+        let col =
+          Array.init committed.enc_rows (fun r -> Fv.get committed.encoded ((r * bound) + j))
+        in
         (j, col, Merkle.path committed.tree j))
       indices
   in

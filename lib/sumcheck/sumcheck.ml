@@ -3,6 +3,7 @@ module Transcript = Zk_hash.Transcript
 module Mle = Zk_poly.Mle
 module Dense = Zk_poly.Dense
 module Pool = Nocap_parallel.Pool
+module Fv = Nocap_vec.Fv
 
 type proof = { round_polys : Gf.t array array }
 
@@ -22,7 +23,9 @@ let log2_exact n =
   let rec go k m = if m = 1 then k else go (k + 1) (m lsr 1) in
   go 0 n
 
-let prove ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
+(* Boxed reference prover: byte-identical proofs to {!prove}, kept as the
+   correctness oracle for the unboxed table path below. *)
+let prove_arrays ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
   let k = Array.length tables in
   if k = 0 then invalid_arg "Sumcheck.prove: no tables";
   let n = Array.length tables.(0) in
@@ -98,6 +101,90 @@ let prove ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
     len := half
   done;
   let final_values = Array.map (fun t -> t.(0)) tables in
+  {
+    proof = { round_polys };
+    challenges;
+    final_values;
+    stats = { rounds = num_vars; mults = !mults; adds = !adds };
+  }
+
+(* Production prover: one copy of each table into an unboxed flat vector,
+   then every round reads/writes flat int64. The round-polynomial chunking,
+   combine order, and field arithmetic are identical to {!prove_arrays}, so
+   the transcript — and therefore the proof bytes and challenges — are
+   byte-identical. The fold loop
+   [T(b) <- T(b) + r * (T(b + half) - T(b))] runs without heap allocation;
+   the evaluation loop still stages [vals]/[deltas] in k-element boxed
+   arrays because [comb] consumes a [Gf.t array]. *)
+let prove ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
+  let k = Array.length tables in
+  if k = 0 then invalid_arg "Sumcheck.prove: no tables";
+  let n = Array.length tables.(0) in
+  let num_vars = log2_exact n in
+  Array.iter
+    (fun t -> if Array.length t <> n then invalid_arg "Sumcheck.prove: table size mismatch")
+    tables;
+  Transcript.absorb_int transcript "sumcheck/num_vars" num_vars;
+  Transcript.absorb_int transcript "sumcheck/degree" degree;
+  Transcript.absorb_gf transcript "sumcheck/claim" [| claim |];
+  let tabs = Array.map Fv.of_array tables in
+  let len = ref n in
+  let mults = ref 0 and adds = ref 0 in
+  let round_polys = Array.make num_vars [||] in
+  let challenges = Array.make num_vars Gf.zero in
+  for round = 0 to num_vars - 1 do
+    let half = !len / 2 in
+    let eval_chunk lo_b hi_b =
+      let g = Array.make (degree + 1) Gf.zero in
+      let vals = Array.make k Gf.zero in
+      let deltas = Array.make k Gf.zero in
+      for b = lo_b to hi_b - 1 do
+        for j = 0 to k - 1 do
+          let tj = Array.unsafe_get tabs j in
+          let lo = Fv.unsafe_get tj b and hi = Fv.unsafe_get tj (b + half) in
+          vals.(j) <- lo;
+          deltas.(j) <- Gf.sub hi lo
+        done;
+        for t = 0 to degree do
+          if t > 0 then
+            for j = 0 to k - 1 do
+              vals.(j) <- Gf.add vals.(j) deltas.(j)
+            done;
+          g.(t) <- Gf.add g.(t) (comb vals)
+        done
+      done;
+      g
+    in
+    let g =
+      Pool.fold_chunks ~chunk:1024 ~threshold:2048 ~n:half
+        ~init:(Array.make (degree + 1) Gf.zero)
+        ~body:eval_chunk
+        ~combine:(fun acc part ->
+          for t = 0 to degree do
+            acc.(t) <- Gf.add acc.(t) part.(t)
+          done;
+          acc)
+        ()
+    in
+    adds := !adds + (half * (degree + 1) * (k + 1));
+    mults := !mults + (half * (degree + 1) * comb_mults);
+    round_polys.(round) <- g;
+    Transcript.absorb_gf transcript "sumcheck/round" g;
+    let r = Transcript.challenge_gf transcript "sumcheck/challenge" in
+    challenges.(round) <- r;
+    for j = 0 to k - 1 do
+      let t = tabs.(j) in
+      Pool.run ~threshold:2048 ~n:half (fun lo hi ->
+          for b = lo to hi - 1 do
+            let x = Fv.unsafe_get t b in
+            Fv.unsafe_set t b (Gf.add x (Gf.mul r (Gf.sub (Fv.unsafe_get t (b + half)) x)))
+          done)
+    done;
+    mults := !mults + (k * half);
+    adds := !adds + (2 * k * half);
+    len := half
+  done;
+  let final_values = Array.map (fun t -> Fv.get t 0) tabs in
   {
     proof = { round_polys };
     challenges;

@@ -43,11 +43,24 @@ val prove :
   comb:(Gf.t array -> Gf.t) ->
   claim:Gf.t ->
   prover_result
-(** Runs the prover. [tables] are not mutated (they are copied once).
-    [comb] receives one value per table; [comb_mults] is the number of field
-    multiplications one [comb] call performs (default 0), so [stats] can
-    account for them. The claim is absorbed into the transcript, so prover
-    and verifier bind to it. *)
+(** Runs the prover. [tables] are not mutated (they are copied once — into
+    unboxed {!Nocap_vec.Fv} vectors, so every round evaluation and table
+    fold runs over flat int64). [comb] receives one value per table;
+    [comb_mults] is the number of field multiplications one [comb] call
+    performs (default 0), so [stats] can account for them. The claim is
+    absorbed into the transcript, so prover and verifier bind to it. *)
+
+val prove_arrays :
+  ?comb_mults:int ->
+  Zk_hash.Transcript.t ->
+  degree:int ->
+  tables:Gf.t array array ->
+  comb:(Gf.t array -> Gf.t) ->
+  claim:Gf.t ->
+  prover_result
+(** Boxed-array reference implementation of {!prove}: same chunking, same
+    combine order, same arithmetic, byte-identical proof and challenges.
+    Kept as the correctness oracle the equivalence tests compare against. *)
 
 type verifier_result = {
   point : Gf.t array;

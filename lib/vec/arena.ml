@@ -1,0 +1,64 @@
+(* Per-domain grow-only scratch arenas.
+
+   The prover's inner loops need short-lived vectors (NTT column gathers,
+   expander compression stages, row-combination accumulators). Allocating a
+   fresh Bigarray per call would put a malloc + custom block on every hot
+   path, so each domain keeps one grow-only buffer in domain-local storage
+   and hands out watermark-bumped views of it.
+
+   Ownership rules (also in DESIGN.md Sec. 7):
+   - [alloc n] returns a view valid until the enclosing [with_frame]
+     returns. Code that allocates outside any frame owns the scratch until
+     the next [reset]; library entry points must wrap their use in
+     [with_frame] so callers compose.
+   - A view must never be returned to a caller or stored beyond the frame;
+     copy into a fresh [Fv.create] / [Gf.t array] instead.
+   - Views are handed out from a single per-domain buffer, so two live
+     allocations never alias; worker domains each have their own arena, so
+     parallel chunks may allocate freely.
+   - Contents are uninitialized ([alloc]) unless [alloc_zero] is used.
+
+   When the buffer is too small the arena allocates a bigger one and
+   abandons the old: outstanding views keep the old Bigarray alive via
+   their own references, so growth never invalidates live scratch. *)
+
+type arena = { mutable buf : Fv.t; mutable used : int }
+
+let key : arena Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { buf = Fv.create 0; used = 0 })
+
+let alloc n =
+  if n < 0 then invalid_arg "Arena.alloc";
+  let a = Domain.DLS.get key in
+  let cap = Fv.length a.buf in
+  if a.used + n > cap then begin
+    let fresh = max n (max 1024 (2 * cap)) in
+    a.buf <- Fv.create fresh;
+    a.used <- 0
+  end;
+  let view = Fv.sub_view a.buf ~pos:a.used ~len:n in
+  a.used <- a.used + n;
+  view
+
+let alloc_zero n =
+  let v = alloc n in
+  Fv.zero v;
+  v
+
+let with_frame f =
+  let a = Domain.DLS.get key in
+  let saved_buf = a.buf and saved_used = a.used in
+  Fun.protect
+    ~finally:(fun () ->
+      (* If the frame grew into a new buffer, keep the bigger one (watermark
+         0: the outer frame's live views pin the old buffer themselves). *)
+      if a.buf == saved_buf then a.used <- saved_used else a.used <- 0)
+    f
+
+let reset () =
+  let a = Domain.DLS.get key in
+  a.used <- 0
+
+let capacity () = Fv.length (Domain.DLS.get key).buf
+
+let used () = (Domain.DLS.get key).used

@@ -1,0 +1,29 @@
+(** Per-domain grow-only scratch arenas.
+
+    Each domain keeps one grow-only {!Fv.t} buffer in domain-local storage
+    and hands out watermark-bumped views of it, so hot paths get short-lived
+    scratch vectors without a malloc + custom block per call.
+
+    Ownership rules (also in DESIGN.md Sec. 7):
+    - a view returned by {!alloc} is valid until the enclosing {!with_frame}
+      returns; library entry points must wrap their scratch use in
+      {!with_frame} so callers compose;
+    - never return or store a view beyond the frame — copy into a fresh
+      [Fv.create] / [Gf.t array] instead;
+    - live allocations never alias, and every domain has its own arena, so
+      parallel chunks may allocate freely. *)
+
+val alloc : int -> Fv.t
+(** Contents uninitialized. *)
+
+val alloc_zero : int -> Fv.t
+
+val with_frame : (unit -> 'a) -> 'a
+(** Runs [f] with a fresh watermark; scratch allocated inside is reclaimed
+    (logically) when the frame returns. Exception-safe. *)
+
+val reset : unit -> unit
+(** Drop this domain's watermark to 0. Only safe when no views are live. *)
+
+val capacity : unit -> int
+val used : unit -> int

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "nocap_repro"
     [
       ("parallel", Test_parallel.suite);
+      ("vec", Test_vec.suite);
       ("field", Test_field.suite);
       ("hash", Test_hash.suite);
       ("ntt", Test_ntt.suite);
