@@ -1,0 +1,182 @@
+(* Backend benchmark: times commit / open / verify for every PCS backend on
+   the same multilinear table and point, cross-checks the opened value
+   against a direct MLE evaluation, and emits BENCH_backend.json (validated
+   against its own schema before exit).
+
+   [run ~smoke:true] uses tiny sizes — it backs the @bench-smoke alias that
+   tier-1 verify builds, so it must stay fast and loud on regressions. *)
+
+open Nocap_repro
+
+let wall () = Unix.gettimeofday ()
+
+let time_best ~reps f =
+  Gc.major ();
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = wall () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = wall () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type row = {
+  b_name : string;
+  b_num_vars : int;
+  commit_seconds : float;
+  open_seconds : float;
+  verify_seconds : float;
+  commitment_bytes : int;
+  proof_bytes : int;
+  queries : int;
+}
+
+(* One backend, measured generically through the PCS signature. The same
+   table and point go to every backend, so rows are directly comparable. *)
+let measure ~smoke (module P : Pcs.S) =
+  let params = if smoke then P.test_params else P.default_params in
+  let reps = if smoke then 2 else 5 in
+  let num_vars = if smoke then 8 else 12 in
+  let n = 1 lsl num_vars in
+  let rng = Rng.create 0xBACC_E2DL in
+  let evals = Array.init n (fun _ -> Gf.random rng) in
+  let point = Array.init num_vars (fun _ -> Gf.random rng) in
+  let fresh_rng () = Rng.create 0x5EED_BACCL in
+  let committed, cm = P.commit params (fresh_rng ()) evals in
+  let transcript () =
+    let t = Transcript.create ("bench-backend-" ^ P.name) in
+    P.absorb_commitment t cm;
+    t
+  in
+  let value, proof = P.open_at params committed (transcript ()) point in
+  (* Correctness gates: the opened value must be the MLE evaluation, and the
+     verifier must accept — a bench that times a broken backend is worse
+     than no bench. *)
+  if not (Gf.equal value (Mle.eval evals point)) then
+    failwith (Printf.sprintf "bench backend: %s opened a wrong value" P.name);
+  (match P.verify params cm (transcript ()) point value proof with
+  | Ok () -> ()
+  | Error e ->
+    failwith (Printf.sprintf "bench backend: %s rejected its own proof: %s" P.name e));
+  let commit_seconds =
+    time_best ~reps (fun () -> P.commit params (fresh_rng ()) evals)
+  in
+  let open_seconds =
+    time_best ~reps (fun () -> P.open_at params committed (transcript ()) point)
+  in
+  let verify_seconds =
+    time_best ~reps (fun () ->
+        match P.verify params cm (transcript ()) point value proof with
+        | Ok () -> ()
+        | Error e -> failwith e)
+  in
+  let s = P.stats params cm proof in
+  {
+    b_name = P.name;
+    b_num_vars = num_vars;
+    commit_seconds;
+    open_seconds;
+    verify_seconds;
+    commitment_bytes = s.Pcs.commitment_bytes;
+    proof_bytes = s.Pcs.proof_bytes;
+    queries = s.Pcs.queries;
+  }
+
+let backends : (module Pcs.S) list = [ (module Orion_pcs); (module Fri_pcs) ]
+
+(* --- JSON emission ------------------------------------------------------ *)
+
+let schema_id = "nocap-bench-backend/v1"
+
+let json_of_rows rows =
+  let buf = Buffer.create 2048 in
+  let adds fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  adds "{\n";
+  adds "  \"schema\": %S,\n" schema_id;
+  adds "  \"backends\": [\n";
+  List.iteri
+    (fun i r ->
+      adds "    {\n";
+      adds "      \"name\": %S,\n" r.b_name;
+      adds "      \"num_vars\": %d,\n" r.b_num_vars;
+      adds "      \"commit_seconds\": %.9f,\n" r.commit_seconds;
+      adds "      \"open_seconds\": %.9f,\n" r.open_seconds;
+      adds "      \"verify_seconds\": %.9f,\n" r.verify_seconds;
+      adds "      \"commitment_bytes\": %d,\n" r.commitment_bytes;
+      adds "      \"proof_bytes\": %d,\n" r.proof_bytes;
+      adds "      \"queries\": %d\n" r.queries;
+      adds "    }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  adds "  ]\n";
+  adds "}\n";
+  Buffer.contents buf
+
+(* --- schema validation (shared parser in Json_min) ---------------------- *)
+
+open Json_min
+
+(* Required shape: schema id, and one entry per registered backend — both
+   "orion" and "fri" must be present with positive times and sizes. *)
+let validate_schema (s : string) : (unit, string) result =
+  try
+    let j = parse_json s in
+    if as_str (field j "schema") <> schema_id then raise (Bad_json "wrong schema id");
+    let rows = as_list (field j "backends") in
+    if List.length rows < 2 then raise (Bad_json "need >= 2 backends");
+    let names =
+      List.map
+        (fun r ->
+          if as_num (field r "num_vars") <= 0.0 then
+            raise (Bad_json "num_vars must be positive");
+          List.iter
+            (fun key ->
+              if as_num (field r key) <= 0.0 then
+                raise (Bad_json (key ^ " must be positive")))
+            [
+              "commit_seconds"; "open_seconds"; "verify_seconds";
+              "commitment_bytes"; "proof_bytes"; "queries";
+            ];
+          as_str (field r "name"))
+        rows
+    in
+    List.iter
+      (fun required ->
+        if not (List.mem required names) then
+          raise (Bad_json (required ^ " backend missing")))
+      [ "orion"; "fri" ];
+    Ok ()
+  with Bad_json msg -> Error msg
+
+(* --- driver ------------------------------------------------------------- *)
+
+let run ?(smoke = false) ?(path = "BENCH_backend.json") () =
+  Zk_report.Render.section
+    (Printf.sprintf "PCS backends: Orion vs FRI commit/open/verify%s"
+       (if smoke then " (smoke)" else ""));
+  let rows = List.map (measure ~smoke) backends in
+  Zk_report.Render.table
+    ~header:
+      [ "backend"; "2^L"; "commit"; "open"; "verify"; "proof bytes"; "queries" ]
+    (List.map
+       (fun r ->
+         [
+           r.b_name;
+           string_of_int (1 lsl r.b_num_vars);
+           Zk_report.Render.seconds r.commit_seconds;
+           Zk_report.Render.seconds r.open_seconds;
+           Zk_report.Render.seconds r.verify_seconds;
+           string_of_int r.proof_bytes;
+           string_of_int r.queries;
+         ])
+       rows);
+  let json = json_of_rows rows in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  (match validate_schema json with
+  | Ok () -> Printf.printf "wrote %s (schema %s, valid)\n%!" path schema_id
+  | Error msg ->
+    Printf.eprintf "BENCH_backend.json failed schema validation: %s\n%!" msg;
+    exit 1);
+  rows

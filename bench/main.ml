@@ -8,6 +8,7 @@
      main.exe bench      microbenchmarks only
      main.exe parallel   serial vs multi-domain kernels -> BENCH_parallel.json
      main.exe memory     boxed vs unboxed kernels + GC stats -> BENCH_memory.json
+     main.exe backend    Orion vs FRI PCS backends -> BENCH_backend.json
      main.exe table4     a single table/figure by id
 
    GC tuning for every mode lives in [tune_gc] below. *)
@@ -20,16 +21,10 @@ open Toolkit
    boxed baselines from spending their time in minor collections (so the
    boxed-vs-unboxed comparison in `memory` measures allocation cost, not
    collector scheduling), and a higher space_overhead keeps the major GC
-   out of the timed regions. NOCAP_GC_MINOR_MB overrides the minor-heap
-   size in MiB. *)
-let tune_gc () =
-  let minor_mb =
-    match Option.bind (Sys.getenv_opt "NOCAP_GC_MINOR_MB") int_of_string_opt with
-    | Some v when v > 0 -> v
-    | _ -> 16
-  in
-  Gc.set
-    { (Gc.get ()) with Gc.minor_heap_size = minor_mb * 1024 * 1024 / 8; space_overhead = 200 }
+   out of the timed regions. NOCAP_GC_MINOR_MB (validated once by
+   Engine.Config, along with NOCAP_DOMAINS) overrides the minor-heap size
+   in MiB. *)
+let tune_gc () = Engine.tune_gc (Engine.default ())
 
 (* Static verification of every schedule the harness produces: each kernel
    program at the vector lengths the benches use, linted and checked against
@@ -341,7 +336,8 @@ let () =
     List.iter (fun (_, f) -> f ()) report_items;
     run_benches ();
     ignore (Bench_parallel.run ());
-    ignore (Bench_memory.run ())
+    ignore (Bench_memory.run ());
+    ignore (Bench_backend.run ())
   | [ "report" ] -> List.iter (fun (_, f) -> f ()) report_items
   | [ "bench" ] -> run_benches ()
   | [ "parallel" ] -> ignore (Bench_parallel.run ())
@@ -352,6 +348,10 @@ let () =
   | [ "memory"; path ] -> ignore (Bench_memory.run ~path ())
   | [ "memory-smoke" ] -> ignore (Bench_memory.run ~smoke:true ~path:"BENCH_memory_smoke.json" ())
   | [ "memory-smoke"; path ] -> ignore (Bench_memory.run ~smoke:true ~path ())
+  | [ "backend" ] -> ignore (Bench_backend.run ())
+  | [ "backend"; path ] -> ignore (Bench_backend.run ~path ())
+  | [ "backend-smoke" ] -> ignore (Bench_backend.run ~smoke:true ())
+  | [ "backend-smoke"; path ] -> ignore (Bench_backend.run ~smoke:true ~path ())
   | ids ->
     List.iter
       (fun id ->

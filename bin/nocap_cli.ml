@@ -256,5 +256,12 @@ let lint_cmd =
     Term.(const run $ benchmark_arg $ scale_arg $ vector_len_arg)
 
 let () =
+  (* Build the default engine up front: this validates NOCAP_DOMAINS /
+     NOCAP_GC_MINOR_MB once, loudly, instead of each subsystem quietly
+     re-reading the environment. *)
+  (try ignore (Nocap_repro.Engine.default ())
+   with Invalid_argument msg ->
+     Printf.eprintf "nocap-cli: %s\n" msg;
+     exit 2);
   let info = Cmd.info "nocap-cli" ~doc:"NoCap reproduction: hash-based ZKP proving and accelerator modeling." in
   exit (Cmd.eval (Cmd.group info [ prove_cmd; simulate_cmd; report_cmd; db_cmd; batch_cmd; lint_cmd ]))

@@ -53,7 +53,17 @@ module Grand_product = Zk_sumcheck.Grand_product
 module Orion = Zk_orion.Orion
 module Fri = Zk_orion.Fri
 module Stark = Zk_orion.Stark
+
+(* Proving engine: PCS interface, engine context, and the pluggable backends *)
+module Pcs = Zk_pcs.Pcs
+module Engine = Zk_pcs.Engine
+module Orion_pcs = Zk_orion.Orion_pcs
+module Fri_pcs = Zk_orion.Fri_pcs
 module Spartan = Zk_spartan.Spartan
+
+(** Spartan over the FRI backend — same SNARK, NTT-heavy PCS. *)
+module Spartan_fri = Zk_spartan.Spartan.Make (Zk_orion.Fri_pcs)
+
 module Proof_serialize = Zk_spartan.Serialize
 module Aggregate = Zk_spartan.Aggregate
 

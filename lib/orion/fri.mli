@@ -57,3 +57,18 @@ val verify :
   (unit, string) result
 
 val proof_size_bytes : proof -> int
+
+(** {2 Shared folding machinery}
+
+    Reused by {!Fri_pcs}, which interleaves these codeword folds with a
+    sumcheck to turn the low-degree test into a multilinear PCS. *)
+
+val commit_layer : Gf.t array -> Zk_merkle.Merkle.tree
+(** Merkle tree over an evaluation layer, co-locating [f(x)] and [f(-x)]:
+    leaf [j] commits to [(E.(j), E.(j + half))]. *)
+
+val fold : shift:Gf.t -> Gf.t array -> Gf.t -> Gf.t array
+(** [fold ~shift evals beta] halves the layer:
+    [out.(j) = (E.(j) + E.(j+half)) / 2 + beta * (E.(j) - E.(j+half)) / (2x_j)]
+    where [x_j = shift * w^j]. On the coefficient side this is
+    [c'_i = c_{2i} + beta * c_{2i+1}] — it binds monomial bit 0. *)

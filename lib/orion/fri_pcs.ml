@@ -1,0 +1,388 @@
+module Gf = Zk_field.Gf
+module Mle = Zk_poly.Mle
+module Dense = Zk_poly.Dense
+module Merkle = Zk_merkle.Merkle
+module Transcript = Zk_hash.Transcript
+module Ntt = Zk_ntt.Ntt.Gf_ntt
+module Pool = Nocap_parallel.Pool
+module Codec = Zk_pcs.Codec
+
+let name = "fri"
+let tag = '\002'
+
+type params = { blowup_log2 : int; num_queries : int }
+
+let default_params = { blowup_log2 = 2; num_queries = 30 }
+let test_params = { blowup_log2 = 2; num_queries = 12 }
+
+type param_error = Blowup_out_of_range of int | Queries_not_positive of int
+
+let validate_params p =
+  if p.blowup_log2 < 1 || p.blowup_log2 > 8 then Error (Blowup_out_of_range p.blowup_log2)
+  else if p.num_queries < 1 then Error (Queries_not_positive p.num_queries)
+  else Ok ()
+
+let param_error_to_string = function
+  | Blowup_out_of_range b -> Printf.sprintf "blowup_log2 %d outside [1, 8]" b
+  | Queries_not_positive q -> Printf.sprintf "num_queries must be >= 1, got %d" q
+
+type commitment = { root : Merkle.digest; num_vars : int }
+
+type committed = {
+  c_commitment : commitment;
+  table : Gf.t array; (* multilinear evaluations, length 2^num_vars *)
+  evals : Gf.t array; (* layer-0 codeword over the size-(2^num_vars * blowup) subgroup *)
+  tree : Merkle.tree;
+}
+
+type eval_proof = {
+  round_polys : Gf.t array array; (* one degree-2 polynomial (3 evals) per variable *)
+  layer_roots : Merkle.digest array; (* roots of the folded layers 1..num_vars *)
+  final_constant : Gf.t;
+  queries : (int * (Gf.t * Gf.t * Merkle.digest list) array) array;
+}
+
+let log2_exact n =
+  if n <= 0 || n land (n - 1) <> 0 then invalid_arg "Fri_pcs: size must be a power of two";
+  let rec go k m = if m = 1 then k else go (k + 1) (m lsr 1) in
+  go 0 n
+
+(* Hypercube evaluations -> univariate coefficients, arranged so that
+   monomial bit [j - 1] carries variable [j] (the j-th variable the
+   sumcheck binds; variable 1 is the MSB of the evaluation index). With
+   that arrangement {!Fri.fold}'s coefficient action
+   [c'_i = c_{2i} + r * c_{2i+1}] is exactly "substitute the round
+   challenge for the variable the sumcheck just bound", so one challenge
+   drives both the sumcheck tables and the codeword. *)
+let monomial_coeffs table =
+  let n = Array.length table in
+  let l = log2_exact n in
+  let c = Array.copy table in
+  (* Evaluations to multilinear monomial coefficients, one variable (index
+     bit) at a time: (f(0), f(1)) |-> (f(0), f(1) - f(0)). *)
+  let stride = ref 1 in
+  while !stride < n do
+    let s = !stride in
+    let block = 2 * s in
+    let i = ref 0 in
+    while !i < n do
+      for j = !i to !i + s - 1 do
+        c.(j + s) <- Gf.sub c.(j + s) c.(j)
+      done;
+      i := !i + block
+    done;
+    stride := block
+  done;
+  if l = 0 then c
+  else begin
+    (* Bit-reverse: variable j lives at evaluation-index bit (l - j), and
+       must land at monomial bit (j - 1). *)
+    let rev m =
+      let acc = ref 0 and m = ref m in
+      for _ = 1 to l do
+        acc := (!acc lsl 1) lor (!m land 1);
+        m := !m lsr 1
+      done;
+      !acc
+    in
+    Array.init n (fun m -> c.(rev m))
+  end
+
+let commit ?engine params rng table =
+  (match validate_params params with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Fri_pcs.commit: " ^ param_error_to_string e));
+  ignore (engine : Zk_pcs.Engine.t option);
+  ignore (rng : Zk_util.Rng.t); (* non-hiding backend: no masks to draw *)
+  let n = Array.length table in
+  let num_vars = log2_exact n in
+  let coeffs = monomial_coeffs table in
+  let domain = n lsl params.blowup_log2 in
+  let evals = Array.make domain Gf.zero in
+  Array.blit coeffs 0 evals 0 n;
+  Ntt.forward (Ntt.plan domain) evals;
+  let tree = Fri.commit_layer evals in
+  let c_commitment = { root = Merkle.root tree; num_vars } in
+  ({ c_commitment; table = Array.copy table; evals; tree }, c_commitment)
+
+let absorb_commitment transcript (cm : commitment) =
+  Transcript.absorb_digest transcript "fripcs/root" cm.root;
+  Transcript.absorb_int transcript "fripcs/num_vars" cm.num_vars
+
+let commitment_num_vars (cm : commitment) = cm.num_vars
+
+(* The opening argument is a basefold-style interleaving: the claim
+   [v = sum_b f(b) * eq(q, b)] runs through a degree-2 sumcheck over the
+   tables [A = f] and [E = eq(q)], and each round's challenge [r_i] also
+   folds the committed codeword, which keeps the codeword in sync as the
+   coefficient vector of [f(r_1..r_i, .)]. After the last round the
+   codeword is the constant [f~(r)], so the verifier can close the
+   sumcheck with [f~(r) * eq~(q, r)] and needs only FRI-style spot checks
+   (no second commitment, no trusted evaluation). *)
+let open_at ?engine params committed transcript point =
+  let pool = Option.bind engine Zk_pcs.Engine.pool in
+  let cm = committed.c_commitment in
+  let l = cm.num_vars in
+  if Array.length point <> l then invalid_arg "Fri_pcs.open_at: point dimension";
+  let n = Array.length committed.table in
+  Transcript.absorb_gf transcript "fripcs/point" point;
+  let a = Array.copy committed.table in
+  let e = Mle.eq_table point in
+  let value =
+    let acc = ref Gf.zero in
+    for b = 0 to n - 1 do
+      acc := Gf.add !acc (Gf.mul a.(b) e.(b))
+    done;
+    !acc
+  in
+  Transcript.absorb_gf transcript "fripcs/value" [| value |];
+  let round_polys = Array.make l [||] in
+  let challenges = Array.make l Gf.zero in
+  let layers = ref [ committed.evals ] in
+  let trees = ref [ committed.tree ] in
+  let len = ref n in
+  for round = 0 to l - 1 do
+    let half = !len / 2 in
+    (* Round polynomial g(t) = sum_b A_t(b) * E_t(b) with the top variable
+       pinned to t, tabulated at t = 0, 1, 2. *)
+    let g = Array.make 3 Gf.zero in
+    for b = 0 to half - 1 do
+      let a0 = a.(b) and a1 = a.(b + half) in
+      let e0 = e.(b) and e1 = e.(b + half) in
+      let da = Gf.sub a1 a0 and de = Gf.sub e1 e0 in
+      g.(0) <- Gf.add g.(0) (Gf.mul a0 e0);
+      g.(1) <- Gf.add g.(1) (Gf.mul a1 e1);
+      g.(2) <- Gf.add g.(2) (Gf.mul (Gf.add a1 da) (Gf.add e1 de))
+    done;
+    round_polys.(round) <- g;
+    Transcript.absorb_gf transcript "fripcs/round" g;
+    let r = Transcript.challenge_gf transcript "fripcs/r" in
+    challenges.(round) <- r;
+    (* Bind the top variable of both tables... *)
+    for b = 0 to half - 1 do
+      a.(b) <- Gf.add a.(b) (Gf.mul r (Gf.sub a.(b + half) a.(b)));
+      e.(b) <- Gf.add e.(b) (Gf.mul r (Gf.sub e.(b + half) e.(b)))
+    done;
+    len := half;
+    (* ...and fold the codeword with the same challenge. *)
+    let next = Fri.fold ~shift:Gf.one (List.hd !layers) r in
+    layers := next :: !layers;
+    let tree = Fri.commit_layer next in
+    trees := tree :: !trees;
+    Transcript.absorb_digest transcript "fripcs/layer" (Merkle.root tree)
+  done;
+  let layers = Array.of_list (List.rev !layers) in
+  let trees = Array.of_list (List.rev !trees) in
+  let final_constant = layers.(l).(0) in
+  Transcript.absorb_gf transcript "fripcs/final" [| final_constant |];
+  let domain = Array.length committed.evals in
+  let positions =
+    Transcript.challenge_indices transcript "fripcs/queries" ~bound:(domain / 2)
+      ~count:params.num_queries
+  in
+  let queries =
+    Pool.parallel_map ?pool ~threshold:8
+      (fun position ->
+        let opened =
+          Array.mapi
+            (fun i layer ->
+              let half = Array.length layer / 2 in
+              let pos = position mod half in
+              (layer.(pos), layer.(pos + half), Merkle.path trees.(i) pos))
+            layers
+        in
+        (position, opened))
+      positions
+  in
+  ( value,
+    {
+      round_polys;
+      layer_roots = Array.init l (fun i -> Merkle.root trees.(i + 1));
+      final_constant;
+      queries;
+    } )
+
+let verify ?engine params (cm : commitment) transcript point value proof =
+  ignore (engine : Zk_pcs.Engine.t option);
+  let ( let* ) = Result.bind in
+  let* () =
+    match validate_params params with
+    | Ok () -> Ok ()
+    | Error e -> Error (param_error_to_string e)
+  in
+  let l = cm.num_vars in
+  let* () =
+    if Array.length point = l then Ok () else Error "point dimension mismatch"
+  in
+  let* () =
+    if Array.length proof.round_polys = l then Ok ()
+    else Error "wrong number of sumcheck rounds"
+  in
+  let* () =
+    if Array.length proof.layer_roots = l then Ok ()
+    else Error "wrong number of fold layers"
+  in
+  Transcript.absorb_gf transcript "fripcs/point" point;
+  Transcript.absorb_gf transcript "fripcs/value" [| value |];
+  let challenges = Array.make l Gf.zero in
+  let expected = ref value in
+  let* () =
+    let rec round i =
+      if i = l then Ok ()
+      else begin
+        let g = proof.round_polys.(i) in
+        if Array.length g <> 3 then Error (Printf.sprintf "round %d: wrong degree" i)
+        else if not (Gf.equal (Gf.add g.(0) g.(1)) !expected) then
+          Error (Printf.sprintf "round %d: g(0) + g(1) does not match the claim" i)
+        else begin
+          Transcript.absorb_gf transcript "fripcs/round" g;
+          let r = Transcript.challenge_gf transcript "fripcs/r" in
+          challenges.(i) <- r;
+          expected := Dense.interpolate_eval_small g r;
+          Transcript.absorb_digest transcript "fripcs/layer" proof.layer_roots.(i);
+          round (i + 1)
+        end
+      end
+    in
+    round 0
+  in
+  Transcript.absorb_gf transcript "fripcs/final" [| proof.final_constant |];
+  (* The folded codeword constant is f~(r); it must close the sumcheck. *)
+  let* () =
+    if Gf.equal !expected (Gf.mul proof.final_constant (Mle.eq_point point challenges))
+    then Ok ()
+    else Error "final claim does not match the folded constant"
+  in
+  let domain = 1 lsl (l + params.blowup_log2) in
+  let positions =
+    Transcript.challenge_indices transcript "fripcs/queries" ~bound:(domain / 2)
+      ~count:params.num_queries
+  in
+  let* () =
+    if Array.length proof.queries = params.num_queries then Ok ()
+    else Error "wrong number of queries"
+  in
+  let roots = Array.append [| cm.root |] proof.layer_roots in
+  let inv2 = Gf.inv Gf.two in
+  let rec check_query qi =
+    if qi >= Array.length proof.queries then Ok ()
+    else begin
+      let position, opened = proof.queries.(qi) in
+      if position <> positions.(qi) then Error "query position mismatch"
+      else if Array.length opened <> l + 1 then Error "query layer count"
+      else begin
+        (* Walk the fold chain exactly as in {!Fri.verify} (plain subgroup:
+           the shift is 1 at every layer). *)
+        let rec walk i layer_size j exp =
+          let half = layer_size / 2 in
+          let leaf_pos = j mod half in
+          let av, bv, path = opened.(i) in
+          let leaf = Merkle.leaf_of_column [| av; bv |] in
+          if not (Merkle.verify ~root:roots.(i) ~index:leaf_pos ~leaf ~path) then
+            Error (Printf.sprintf "query %d layer %d: bad path" qi i)
+          else begin
+            let value_at_j = if j >= half then bv else av in
+            let consistent =
+              match exp with None -> true | Some v -> Gf.equal v value_at_j
+            in
+            if not consistent then
+              Error (Printf.sprintf "query %d layer %d: fold mismatch" qi i)
+            else if i = l then
+              if Gf.equal av proof.final_constant && Gf.equal bv proof.final_constant
+              then Ok ()
+              else Error (Printf.sprintf "query %d: final layer not constant" qi)
+            else begin
+              let w = Gf.root_of_unity (log2_exact layer_size) in
+              let x = Gf.pow w (Int64.of_int leaf_pos) in
+              let even = Gf.mul inv2 (Gf.add av bv) in
+              let odd = Gf.mul inv2 (Gf.mul (Gf.sub av bv) (Gf.inv x)) in
+              let next = Gf.add even (Gf.mul challenges.(i) odd) in
+              walk (i + 1) half leaf_pos (Some next)
+            end
+          end
+        in
+        match walk 0 domain position None with
+        | Error e -> Error e
+        | Ok () -> check_query (qi + 1)
+      end
+    end
+  in
+  check_query 0
+
+let proof_size_bytes params (cm : commitment) proof =
+  ignore params;
+  ignore cm;
+  let field = 8 and digest = 32 and index = 8 in
+  let round_bytes =
+    Array.fold_left (fun acc g -> acc + (field * Array.length g)) 0 proof.round_polys
+  in
+  let query_bytes =
+    Array.fold_left
+      (fun acc (_, opened) ->
+        acc + index
+        + Array.fold_left
+            (fun acc (_, _, path) -> acc + (2 * field) + (digest * List.length path))
+            0 opened)
+      0 proof.queries
+  in
+  round_bytes + (digest * Array.length proof.layer_roots) + field + query_bytes
+
+let stats params (cm : commitment) proof =
+  {
+    Zk_pcs.Pcs.backend = name;
+    num_vars = cm.num_vars;
+    commitment_bytes = 32;
+    proof_bytes = proof_size_bytes params cm proof;
+    queries = Array.length proof.queries;
+  }
+
+(* --- byte forms --- *)
+
+let write_commitment buf (cm : commitment) =
+  Codec.put_digest buf cm.root;
+  Codec.put_int buf cm.num_vars
+
+let read_commitment r =
+  let ( let* ) = Result.bind in
+  let* root = Codec.get_digest r in
+  let* num_vars = Codec.get_len r in
+  Ok { root; num_vars }
+
+let write_eval_proof buf p =
+  Codec.put_int buf (Array.length p.round_polys);
+  Array.iter (Codec.put_gf_array buf) p.round_polys;
+  Codec.put_int buf (Array.length p.layer_roots);
+  Array.iter (Codec.put_digest buf) p.layer_roots;
+  Codec.put_gf buf p.final_constant;
+  Codec.put_int buf (Array.length p.queries);
+  Array.iter
+    (fun (position, opened) ->
+      Codec.put_int buf position;
+      Codec.put_int buf (Array.length opened);
+      Array.iter
+        (fun (a, b, path) ->
+          Codec.put_gf buf a;
+          Codec.put_gf buf b;
+          Codec.put_int buf (List.length path);
+          List.iter (Codec.put_digest buf) path)
+        opened)
+    p.queries
+
+let read_eval_proof r =
+  let ( let* ) = Result.bind in
+  let* round_polys = Codec.get_array r Codec.get_gf_array in
+  let* layer_roots = Codec.get_array r Codec.get_digest in
+  let* final_constant = Codec.get_gf r in
+  let* queries =
+    Codec.get_array r (fun r ->
+        let* position = Codec.get_len r in
+        let* opened =
+          Codec.get_array r (fun r ->
+              let* a = Codec.get_gf r in
+              let* b = Codec.get_gf r in
+              let* path = Codec.get_list r Codec.get_digest in
+              Ok (a, b, path))
+        in
+        Ok (position, opened))
+  in
+  Ok { round_polys; layer_roots; final_constant; queries }

@@ -1,0 +1,29 @@
+(** A multilinear PCS built from the {!Fri} low-degree-test machinery — the
+    NTT-heavy end of the PCS design space ("When Proofs Meet Hardware"
+    contrasts it with sumcheck-friendly codes like Orion's), wired in as
+    the second {!Zk_pcs.Pcs.S} backend so the Spartan functor exercises
+    both.
+
+    [commit] maps the hypercube evaluation table to univariate monomial
+    coefficients (Mobius transform + bit reversal, arranging variable [j]
+    at monomial bit [j - 1]), low-degree-extends them with an NTT at rate
+    [2^-blowup_log2], and Merkle-commits the codeword. [open_at] proves
+    [v = sum_b f(b) eq(q, b)] with a basefold-style argument: a degree-2
+    sumcheck over [f] and [eq(q)] whose per-round challenge also
+    even/odd-folds the codeword, so after the last round the codeword is
+    the constant [f~(r)] and spot checks against the committed layers are
+    all that is left to verify.
+
+    Unlike Orion's zk configuration this backend draws no hiding masks
+    (the [rng] passed to [commit] is unused): openings leak information
+    about the polynomial beyond the evaluation, so it is a performance /
+    design-space backend, not a zero-knowledge one. *)
+
+type params = {
+  blowup_log2 : int; (** rate = 2^-blowup_log2; 2 by default *)
+  num_queries : int; (** fold spot-checks; 30 by default *)
+}
+
+type param_error = Blowup_out_of_range of int | Queries_not_positive of int
+
+include Zk_pcs.Pcs.S with type params := params and type param_error := param_error

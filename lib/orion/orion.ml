@@ -15,6 +15,31 @@ type params = {
 let default_params =
   { rows = 128; code = (module Zk_ecc.Reed_solomon); proximity_count = 4; zk = true }
 
+type param_error =
+  | Rows_not_positive of int
+  | Rows_not_power_of_two of int
+  | Proximity_count_not_positive of int
+  | Code_rate_insane of { code : string; blowup : int }
+
+let param_error_to_string = function
+  | Rows_not_positive r -> Printf.sprintf "rows must be positive, got %d" r
+  | Rows_not_power_of_two r -> Printf.sprintf "rows must be a power of two, got %d" r
+  | Proximity_count_not_positive c ->
+    Printf.sprintf "proximity_count must be >= 1, got %d" c
+  | Code_rate_insane { code; blowup } ->
+    Printf.sprintf "code %s has insane rate: blowup %d outside [2, 64]" code blowup
+
+let validate_params params =
+  let module Code = (val params.code : Zk_ecc.Linear_code.S) in
+  if params.rows <= 0 then Error (Rows_not_positive params.rows)
+  else if params.rows land (params.rows - 1) <> 0 then
+    Error (Rows_not_power_of_two params.rows)
+  else if params.proximity_count < 1 then
+    Error (Proximity_count_not_positive params.proximity_count)
+  else if Code.blowup < 2 || Code.blowup > 64 then
+    Error (Code_rate_insane { code = Code.name; blowup = Code.blowup })
+  else Ok ()
+
 type commitment = {
   root : Merkle.digest;
   num_vars : int;
@@ -53,7 +78,11 @@ let layout params table =
   let cols = n / rows in
   (rows, cols)
 
-let commit params rng table =
+let commit ?engine params rng table =
+  (match validate_params params with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Orion.commit: " ^ param_error_to_string e));
+  ignore (engine : Zk_pcs.Engine.t option);
   let module Code = (val params.code : Zk_ecc.Linear_code.S) in
   let rows, cols = layout params table in
   (* The row-major matrix of a flat table is the table itself. *)
@@ -94,11 +123,11 @@ let split_point (cm : commitment) point =
    The accumulator is a flat vector too: the loop body is pure unboxed
    int64, and only the final result is materialized as a boxed array for
    the (public) proof record. *)
-let row_combination coeffs (mat : Fv.t) cols =
+let row_combination ?pool coeffs (mat : Fv.t) cols =
   let nrows = Array.length coeffs in
   let out = Fv.create cols in
   Fv.zero out;
-  Pool.run ~threshold:256 ~n:cols (fun lo hi ->
+  Pool.run ?pool ~threshold:256 ~n:cols (fun lo hi ->
       for r = 0 to nrows - 1 do
         let coeff = Array.unsafe_get coeffs r in
         let base = r * cols in
@@ -113,7 +142,8 @@ let code_length params (cm : commitment) =
   let module Code = (val params.code : Zk_ecc.Linear_code.S) in
   Code.blowup * cm.mat_cols
 
-let prove_eval params committed transcript point =
+let prove_eval ?engine params committed transcript point =
+  let pool = Option.bind engine Zk_pcs.Engine.pool in
   let cm = committed.c_commitment in
   let module Code = (val params.code : Zk_ecc.Linear_code.S) in
   let cols = cm.mat_cols in
@@ -124,7 +154,7 @@ let prove_eval params committed transcript point =
   let proximity =
     Array.init params.proximity_count (fun i ->
         let rho = Transcript.challenge_gf_vec transcript "orion/rho" cm.mat_rows in
-        let v = row_combination rho committed.matrix cols in
+        let v = row_combination ?pool rho committed.matrix cols in
         let v =
           if params.zk then
             Array.mapi (fun j x -> Gf.add x (Fv.get committed.masks ((i * cols) + j))) v
@@ -136,7 +166,7 @@ let prove_eval params committed transcript point =
   (* Consistency: the eq(q_row) combination, whose inner product with
      eq(q_col) is the evaluation. *)
   let eq_row = Mle.eq_table q_row in
-  let u = row_combination eq_row committed.matrix cols in
+  let u = row_combination ?pool eq_row committed.matrix cols in
   Transcript.absorb_gf transcript "orion/u" u;
   (* Column queries over the codeword domain. *)
   let bound = code_length params cm in
@@ -147,7 +177,7 @@ let prove_eval params committed transcript point =
      encoded matrix and tree independently; a column is a stride-[bound]
      walk of the flat encoding. *)
   let columns =
-    Pool.parallel_map ~threshold:16
+    Pool.parallel_map ?pool ~threshold:16
       (fun j ->
         let col =
           Array.init committed.enc_rows (fun r -> Fv.get committed.encoded ((r * bound) + j))
@@ -162,7 +192,8 @@ let prove_eval params committed transcript point =
   done;
   (!value, { u; proximity; columns })
 
-let verify_eval params (cm : commitment) transcript point value proof =
+let verify_eval ?engine params (cm : commitment) transcript point value proof =
+  ignore (engine : Zk_pcs.Engine.t option);
   let module Code = (val params.code : Zk_ecc.Linear_code.S) in
   let cols = cm.mat_cols in
   let ( let* ) = Result.bind in

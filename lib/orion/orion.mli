@@ -31,6 +31,21 @@ type params = {
 val default_params : params
 (** rows = 128, Reed-Solomon blowup 4, 4 proximity vectors, zk masking on. *)
 
+type param_error =
+  | Rows_not_positive of int
+  | Rows_not_power_of_two of int
+  | Proximity_count_not_positive of int
+  | Code_rate_insane of { code : string; blowup : int }
+
+val validate_params : params -> (unit, param_error) result
+(** Structural sanity of a parameter set: [rows] a positive power of two,
+    at least one proximity combination, a code blowup in [2, 64]. Checked
+    by {!commit} before any work happens, so a bad configuration fails at
+    construction with a structured error instead of deep inside the
+    encoder. *)
+
+val param_error_to_string : param_error -> string
+
 type commitment = {
   root : Zk_merkle.Merkle.digest;
   num_vars : int;
@@ -49,12 +64,16 @@ type eval_proof = {
       (** queried codeword columns with authentication paths *)
 }
 
-val commit : params -> Zk_util.Rng.t -> Gf.t array -> committed * commitment
+val commit :
+  ?engine:Zk_pcs.Engine.t -> params -> Zk_util.Rng.t -> Gf.t array -> committed * commitment
 (** [commit params rng table] commits to the multilinear polynomial whose
     evaluation table is [table] (power-of-two length). [rng] draws the zk
-    mask rows (unused when [params.zk] is false). *)
+    mask rows (unused when [params.zk] is false); the draw order is fixed,
+    so the commitment does not depend on the engine.
+    @raise Invalid_argument if {!validate_params} rejects [params]. *)
 
 val prove_eval :
+  ?engine:Zk_pcs.Engine.t ->
   params ->
   committed ->
   Zk_hash.Transcript.t ->
@@ -62,9 +81,12 @@ val prove_eval :
   Gf.t * eval_proof
 (** [prove_eval params cm transcript point] opens the polynomial at [point]
     (length [num_vars]), returning the value and the proof. The commitment
-    must have been absorbed by the caller via {!absorb_commitment}. *)
+    must have been absorbed by the caller via {!absorb_commitment}. The
+    engine supplies the worker pool for row combinations and column
+    openings (proof bytes are identical for every pool). *)
 
 val verify_eval :
+  ?engine:Zk_pcs.Engine.t ->
   params ->
   commitment ->
   Zk_hash.Transcript.t ->

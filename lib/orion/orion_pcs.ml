@@ -1,0 +1,78 @@
+module Gf = Zk_field.Gf
+module Codec = Zk_pcs.Codec
+
+let name = "orion"
+let tag = '\001'
+
+type params = Orion.params
+
+let default_params = Orion.default_params
+let test_params = { Orion.default_params with Orion.rows = 8 }
+
+type param_error = Orion.param_error
+
+let validate_params = Orion.validate_params
+let param_error_to_string = Orion.param_error_to_string
+
+type committed = Orion.committed
+type commitment = Orion.commitment
+type eval_proof = Orion.eval_proof
+
+let commit = Orion.commit
+let absorb_commitment = Orion.absorb_commitment
+let commitment_num_vars (cm : commitment) = cm.Orion.num_vars
+let open_at = Orion.prove_eval
+let verify = Orion.verify_eval
+let proof_size_bytes = Orion.proof_size_bytes
+
+let stats params (cm : commitment) (proof : eval_proof) =
+  {
+    Zk_pcs.Pcs.backend = name;
+    num_vars = cm.Orion.num_vars;
+    commitment_bytes = 32;
+    proof_bytes = proof_size_bytes params cm proof;
+    queries = Array.length proof.Orion.columns;
+  }
+
+(* --- byte forms (layout shared with the pre-functor Serialize module, so
+   Orion-backend proof blobs stay byte-compatible modulo the header) --- *)
+
+let write_commitment buf (cm : commitment) =
+  Codec.put_digest buf cm.Orion.root;
+  Codec.put_int buf cm.Orion.num_vars;
+  Codec.put_int buf cm.Orion.mat_rows;
+  Codec.put_int buf cm.Orion.mat_cols
+
+let read_commitment r =
+  let ( let* ) = Result.bind in
+  let* root = Codec.get_digest r in
+  let* num_vars = Codec.get_len r in
+  let* mat_rows = Codec.get_len r in
+  let* mat_cols = Codec.get_len r in
+  Ok { Orion.root; num_vars; mat_rows; mat_cols }
+
+let write_eval_proof buf (p : eval_proof) =
+  Codec.put_gf_array buf p.Orion.u;
+  Codec.put_int buf (Array.length p.Orion.proximity);
+  Array.iter (Codec.put_gf_array buf) p.Orion.proximity;
+  Codec.put_int buf (Array.length p.Orion.columns);
+  Array.iter
+    (fun (j, col, path) ->
+      Codec.put_int buf j;
+      Codec.put_gf_array buf col;
+      Codec.put_int buf (List.length path);
+      List.iter (Codec.put_digest buf) path)
+    p.Orion.columns
+
+let read_eval_proof r =
+  let ( let* ) = Result.bind in
+  let* u = Codec.get_gf_array r in
+  let* proximity = Codec.get_array r Codec.get_gf_array in
+  let* columns =
+    Codec.get_array r (fun r ->
+        let* j = Codec.get_len r in
+        let* col = Codec.get_gf_array r in
+        let* path = Codec.get_list r Codec.get_digest in
+        Ok (j, col, path))
+  in
+  Ok { Orion.u; proximity; columns }

@@ -1,0 +1,15 @@
+(** {!Orion} packaged as a {!Zk_pcs.Pcs.S} backend — the sumcheck-friendly
+    end of the PCS design space, and the scheme the paper's accelerator is
+    sized for.
+
+    All types are transparently equal to {!Orion}'s, so code written
+    against the concrete Orion API (e.g. [proof.w_commitment.Orion.root])
+    keeps working on the default Spartan instantiation. *)
+
+include
+  Zk_pcs.Pcs.S
+    with type params = Orion.params
+     and type param_error = Orion.param_error
+     and type committed = Orion.committed
+     and type commitment = Orion.commitment
+     and type eval_proof = Orion.eval_proof

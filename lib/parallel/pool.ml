@@ -126,20 +126,18 @@ let teardown pool =
 
 (* --- default pool ------------------------------------------------------ *)
 
-let env_domains () =
-  match Sys.getenv_opt "NOCAP_DOMAINS" with
-  | Some s -> (match int_of_string_opt (String.trim s) with
-    | Some d when d > 0 -> Some (clamp_domains d)
-    | _ -> None)
-  | None -> None
-
 let forced_default : int option ref = ref None
+
+(* Lower-priority default installed by the engine layer (which owns all
+   environment parsing); [forced_default] — set_default_domains and
+   with_domains — still wins. *)
+let baseline_default : int option ref = ref None
 
 let default_domains () =
   match !forced_default with
   | Some d -> d
   | None -> (
-    match env_domains () with
+    match !baseline_default with
     | Some d -> d
     | None -> clamp_domains (Domain.recommended_domain_count ()))
 
@@ -171,6 +169,17 @@ let set_default_domains d =
     teardown p
   | None -> ());
   forced_default := Some (clamp_domains d)
+
+let set_baseline_domains d =
+  (* Only tear the pool down when the baseline is actually in charge; while
+     a forced size is active (e.g. inside with_domains) the live pool stays
+     untouched and the baseline takes effect after the force is released. *)
+  (match (!default_pool, !forced_default) with
+  | Some p, None ->
+    default_pool := None;
+    teardown p
+  | _ -> ());
+  baseline_default := Some (clamp_domains d)
 
 let with_domains d f =
   let saved = !forced_default in

@@ -1,6 +1,7 @@
 (** Domain-based work pool for the prover hot paths.
 
-    A fixed set of worker domains (sized from [NOCAP_DOMAINS] or
+    A fixed set of worker domains (sized from {!set_baseline_domains} — the
+    engine layer installs [NOCAP_DOMAINS] there — or
     {!Domain.recommended_domain_count}) executes chunked index ranges on
     behalf of a submitting domain, which also participates. The pool is the
     software analogue of NoCap's vector lanes: every converted kernel
@@ -31,8 +32,12 @@ val teardown : t -> unit
     [teardown] twice is harmless. *)
 
 val default_domains : unit -> int
-(** Size used for the shared default pool: [NOCAP_DOMAINS] if set to a
-    positive integer, else [Domain.recommended_domain_count ()]. *)
+(** Size used for the shared default pool: the forced size if one is active
+    ({!set_default_domains} / {!with_domains}), else the baseline from
+    {!set_baseline_domains}, else [Domain.recommended_domain_count ()].
+    This module reads no environment variables itself; the engine layer
+    ([Zk_pcs.Engine.Config]) parses [NOCAP_DOMAINS] and installs it as the
+    baseline. *)
 
 val default : unit -> t
 (** The shared default pool, created on first use and torn down via
@@ -43,6 +48,12 @@ val set_default_domains : int -> unit
 (** Tear down the current default pool (if any) and recreate it with the
     given size on next use. Intended for benchmarks and tests that sweep
     domain counts inside one process. *)
+
+val set_baseline_domains : int -> unit
+(** Install a low-priority default size, used only when no forced size is
+    active. Tears down an unforced live default pool so the new size takes
+    effect on next use; a forced pool (inside {!with_domains}) is left
+    running and picks the baseline up once the force is released. *)
 
 val with_domains : int -> (unit -> 'a) -> 'a
 (** [with_domains k f] runs [f] with the default pool resized to [k],

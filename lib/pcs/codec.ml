@@ -1,0 +1,110 @@
+module Gf = Zk_field.Gf
+
+(* --- writer --- *)
+
+let put_u64 buf (x : int64) =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 x;
+  Buffer.add_bytes buf b
+
+let put_int buf n = put_u64 buf (Int64.of_int n)
+
+let put_byte buf (c : char) = Buffer.add_char buf c
+
+let put_gf buf x = put_u64 buf (Gf.to_int64 x)
+
+let put_gf_array buf a =
+  put_int buf (Array.length a);
+  Array.iter (put_gf buf) a
+
+let put_digest buf d =
+  assert (String.length d = 32);
+  Buffer.add_string buf d
+
+(* --- reader: total, bounds-checked --- *)
+
+type reader = { data : bytes; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let pos r = r.pos
+
+let remaining r = Bytes.length r.data - r.pos
+
+let at_end r = r.pos = Bytes.length r.data
+
+let ( let* ) = Result.bind
+
+(* Any single length field beyond this is rejected outright: it cannot be a
+   legitimate proof component and would otherwise let a malicious length
+   pre-allocate unbounded memory. *)
+let max_len = 1 lsl 28
+
+let need r n =
+  if r.pos + n <= Bytes.length r.data then Ok ()
+  else Error "truncated proof"
+
+let get_u64 r =
+  let* () = need r 8 in
+  let x = Bytes.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  Ok x
+
+let get_byte r =
+  let* () = need r 1 in
+  let c = Bytes.get r.data r.pos in
+  r.pos <- r.pos + 1;
+  Ok c
+
+let get_len r =
+  let* x = get_u64 r in
+  if Int64.compare x 0L < 0 || Int64.compare x (Int64.of_int max_len) > 0 then
+    Error "implausible length field"
+  else Ok (Int64.to_int x)
+
+let get_gf r =
+  let* x = get_u64 r in
+  if Gf.is_canonical x then Ok (Gf.of_int64 x) else Error "non-canonical field element"
+
+let get_gf_array r =
+  let* n = get_len r in
+  let* () = need r (8 * n) in
+  let out = Array.make (max n 1) Gf.zero in
+  let rec go i =
+    if i = n then Ok (if n = 0 then [||] else out)
+    else
+      let* x = get_gf r in
+      out.(i) <- x;
+      go (i + 1)
+  in
+  go 0
+
+let get_digest r =
+  let* () = need r 32 in
+  let d = Bytes.sub_string r.data r.pos 32 in
+  r.pos <- r.pos + 32;
+  Ok d
+
+let get_list r get =
+  let* n = get_len r in
+  let rec go i acc =
+    if i = n then Ok (List.rev acc)
+    else
+      let* x = get r in
+      go (i + 1) (x :: acc)
+  in
+  go 0 []
+
+let get_array r get =
+  let* l = get_list r get in
+  Ok (Array.of_list l)
+
+let expect_string r s =
+  let n = String.length s in
+  let* () = need r n in
+  let got = Bytes.sub_string r.data r.pos n in
+  if String.equal got s then begin
+    r.pos <- r.pos + n;
+    Ok ()
+  end
+  else Error "bad magic"

@@ -1,0 +1,58 @@
+(** Shared binary codec for proof blobs.
+
+    Writers append little-endian fixed-width fields to a [Buffer.t]; the
+    reader is total (bounds-checked, no exceptions) and rejects implausible
+    length fields before allocating, so [proof_of_bytes]-style decoders can
+    be fed untrusted data. Every backend's commitment/eval-proof byte form
+    ({!Pcs.S.write_commitment} and friends) is built from these helpers, so
+    the framing conventions (8-byte lengths, 32-byte digests, canonical
+    field elements) are uniform across backends. *)
+
+module Gf = Zk_field.Gf
+
+(** {2 Writer} *)
+
+val put_u64 : Buffer.t -> int64 -> unit
+val put_int : Buffer.t -> int -> unit
+val put_byte : Buffer.t -> char -> unit
+val put_gf : Buffer.t -> Gf.t -> unit
+
+val put_gf_array : Buffer.t -> Gf.t array -> unit
+(** Length-prefixed. *)
+
+val put_digest : Buffer.t -> string -> unit
+(** Raw 32 bytes, no length prefix. *)
+
+(** {2 Reader} *)
+
+type reader
+(** A cursor over immutable bytes. All getters return [Error] (never raise)
+    on truncation or malformed content. *)
+
+val reader : bytes -> reader
+val pos : reader -> int
+val remaining : reader -> int
+val at_end : reader -> bool
+
+val max_len : int
+(** Upper bound accepted for any single length field (2^28): a decoded
+    length beyond this is rejected before any allocation happens. *)
+
+val need : reader -> int -> (unit, string) result
+val get_u64 : reader -> (int64, string) result
+val get_byte : reader -> (char, string) result
+
+val get_len : reader -> (int, string) result
+(** A u64 validated against [0, max_len]. *)
+
+val get_gf : reader -> (Gf.t, string) result
+(** Rejects non-canonical encodings (>= the field modulus). *)
+
+val get_gf_array : reader -> (Gf.t array, string) result
+val get_digest : reader -> (string, string) result
+
+val get_list : reader -> (reader -> ('a, string) result) -> ('a list, string) result
+val get_array : reader -> (reader -> ('a, string) result) -> ('a array, string) result
+
+val expect_string : reader -> string -> (unit, string) result
+(** Consume and compare a fixed literal (e.g. a magic prefix). *)

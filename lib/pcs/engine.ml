@@ -1,0 +1,92 @@
+module Pool = Nocap_parallel.Pool
+module Rng = Zk_util.Rng
+
+module Config = struct
+  type t = { domains : int option; gc_minor_mb : int option }
+
+  let default = { domains = None; gc_minor_mb = None }
+
+  let parse_positive ~name raw =
+    match int_of_string_opt (String.trim raw) with
+    | Some v when v > 0 -> Ok v
+    | Some v -> Error (Printf.sprintf "%s must be a positive integer, got %d" name v)
+    | None -> Error (Printf.sprintf "%s must be a positive integer, got %S" name raw)
+
+  let parse ~lookup =
+    let ( let* ) = Result.bind in
+    let knob name =
+      match lookup name with
+      | None -> Ok None
+      | Some raw ->
+        let* v = parse_positive ~name raw in
+        Ok (Some v)
+    in
+    let* domains = knob "NOCAP_DOMAINS" in
+    let* gc_minor_mb = knob "NOCAP_GC_MINOR_MB" in
+    Ok { domains; gc_minor_mb }
+
+  (* The single environment-read site in the whole tree. Malformed values
+     fail loudly here instead of silently falling back: an operator who set
+     NOCAP_DOMAINS=four wants to hear about it, not run single-domain. *)
+  let of_env () =
+    match parse ~lookup:Sys.getenv_opt with
+    | Ok c -> c
+    | Error msg -> invalid_arg ("Engine.Config.of_env: " ^ msg)
+end
+
+type arena_policy = Grow_only | Reset_after_entry
+
+type t = {
+  pool : Pool.t option;
+  rng : Rng.t option;
+  trace : (string -> float -> unit) option;
+  arena : arena_policy;
+  config : Config.t;
+}
+
+let create ?pool ?rng ?trace ?(arena = Grow_only) ?(config = Config.default) () =
+  { pool; rng; trace; arena; config }
+
+let default_engine : t option ref = ref None
+
+let default () =
+  match !default_engine with
+  | Some e -> e
+  | None ->
+    let config = Config.of_env () in
+    (* The pool itself stays lazy: recording a baseline (instead of building
+       a pool eagerly) keeps Pool.with_domains and explicit pools able to
+       override, and avoids spawning domains in processes that never prove. *)
+    Option.iter Pool.set_baseline_domains config.Config.domains;
+    let e = create ~config () in
+    default_engine := Some e;
+    e
+
+let reset_default () = default_engine := None
+
+let resolve = function Some e -> e | None -> default ()
+
+let pool e = e.pool
+
+let config e = e.config
+
+let rng ~seed ?rng e =
+  match rng with
+  | Some r -> r
+  | None -> ( match e.rng with Some r -> r | None -> Rng.create seed)
+
+let emit e key value = match e.trace with Some f -> f key value | None -> ()
+
+let tune_gc e =
+  let mb = Option.value e.config.Config.gc_minor_mb ~default:16 in
+  Gc.set
+    {
+      (Gc.get ()) with
+      Gc.minor_heap_size = mb * 1024 * 1024 / 8;
+      space_overhead = 200;
+    }
+
+let finish_entry e =
+  match e.arena with
+  | Grow_only -> ()
+  | Reset_after_entry -> Nocap_vec.Arena.reset ()

@@ -1,0 +1,92 @@
+(** Explicit engine context for the prover stack.
+
+    An [Engine.t] bundles every runtime policy a prove/verify entry point
+    used to pick up ambiently — domain pool, RNG, stat/trace sink, arena
+    policy, GC tuning — into one value that is created once (usually by the
+    driver) and threaded down through Spartan, the PCS backends, sumcheck,
+    and zkdb. Call sites that pass nothing get {!default}, which behaves
+    exactly like the pre-engine code, so the context is opt-in.
+
+    {b Ownership rules.} The engine does not own its pool: [pool = None]
+    means "use {!Nocap_parallel.Pool.default} at the moment of use", which
+    keeps engines valid across [Pool.with_domains] sweeps. An explicit pool
+    is owned by whoever created it and must outlive the engine's use. The
+    pool choice never affects proof bytes (the parallel layer's determinism
+    contract), and the RNG only feeds zk masking, so two engines differing
+    only in [pool]/[trace] produce identical proofs. *)
+
+module Config : sig
+  type t = { domains : int option; gc_minor_mb : int option }
+
+  val default : t
+  (** Both knobs unset. *)
+
+  val parse : lookup:(string -> string option) -> (t, string) result
+  (** Parse the configuration from a key-value source ([lookup] is
+      [Sys.getenv_opt] in production, an assoc list in tests). Recognized
+      keys: [NOCAP_DOMAINS] (default-pool size) and [NOCAP_GC_MINOR_MB]
+      (minor heap size for {!tune_gc}). A key that is set but not a
+      positive integer is an [Error] — malformed values are rejected
+      loudly, never silently defaulted. *)
+
+  val of_env : unit -> t
+  (** [parse] over the process environment; the only [Sys.getenv] site in
+      the library tree.
+      @raise Invalid_argument on a malformed value. *)
+end
+
+type arena_policy =
+  | Grow_only  (** per-domain arenas keep their high-water mark (default) *)
+  | Reset_after_entry
+      (** release arena memory after each prove/verify entry point; only
+          safe when no [Fv] views escape the entry point *)
+
+type t
+
+val create :
+  ?pool:Nocap_parallel.Pool.t ->
+  ?rng:Zk_util.Rng.t ->
+  ?trace:(string -> float -> unit) ->
+  ?arena:arena_policy ->
+  ?config:Config.t ->
+  unit ->
+  t
+(** All fields optional: [create ()] is a fully default engine (lazy
+    default pool, per-call RNG seeds, no trace sink). *)
+
+val default : unit -> t
+(** The shared default engine, built on first use from {!Config.of_env}.
+    Its [domains] knob is applied as the default pool's baseline size (see
+    {!Nocap_parallel.Pool.set_baseline_domains}) — explicit pools and
+    [Pool.with_domains]/[set_default_domains] still take precedence. *)
+
+val reset_default : unit -> unit
+(** Drop the cached default engine so the next {!default} re-reads the
+    environment. For tests. *)
+
+val resolve : t option -> t
+(** [resolve (Some e)] is [e]; [resolve None] is [default ()] — the one-line
+    prologue of every [?engine] entry point. *)
+
+val pool : t -> Nocap_parallel.Pool.t option
+(** The engine's pool, or [None] for "default pool at use time". Designed
+    to forward directly: [Pool.run ?pool:(Engine.pool e) ...]. *)
+
+val config : t -> Config.t
+
+val rng : seed:int64 -> ?rng:Zk_util.Rng.t -> t -> Zk_util.Rng.t
+(** RNG precedence for an entry point: explicit argument, else the
+    engine's, else a fresh [Rng.create seed] (the historical per-call
+    default, so default-engine proofs are bit-stable). *)
+
+val emit : t -> string -> float -> unit
+(** Send one named measurement to the trace sink, if any. *)
+
+val tune_gc : t -> unit
+(** Apply the engine's GC policy to the process: minor heap sized from
+    [config.gc_minor_mb] (default 16 MiB) and [space_overhead] 200 — the
+    tuning the benchmarks always ran with. Deliberately explicit: library
+    entry points never mutate process-global GC state on their own. *)
+
+val finish_entry : t -> unit
+(** Apply the arena policy at the end of a prove/verify entry point. *)

@@ -46,7 +46,9 @@ let io_mle_eval io_live point =
   Array.iteri (fun j v -> acc := Gf.add !acc (Gf.mul v eq.(j))) io_live;
   !acc
 
-let prove ?(rng = Zk_util.Rng.create 0xA66_CAFEL) params inst assignments =
+let prove ?engine ?rng params inst assignments =
+  let engine = Zk_pcs.Engine.resolve engine in
+  let rng = Zk_pcs.Engine.rng ~seed:0xA66_CAFEL ?rng engine in
   let k = Array.length assignments in
   if k = 0 then invalid_arg "Aggregate.prove: empty batch";
   Array.iter
@@ -58,7 +60,9 @@ let prove ?(rng = Zk_util.Rng.create 0xA66_CAFEL) params inst assignments =
   let transcript = start_transcript params inst ios in
   let l = inst.R1cs.log_size in
   let committed_and_cm =
-    Array.map (fun asn -> Orion.commit params.Spartan.orion rng asn.R1cs.w) assignments
+    Array.map
+      (fun asn -> Orion.commit ~engine params.Spartan.pcs rng asn.R1cs.w)
+      assignments
   in
   Array.iter (fun (_, cm) -> Orion.absorb_commitment transcript cm) committed_and_cm;
   let zs = Array.map (R1cs.z inst) assignments in
@@ -77,8 +81,8 @@ let prove ?(rng = Zk_util.Rng.create 0xA66_CAFEL) params inst assignments =
                  (List.init k (fun i -> [ az.(i); bz.(i); cz.(i) ])))
         in
         let r1 =
-          Sumcheck.prove ~comb_mults:(2 * k) transcript ~degree:3 ~tables
-            ~comb:(comb1 rho) ~claim:Gf.zero
+          Sumcheck.prove ~engine ~comb_mults:(2 * k) transcript ~degree:3
+            ~tables ~comb:(comb1 rho) ~claim:Gf.zero
         in
         let rx = r1.Sumcheck.challenges in
         let claims_abc =
@@ -126,7 +130,7 @@ let prove ?(rng = Zk_util.Rng.create 0xA66_CAFEL) params inst assignments =
               !acc)
         in
         let r2 =
-          Sumcheck.prove ~comb_mults:1 transcript ~degree:2
+          Sumcheck.prove ~engine ~comb_mults:1 transcript ~degree:2
             ~tables:[| m_table; z_comb |] ~comb:comb2 ~claim:claim2
         in
         let ry = r2.Sumcheck.challenges in
@@ -134,7 +138,8 @@ let prove ?(rng = Zk_util.Rng.create 0xA66_CAFEL) params inst assignments =
         let opens =
           Array.map
             (fun (committed, _) ->
-              Orion.prove_eval params.Spartan.orion committed transcript ry_rest)
+              Orion.prove_eval ~engine params.Spartan.pcs committed transcript
+                ry_rest)
             committed_and_cm
         in
         let vws = Array.map fst opens in
@@ -142,9 +147,11 @@ let prove ?(rng = Zk_util.Rng.create 0xA66_CAFEL) params inst assignments =
         { sc1 = r1.Sumcheck.proof; claims_abc; sc2 = r2.Sumcheck.proof; vws;
           w_opens = Array.map snd opens })
   in
+  Zk_pcs.Engine.finish_entry engine;
   { commitments = Array.map snd committed_and_cm; reps }
 
-let verify params inst ~ios proof =
+let verify ?engine params inst ~ios proof =
+  let engine = Zk_pcs.Engine.resolve engine in
   let ( let* ) = Result.bind in
   let k = Array.length ios in
   let* () =
@@ -244,8 +251,8 @@ let verify params inst ~ios proof =
         if i >= k then Ok ()
         else
           let* () =
-            Orion.verify_eval params.Spartan.orion proof.commitments.(i) transcript
-              ry_rest rep.vws.(i) rep.w_opens.(i)
+            Orion.verify_eval ~engine params.Spartan.pcs proof.commitments.(i)
+              transcript ry_rest rep.vws.(i) rep.w_opens.(i)
           in
           check_open (i + 1)
       in
@@ -268,7 +275,7 @@ let proof_size_bytes params proof =
     + (field * Array.length rep.vws)
     + Array.fold_left
         (fun acc (i, o) ->
-          acc + Orion.proof_size_bytes params.Spartan.orion proof.commitments.(i) o)
+          acc + Orion.proof_size_bytes params.Spartan.pcs proof.commitments.(i) o)
         0
         (Array.mapi (fun i o -> (i, o)) rep.w_opens)
   in

@@ -31,6 +31,7 @@ and rep_proof = {
 }
 
 val prove :
+  ?engine:Zk_pcs.Engine.t ->
   ?rng:Zk_util.Rng.t ->
   Spartan.params ->
   Zk_r1cs.R1cs.instance ->
@@ -40,6 +41,7 @@ val prove :
     satisfy the instance. *)
 
 val verify :
+  ?engine:Zk_pcs.Engine.t ->
   Spartan.params ->
   Zk_r1cs.R1cs.instance ->
   ios:Gf.t array array ->

@@ -1,175 +1,4 @@
-module Gf = Zk_field.Gf
-module Orion = Zk_orion.Orion
-module Sumcheck = Zk_sumcheck.Sumcheck
-
-let magic = "NCAP1\x00\x00\x00"
-
-(* --- writer --- *)
-
-let put_u64 buf (x : int64) =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_le b 0 x;
-  Buffer.add_bytes buf b
-
-let put_int buf n = put_u64 buf (Int64.of_int n)
-
-let put_gf buf x = put_u64 buf (Gf.to_int64 x)
-
-let put_gf_array buf a =
-  put_int buf (Array.length a);
-  Array.iter (put_gf buf) a
-
-let put_digest buf d =
-  assert (String.length d = 32);
-  Buffer.add_string buf d
-
-let put_sumcheck buf (p : Sumcheck.proof) =
-  put_int buf (Array.length p.Sumcheck.round_polys);
-  Array.iter (put_gf_array buf) p.Sumcheck.round_polys
-
-let put_eval_proof buf (p : Orion.eval_proof) =
-  put_gf_array buf p.Orion.u;
-  put_int buf (Array.length p.Orion.proximity);
-  Array.iter (put_gf_array buf) p.Orion.proximity;
-  put_int buf (Array.length p.Orion.columns);
-  Array.iter
-    (fun (j, col, path) ->
-      put_int buf j;
-      put_gf_array buf col;
-      put_int buf (List.length path);
-      List.iter (put_digest buf) path)
-    p.Orion.columns
-
-let proof_to_bytes (p : Spartan.proof) =
-  let buf = Buffer.create 65536 in
-  Buffer.add_string buf magic;
-  let cm = p.Spartan.w_commitment in
-  put_digest buf cm.Orion.root;
-  put_int buf cm.Orion.num_vars;
-  put_int buf cm.Orion.mat_rows;
-  put_int buf cm.Orion.mat_cols;
-  put_int buf (Array.length p.Spartan.reps);
-  Array.iter
-    (fun (r : Spartan.rep_proof) ->
-      put_sumcheck buf r.Spartan.sc1;
-      put_gf buf r.Spartan.va;
-      put_gf buf r.Spartan.vb;
-      put_gf buf r.Spartan.vc;
-      put_sumcheck buf r.Spartan.sc2;
-      put_gf buf r.Spartan.vw;
-      put_eval_proof buf r.Spartan.w_open)
-    p.Spartan.reps;
-  Buffer.to_bytes buf
-
-let serialized_size p = Bytes.length (proof_to_bytes p)
-
-(* --- reader: total, bounds-checked --- *)
-
-type reader = { data : bytes; mutable pos : int }
-
-let ( let* ) = Result.bind
-
-(* Any single length field beyond this is rejected outright: it cannot be a
-   legitimate proof component and would otherwise let a malicious length
-   pre-allocate unbounded memory. *)
-let max_len = 1 lsl 28
-
-let need r n =
-  if r.pos + n <= Bytes.length r.data then Ok ()
-  else Error "truncated proof"
-
-let get_u64 r =
-  let* () = need r 8 in
-  let x = Bytes.get_int64_le r.data r.pos in
-  r.pos <- r.pos + 8;
-  Ok x
-
-let get_len r =
-  let* x = get_u64 r in
-  if Int64.compare x 0L < 0 || Int64.compare x (Int64.of_int max_len) > 0 then
-    Error "implausible length field"
-  else Ok (Int64.to_int x)
-
-let get_gf r =
-  let* x = get_u64 r in
-  if Gf.is_canonical x then Ok (Gf.of_int64 x) else Error "non-canonical field element"
-
-let get_gf_array r =
-  let* n = get_len r in
-  let* () = need r (8 * n) in
-  let out = Array.make (max n 1) Gf.zero in
-  let rec go i =
-    if i = n then Ok (if n = 0 then [||] else out)
-    else
-      let* x = get_gf r in
-      out.(i) <- x;
-      go (i + 1)
-  in
-  go 0
-
-let get_digest r =
-  let* () = need r 32 in
-  let d = Bytes.sub_string r.data r.pos 32 in
-  r.pos <- r.pos + 32;
-  Ok d
-
-let get_list r get =
-  let* n = get_len r in
-  let rec go i acc =
-    if i = n then Ok (List.rev acc)
-    else
-      let* x = get r in
-      go (i + 1) (x :: acc)
-  in
-  go 0 []
-
-let get_array r get =
-  let* l = get_list r get in
-  Ok (Array.of_list l)
-
-let get_sumcheck r =
-  let* round_polys = get_array r get_gf_array in
-  Ok { Sumcheck.round_polys }
-
-let get_eval_proof r =
-  let* u = get_gf_array r in
-  let* proximity = get_array r get_gf_array in
-  let* columns =
-    get_array r (fun r ->
-        let* j = get_len r in
-        let* col = get_gf_array r in
-        let* path = get_list r get_digest in
-        Ok (j, col, path))
-  in
-  Ok { Orion.u; proximity; columns }
-
-let proof_of_bytes data =
-  let r = { data; pos = 0 } in
-  let* () = need r (String.length magic) in
-  let got = Bytes.sub_string data 0 (String.length magic) in
-  if not (String.equal got magic) then Error "bad magic"
-  else begin
-    r.pos <- String.length magic;
-    let* root = get_digest r in
-    let* num_vars = get_len r in
-    let* mat_rows = get_len r in
-    let* mat_cols = get_len r in
-    let* reps =
-      get_array r (fun r ->
-          let* sc1 = get_sumcheck r in
-          let* va = get_gf r in
-          let* vb = get_gf r in
-          let* vc = get_gf r in
-          let* sc2 = get_sumcheck r in
-          let* vw = get_gf r in
-          let* w_open = get_eval_proof r in
-          Ok { Spartan.sc1; va; vb; vc; sc2; vw; w_open })
-    in
-    if r.pos <> Bytes.length data then Error "trailing bytes"
-    else
-      Ok
-        {
-          Spartan.w_commitment = { Orion.root; num_vars; mat_rows; mat_cols };
-          reps;
-        }
-  end
+let proof_to_bytes = Spartan.proof_to_bytes
+let proof_of_bytes = Spartan.proof_of_bytes
+let serialized_size = Spartan.serialized_size
+let backend_of_bytes = Spartan.backend_of_bytes

@@ -1,11 +1,15 @@
-(** Binary serialization of Spartan+Orion proofs.
+(** Binary serialization of Spartan proofs (default Orion backend).
 
     Proofs cross the wire in the paper's deployment (the 10 MB/s link of
     Table I), so the library provides a canonical byte format:
-    little-endian u64 for field elements and lengths, raw 32-byte digests,
-    length-prefixed arrays. Decoding is total: malformed input yields
-    [Error], never an exception, and decoders bound every length field
-    against the remaining input. *)
+    an 8-byte magic, a one-byte backend tag, then little-endian u64 field
+    elements and lengths, raw 32-byte digests, length-prefixed arrays.
+    Decoding is total: malformed input yields [Error], never an exception,
+    and decoders bound every length field against the remaining input.
+
+    These are aliases for the default instance's codecs; a backend built
+    with {!Spartan.Make} carries its own [proof_to_bytes] / [proof_of_bytes]
+    with the same framing and its own tag byte. *)
 
 val proof_to_bytes : Spartan.proof -> bytes
 
@@ -13,3 +17,7 @@ val proof_of_bytes : bytes -> (Spartan.proof, string) result
 
 val serialized_size : Spartan.proof -> int
 (** Exact byte length [proof_to_bytes] produces (payload plus framing). *)
+
+val backend_of_bytes : bytes -> (string, string) result
+(** Report which PCS backend wrote a serialized proof, from the header
+    alone. *)

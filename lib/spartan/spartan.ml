@@ -5,33 +5,32 @@ module Mle = Zk_poly.Mle
 module Sparse = Zk_r1cs.Sparse
 module R1cs = Zk_r1cs.R1cs
 module Sumcheck = Zk_sumcheck.Sumcheck
-module Orion = Zk_orion.Orion
+module Engine = Zk_pcs.Engine
+module Codec = Zk_pcs.Codec
 
-type params = { orion : Orion.params; repetitions : int }
+let magic = "NCAP2\x00\x00\x00"
+let legacy_magic = "NCAP1\x00\x00\x00"
 
-let default_params = { orion = Orion.default_params; repetitions = 3 }
+(* Registry of wire tags across all in-tree backends, for decode errors
+   that name the backend a mismatched blob actually came from. *)
+let backend_name_of_tag t =
+  if Char.equal t Zk_orion.Orion_pcs.tag then Some Zk_orion.Orion_pcs.name
+  else if Char.equal t Zk_orion.Fri_pcs.tag then Some Zk_orion.Fri_pcs.name
+  else None
 
-let test_params =
-  { orion = { Orion.default_params with Orion.rows = 8 }; repetitions = 1 }
-
-type rep_proof = {
-  sc1 : Sumcheck.proof;
-  va : Gf.t;
-  vb : Gf.t;
-  vc : Gf.t;
-  sc2 : Sumcheck.proof;
-  vw : Gf.t;
-  w_open : Orion.eval_proof;
-}
-
-type proof = { w_commitment : Orion.commitment; reps : rep_proof array }
-
-type prover_stats = {
-  sumcheck_mults : int;
-  sumcheck_adds : int;
-  spmv_mults : int;
-  transcript_hashes : int;
-}
+let backend_of_bytes data =
+  let ( let* ) = Result.bind in
+  let r = Codec.reader data in
+  match Codec.expect_string r magic with
+  | Error _ -> (
+    match Codec.expect_string r legacy_magic with
+    | Ok () -> Ok Zk_orion.Orion_pcs.name
+    | Error _ -> Error "bad magic")
+  | Ok () -> (
+    let* t = Codec.get_byte r in
+    match backend_name_of_tag t with
+    | Some name -> Ok name
+    | None -> Error (Printf.sprintf "unknown backend tag 0x%02x" (Char.code t)))
 
 let instance_digest (inst : R1cs.instance) =
   let buf = Buffer.create 4096 in
@@ -60,173 +59,341 @@ let io_mle_eval io_live point =
   Array.iteri (fun j v -> acc := Gf.add !acc (Gf.mul v eq.(j))) io_live;
   !acc
 
-let start_transcript params inst io =
-  let t = Transcript.create "spartan-orion" in
-  Transcript.absorb_digest t "instance" (instance_digest inst);
-  Transcript.absorb_int t "repetitions" params.repetitions;
-  Transcript.absorb_gf t "io" io;
-  t
-
 (* comb for sumcheck #1: eq * (az * bz - cz), degree 3. *)
 let comb1 v = Gf.mul v.(0) (Gf.sub (Gf.mul v.(1) v.(2)) v.(3))
 
 (* comb for sumcheck #2: m * z, degree 2. *)
 let comb2 v = Gf.mul v.(0) v.(1)
 
-let prove ?(rng = Zk_util.Rng.create 0x5EED_CAFEL) params inst asn =
-  if not (R1cs.satisfied inst asn) then
-    invalid_arg "Spartan.prove: assignment does not satisfy the instance";
-  let io = R1cs.public_io inst asn in
-  let transcript = start_transcript params inst io in
-  let l = inst.R1cs.log_size in
-  (* Commit to the witness half. *)
-  let committed, w_commitment = Orion.commit params.orion rng asn.R1cs.w in
-  Orion.absorb_commitment transcript w_commitment;
-  let zv = R1cs.z inst asn in
-  let az = Sparse.spmv inst.R1cs.a zv in
-  let bz = Sparse.spmv inst.R1cs.b zv in
-  let cz = Sparse.spmv inst.R1cs.c zv in
-  let spmv_mults = ref (R1cs.nnz inst) in
-  let sc_mults = ref 0 and sc_adds = ref 0 in
-  let reps =
-    Array.init params.repetitions (fun _ ->
-        (* --- Sumcheck #1 --- *)
+module type S = sig
+  module P : Zk_pcs.Pcs.S
+
+  type params = { pcs : P.params; repetitions : int }
+
+  val default_params : params
+  val test_params : params
+
+  type rep_proof = {
+    sc1 : Zk_sumcheck.Sumcheck.proof;
+    va : Gf.t;
+    vb : Gf.t;
+    vc : Gf.t;
+    sc2 : Zk_sumcheck.Sumcheck.proof;
+    vw : Gf.t;
+    w_open : P.eval_proof;
+  }
+
+  type proof = { w_commitment : P.commitment; reps : rep_proof array }
+
+  type prover_stats = {
+    sumcheck_mults : int;
+    sumcheck_adds : int;
+    spmv_mults : int;
+    transcript_hashes : int;
+  }
+
+  val prove :
+    ?engine:Zk_pcs.Engine.t ->
+    ?rng:Zk_util.Rng.t ->
+    params ->
+    Zk_r1cs.R1cs.instance ->
+    Zk_r1cs.R1cs.assignment ->
+    proof * prover_stats
+
+  val verify :
+    ?engine:Zk_pcs.Engine.t ->
+    params ->
+    Zk_r1cs.R1cs.instance ->
+    io:Gf.t array ->
+    proof ->
+    (unit, string) result
+
+  val proof_size_bytes : params -> proof -> int
+  val instance_digest : Zk_r1cs.R1cs.instance -> Zk_hash.Keccak.digest
+  val magic : string
+  val proof_to_bytes : proof -> bytes
+  val proof_of_bytes : bytes -> (proof, string) result
+  val serialized_size : proof -> int
+end
+
+module Make (P0 : Zk_pcs.Pcs.S) = struct
+  module P = P0
+
+  type params = { pcs : P.params; repetitions : int }
+
+  let default_params = { pcs = P.default_params; repetitions = 3 }
+  let test_params = { pcs = P.test_params; repetitions = 1 }
+
+  type rep_proof = {
+    sc1 : Sumcheck.proof;
+    va : Gf.t;
+    vb : Gf.t;
+    vc : Gf.t;
+    sc2 : Sumcheck.proof;
+    vw : Gf.t;
+    w_open : P.eval_proof;
+  }
+
+  type proof = { w_commitment : P.commitment; reps : rep_proof array }
+
+  type prover_stats = {
+    sumcheck_mults : int;
+    sumcheck_adds : int;
+    spmv_mults : int;
+    transcript_hashes : int;
+  }
+
+  let instance_digest = instance_digest
+
+  (* "spartan-orion" for the default backend — the historical label, so
+     Orion-backend transcripts (and proof bytes) are unchanged; other
+     backends are domain-separated by their name. *)
+  let start_transcript params inst io =
+    let t = Transcript.create ("spartan-" ^ P.name) in
+    Transcript.absorb_digest t "instance" (instance_digest inst);
+    Transcript.absorb_int t "repetitions" params.repetitions;
+    Transcript.absorb_gf t "io" io;
+    t
+
+  let prove ?engine ?rng params inst asn =
+    let engine = Engine.resolve engine in
+    let rng = Engine.rng ~seed:0x5EED_CAFEL ?rng engine in
+    if not (R1cs.satisfied inst asn) then
+      invalid_arg "Spartan.prove: assignment does not satisfy the instance";
+    let io = R1cs.public_io inst asn in
+    let transcript = start_transcript params inst io in
+    let l = inst.R1cs.log_size in
+    (* Commit to the witness half. *)
+    let committed, w_commitment = P.commit ~engine params.pcs rng asn.R1cs.w in
+    P.absorb_commitment transcript w_commitment;
+    let zv = R1cs.z inst asn in
+    let az = Sparse.spmv inst.R1cs.a zv in
+    let bz = Sparse.spmv inst.R1cs.b zv in
+    let cz = Sparse.spmv inst.R1cs.c zv in
+    let spmv_mults = ref (R1cs.nnz inst) in
+    let sc_mults = ref 0 and sc_adds = ref 0 in
+    let reps =
+      Array.init params.repetitions (fun _ ->
+          (* --- Sumcheck #1 --- *)
+          let tau = Transcript.challenge_gf_vec transcript "tau" l in
+          let eq_tau = Mle.eq_table tau in
+          let r1 =
+            Sumcheck.prove ~engine ~comb_mults:2 transcript ~degree:3
+              ~tables:[| eq_tau; az; bz; cz |]
+              ~comb:comb1 ~claim:Gf.zero
+          in
+          sc_mults := !sc_mults + r1.Sumcheck.stats.Sumcheck.mults;
+          sc_adds := !sc_adds + r1.Sumcheck.stats.Sumcheck.adds;
+          let rx = r1.Sumcheck.challenges in
+          let va = r1.Sumcheck.final_values.(1) in
+          let vb = r1.Sumcheck.final_values.(2) in
+          let vc = r1.Sumcheck.final_values.(3) in
+          Transcript.absorb_gf transcript "claims-abc" [| va; vb; vc |];
+          (* --- Sumcheck #2 --- *)
+          let r_abc = Transcript.challenge_gf_vec transcript "r-abc" 3 in
+          let claim2 =
+            Gf.add
+              (Gf.mul r_abc.(0) va)
+              (Gf.add (Gf.mul r_abc.(1) vb) (Gf.mul r_abc.(2) vc))
+          in
+          let eq_rx = Mle.eq_table rx in
+          let m_table =
+            let ta = Sparse.spmv_transpose inst.R1cs.a eq_rx in
+            let tb = Sparse.spmv_transpose inst.R1cs.b eq_rx in
+            let tc = Sparse.spmv_transpose inst.R1cs.c eq_rx in
+            spmv_mults := !spmv_mults + R1cs.nnz inst;
+            Array.init (R1cs.size inst) (fun y ->
+                Gf.add
+                  (Gf.mul r_abc.(0) ta.(y))
+                  (Gf.add (Gf.mul r_abc.(1) tb.(y)) (Gf.mul r_abc.(2) tc.(y))))
+          in
+          let r2 =
+            Sumcheck.prove ~engine ~comb_mults:1 transcript ~degree:2
+              ~tables:[| m_table; zv |] ~comb:comb2 ~claim:claim2
+          in
+          sc_mults := !sc_mults + r2.Sumcheck.stats.Sumcheck.mults;
+          sc_adds := !sc_adds + r2.Sumcheck.stats.Sumcheck.adds;
+          let ry = r2.Sumcheck.challenges in
+          (* Open w~ at ry minus the top variable. *)
+          let ry_rest = Array.sub ry 1 (l - 1) in
+          let vw, w_open = P.open_at ~engine params.pcs committed transcript ry_rest in
+          Transcript.absorb_gf transcript "vw" [| vw |];
+          { sc1 = r1.Sumcheck.proof; va; vb; vc; sc2 = r2.Sumcheck.proof; vw; w_open })
+    in
+    let stats =
+      {
+        sumcheck_mults = !sc_mults;
+        sumcheck_adds = !sc_adds;
+        spmv_mults = !spmv_mults;
+        transcript_hashes = Transcript.hash_count transcript;
+      }
+    in
+    Engine.emit engine "spartan/sumcheck_mults" (float_of_int stats.sumcheck_mults);
+    Engine.emit engine "spartan/spmv_mults" (float_of_int stats.spmv_mults);
+    Engine.emit engine "spartan/transcript_hashes"
+      (float_of_int stats.transcript_hashes);
+    Engine.finish_entry engine;
+    ({ w_commitment; reps }, stats)
+
+  let verify ?engine params inst ~io proof =
+    let engine = Engine.resolve engine in
+    let ( let* ) = Result.bind in
+    let* () =
+      if Array.length proof.reps = params.repetitions then Ok ()
+      else Error "wrong number of repetitions"
+    in
+    let* () =
+      if Array.length io >= 1 && Gf.equal io.(0) Gf.one then Ok ()
+      else Error "io must start with the constant 1"
+    in
+    let transcript = start_transcript params inst io in
+    P.absorb_commitment transcript proof.w_commitment;
+    let l = inst.R1cs.log_size in
+    let rec check_rep k =
+      if k >= Array.length proof.reps then Ok ()
+      else begin
+        let rep = proof.reps.(k) in
         let tau = Transcript.challenge_gf_vec transcript "tau" l in
-        let eq_tau = Mle.eq_table tau in
-        let r1 =
-          Sumcheck.prove ~comb_mults:2 transcript ~degree:3
-            ~tables:[| eq_tau; az; bz; cz |]
-            ~comb:comb1 ~claim:Gf.zero
+        let* v1 =
+          Sumcheck.verify transcript ~degree:3 ~num_vars:l ~claim:Gf.zero rep.sc1
         in
-        sc_mults := !sc_mults + r1.Sumcheck.stats.Sumcheck.mults;
-        sc_adds := !sc_adds + r1.Sumcheck.stats.Sumcheck.adds;
-        let rx = r1.Sumcheck.challenges in
-        let va = r1.Sumcheck.final_values.(1) in
-        let vb = r1.Sumcheck.final_values.(2) in
-        let vc = r1.Sumcheck.final_values.(3) in
-        Transcript.absorb_gf transcript "claims-abc" [| va; vb; vc |];
-        (* --- Sumcheck #2 --- *)
+        let rx = v1.Sumcheck.point in
+        (* eq(tau, rx) the verifier computes in O(L). *)
+        let eq_tau_rx = Mle.eq_point tau rx in
+        let expected1 = Gf.mul eq_tau_rx (Gf.sub (Gf.mul rep.va rep.vb) rep.vc) in
+        let* () =
+          if Gf.equal expected1 v1.Sumcheck.value then Ok ()
+          else Error (Printf.sprintf "rep %d: sumcheck-1 final claim mismatch" k)
+        in
+        Transcript.absorb_gf transcript "claims-abc" [| rep.va; rep.vb; rep.vc |];
         let r_abc = Transcript.challenge_gf_vec transcript "r-abc" 3 in
         let claim2 =
           Gf.add
-            (Gf.mul r_abc.(0) va)
-            (Gf.add (Gf.mul r_abc.(1) vb) (Gf.mul r_abc.(2) vc))
+            (Gf.mul r_abc.(0) rep.va)
+            (Gf.add (Gf.mul r_abc.(1) rep.vb) (Gf.mul r_abc.(2) rep.vc))
         in
-        let eq_rx = Mle.eq_table rx in
-        let m_table =
-          let ta = Sparse.spmv_transpose inst.R1cs.a eq_rx in
-          let tb = Sparse.spmv_transpose inst.R1cs.b eq_rx in
-          let tc = Sparse.spmv_transpose inst.R1cs.c eq_rx in
-          spmv_mults := !spmv_mults + R1cs.nnz inst;
-          Array.init (R1cs.size inst) (fun y ->
-              Gf.add
-                (Gf.mul r_abc.(0) ta.(y))
-                (Gf.add (Gf.mul r_abc.(1) tb.(y)) (Gf.mul r_abc.(2) tc.(y))))
+        let* v2 =
+          Sumcheck.verify transcript ~degree:2 ~num_vars:l ~claim:claim2 rep.sc2
         in
-        let r2 =
-          Sumcheck.prove ~comb_mults:1 transcript ~degree:2
-            ~tables:[| m_table; zv |] ~comb:comb2 ~claim:claim2
+        let ry = v2.Sumcheck.point in
+        (* M~(ry) = rA * A~(rx,ry) + rB * B~(rx,ry) + rC * C~(rx,ry), evaluated
+           directly from the sparse matrices in O(nnz). *)
+        let row_eq = Mle.eq_table rx and col_eq = Mle.eq_table ry in
+        let ma = Sparse.mle_eval inst.R1cs.a ~row_eq ~col_eq in
+        let mb = Sparse.mle_eval inst.R1cs.b ~row_eq ~col_eq in
+        let mc = Sparse.mle_eval inst.R1cs.c ~row_eq ~col_eq in
+        let m_at_ry =
+          Gf.add
+            (Gf.mul r_abc.(0) ma)
+            (Gf.add (Gf.mul r_abc.(1) mb) (Gf.mul r_abc.(2) mc))
         in
-        sc_mults := !sc_mults + r2.Sumcheck.stats.Sumcheck.mults;
-        sc_adds := !sc_adds + r2.Sumcheck.stats.Sumcheck.adds;
-        let ry = r2.Sumcheck.challenges in
-        (* Open w~ at ry minus the top variable. *)
+        (* z~(ry) = (1 - ry_0) * w~(ry_rest) + ry_0 * io~(ry_rest). *)
         let ry_rest = Array.sub ry 1 (l - 1) in
-        let vw, w_open = Orion.prove_eval params.orion committed transcript ry_rest in
-        Transcript.absorb_gf transcript "vw" [| vw |];
-        { sc1 = r1.Sumcheck.proof; va; vb; vc; sc2 = r2.Sumcheck.proof; vw; w_open })
-  in
-  let stats =
-    {
-      sumcheck_mults = !sc_mults;
-      sumcheck_adds = !sc_adds;
-      spmv_mults = !spmv_mults;
-      transcript_hashes = Transcript.hash_count transcript;
-    }
-  in
-  ({ w_commitment; reps }, stats)
+        let io_eval = io_mle_eval io ry_rest in
+        let z_at_ry =
+          Gf.add (Gf.mul (Gf.sub Gf.one ry.(0)) rep.vw) (Gf.mul ry.(0) io_eval)
+        in
+        let* () =
+          if Gf.equal (Gf.mul m_at_ry z_at_ry) v2.Sumcheck.value then Ok ()
+          else Error (Printf.sprintf "rep %d: sumcheck-2 final claim mismatch" k)
+        in
+        (* PCS opening of w~ at ry_rest. *)
+        let* () =
+          P.verify ~engine params.pcs proof.w_commitment transcript ry_rest rep.vw
+            rep.w_open
+        in
+        Transcript.absorb_gf transcript "vw" [| rep.vw |];
+        check_rep (k + 1)
+      end
+    in
+    let result = check_rep 0 in
+    Engine.finish_entry engine;
+    result
 
-let verify params inst ~io proof =
-  let ( let* ) = Result.bind in
-  let* () =
-    if Array.length proof.reps = params.repetitions then Ok ()
-    else Error "wrong number of repetitions"
-  in
-  let* () =
-    if Array.length io >= 1 && Gf.equal io.(0) Gf.one then Ok ()
-    else Error "io must start with the constant 1"
-  in
-  let transcript = start_transcript params inst io in
-  Orion.absorb_commitment transcript proof.w_commitment;
-  let l = inst.R1cs.log_size in
-  let rec check_rep k =
-    if k >= Array.length proof.reps then Ok ()
-    else begin
-      let rep = proof.reps.(k) in
-      let tau = Transcript.challenge_gf_vec transcript "tau" l in
-      let* v1 =
-        Sumcheck.verify transcript ~degree:3 ~num_vars:l ~claim:Gf.zero rep.sc1
-      in
-      let rx = v1.Sumcheck.point in
-      (* eq(tau, rx) the verifier computes in O(L). *)
-      let eq_tau_rx = Mle.eq_point tau rx in
-      let expected1 =
-        Gf.mul eq_tau_rx (Gf.sub (Gf.mul rep.va rep.vb) rep.vc)
-      in
-      let* () =
-        if Gf.equal expected1 v1.Sumcheck.value then Ok ()
-        else Error (Printf.sprintf "rep %d: sumcheck-1 final claim mismatch" k)
-      in
-      Transcript.absorb_gf transcript "claims-abc" [| rep.va; rep.vb; rep.vc |];
-      let r_abc = Transcript.challenge_gf_vec transcript "r-abc" 3 in
-      let claim2 =
-        Gf.add
-          (Gf.mul r_abc.(0) rep.va)
-          (Gf.add (Gf.mul r_abc.(1) rep.vb) (Gf.mul r_abc.(2) rep.vc))
-      in
-      let* v2 =
-        Sumcheck.verify transcript ~degree:2 ~num_vars:l ~claim:claim2 rep.sc2
-      in
-      let ry = v2.Sumcheck.point in
-      (* M~(ry) = rA * A~(rx,ry) + rB * B~(rx,ry) + rC * C~(rx,ry), evaluated
-         directly from the sparse matrices in O(nnz). *)
-      let row_eq = Mle.eq_table rx and col_eq = Mle.eq_table ry in
-      let ma = Sparse.mle_eval inst.R1cs.a ~row_eq ~col_eq in
-      let mb = Sparse.mle_eval inst.R1cs.b ~row_eq ~col_eq in
-      let mc = Sparse.mle_eval inst.R1cs.c ~row_eq ~col_eq in
-      let m_at_ry =
-        Gf.add (Gf.mul r_abc.(0) ma) (Gf.add (Gf.mul r_abc.(1) mb) (Gf.mul r_abc.(2) mc))
-      in
-      (* z~(ry) = (1 - ry_0) * w~(ry_rest) + ry_0 * io~(ry_rest). *)
-      let ry_rest = Array.sub ry 1 (l - 1) in
-      let io_eval = io_mle_eval io ry_rest in
-      let z_at_ry =
-        Gf.add
-          (Gf.mul (Gf.sub Gf.one ry.(0)) rep.vw)
-          (Gf.mul ry.(0) io_eval)
-      in
-      let* () =
-        if Gf.equal (Gf.mul m_at_ry z_at_ry) v2.Sumcheck.value then Ok ()
-        else Error (Printf.sprintf "rep %d: sumcheck-2 final claim mismatch" k)
-      in
-      (* Orion opening of w~ at ry_rest. *)
-      let* () =
-        Orion.verify_eval params.orion proof.w_commitment transcript ry_rest rep.vw
-          rep.w_open
-      in
-      Transcript.absorb_gf transcript "vw" [| rep.vw |];
-      check_rep (k + 1)
-    end
-  in
-  check_rep 0
+  let proof_size_bytes params proof =
+    let field = 8 and digest = 32 in
+    let sumcheck_bytes (p : Sumcheck.proof) =
+      Array.fold_left
+        (fun acc g -> acc + (field * Array.length g))
+        0 p.Sumcheck.round_polys
+    in
+    let rep_bytes rep =
+      sumcheck_bytes rep.sc1 + (3 * field) + sumcheck_bytes rep.sc2 + field
+      + P.proof_size_bytes params.pcs proof.w_commitment rep.w_open
+    in
+    digest + Array.fold_left (fun acc r -> acc + rep_bytes r) 0 proof.reps
 
-let proof_size_bytes params proof =
-  let field = 8 and digest = 32 in
-  let sumcheck_bytes (p : Sumcheck.proof) =
-    Array.fold_left (fun acc g -> acc + (field * Array.length g)) 0 p.Sumcheck.round_polys
-  in
-  let rep_bytes rep =
-    sumcheck_bytes rep.sc1 + (3 * field) + sumcheck_bytes rep.sc2 + field
-    + Orion.proof_size_bytes params.orion proof.w_commitment rep.w_open
-  in
-  digest + Array.fold_left (fun acc r -> acc + rep_bytes r) 0 proof.reps
+  (* --- serialization: NCAP2 header + backend tag byte, then the same
+     payload layout the pre-functor Serialize module wrote --- *)
+
+  let magic = magic
+
+  let put_sumcheck buf (p : Sumcheck.proof) =
+    Codec.put_int buf (Array.length p.Sumcheck.round_polys);
+    Array.iter (Codec.put_gf_array buf) p.Sumcheck.round_polys
+
+  let get_sumcheck r =
+    let ( let* ) = Result.bind in
+    let* round_polys = Codec.get_array r Codec.get_gf_array in
+    Ok { Sumcheck.round_polys }
+
+  let proof_to_bytes (p : proof) =
+    let buf = Buffer.create 65536 in
+    Buffer.add_string buf magic;
+    Codec.put_byte buf P.tag;
+    P.write_commitment buf p.w_commitment;
+    Codec.put_int buf (Array.length p.reps);
+    Array.iter
+      (fun r ->
+        put_sumcheck buf r.sc1;
+        Codec.put_gf buf r.va;
+        Codec.put_gf buf r.vb;
+        Codec.put_gf buf r.vc;
+        put_sumcheck buf r.sc2;
+        Codec.put_gf buf r.vw;
+        P.write_eval_proof buf r.w_open)
+      p.reps;
+    Buffer.to_bytes buf
+
+  let serialized_size p = Bytes.length (proof_to_bytes p)
+
+  let proof_of_bytes data =
+    let ( let* ) = Result.bind in
+    let r = Codec.reader data in
+    match Codec.expect_string r magic with
+    | Error _ -> (
+      match Codec.expect_string r legacy_magic with
+      | Ok () ->
+        Error
+          "legacy NCAP1 proof blob (no backend tag); re-serialize it with the \
+           current version"
+      | Error _ -> Error "bad magic")
+    | Ok () ->
+      let* t = Codec.get_byte r in
+      if not (Char.equal t P.tag) then
+        Error
+          (match backend_name_of_tag t with
+          | Some b ->
+            Printf.sprintf
+              "backend mismatch: proof blob carries backend %S (tag 0x%02x), this \
+               decoder is %S"
+              b (Char.code t) P.name
+          | None -> Printf.sprintf "unknown backend tag 0x%02x" (Char.code t))
+      else
+        let* w_commitment = P.read_commitment r in
+        let* reps =
+          Codec.get_array r (fun r ->
+              let* sc1 = get_sumcheck r in
+              let* va = Codec.get_gf r in
+              let* vb = Codec.get_gf r in
+              let* vc = Codec.get_gf r in
+              let* sc2 = get_sumcheck r in
+              let* vw = Codec.get_gf r in
+              let* w_open = P.read_eval_proof r in
+              Ok { sc1; va; vb; vc; sc2; vw; w_open })
+        in
+        if not (Codec.at_end r) then Error "trailing bytes"
+        else Ok { w_commitment; reps }
+end
+
+include Make (Zk_orion.Orion_pcs)

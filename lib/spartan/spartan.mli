@@ -1,10 +1,10 @@
-(** The Spartan+Orion zk-SNARK — the scheme NoCap accelerates (Sec. II-A,
-    Sec. V).
+(** The Spartan zk-SNARK — the scheme NoCap accelerates (Sec. II-A, Sec. V) —
+    functorized over the polynomial commitment backend.
 
     Pipeline, following Fig. 2 and Fig. 4:
 
-    + the witness half of the wire vector is committed with the Orion
-      polynomial commitment (Reed-Solomon + Merkle);
+    + the witness half of the wire vector is committed with the PCS backend
+      [P] (Orion's Reed-Solomon + Merkle scheme by default);
     + sumcheck #1 proves [sum_x eq(tau, x) * (Az(x) * Bz(x) - Cz(x)) = 0],
       reducing R1CS satisfiability to evaluation claims on Az~, Bz~, Cz~ at a
       random point [rx];
@@ -12,72 +12,116 @@
       [sum_y (rA * A(rx,y) + rB * B(rx,y) + rC * C(rx,y)) * z(y)], reducing
       to one evaluation claim on [z~] at [ry];
     + [z~(ry)] splits into a public-input part the verifier computes itself
-      and a witness part opened through Orion.
+      and a witness part opened through the PCS.
 
     The verifier evaluates the matrix MLEs [A~(rx,ry)], [B~], [C~] directly
     from the sparse matrices (O(nnz) — Spartan's NIZK variant without the
     SPARK preprocessing commitment; see DESIGN.md). Soundness over the
     Goldilocks-64 field is amplified by running the IOP [repetitions] times
-    (the paper uses 3, Sec. VII-A). *)
+    (the paper uses 3, Sec. VII-A).
+
+    {!Make} builds the SNARK over any {!Zk_pcs.Pcs.S} backend; the toplevel
+    of this module is [Make (Zk_orion.Orion_pcs)], so existing call sites
+    keep working and Orion-backend proof bytes are unchanged. *)
 
 module Gf = Zk_field.Gf
 
-type params = {
-  orion : Zk_orion.Orion.params;
-  repetitions : int; (** 3 in the paper's 128-bit configuration *)
-}
+(** Signature of an instantiated Spartan prover/verifier. *)
+module type S = sig
+  module P : Zk_pcs.Pcs.S
+  (** The polynomial commitment backend this instance is built over. *)
 
-val default_params : params
-(** Orion defaults, 3 repetitions. *)
+  type params = {
+    pcs : P.params;
+    repetitions : int; (** 3 in the paper's 128-bit configuration *)
+  }
 
-val test_params : params
-(** 1 repetition, 8-row Orion matrices: fast configuration for unit tests. *)
+  val default_params : params
+  (** Backend defaults, 3 repetitions. *)
 
-type rep_proof = {
-  sc1 : Zk_sumcheck.Sumcheck.proof;
-  va : Gf.t; (** Az~(rx) *)
-  vb : Gf.t; (** Bz~(rx) *)
-  vc : Gf.t; (** Cz~(rx) *)
-  sc2 : Zk_sumcheck.Sumcheck.proof;
-  vw : Gf.t; (** w~(ry minus the top variable) *)
-  w_open : Zk_orion.Orion.eval_proof;
-}
+  val test_params : params
+  (** 1 repetition, small backend parameters: fast configuration for unit
+      tests. *)
 
-type proof = {
-  w_commitment : Zk_orion.Orion.commitment;
-  reps : rep_proof array;
-}
+  type rep_proof = {
+    sc1 : Zk_sumcheck.Sumcheck.proof;
+    va : Gf.t; (** Az~(rx) *)
+    vb : Gf.t; (** Bz~(rx) *)
+    vc : Gf.t; (** Cz~(rx) *)
+    sc2 : Zk_sumcheck.Sumcheck.proof;
+    vw : Gf.t; (** w~(ry minus the top variable) *)
+    w_open : P.eval_proof;
+  }
 
-type prover_stats = {
-  sumcheck_mults : int;
-  sumcheck_adds : int;
-  spmv_mults : int;
-  transcript_hashes : int;
-}
+  type proof = { w_commitment : P.commitment; reps : rep_proof array }
 
-val prove :
-  ?rng:Zk_util.Rng.t ->
-  params ->
-  Zk_r1cs.R1cs.instance ->
-  Zk_r1cs.R1cs.assignment ->
-  proof * prover_stats
-(** Produce a proof that the instance is satisfied by a witness whose public
-    io the verifier will see. [rng] seeds the zk mask rows.
-    @raise Invalid_argument if the assignment does not satisfy the instance. *)
+  type prover_stats = {
+    sumcheck_mults : int;
+    sumcheck_adds : int;
+    spmv_mults : int;
+    transcript_hashes : int;
+  }
 
-val verify :
-  params ->
-  Zk_r1cs.R1cs.instance ->
-  io:Gf.t array ->
-  proof ->
-  (unit, string) result
-(** [verify params instance ~io proof]: [io] is the live public io prefix
-    (constant 1 followed by public inputs), as returned by
-    {!Zk_r1cs.R1cs.public_io}. *)
+  val prove :
+    ?engine:Zk_pcs.Engine.t ->
+    ?rng:Zk_util.Rng.t ->
+    params ->
+    Zk_r1cs.R1cs.instance ->
+    Zk_r1cs.R1cs.assignment ->
+    proof * prover_stats
+  (** Produce a proof that the instance is satisfied by a witness whose public
+      io the verifier will see. [rng] seeds the zk mask rows (it defaults to
+      the engine's RNG, or a fixed seed); [engine] supplies the worker pool
+      and trace sink — proof bytes are identical for every engine.
+      @raise Invalid_argument if the assignment does not satisfy the
+      instance, or if [params.pcs] is invalid. *)
 
-val proof_size_bytes : params -> proof -> int
-(** Serialized proof size (8 B per field element, 32 B per digest). *)
+  val verify :
+    ?engine:Zk_pcs.Engine.t ->
+    params ->
+    Zk_r1cs.R1cs.instance ->
+    io:Gf.t array ->
+    proof ->
+    (unit, string) result
+  (** [verify params instance ~io proof]: [io] is the live public io prefix
+      (constant 1 followed by public inputs), as returned by
+      {!Zk_r1cs.R1cs.public_io}. *)
 
-val instance_digest : Zk_r1cs.R1cs.instance -> Zk_hash.Keccak.digest
-(** Binding digest of the constraint matrices; absorbed into the transcript
-    by both parties so proofs are tied to a specific circuit. *)
+  val proof_size_bytes : params -> proof -> int
+  (** Serialized proof size (8 B per field element, 32 B per digest). *)
+
+  val instance_digest : Zk_r1cs.R1cs.instance -> Zk_hash.Keccak.digest
+  (** Binding digest of the constraint matrices; absorbed into the transcript
+      by both parties so proofs are tied to a specific circuit. *)
+
+  val magic : string
+  (** 8-byte wire magic ["NCAP2\x00\x00\x00"]; followed by the backend's
+      one-byte tag. *)
+
+  val proof_to_bytes : proof -> bytes
+  (** Canonical byte format: magic, backend tag byte, then little-endian u64
+      field elements and lengths, raw 32-byte digests, length-prefixed
+      arrays. *)
+
+  val proof_of_bytes : bytes -> (proof, string) result
+  (** Total decoding: malformed input yields [Error], never an exception;
+      every length field is bounded against the remaining input. A blob
+      written by a different backend (or a legacy untagged NCAP1 blob)
+      yields an [Error] naming the backend/tag. *)
+
+  val serialized_size : proof -> int
+  (** Exact byte length [proof_to_bytes] produces (payload plus framing). *)
+end
+
+module Make (P0 : Zk_pcs.Pcs.S) : S with module P = P0
+(** Build the SNARK over a PCS backend. The Fiat-Shamir transcript label is
+    ["spartan-" ^ P0.name], so distinct backends are domain-separated. *)
+
+include S with module P = Zk_orion.Orion_pcs
+(** The default instance, over Orion — byte-compatible with the pre-functor
+    prover for every engine/domain configuration. *)
+
+val backend_of_bytes : bytes -> (string, string) result
+(** Sniff the header of a serialized proof and report which backend wrote it
+    ([Ok "orion"], [Ok "fri"], ...) without decoding the payload. Legacy
+    NCAP1 blobs report ["orion"]; unknown tags and bad magics are [Error]. *)

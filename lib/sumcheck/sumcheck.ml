@@ -25,7 +25,8 @@ let log2_exact n =
 
 (* Boxed reference prover: byte-identical proofs to {!prove}, kept as the
    correctness oracle for the unboxed table path below. *)
-let prove_arrays ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
+let prove_arrays ?engine ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
+  let pool = Option.bind engine Zk_pcs.Engine.pool in
   let k = Array.length tables in
   if k = 0 then invalid_arg "Sumcheck.prove: no tables";
   let n = Array.length tables.(0) in
@@ -71,7 +72,7 @@ let prove_arrays ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
       g
     in
     let g =
-      Pool.fold_chunks ~chunk:1024 ~threshold:2048 ~n:half
+      Pool.fold_chunks ?pool ~chunk:1024 ~threshold:2048 ~n:half
         ~init:(Array.make (degree + 1) Gf.zero)
         ~body:eval_chunk
         ~combine:(fun acc part ->
@@ -91,7 +92,7 @@ let prove_arrays ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
        b < half are disjoint from the reads at b + half. *)
     for j = 0 to k - 1 do
       let t = tables.(j) in
-      Pool.run ~threshold:2048 ~n:half (fun lo hi ->
+      Pool.run ?pool ~threshold:2048 ~n:half (fun lo hi ->
           for b = lo to hi - 1 do
             t.(b) <- Gf.add t.(b) (Gf.mul r (Gf.sub t.(b + half) t.(b)))
           done)
@@ -116,7 +117,8 @@ let prove_arrays ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
    [T(b) <- T(b) + r * (T(b + half) - T(b))] runs without heap allocation;
    the evaluation loop still stages [vals]/[deltas] in k-element boxed
    arrays because [comb] consumes a [Gf.t array]. *)
-let prove ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
+let prove ?engine ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
+  let pool = Option.bind engine Zk_pcs.Engine.pool in
   let k = Array.length tables in
   if k = 0 then invalid_arg "Sumcheck.prove: no tables";
   let n = Array.length tables.(0) in
@@ -156,7 +158,7 @@ let prove ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
       g
     in
     let g =
-      Pool.fold_chunks ~chunk:1024 ~threshold:2048 ~n:half
+      Pool.fold_chunks ?pool ~chunk:1024 ~threshold:2048 ~n:half
         ~init:(Array.make (degree + 1) Gf.zero)
         ~body:eval_chunk
         ~combine:(fun acc part ->
@@ -174,7 +176,7 @@ let prove ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
     challenges.(round) <- r;
     for j = 0 to k - 1 do
       let t = tabs.(j) in
-      Pool.run ~threshold:2048 ~n:half (fun lo hi ->
+      Pool.run ?pool ~threshold:2048 ~n:half (fun lo hi ->
           for b = lo to hi - 1 do
             let x = Fv.unsafe_get t b in
             Fv.unsafe_set t b (Gf.add x (Gf.mul r (Gf.sub (Fv.unsafe_get t (b + half)) x)))

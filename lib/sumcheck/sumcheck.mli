@@ -36,6 +36,7 @@ type prover_result = {
 }
 
 val prove :
+  ?engine:Zk_pcs.Engine.t ->
   ?comb_mults:int ->
   Zk_hash.Transcript.t ->
   degree:int ->
@@ -48,9 +49,12 @@ val prove :
     fold runs over flat int64). [comb] receives one value per table;
     [comb_mults] is the number of field multiplications one [comb] call
     performs (default 0), so [stats] can account for them. The claim is
-    absorbed into the transcript, so prover and verifier bind to it. *)
+    absorbed into the transcript, so prover and verifier bind to it.
+    [engine] supplies the worker pool for round evaluation and folds; the
+    proof is byte-identical for every engine. *)
 
 val prove_arrays :
+  ?engine:Zk_pcs.Engine.t ->
   ?comb_mults:int ->
   Zk_hash.Transcript.t ->
   degree:int ->

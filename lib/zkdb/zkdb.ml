@@ -24,7 +24,7 @@ type receipt = {
   transactions : Litmus.transaction list;
 }
 
-let prove_batch ?(params = Spartan.test_params) db txs =
+let prove_batch ?engine ?(params = Spartan.test_params) db txs =
   let rows = Array.length db.table in
   (* The circuit generator re-derives the initial state from its seed; we
      instead build the circuit against the database's actual contents by
@@ -62,13 +62,13 @@ let prove_batch ?(params = Spartan.test_params) db txs =
     !wires;
   let instance, asn = Builder.finalize b in
   let rng = Zk_util.Rng.create (Int64.add db.seed (Int64.of_int db.batches)) in
-  let proof, _stats = Spartan.prove ~rng params instance asn in
+  let proof, _stats = Spartan.prove ?engine ~rng params instance asn in
   db.table <- final;
   db.batches <- db.batches + 1;
   { instance; io = R1cs.public_io instance asn; proof; transactions = txs }
 
-let verify_batch ?(params = Spartan.test_params) receipt =
-  match Spartan.verify params receipt.instance ~io:receipt.io receipt.proof with
+let verify_batch ?engine ?(params = Spartan.test_params) receipt =
+  match Spartan.verify ?engine params receipt.instance ~io:receipt.io receipt.proof with
   | Ok () -> true
   | Error _ -> false
 

@@ -25,14 +25,17 @@ type receipt = {
 }
 
 val prove_batch :
+  ?engine:Zk_pcs.Engine.t ->
   ?params:Zk_spartan.Spartan.params ->
   t ->
   Zk_workloads.Litmus_circuit.transaction list ->
   receipt
 (** Execute a batch against the database and produce a proof binding the
-    prior public state to the new one. *)
+    prior public state to the new one. [engine] is passed through to the
+    Spartan prover. *)
 
-val verify_batch : ?params:Zk_spartan.Spartan.params -> receipt -> bool
+val verify_batch :
+  ?engine:Zk_pcs.Engine.t -> ?params:Zk_spartan.Spartan.params -> receipt -> bool
 
 (* --- the Sec. VIII throughput analysis --- *)
 

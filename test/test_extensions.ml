@@ -172,8 +172,8 @@ let test_serialize_rejects_garbage () =
   | Error _ -> ());
   (* A non-canonical field element (0xFFFF...FF) after the header. *)
   let bad2 = Bytes.copy bytes in
-  let off = 8 + 32 + 24 + 8 + 8 in
-  (* magic, root, dims, reps count, first length *)
+  let off = 8 + 1 + 32 + 24 + 8 + 8 in
+  (* magic, backend tag, root, dims, reps count, first length *)
   Bytes.fill bad2 off 8 '\xff';
   match Serialize.proof_of_bytes bad2 with
   | Ok _ -> Alcotest.fail "accepted non-canonical element"

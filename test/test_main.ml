@@ -31,4 +31,5 @@ let () =
       ("fri", Test_fri.suite);
       ("stark", Test_stark.suite);
       ("grand-product", Test_grand_product.suite);
+      ("pcs-engine", Test_pcs.suite);
     ]

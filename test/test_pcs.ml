@@ -1,0 +1,328 @@
+(* The backend-pluggable proving engine: PCS interface conformance on both
+   backends, golden proof bytes for the default (Orion) backend across
+   domain counts, engine-context invariance, the tagged serialization
+   format, and the Engine.Config environment parsing. *)
+
+module Gf = Zk_field.Gf
+module Rng = Zk_util.Rng
+module Keccak = Zk_hash.Keccak
+module Transcript = Zk_hash.Transcript
+module Mle = Zk_poly.Mle
+module Pool = Nocap_parallel.Pool
+module R1cs = Zk_r1cs.R1cs
+module Engine = Zk_pcs.Engine
+module Orion = Zk_orion.Orion
+module Orion_pcs = Zk_orion.Orion_pcs
+module Fri_pcs = Zk_orion.Fri_pcs
+module Spartan = Zk_spartan.Spartan
+module Serialize = Zk_spartan.Serialize
+module Synthetic = Zk_workloads.Synthetic
+
+(* Spartan over the second backend — the whole point of the functor. *)
+module Spartan_fri = Zk_spartan.Spartan.Make (Zk_orion.Fri_pcs)
+
+(* --- golden proof bytes: the refactor must not move a single byte of the
+   default backend's proofs, under any domain count --- *)
+
+(* sha3 over the payload after the 9-byte header (8-byte magic + tag); the
+   hashes were captured from the pre-functor prover over the payload after
+   its 8-byte magic — the payload layout is identical. *)
+let payload_hash bytes =
+  Keccak.to_hex (Keccak.sha3_256 (Bytes.sub bytes 9 (Bytes.length bytes - 9)))
+
+let golden_cases =
+  [
+    ( "synthetic-300", 300, 44L, Spartan.test_params,
+      "77c06dcebb8dad099ac760432defa22571690d8d0216f9a6309133e3191871eb" );
+    ( "synthetic-2000", 2000, 42L, Spartan.test_params,
+      "3eb5515232a2c1cf92911c038b73d06d9cfe5eff8289aa23a94440cc0de78afe" );
+    ( "synthetic-500-r128", 500, 43L,
+      { Spartan.pcs = Orion.default_params; repetitions = 2 },
+      "26b9a4d0a445c7e4aa346b7179d96fb4fc30d0051fd97d90a6a7b35803667363" );
+  ]
+
+let test_golden_bytes () =
+  List.iter
+    (fun (name, n, seed, params, expected) ->
+      let inst, asn = Synthetic.circuit ~n_constraints:n ~seed () in
+      List.iter
+        (fun d ->
+          Pool.with_domains d (fun () ->
+              let proof, _ = Spartan.prove params inst asn in
+              Alcotest.(check string)
+                (Printf.sprintf "%s at %d domains" name d)
+                expected
+                (payload_hash (Spartan.proof_to_bytes proof))))
+        [ 1; 2; 3 ])
+    golden_cases
+
+(* --- engine-context invariance: pools and trace sinks schedule and
+   observe, they never change bytes --- *)
+
+let test_engine_invariance () =
+  let inst, asn = Synthetic.circuit ~n_constraints:250 ~seed:91L () in
+  let baseline, _ = Spartan.prove Spartan.test_params inst asn in
+  let baseline_bytes = Spartan.proof_to_bytes baseline in
+  let traced = ref [] in
+  let engine =
+    Engine.create ~trace:(fun k v -> traced := (k, v) :: !traced) ()
+  in
+  let proof, _ = Spartan.prove ~engine Spartan.test_params inst asn in
+  Alcotest.(check bool)
+    "explicit engine produces identical bytes" true
+    (Bytes.equal baseline_bytes (Spartan.proof_to_bytes proof));
+  Alcotest.(check bool) "trace sink observed the prover" true (!traced <> []);
+  Pool.with_domains 2 (fun () ->
+      let engine = Engine.create () in
+      let p2, _ = Spartan.prove ~engine Spartan.test_params inst asn in
+      Alcotest.(check bool)
+        "engine under with_domains produces identical bytes" true
+        (Bytes.equal baseline_bytes (Spartan.proof_to_bytes p2)))
+
+(* --- both backends prove and verify through the same functor --- *)
+
+module Check_backend (S : Zk_spartan.Spartan.S) = struct
+  let run name ~n ~seed =
+    let inst, asn = Synthetic.circuit ~n_constraints:n ~seed () in
+    let io = R1cs.public_io inst asn in
+    let proof, _ = S.prove S.test_params inst asn in
+    (match S.verify S.test_params inst ~io proof with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s: valid proof rejected: %s" name e);
+    (* Tampered io must fail. *)
+    let bad_io = Array.copy io in
+    bad_io.(Array.length bad_io - 1) <-
+      Gf.add bad_io.(Array.length bad_io - 1) Gf.one;
+    match S.verify S.test_params inst ~io:bad_io proof with
+    | Ok () -> Alcotest.failf "%s: accepted tampered io" name
+    | Error _ -> ()
+end
+
+module Check_orion = Check_backend (Spartan)
+module Check_fri = Check_backend (Spartan_fri)
+
+let test_orion_backend_e2e () = Check_orion.run "spartan-orion" ~n:300 ~seed:17L
+let test_fri_backend_e2e () = Check_fri.run "spartan-fri" ~n:300 ~seed:17L
+
+let prop_cross_backend_random_circuits =
+  QCheck.Test.make ~count:8 ~name:"both backends prove random circuits"
+    QCheck.(pair (int_range 30 200) (int_range 0 1000))
+    (fun (n, seed) ->
+      let seed = Int64.of_int seed in
+      let inst, asn = Synthetic.circuit ~n_constraints:n ~seed () in
+      let io = R1cs.public_io inst asn in
+      let po, _ = Spartan.prove Spartan.test_params inst asn in
+      let pf, _ = Spartan_fri.prove Spartan_fri.test_params inst asn in
+      Result.is_ok (Spartan.verify Spartan.test_params inst ~io po)
+      && Result.is_ok (Spartan_fri.verify Spartan_fri.test_params inst ~io pf))
+
+(* --- the FRI backend directly against the PCS contract --- *)
+
+let test_fri_pcs_direct () =
+  let rng = Rng.create 0xF121L in
+  let num_vars = 6 in
+  let evals = Array.init (1 lsl num_vars) (fun _ -> Gf.random rng) in
+  let point = Array.init num_vars (fun _ -> Gf.random rng) in
+  let params = Fri_pcs.test_params in
+  let committed, cm = Fri_pcs.commit params (Rng.create 1L) evals in
+  let transcript () =
+    let t = Transcript.create "test-fri-pcs" in
+    Fri_pcs.absorb_commitment t cm;
+    t
+  in
+  let value, proof = Fri_pcs.open_at params committed (transcript ()) point in
+  Alcotest.(check bool)
+    "opened value is the MLE evaluation" true
+    (Gf.equal value (Mle.eval evals point));
+  (match Fri_pcs.verify params cm (transcript ()) point value proof with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid opening rejected: %s" e);
+  (* Wrong value must fail. *)
+  (match
+     Fri_pcs.verify params cm (transcript ()) point (Gf.add value Gf.one) proof
+   with
+  | Ok () -> Alcotest.fail "accepted a wrong value"
+  | Error _ -> ());
+  (* Byte round-trip of commitment and proof. *)
+  let buf = Buffer.create 256 in
+  Fri_pcs.write_commitment buf cm;
+  Fri_pcs.write_eval_proof buf proof;
+  let r = Zk_pcs.Codec.reader (Buffer.to_bytes buf) in
+  match (Fri_pcs.read_commitment r, Fri_pcs.read_eval_proof r) with
+  | Ok cm', Ok proof' -> (
+    match Fri_pcs.verify params cm' (transcript ()) point value proof' with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "round-tripped opening rejected: %s" e)
+  | Error e, _ | _, Error e -> Alcotest.failf "round-trip decode failed: %s" e
+
+let test_fri_pcs_degenerate () =
+  (* A 1-variable polynomial: no sumcheck rounds on the witness of a tiny
+     circuit is exercised above; here the PCS alone at L=1. *)
+  let evals = [| Gf.of_int64 5L; Gf.of_int64 9L |] in
+  let point = [| Gf.of_int64 42L |] in
+  let params = Fri_pcs.test_params in
+  let committed, cm = Fri_pcs.commit params (Rng.create 1L) evals in
+  let transcript () =
+    let t = Transcript.create "test-fri-tiny" in
+    Fri_pcs.absorb_commitment t cm;
+    t
+  in
+  let value, proof = Fri_pcs.open_at params committed (transcript ()) point in
+  Alcotest.(check bool)
+    "L=1 value" true
+    (Gf.equal value (Mle.eval evals point));
+  match Fri_pcs.verify params cm (transcript ()) point value proof with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "L=1 opening rejected: %s" e
+
+(* --- tagged serialization: round-trips, backend mismatch, unknown tag,
+   legacy blobs --- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_serialize_tagged () =
+  let inst, asn = Synthetic.circuit ~n_constraints:200 ~seed:7L () in
+  let io = R1cs.public_io inst asn in
+  let orion_proof, _ = Spartan.prove Spartan.test_params inst asn in
+  let ob = Spartan.proof_to_bytes orion_proof in
+  let fri_proof, _ = Spartan_fri.prove Spartan_fri.test_params inst asn in
+  let fb = Spartan_fri.proof_to_bytes fri_proof in
+  (* Header sniffing. *)
+  Alcotest.(check (result string string))
+    "orion tag" (Ok "orion") (Serialize.backend_of_bytes ob);
+  Alcotest.(check (result string string))
+    "fri tag" (Ok "fri") (Serialize.backend_of_bytes fb);
+  (* Round-trips through each backend's own codec. *)
+  (match Serialize.proof_of_bytes ob with
+  | Error e -> Alcotest.failf "orion round-trip failed: %s" e
+  | Ok p -> (
+    match Spartan.verify Spartan.test_params inst ~io p with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "decoded orion proof rejected: %s" e));
+  (match Spartan_fri.proof_of_bytes fb with
+  | Error e -> Alcotest.failf "fri round-trip failed: %s" e
+  | Ok p -> (
+    match Spartan_fri.verify Spartan_fri.test_params inst ~io p with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "decoded fri proof rejected: %s" e));
+  (* A FRI blob fed to the Orion decoder is an error naming both backends,
+     not a crash or a misparse. *)
+  (match Serialize.proof_of_bytes fb with
+  | Ok _ -> Alcotest.fail "orion decoder accepted a fri blob"
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "mismatch error mentions fri: %s" e)
+      true (contains ~sub:"fri" e));
+  (* Unknown tag byte. *)
+  let unknown = Bytes.copy ob in
+  Bytes.set unknown 8 '\xee';
+  (match Serialize.proof_of_bytes unknown with
+  | Ok _ -> Alcotest.fail "accepted unknown backend tag"
+  | Error e ->
+    Alcotest.(check bool)
+      "unknown-tag error mentions the tag" true (contains ~sub:"0xee" e));
+  Alcotest.(check bool)
+    "backend_of_bytes rejects unknown tag" true
+    (Result.is_error (Serialize.backend_of_bytes unknown));
+  (* Legacy NCAP1 blob: friendly error, and the sniffer still names orion. *)
+  let legacy = Bytes.copy ob in
+  Bytes.blit_string "NCAP1" 0 legacy 0 5;
+  (match Serialize.proof_of_bytes legacy with
+  | Ok _ -> Alcotest.fail "accepted legacy blob"
+  | Error e ->
+    Alcotest.(check bool)
+      "legacy error mentions NCAP1" true (contains ~sub:"NCAP1" e));
+  Alcotest.(check (result string string))
+    "legacy sniffs as orion" (Ok "orion")
+    (Serialize.backend_of_bytes legacy)
+
+(* --- Orion parameter validation --- *)
+
+let test_orion_param_validation () =
+  (match Orion.validate_params Orion.default_params with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "default params rejected: %s" (Orion.param_error_to_string e));
+  let bad_rows = { Orion.default_params with Orion.rows = 12 } in
+  (match Orion.validate_params bad_rows with
+  | Error (Orion.Rows_not_power_of_two 12) -> ()
+  | Error e ->
+    Alcotest.failf "wrong error for rows=12: %s" (Orion.param_error_to_string e)
+  | Ok () -> Alcotest.fail "accepted rows=12");
+  (match Orion.validate_params { Orion.default_params with Orion.rows = 0 } with
+  | Error (Orion.Rows_not_positive 0) -> ()
+  | Error e ->
+    Alcotest.failf "wrong error for rows=0: %s" (Orion.param_error_to_string e)
+  | Ok () -> Alcotest.fail "accepted rows=0");
+  (match
+     Orion.validate_params
+       { Orion.default_params with Orion.proximity_count = 0 }
+   with
+  | Error (Orion.Proximity_count_not_positive 0) -> ()
+  | Error e ->
+    Alcotest.failf "wrong error for proximity=0: %s"
+      (Orion.param_error_to_string e)
+  | Ok () -> Alcotest.fail "accepted proximity_count=0");
+  (* Invalid params are rejected at commit time, loudly. *)
+  let evals = Array.init 64 (fun i -> Gf.of_int i) in
+  match Orion.commit bad_rows (Rng.create 1L) evals with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "commit accepted invalid params"
+
+let test_fri_param_validation () =
+  (match Fri_pcs.validate_params Fri_pcs.default_params with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "default fri params rejected: %s"
+      (Fri_pcs.param_error_to_string e));
+  (match Fri_pcs.validate_params { Fri_pcs.blowup_log2 = 0; num_queries = 4 } with
+  | Error (Fri_pcs.Blowup_out_of_range 0) -> ()
+  | _ -> Alcotest.fail "accepted blowup_log2=0");
+  match Fri_pcs.validate_params { Fri_pcs.blowup_log2 = 2; num_queries = 0 } with
+  | Error (Fri_pcs.Queries_not_positive 0) -> ()
+  | _ -> Alcotest.fail "accepted num_queries=0"
+
+(* --- Engine.Config parsing --- *)
+
+let test_engine_config () =
+  let lookup env k = List.assoc_opt k env in
+  (match Engine.Config.parse ~lookup:(lookup []) with
+  | Ok c -> Alcotest.(check bool) "empty env is default" true (c = Engine.Config.default)
+  | Error e -> Alcotest.failf "empty env rejected: %s" e);
+  (match
+     Engine.Config.parse
+       ~lookup:(lookup [ ("NOCAP_DOMAINS", "3"); ("NOCAP_GC_MINOR_MB", "64") ])
+   with
+  | Ok { Engine.Config.domains = Some 3; gc_minor_mb = Some 64 } -> ()
+  | Ok _ -> Alcotest.fail "parsed values wrong"
+  | Error e -> Alcotest.failf "valid env rejected: %s" e);
+  List.iter
+    (fun v ->
+      match Engine.Config.parse ~lookup:(lookup [ ("NOCAP_DOMAINS", v) ]) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted NOCAP_DOMAINS=%s" v)
+    [ "zero"; "-2"; "0"; "" ];
+  match Engine.Config.parse ~lookup:(lookup [ ("NOCAP_GC_MINOR_MB", "1.5") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted fractional NOCAP_GC_MINOR_MB"
+
+let suite =
+  [
+    Alcotest.test_case "golden proof bytes across domain counts" `Slow
+      test_golden_bytes;
+    Alcotest.test_case "engine context never changes bytes" `Quick
+      test_engine_invariance;
+    Alcotest.test_case "orion backend end-to-end" `Quick test_orion_backend_e2e;
+    Alcotest.test_case "fri backend end-to-end" `Quick test_fri_backend_e2e;
+    QCheck_alcotest.to_alcotest prop_cross_backend_random_circuits;
+    Alcotest.test_case "fri pcs direct contract" `Quick test_fri_pcs_direct;
+    Alcotest.test_case "fri pcs one variable" `Quick test_fri_pcs_degenerate;
+    Alcotest.test_case "tagged serialization" `Quick test_serialize_tagged;
+    Alcotest.test_case "orion param validation" `Quick
+      test_orion_param_validation;
+    Alcotest.test_case "fri param validation" `Quick test_fri_param_validation;
+    Alcotest.test_case "engine config parsing" `Quick test_engine_config;
+  ]

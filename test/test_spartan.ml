@@ -73,7 +73,7 @@ let test_completeness_multirep () =
 let test_completeness_default_rows () =
   (* Paper configuration: 128 Orion rows, real circuit padded to 2^11. *)
   let params128 =
-    { Spartan.orion = Zk_orion.Orion.default_params; repetitions = 1 }
+    { Spartan.pcs = Zk_orion.Orion.default_params; repetitions = 1 }
   in
   let inst, asn = chain_circuit 11 300 in
   let proof, _ = Spartan.prove params128 inst asn in

@@ -306,8 +306,8 @@ let test_sumcheck_prove_equiv () =
     let t = Transcript.create "test-vec-sumcheck" in
     prover t ~degree:3 ~tables ~comb ~claim
   in
-  let a = run (Sumcheck.prove_arrays ~comb_mults:2)
-  and b = run (Sumcheck.prove ~comb_mults:2) in
+  let a = run (Sumcheck.prove_arrays ?engine:None ~comb_mults:2)
+  and b = run (Sumcheck.prove ?engine:None ~comb_mults:2) in
   Array.iteri
     (fun i g -> gf_array_eq (Printf.sprintf "round %d" i) g b.Sumcheck.proof.Sumcheck.round_polys.(i))
     a.Sumcheck.proof.Sumcheck.round_polys;
