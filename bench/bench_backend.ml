@@ -58,7 +58,7 @@ let measure ~smoke (module P : Pcs.S) =
   (match P.verify params cm (transcript ()) point value proof with
   | Ok () -> ()
   | Error e ->
-    failwith (Printf.sprintf "bench backend: %s rejected its own proof: %s" P.name e));
+    failwith (Printf.sprintf "bench backend: %s rejected its own proof: %s" P.name (Zk_pcs.Verify_error.to_string e)));
   let commit_seconds =
     time_best ~reps (fun () -> P.commit params (fresh_rng ()) evals)
   in
@@ -69,7 +69,7 @@ let measure ~smoke (module P : Pcs.S) =
     time_best ~reps (fun () ->
         match P.verify params cm (transcript ()) point value proof with
         | Ok () -> ()
-        | Error e -> failwith e)
+        | Error e -> failwith (Zk_pcs.Verify_error.to_string e))
   in
   let s = P.stats params cm proof in
   {

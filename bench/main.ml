@@ -9,6 +9,7 @@
      main.exe parallel   serial vs multi-domain kernels -> BENCH_parallel.json
      main.exe memory     boxed vs unboxed kernels + GC stats -> BENCH_memory.json
      main.exe backend    Orion vs FRI PCS backends -> BENCH_backend.json
+     main.exe faults     fault-injection sweep over mutated proofs -> BENCH_faults.json
      main.exe table4     a single table/figure by id
 
    GC tuning for every mode lives in [tune_gc] below. *)
@@ -297,7 +298,7 @@ let bench_serialize =
       let proof = Lazy.force fixture in
       match Proof_serialize.proof_of_bytes (Proof_serialize.proof_to_bytes proof) with
       | Ok _ -> ()
-      | Error e -> failwith e))
+      | Error e -> failwith (Zk_pcs.Verify_error.to_string e)))
 
 let all_benches =
   [
@@ -337,7 +338,8 @@ let () =
     run_benches ();
     ignore (Bench_parallel.run ());
     ignore (Bench_memory.run ());
-    ignore (Bench_backend.run ())
+    ignore (Bench_backend.run ());
+    ignore (Bench_faults.run ())
   | [ "report" ] -> List.iter (fun (_, f) -> f ()) report_items
   | [ "bench" ] -> run_benches ()
   | [ "parallel" ] -> ignore (Bench_parallel.run ())
@@ -352,6 +354,10 @@ let () =
   | [ "backend"; path ] -> ignore (Bench_backend.run ~path ())
   | [ "backend-smoke" ] -> ignore (Bench_backend.run ~smoke:true ())
   | [ "backend-smoke"; path ] -> ignore (Bench_backend.run ~smoke:true ~path ())
+  | [ "faults" ] -> ignore (Bench_faults.run ())
+  | [ "faults"; path ] -> ignore (Bench_faults.run ~path ())
+  | [ "faults-smoke" ] -> ignore (Bench_faults.run ~smoke:true ())
+  | [ "faults-smoke"; path ] -> ignore (Bench_faults.run ~smoke:true ~path ())
   | ids ->
     List.iter
       (fun id ->

@@ -21,33 +21,66 @@ let reps_arg =
   let doc = "Sumcheck soundness repetitions (paper uses 3)." in
   Arg.(value & opt int 1 & info [ "repetitions"; "r" ] ~docv:"N" ~doc)
 
+let pcs_arg =
+  let doc = "Proof backend: orion (default) or fri." in
+  Arg.(value & opt string "orion" & info [ "pcs" ] ~docv:"BACKEND" ~doc)
+
+let find_benchmark name =
+  try Benchmarks.find name
+  with Not_found ->
+    Printf.eprintf "unknown benchmark %s\n" name;
+    exit 2
+
+(* Prove (and self-check) over any Spartan instantiation, optionally writing
+   the serialized proof for a later `nocap-cli verify`. *)
+module Prove_run (S : Zk_spartan.Spartan.S) = struct
+  let run ~reps ~out inst asn =
+    let params = { S.test_params with S.repetitions = reps } in
+    let t0 = Unix.gettimeofday () in
+    let proof, stats = S.prove params inst asn in
+    let t1 = Unix.gettimeofday () in
+    Printf.printf "  proved in %.3f s (%d sumcheck mults, %d spmv mults, %d hashes)\n%!"
+      (t1 -. t0) stats.S.sumcheck_mults stats.S.spmv_mults stats.S.transcript_hashes;
+    Printf.printf "  proof size: %d bytes\n%!" (S.proof_size_bytes params proof);
+    let t2 = Unix.gettimeofday () in
+    (match S.verify params inst ~io:(R1cs.public_io inst asn) proof with
+    | Ok () -> Printf.printf "  verified in %.3f s: OK\n%!" (Unix.gettimeofday () -. t2)
+    | Error e ->
+      Printf.printf "  VERIFICATION FAILED: %s\n%!" (Zk_pcs.Verify_error.to_string e);
+      exit 1);
+    match out with
+    | None -> ()
+    | Some path ->
+      let data = S.proof_to_bytes proof in
+      let oc = open_out_bin path in
+      output_bytes oc data;
+      close_out oc;
+      Printf.printf "  wrote %s (%d bytes, backend %s)\n%!" path (Bytes.length data)
+        S.P.name
+end
+
 let prove_cmd =
-  let run name scale reps =
-    let b =
-      try Benchmarks.find name
-      with Not_found ->
-        Printf.eprintf "unknown benchmark %s\n" name;
-        exit 1
-    in
+  let out_arg =
+    let doc = "Write the serialized proof to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run name scale reps pcs out =
+    let b = find_benchmark name in
     Printf.printf "building %s circuit (scale %d): %s\n%!" b.Benchmarks.name scale
       b.Benchmarks.description;
     let inst, asn = b.Benchmarks.generate scale in
     Printf.printf "  constraints: %d (padded to 2^%d), nnz: %d\n%!"
       inst.R1cs.num_constraints inst.R1cs.log_size (R1cs.nnz inst);
-    let params = { Spartan.test_params with Spartan.repetitions = reps } in
-    let t0 = Unix.gettimeofday () in
-    let proof, stats = Spartan.prove params inst asn in
-    let t1 = Unix.gettimeofday () in
-    Printf.printf "  proved in %.3f s (%d sumcheck mults, %d spmv mults, %d hashes)\n%!"
-      (t1 -. t0) stats.Spartan.sumcheck_mults stats.Spartan.spmv_mults
-      stats.Spartan.transcript_hashes;
-    Printf.printf "  proof size: %d bytes\n%!" (Spartan.proof_size_bytes params proof);
-    let t2 = Unix.gettimeofday () in
-    (match Spartan.verify params inst ~io:(R1cs.public_io inst asn) proof with
-    | Ok () -> Printf.printf "  verified in %.3f s: OK\n%!" (Unix.gettimeofday () -. t2)
-    | Error e ->
-      Printf.printf "  VERIFICATION FAILED: %s\n%!" e;
-      exit 1);
+    (match pcs with
+    | "orion" ->
+      let module M = Prove_run (Spartan) in
+      M.run ~reps ~out inst asn
+    | "fri" ->
+      let module M = Prove_run (Spartan_fri) in
+      M.run ~reps ~out inst asn
+    | other ->
+      Printf.eprintf "unknown PCS backend %s (expected orion or fri)\n" other;
+      exit 2);
     (* Model the same statement at paper scale. *)
     let wl =
       Workload.spartan_orion ~density:b.Benchmarks.density
@@ -59,7 +92,118 @@ let prove_cmd =
       (Zk_report.Render.seconds sim.Simulator.total_seconds)
   in
   Cmd.v (Cmd.info "prove" ~doc:"Build a benchmark circuit, prove and verify it.")
-    Term.(const run $ benchmark_arg $ scale_arg $ reps_arg)
+    Term.(const run $ benchmark_arg $ scale_arg $ reps_arg $ pcs_arg $ out_arg)
+
+(* `verify` treats the proof file as untrusted input: any outcome other than
+   acceptance is a categorized Verify_error mapped to a distinct exit code
+   (documented in the README), with the category name on stderr — never an
+   exception. The statement is regenerated deterministically from the same
+   benchmark/scale the proof was made for. *)
+let verify_cmd =
+  let proof_arg =
+    let doc = "Serialized proof file (written by prove --out)." in
+    Arg.(required & opt (some string) None & info [ "proof"; "p" ] ~docv:"FILE" ~doc)
+  in
+  let run name scale reps proof_path =
+    let b = find_benchmark name in
+    let data =
+      try
+        let ic = open_in_bin proof_path in
+        let n = in_channel_length ic in
+        let data = really_input_string ic n in
+        close_in ic;
+        Bytes.of_string data
+      with Sys_error msg ->
+        Printf.eprintf "cannot read proof: %s\n" msg;
+        exit 2
+    in
+    let inst, asn = b.Benchmarks.generate scale in
+    let io = R1cs.public_io inst asn in
+    let result =
+      match Proof_serialize.backend_of_bytes data with
+      | Error e -> Error e
+      | Ok bk when String.equal bk Orion_pcs.name ->
+        let params = { Spartan.test_params with Spartan.repetitions = reps } in
+        Result.map
+          (fun () -> bk)
+          (Result.bind (Spartan.proof_of_bytes data) (Spartan.verify params inst ~io))
+      | Ok bk when String.equal bk Fri_pcs.name ->
+        let params = { Spartan_fri.test_params with Spartan_fri.repetitions = reps } in
+        Result.map
+          (fun () -> bk)
+          (Result.bind (Spartan_fri.proof_of_bytes data) (Spartan_fri.verify params inst ~io))
+      | Ok bk ->
+        Verify_error.errorf Verify_error.Bad_header "no verifier wired for backend %S" bk
+    in
+    match result with
+    | Ok bk ->
+      Printf.printf "proof verified OK (%s backend, %d bytes, %s scale %d)\n" bk
+        (Bytes.length data) b.Benchmarks.name scale
+    | Error e ->
+      Printf.eprintf "%s\n" (Verify_error.to_string e);
+      exit (Verify_error.exit_code e.Verify_error.category)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Verify an untrusted serialized proof against a regenerated benchmark \
+          statement. Exit codes: 0 accepted, 2 usage/io, 10-17 one per rejection \
+          category (bad_header=10 ... consistency=17).")
+    Term.(const run $ benchmark_arg $ scale_arg $ reps_arg $ proof_arg)
+
+(* `fuzz` is the CLI face of the fault-injection harness: seeded, replayable
+   sweeps whose only healthy outcome is every mutant rejected with a
+   structured error. *)
+let fuzz_cmd =
+  let backend_arg =
+    let doc = "Target backend: orion, fri, or both." in
+    Arg.(value & opt string "both" & info [ "backend" ] ~docv:"NAME" ~doc)
+  in
+  let mutants_arg =
+    let doc = "Byte-level mutants per target." in
+    Arg.(value & opt int 1000 & info [ "mutants"; "n" ] ~docv:"N" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Structural mutation rounds per target (one mutant per mutator per round)." in
+    Arg.(value & opt int 30 & info [ "structured-rounds" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "RNG seed; (seed, index) replays any mutant." in
+    Arg.(value & opt int 0xFA175E & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run backend mutants rounds seed =
+    let targets =
+      match backend with
+      | "both" -> Fault_targets.all ()
+      | name -> (
+        match Fault_targets.by_name name with
+        | Some t -> [ t ]
+        | None ->
+          Printf.eprintf "unknown backend %s (expected orion, fri, or both)\n" name;
+          exit 2)
+    in
+    let reports =
+      List.map
+        (Fuzz.sweep ~seed:(Int64.of_int seed) ~byte_mutants:mutants
+           ~structured_rounds:rounds)
+        targets
+    in
+    List.iter (fun r -> Format.printf "%a%!" Fuzz.pp_report r) reports;
+    if List.for_all Fuzz.clean reports then
+      Printf.printf "fuzz: every mutant rejected with a structured error\n"
+    else begin
+      Printf.eprintf "fuzz: ALARM — corrupted proof accepted or exception raised\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fault-inject the verifier: mutate honest proofs at the byte and \
+          structure level and demand structured rejection of every mutant. \
+          Exits 1 on any accept (soundness alarm) or exception (robustness \
+          alarm).")
+    Term.(const run $ backend_arg $ mutants_arg $ rounds_arg $ seed_arg)
 
 let constraints_arg =
   let doc = "Statement size in R1CS constraints." in
@@ -193,7 +337,7 @@ let batch_cmd =
         (Unix.gettimeofday () -. mid)
         (Aggregate.proof_size_bytes Spartan.test_params proof)
     | Error e ->
-      Printf.eprintf "batch verification failed: %s\n" e;
+      Printf.eprintf "batch verification failed: %s\n" (Zk_pcs.Verify_error.to_string e);
       exit 1);
     let single, _ = Spartan.prove Spartan.test_params inst assignments.(0) in
     Printf.printf "k separate proofs would total %d bytes\n"
@@ -264,4 +408,7 @@ let () =
      Printf.eprintf "nocap-cli: %s\n" msg;
      exit 2);
   let info = Cmd.info "nocap-cli" ~doc:"NoCap reproduction: hash-based ZKP proving and accelerator modeling." in
-  exit (Cmd.eval (Cmd.group info [ prove_cmd; simulate_cmd; report_cmd; db_cmd; batch_cmd; lint_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ prove_cmd; verify_cmd; fuzz_cmd; simulate_cmd; report_cmd; db_cmd; batch_cmd; lint_cmd ]))

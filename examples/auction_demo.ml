@@ -20,7 +20,7 @@ let () =
   Printf.printf "announced winning price: %s\n" (Gf.to_string io.(1));
   (match Spartan.verify Spartan.test_params instance ~io proof with
   | Ok () -> print_endline "all participants can verify: no higher bid was hidden"
-  | Error e -> failwith e);
+  | Error e -> failwith (Zk_pcs.Verify_error.to_string e));
 
   (* A lying auctioneer announcing a lower price cannot produce an accepted
      proof: the same proof fails against altered public output. *)

@@ -97,7 +97,7 @@ let () =
   (match Spartan.verify Spartan.test_params instance
            ~io:(R1cs.public_io instance assignment) proof with
   | Ok () -> print_endline "verified: the hidden model really outputs that class"
-  | Error e -> failwith e);
+  | Error e -> failwith (Zk_pcs.Verify_error.to_string e));
 
   (* Sec. I's confidential-DP-training claim, from the models. *)
   let dp_n = 100.0 *. 3600.0 /. (94.2 /. 16.0e6) in

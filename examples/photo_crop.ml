@@ -76,7 +76,7 @@ let () =
     (Spartan.proof_size_bytes Spartan.test_params proof);
   (match Spartan.verify Spartan.test_params instance ~io:(R1cs.public_io instance assignment) proof with
   | Ok () -> print_endline "verified: the crop descends from the committed original"
-  | Error e -> failwith e);
+  | Error e -> failwith (Zk_pcs.Verify_error.to_string e));
 
   (* The paper's 256 KB case (Sec. I): >12 min on a CPU, ~1 s on NoCap. *)
   let n = 122.0e6 in

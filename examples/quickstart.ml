@@ -37,7 +37,7 @@ let () =
   let io = R1cs.public_io instance assignment in
   (match Spartan.verify params instance ~io proof with
   | Ok () -> print_endline "verified: the prover knows factors of 35 summing to 12"
-  | Error e -> failwith ("verification failed: " ^ e));
+  | Error e -> failwith ("verification failed: " ^ Zk_pcs.Verify_error.to_string e));
 
   (* A wrong public claim must fail. *)
   io.(1) <- Gf.of_int 36;

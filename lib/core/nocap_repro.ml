@@ -67,6 +67,12 @@ module Spartan_fri = Zk_spartan.Spartan.Make (Zk_orion.Fri_pcs)
 module Proof_serialize = Zk_spartan.Serialize
 module Aggregate = Zk_spartan.Aggregate
 
+(* Verification boundary: error taxonomy and the fault-injection harness *)
+module Verify_error = Zk_pcs.Verify_error
+module Mutate = Nocap_faults.Mutate
+module Fuzz = Nocap_faults.Fuzz
+module Fault_targets = Nocap_faults.Targets
+
 (* Groth16 baseline substrate *)
 module G1 = Zk_curve.G1
 module Msm = Zk_curve.Msm

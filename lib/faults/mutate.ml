@@ -1,0 +1,89 @@
+module Rng = Zk_util.Rng
+
+type op =
+  | Bit_flip
+  | Byte_set
+  | Truncate
+  | Extend
+  | Splice
+  | Zero_run
+  | Magic_tamper
+  | Tag_tamper
+
+let all_ops =
+  [ Bit_flip; Byte_set; Truncate; Extend; Splice; Zero_run; Magic_tamper; Tag_tamper ]
+
+let op_name = function
+  | Bit_flip -> "bit_flip"
+  | Byte_set -> "byte_set"
+  | Truncate -> "truncate"
+  | Extend -> "extend"
+  | Splice -> "splice"
+  | Zero_run -> "zero_run"
+  | Magic_tamper -> "magic_tamper"
+  | Tag_tamper -> "tag_tamper"
+
+let pick rng = List.nth all_ops (Rng.int rng (List.length all_ops))
+
+let flip_bit rng b =
+  let i = Rng.int rng (Bytes.length b) in
+  let bit = Rng.int rng 8 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+  b
+
+let apply rng op data =
+  if Bytes.length data = 0 then invalid_arg "Mutate.apply: empty input";
+  let n = Bytes.length data in
+  let out =
+    match op with
+    | Bit_flip -> flip_bit rng (Bytes.copy data)
+    | Byte_set ->
+      let b = Bytes.copy data in
+      let i = Rng.int rng n in
+      Bytes.set b i (Char.chr (Rng.int rng 256));
+      b
+    | Truncate -> Bytes.sub data 0 (Rng.int rng n)
+    | Extend ->
+      let extra = 1 + Rng.int rng 16 in
+      let b = Bytes.create (n + extra) in
+      Bytes.blit data 0 b 0 n;
+      for i = n to n + extra - 1 do
+        Bytes.set b i (Char.chr (Rng.int rng 256))
+      done;
+      b
+    | Splice ->
+      let b = Bytes.copy data in
+      let len = 1 + Rng.int rng (min 32 n) in
+      let src = Rng.int rng (n - len + 1) in
+      let dst = Rng.int rng (n - len + 1) in
+      Bytes.blit data src b dst len;
+      b
+    | Zero_run ->
+      let b = Bytes.copy data in
+      let len = 1 + Rng.int rng (min 32 n) in
+      let pos = Rng.int rng (n - len + 1) in
+      Bytes.fill b pos len '\000';
+      b
+    | Magic_tamper ->
+      let b = Bytes.copy data in
+      if Rng.bool rng && n >= 5 then Bytes.blit_string "NCAP1" 0 b 0 5
+      else begin
+        let i = Rng.int rng (min 8 n) in
+        Bytes.set b i (Char.chr (Rng.int rng 256))
+      end;
+      b
+    | Tag_tamper ->
+      let b = Bytes.copy data in
+      let i = min 8 (n - 1) in
+      Bytes.set b i (Char.chr (Rng.int rng 256));
+      b
+  in
+  (* The contract "mutant differs from the input" is what turns an [Ok]
+     verdict into a soundness alarm; force it when a draw was a no-op. *)
+  if Bytes.equal out data then
+    if Bytes.length out = 0 then Bytes.of_string "\x00" else flip_bit rng out
+  else out
+
+let random rng data =
+  let op = pick rng in
+  (op, apply rng op data)

@@ -61,17 +61,31 @@ let path t i =
   in
   go 0 i []
 
+(* A path longer than this cannot belong to any addressable tree (leaf
+   counts are OCaml ints); it only ever appears in hostile input, so bound
+   the walk before hashing anything. *)
+let max_proof_depth = 62
+
+let check_path ~root ~index ~leaf ~path =
+  if index < 0 then Error "negative leaf index"
+  else if List.length path > max_proof_depth then Error "path too long"
+  else if List.exists (fun d -> String.length d <> 32) path then
+    Error "path digest has wrong length"
+  else begin
+    let rec go idx current = function
+      | [] -> if String.equal current root then Ok () else Error "root mismatch"
+      | sibling :: rest ->
+        let parent =
+          if idx land 1 = 0 then Keccak.hash2 current sibling
+          else Keccak.hash2 sibling current
+        in
+        go (idx / 2) parent rest
+    in
+    go index leaf path
+  end
+
 let verify ~root ~index ~leaf ~path =
-  let rec go idx current = function
-    | [] -> String.equal current root
-    | sibling :: rest ->
-      let parent =
-        if idx land 1 = 0 then Keccak.hash2 current sibling
-        else Keccak.hash2 sibling current
-      in
-      go (idx / 2) parent rest
-  in
-  index >= 0 && go index leaf path
+  Result.is_ok (check_path ~root ~index ~leaf ~path)
 
 let path_length n =
   let rec go k m = if m >= n then k else go (k + 1) (2 * m) in

@@ -43,7 +43,19 @@ val path : tree -> int -> digest list
 (** Authentication path for leaf [i], bottom-up (sibling at each level). *)
 
 val verify : root:digest -> index:int -> leaf:digest -> path:digest list -> bool
-(** Check a leaf against a root. *)
+(** Check a leaf against a root. Total on arbitrary input. *)
+
+val max_proof_depth : int
+(** Longest authentication path [check_path] will walk (62): a longer path
+    cannot belong to any addressable tree and is rejected before hashing. *)
+
+val check_path :
+  root:digest -> index:int -> leaf:digest -> path:digest list -> (unit, string) result
+(** {!verify} with a reason on failure ("root mismatch", "path too long",
+    ...). Total on arbitrary input: hostile indices, over-long paths, and
+    wrong-length digests are rejected, never raised on. This layer reports
+    plain strings so it stays independent of the PCS error taxonomy;
+    callers wrap the reason in [Verify_error.Merkle_mismatch]. *)
 
 val path_length : int -> int
 (** [path_length n] is the authentication-path length for [n] leaves

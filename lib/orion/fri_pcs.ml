@@ -202,25 +202,43 @@ let open_at ?engine params committed transcript point =
       queries;
     } )
 
-let verify ?engine params (cm : commitment) transcript point value proof =
-  ignore (engine : Zk_pcs.Engine.t option);
+module E = Zk_pcs.Verify_error
+
+(* The evaluation domain is a power-of-two subgroup of the Goldilocks
+   multiplicative group, whose 2-adicity is 32: a wire commitment claiming
+   more variables than the domain can hold is hostile, and bounding it here
+   keeps [1 lsl (l + blowup_log2)] and [root_of_unity] in range. *)
+let max_domain_log2 = 32
+
+let validate_commitment params (cm : commitment) =
   let ( let* ) = Result.bind in
   let* () =
     match validate_params params with
     | Ok () -> Ok ()
-    | Error e -> Error (param_error_to_string e)
+    | Error e -> E.error E.Params (param_error_to_string e)
   in
+  if String.length cm.root <> 32 then
+    E.errorf E.Shape "commitment root has %d bytes, wanted 32" (String.length cm.root)
+  else if cm.num_vars < 0 || cm.num_vars + params.blowup_log2 > max_domain_log2 then
+    E.errorf E.Params "num_vars %d outside [0, %d]" cm.num_vars
+      (max_domain_log2 - params.blowup_log2)
+  else Ok ()
+
+let verify ?engine params (cm : commitment) transcript point value proof =
+  ignore (engine : Zk_pcs.Engine.t option);
+  let ( let* ) = Result.bind in
+  let* () = validate_commitment params cm in
   let l = cm.num_vars in
   let* () =
-    if Array.length point = l then Ok () else Error "point dimension mismatch"
+    if Array.length point = l then Ok () else E.error E.Params "point dimension mismatch"
   in
   let* () =
     if Array.length proof.round_polys = l then Ok ()
-    else Error "wrong number of sumcheck rounds"
+    else E.error E.Shape "wrong number of sumcheck rounds"
   in
   let* () =
     if Array.length proof.layer_roots = l then Ok ()
-    else Error "wrong number of fold layers"
+    else E.error E.Shape "wrong number of fold layers"
   in
   Transcript.absorb_gf transcript "fripcs/point" point;
   Transcript.absorb_gf transcript "fripcs/value" [| value |];
@@ -231,9 +249,9 @@ let verify ?engine params (cm : commitment) transcript point value proof =
       if i = l then Ok ()
       else begin
         let g = proof.round_polys.(i) in
-        if Array.length g <> 3 then Error (Printf.sprintf "round %d: wrong degree" i)
+        if Array.length g <> 3 then E.errorf E.Shape "round %d: wrong degree" i
         else if not (Gf.equal (Gf.add g.(0) g.(1)) !expected) then
-          Error (Printf.sprintf "round %d: g(0) + g(1) does not match the claim" i)
+          E.errorf E.Sumcheck_mismatch "round %d: g(0) + g(1) does not match the claim" i
         else begin
           Transcript.absorb_gf transcript "fripcs/round" g;
           let r = Transcript.challenge_gf transcript "fripcs/r" in
@@ -251,7 +269,7 @@ let verify ?engine params (cm : commitment) transcript point value proof =
   let* () =
     if Gf.equal !expected (Gf.mul proof.final_constant (Mle.eq_point point challenges))
     then Ok ()
-    else Error "final claim does not match the folded constant"
+    else E.error E.Sumcheck_mismatch "final claim does not match the folded constant"
   in
   let domain = 1 lsl (l + params.blowup_log2) in
   let positions =
@@ -260,7 +278,7 @@ let verify ?engine params (cm : commitment) transcript point value proof =
   in
   let* () =
     if Array.length proof.queries = params.num_queries then Ok ()
-    else Error "wrong number of queries"
+    else E.error E.Shape "wrong number of queries"
   in
   let roots = Array.append [| cm.root |] proof.layer_roots in
   let inv2 = Gf.inv Gf.two in
@@ -268,8 +286,8 @@ let verify ?engine params (cm : commitment) transcript point value proof =
     if qi >= Array.length proof.queries then Ok ()
     else begin
       let position, opened = proof.queries.(qi) in
-      if position <> positions.(qi) then Error "query position mismatch"
-      else if Array.length opened <> l + 1 then Error "query layer count"
+      if position <> positions.(qi) then E.errorf E.Consistency "query %d: position mismatch" qi
+      else if Array.length opened <> l + 1 then E.errorf E.Shape "query %d: layer count" qi
       else begin
         (* Walk the fold chain exactly as in {!Fri.verify} (plain subgroup:
            the shift is 1 at every layer). *)
@@ -278,19 +296,19 @@ let verify ?engine params (cm : commitment) transcript point value proof =
           let leaf_pos = j mod half in
           let av, bv, path = opened.(i) in
           let leaf = Merkle.leaf_of_column [| av; bv |] in
-          if not (Merkle.verify ~root:roots.(i) ~index:leaf_pos ~leaf ~path) then
-            Error (Printf.sprintf "query %d layer %d: bad path" qi i)
-          else begin
+          match Merkle.check_path ~root:roots.(i) ~index:leaf_pos ~leaf ~path with
+          | Error reason -> E.errorf E.Merkle_mismatch "query %d layer %d: %s" qi i reason
+          | Ok () ->
             let value_at_j = if j >= half then bv else av in
             let consistent =
               match exp with None -> true | Some v -> Gf.equal v value_at_j
             in
             if not consistent then
-              Error (Printf.sprintf "query %d layer %d: fold mismatch" qi i)
+              E.errorf E.Consistency "query %d layer %d: fold mismatch" qi i
             else if i = l then
               if Gf.equal av proof.final_constant && Gf.equal bv proof.final_constant
               then Ok ()
-              else Error (Printf.sprintf "query %d: final layer not constant" qi)
+              else E.errorf E.Consistency "query %d: final layer not constant" qi
             else begin
               let w = Gf.root_of_unity (log2_exact layer_size) in
               let x = Gf.pow w (Int64.of_int leaf_pos) in
@@ -299,7 +317,6 @@ let verify ?engine params (cm : commitment) transcript point value proof =
               let next = Gf.add even (Gf.mul challenges.(i) odd) in
               walk (i + 1) half leaf_pos (Some next)
             end
-          end
         in
         match walk 0 domain position None with
         | Error e -> Error e

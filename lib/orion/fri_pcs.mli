@@ -26,4 +26,25 @@ type params = {
 
 type param_error = Blowup_out_of_range of int | Queries_not_positive of int
 
-include Zk_pcs.Pcs.S with type params := params and type param_error := param_error
+type commitment = { root : Zk_merkle.Merkle.digest; num_vars : int }
+
+type eval_proof = {
+  round_polys : Zk_field.Gf.t array array;
+      (** one degree-2 round polynomial (3 evaluations) per variable *)
+  layer_roots : Zk_merkle.Merkle.digest array;
+      (** roots of the folded codeword layers 1..num_vars *)
+  final_constant : Zk_field.Gf.t;
+  queries : (int * (Zk_field.Gf.t * Zk_field.Gf.t * Zk_merkle.Merkle.digest list) array) array;
+      (** spot checks: layer-0 position, then per layer the even/odd pair
+          with its authentication path *)
+}
+(** Transparent like {!Orion_pcs}'s types, so typed fault injection (and any
+    other structural consumer) can build corrupted proofs field-by-field
+    instead of patching wire bytes blind. *)
+
+include
+  Zk_pcs.Pcs.S
+    with type params := params
+     and type param_error := param_error
+     and type commitment := commitment
+     and type eval_proof := eval_proof

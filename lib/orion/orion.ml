@@ -192,20 +192,59 @@ let prove_eval ?engine params committed transcript point =
   done;
   (!value, { u; proximity; columns })
 
+module E = Zk_pcs.Verify_error
+
+(* Largest table size any configuration here addresses (paper scale tops out
+   around 2^26); a decoded num_vars beyond this is hostile, and bounding it
+   keeps every size derived from a wire commitment within range. *)
+let max_num_vars = 32
+
+(* A commitment that reached the verifier over the wire is
+   attacker-controlled: before any size is derived from it, pin the matrix
+   layout to the one [commit] would have produced under these params. After
+   this check, [mat_rows] is a power of two with [log2 mat_rows <= num_vars],
+   [mat_cols >= 1], and the codeword bound is positive — the facts the rest
+   of [verify_eval] relies on to stay exception-free. *)
+let validate_commitment params (cm : commitment) =
+  let ( let* ) = Result.bind in
+  let* () =
+    match validate_params params with
+    | Ok () -> Ok ()
+    | Error e -> E.error E.Params (param_error_to_string e)
+  in
+  if String.length cm.root <> 32 then
+    E.errorf E.Shape "commitment root has %d bytes, wanted 32" (String.length cm.root)
+  else if cm.num_vars < 0 || cm.num_vars > max_num_vars then
+    E.errorf E.Params "num_vars %d outside [0, %d]" cm.num_vars max_num_vars
+  else begin
+    let n = 1 lsl cm.num_vars in
+    let rows = min params.rows n in
+    if cm.mat_rows <> rows then
+      E.errorf E.Params "mat_rows %d inconsistent with layout (wanted %d)" cm.mat_rows rows
+    else if cm.mat_cols <> n / rows then
+      E.errorf E.Params "mat_cols %d inconsistent with layout (wanted %d)" cm.mat_cols
+        (n / rows)
+    else Ok ()
+  end
+
 let verify_eval ?engine params (cm : commitment) transcript point value proof =
   ignore (engine : Zk_pcs.Engine.t option);
   let module Code = (val params.code : Zk_ecc.Linear_code.S) in
-  let cols = cm.mat_cols in
   let ( let* ) = Result.bind in
+  let* () = validate_commitment params cm in
+  let cols = cm.mat_cols in
   let* () =
-    if Array.length point <> cm.num_vars then Error "point dimension mismatch" else Ok ()
+    if Array.length point <> cm.num_vars then E.error E.Params "point dimension mismatch"
+    else Ok ()
   in
   let q_row, q_col = split_point cm point in
   Transcript.absorb_gf transcript "orion/point" point;
   (* Recreate the proximity challenges in transcript order. *)
   let* rhos =
     if Array.length proof.proximity <> params.proximity_count then
-      Error "wrong number of proximity vectors"
+      E.error E.Shape "wrong number of proximity vectors"
+    else if Array.exists (fun v -> Array.length v <> cols) proof.proximity then
+      E.error E.Shape "proximity vector has wrong length"
     else
       Ok
         (Array.map
@@ -215,7 +254,9 @@ let verify_eval ?engine params (cm : commitment) transcript point value proof =
              rho)
            proof.proximity)
   in
-  let* () = if Array.length proof.u = cols then Ok () else Error "u has wrong length" in
+  let* () =
+    if Array.length proof.u = cols then Ok () else E.error E.Shape "u has wrong length"
+  in
   Transcript.absorb_gf transcript "orion/u" proof.u;
   let bound = code_length params cm in
   let indices =
@@ -223,7 +264,7 @@ let verify_eval ?engine params (cm : commitment) transcript point value proof =
   in
   let* () =
     if Array.length proof.columns = Code.query_count then Ok ()
-    else Error "wrong number of column openings"
+    else E.error E.Shape "wrong number of column openings"
   in
   (* The verifier encodes the claimed combinations itself (O(cols log cols)). *)
   let encoded_u = Code.encode proof.u in
@@ -232,37 +273,38 @@ let verify_eval ?engine params (cm : commitment) transcript point value proof =
   let expected_rows = cm.mat_rows + if params.zk then params.proximity_count else 0 in
   let check_column k =
     let j, col, path = proof.columns.(k) in
-    if j <> indices.(k) then Error (Printf.sprintf "column %d: index mismatch" k)
+    if j <> indices.(k) then E.errorf E.Consistency "column %d: index mismatch" k
     else if Array.length col <> expected_rows then
-      Error (Printf.sprintf "column %d: wrong height" k)
-    else if
-      not
-        (Merkle.verify ~root:cm.root ~index:j ~leaf:(Merkle.leaf_of_column col) ~path)
-    then Error (Printf.sprintf "column %d: bad Merkle path" k)
+      E.errorf E.Shape "column %d: wrong height" k
     else begin
-      (* Consistency of u with the committed data rows at this column. *)
-      let dot coeffs =
-        let acc = ref Gf.zero in
-        Array.iteri (fun r c -> acc := Gf.add !acc (Gf.mul c col.(r))) coeffs;
-        !acc
-      in
-      if not (Gf.equal encoded_u.(j) (dot eq_row)) then
-        Error (Printf.sprintf "column %d: u consistency failed" k)
-      else begin
-        (* Proximity combinations, each shifted by its mask row. *)
-        let rec prox i =
-          if i >= params.proximity_count then Ok ()
-          else begin
-            let expected = dot rhos.(i) in
-            let expected =
-              if params.zk then Gf.add expected col.(cm.mat_rows + i) else expected
-            in
-            if Gf.equal encoded_prox.(i).(j) expected then prox (i + 1)
-            else Error (Printf.sprintf "column %d: proximity %d failed" k i)
-          end
+      match
+        Merkle.check_path ~root:cm.root ~index:j ~leaf:(Merkle.leaf_of_column col) ~path
+      with
+      | Error reason -> E.errorf E.Merkle_mismatch "column %d: %s" k reason
+      | Ok () ->
+        (* Consistency of u with the committed data rows at this column. *)
+        let dot coeffs =
+          let acc = ref Gf.zero in
+          Array.iteri (fun r c -> acc := Gf.add !acc (Gf.mul c col.(r))) coeffs;
+          !acc
         in
-        prox 0
-      end
+        if not (Gf.equal encoded_u.(j) (dot eq_row)) then
+          E.errorf E.Consistency "column %d: u consistency failed" k
+        else begin
+          (* Proximity combinations, each shifted by its mask row. *)
+          let rec prox i =
+            if i >= params.proximity_count then Ok ()
+            else begin
+              let expected = dot rhos.(i) in
+              let expected =
+                if params.zk then Gf.add expected col.(cm.mat_rows + i) else expected
+              in
+              if Gf.equal encoded_prox.(i).(j) expected then prox (i + 1)
+              else E.errorf E.Consistency "column %d: proximity %d failed" k i
+            end
+          in
+          prox 0
+        end
     end
   in
   let rec all k =
@@ -278,7 +320,7 @@ let verify_eval ?engine params (cm : commitment) transcript point value proof =
   for j = 0 to cols - 1 do
     v := Gf.add !v (Gf.mul proof.u.(j) eq_col.(j))
   done;
-  if Gf.equal !v value then Ok () else Error "evaluation mismatch"
+  if Gf.equal !v value then Ok () else E.error E.Consistency "evaluation mismatch"
 
 let proof_size_bytes params (cm : commitment) proof =
   let field_bytes = 8 and digest_bytes = 32 and index_bytes = 8 in

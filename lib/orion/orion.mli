@@ -85,6 +85,17 @@ val prove_eval :
     engine supplies the worker pool for row combinations and column
     openings (proof bytes are identical for every pool). *)
 
+val max_num_vars : int
+(** Largest [num_vars] a wire commitment may claim (32; paper scale tops out
+    near 2^26). Bounding it keeps every size the verifier derives from an
+    attacker-controlled commitment in range. *)
+
+val validate_commitment : params -> commitment -> (unit, Zk_pcs.Verify_error.t) result
+(** Pin an untrusted commitment to the matrix layout [commit] would have
+    produced under these params: digest length, [num_vars] within
+    [0, max_num_vars], and [mat_rows]/[mat_cols] equal to the derived
+    layout. Run by {!verify_eval} before any size is trusted. *)
+
 val verify_eval :
   ?engine:Zk_pcs.Engine.t ->
   params ->
@@ -93,9 +104,11 @@ val verify_eval :
   Gf.t array ->
   Gf.t ->
   eval_proof ->
-  (unit, string) result
+  (unit, Zk_pcs.Verify_error.t) result
 (** Verifies that the committed polynomial evaluates to the claimed value at
-    the point. The transcript must mirror the prover's. *)
+    the point. The transcript must mirror the prover's. Total on arbitrary
+    commitments and proofs (e.g. decoded from hostile bytes): every failure
+    is a categorized [Error], never an exception. *)
 
 val absorb_commitment : Zk_hash.Transcript.t -> commitment -> unit
 

@@ -41,8 +41,10 @@ let ( let* ) = Result.bind
 let max_len = 1 lsl 28
 
 let need r n =
-  if r.pos + n <= Bytes.length r.data then Ok ()
-  else Error "truncated proof"
+  if n >= 0 && r.pos + n <= Bytes.length r.data then Ok ()
+  else
+    Verify_error.errorf Verify_error.Truncated
+      "input ends at byte %d, needed %d more" (Bytes.length r.data) n
 
 let get_u64 r =
   let* () = need r 8 in
@@ -59,12 +61,15 @@ let get_byte r =
 let get_len r =
   let* x = get_u64 r in
   if Int64.compare x 0L < 0 || Int64.compare x (Int64.of_int max_len) > 0 then
-    Error "implausible length field"
+    Verify_error.errorf Verify_error.Malformed_field "implausible length field %Ld" x
   else Ok (Int64.to_int x)
 
 let get_gf r =
   let* x = get_u64 r in
-  if Gf.is_canonical x then Ok (Gf.of_int64 x) else Error "non-canonical field element"
+  if Gf.is_canonical x then Ok (Gf.of_int64 x)
+  else
+    Verify_error.errorf Verify_error.Malformed_field
+      "non-canonical field element 0x%Lx" x
 
 let get_gf_array r =
   let* n = get_len r in
@@ -101,10 +106,19 @@ let get_array r get =
 
 let expect_string r s =
   let n = String.length s in
-  let* () = need r n in
+  let* () =
+    if r.pos + n <= Bytes.length r.data then Ok ()
+    else Verify_error.error Verify_error.Bad_header "input shorter than the header"
+  in
   let got = Bytes.sub_string r.data r.pos n in
   if String.equal got s then begin
     r.pos <- r.pos + n;
     Ok ()
   end
-  else Error "bad magic"
+  else Verify_error.error Verify_error.Bad_header "bad magic"
+
+let expect_end r =
+  if at_end r then Ok ()
+  else
+    Verify_error.errorf Verify_error.Malformed_field
+      "%d trailing bytes after a complete value" (remaining r)

@@ -27,7 +27,8 @@ val put_digest : Buffer.t -> string -> unit
 
 type reader
 (** A cursor over immutable bytes. All getters return [Error] (never raise)
-    on truncation or malformed content. *)
+    on truncation or malformed content; errors carry a {!Verify_error}
+    category ([Truncated], [Malformed_field], [Bad_header]). *)
 
 val reader : bytes -> reader
 val pos : reader -> int
@@ -38,21 +39,28 @@ val max_len : int
 (** Upper bound accepted for any single length field (2^28): a decoded
     length beyond this is rejected before any allocation happens. *)
 
-val need : reader -> int -> (unit, string) result
-val get_u64 : reader -> (int64, string) result
-val get_byte : reader -> (char, string) result
+val need : reader -> int -> (unit, Verify_error.t) result
+val get_u64 : reader -> (int64, Verify_error.t) result
+val get_byte : reader -> (char, Verify_error.t) result
 
-val get_len : reader -> (int, string) result
+val get_len : reader -> (int, Verify_error.t) result
 (** A u64 validated against [0, max_len]. *)
 
-val get_gf : reader -> (Gf.t, string) result
+val get_gf : reader -> (Gf.t, Verify_error.t) result
 (** Rejects non-canonical encodings (>= the field modulus). *)
 
-val get_gf_array : reader -> (Gf.t array, string) result
-val get_digest : reader -> (string, string) result
+val get_gf_array : reader -> (Gf.t array, Verify_error.t) result
+val get_digest : reader -> (string, Verify_error.t) result
 
-val get_list : reader -> (reader -> ('a, string) result) -> ('a list, string) result
-val get_array : reader -> (reader -> ('a, string) result) -> ('a array, string) result
+val get_list :
+  reader -> (reader -> ('a, Verify_error.t) result) -> ('a list, Verify_error.t) result
 
-val expect_string : reader -> string -> (unit, string) result
-(** Consume and compare a fixed literal (e.g. a magic prefix). *)
+val get_array :
+  reader -> (reader -> ('a, Verify_error.t) result) -> ('a array, Verify_error.t) result
+
+val expect_string : reader -> string -> (unit, Verify_error.t) result
+(** Consume and compare a fixed literal (e.g. a magic prefix); mismatch and
+    short input are both [Bad_header]. *)
+
+val expect_end : reader -> (unit, Verify_error.t) result
+(** [Malformed_field] unless the cursor consumed every byte. *)

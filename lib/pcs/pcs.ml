@@ -92,16 +92,19 @@ module type S = sig
     Gf.t array ->
     Gf.t ->
     eval_proof ->
-    (unit, string) result
+    (unit, Verify_error.t) result
   (** Check a claimed evaluation. Must mirror [open_at]'s transcript
-      traffic exactly, including on the error paths it can reach. *)
+      traffic exactly, including on the error paths it can reach. The
+      commitment and proof must be treated as attacker-controlled: any
+      shape, including one produced by [read_*] on hostile bytes, yields a
+      categorized [Error] — never an exception. *)
 
   val proof_size_bytes : params -> commitment -> eval_proof -> int
 
   val stats : params -> commitment -> eval_proof -> stats
 
   val write_commitment : Buffer.t -> commitment -> unit
-  val read_commitment : Codec.reader -> (commitment, string) result
+  val read_commitment : Codec.reader -> (commitment, Verify_error.t) result
   val write_eval_proof : Buffer.t -> eval_proof -> unit
-  val read_eval_proof : Codec.reader -> (eval_proof, string) result
+  val read_eval_proof : Codec.reader -> (eval_proof, Verify_error.t) result
 end

@@ -151,24 +151,30 @@ let prove ?engine ?rng params inst assignments =
   { commitments = Array.map snd committed_and_cm; reps }
 
 let verify ?engine params inst ~ios proof =
+  let module E = Zk_pcs.Verify_error in
   let engine = Zk_pcs.Engine.resolve engine in
   let ( let* ) = Result.bind in
   let k = Array.length ios in
   let* () =
-    if k = 0 then Error "empty batch"
-    else if Array.length proof.commitments <> k then Error "commitment count mismatch"
+    if k = 0 then E.error E.Shape "empty batch"
+    else if Array.length proof.commitments <> k then
+      E.error E.Shape "commitment count mismatch"
     else if Array.length proof.reps <> params.Spartan.repetitions then
-      Error "wrong number of repetitions"
+      E.error E.Shape "wrong number of repetitions"
     else Ok ()
   in
   let* () =
     if Array.for_all (fun io -> Array.length io >= 1 && Gf.equal io.(0) Gf.one) ios
     then Ok ()
-    else Error "every io must start with the constant 1"
+    else E.error E.Params "every io must start with the constant 1"
+  in
+  let l = inst.R1cs.log_size in
+  let* () =
+    if l >= 1 then Ok ()
+    else E.error E.Params "instance must have at least one variable"
   in
   let transcript = start_transcript params inst ios in
   Array.iter (Orion.absorb_commitment transcript) proof.commitments;
-  let l = inst.R1cs.log_size in
   let rec check_rep r =
     if r >= Array.length proof.reps then Ok ()
     else begin
@@ -177,7 +183,8 @@ let verify ?engine params inst ~ios proof =
         if Array.length rep.claims_abc = k && Array.length rep.vws = k
            && Array.length rep.w_opens = k
         then Ok ()
-        else Error "per-instance component count mismatch"
+        else Zk_pcs.Verify_error.error Zk_pcs.Verify_error.Shape
+               "per-instance component count mismatch"
       in
       let rho = Transcript.challenge_gf_vec transcript "rho" k in
       let tau = Transcript.challenge_gf_vec transcript "tau" l in
@@ -196,7 +203,9 @@ let verify ?engine params inst ~ios proof =
       in
       let* () =
         if Gf.equal expected1 v1.Sumcheck.value then Ok ()
-        else Error (Printf.sprintf "rep %d: batched sumcheck-1 mismatch" r)
+        else
+          Zk_pcs.Verify_error.errorf Zk_pcs.Verify_error.Sumcheck_mismatch
+            "rep %d: batched sumcheck-1 mismatch" r
       in
       Array.iter
         (fun (va, vb, vc) ->
@@ -245,7 +254,9 @@ let verify ?engine params inst ~ios proof =
       in
       let* () =
         if Gf.equal (Gf.mul m_at_ry z_comb_at_ry) v2.Sumcheck.value then Ok ()
-        else Error (Printf.sprintf "rep %d: batched sumcheck-2 mismatch" r)
+        else
+          Zk_pcs.Verify_error.errorf Zk_pcs.Verify_error.Sumcheck_mismatch
+            "rep %d: batched sumcheck-2 mismatch" r
       in
       let rec check_open i =
         if i >= k then Ok ()

@@ -46,8 +46,9 @@ val verify :
   Zk_r1cs.R1cs.instance ->
   ios:Gf.t array array ->
   proof ->
-  (unit, string) result
+  (unit, Zk_pcs.Verify_error.t) result
 (** [ios.(i)] is instance [i]'s live public io
-    ({!Zk_r1cs.R1cs.public_io}). *)
+    ({!Zk_r1cs.R1cs.public_io}). Total on arbitrary proofs: every failure
+    is a categorized [Error], never an exception. *)
 
 val proof_size_bytes : Spartan.params -> proof -> int

@@ -13,11 +13,11 @@
 
 val proof_to_bytes : Spartan.proof -> bytes
 
-val proof_of_bytes : bytes -> (Spartan.proof, string) result
+val proof_of_bytes : bytes -> (Spartan.proof, Zk_pcs.Verify_error.t) result
 
 val serialized_size : Spartan.proof -> int
 (** Exact byte length [proof_to_bytes] produces (payload plus framing). *)
 
-val backend_of_bytes : bytes -> (string, string) result
+val backend_of_bytes : bytes -> (string, Zk_pcs.Verify_error.t) result
 (** Report which PCS backend wrote a serialized proof, from the header
     alone. *)

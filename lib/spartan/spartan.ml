@@ -7,6 +7,7 @@ module R1cs = Zk_r1cs.R1cs
 module Sumcheck = Zk_sumcheck.Sumcheck
 module Engine = Zk_pcs.Engine
 module Codec = Zk_pcs.Codec
+module E = Zk_pcs.Verify_error
 
 let magic = "NCAP2\x00\x00\x00"
 let legacy_magic = "NCAP1\x00\x00\x00"
@@ -25,12 +26,12 @@ let backend_of_bytes data =
   | Error _ -> (
     match Codec.expect_string r legacy_magic with
     | Ok () -> Ok Zk_orion.Orion_pcs.name
-    | Error _ -> Error "bad magic")
+    | Error _ -> E.error E.Bad_header "bad magic")
   | Ok () -> (
     let* t = Codec.get_byte r in
     match backend_name_of_tag t with
     | Some name -> Ok name
-    | None -> Error (Printf.sprintf "unknown backend tag 0x%02x" (Char.code t)))
+    | None -> E.errorf E.Bad_header "unknown backend tag 0x%02x" (Char.code t))
 
 let instance_digest (inst : R1cs.instance) =
   let buf = Buffer.create 4096 in
@@ -106,13 +107,13 @@ module type S = sig
     Zk_r1cs.R1cs.instance ->
     io:Gf.t array ->
     proof ->
-    (unit, string) result
+    (unit, Zk_pcs.Verify_error.t) result
 
   val proof_size_bytes : params -> proof -> int
   val instance_digest : Zk_r1cs.R1cs.instance -> Zk_hash.Keccak.digest
   val magic : string
   val proof_to_bytes : proof -> bytes
-  val proof_of_bytes : bytes -> (proof, string) result
+  val proof_of_bytes : bytes -> (proof, Zk_pcs.Verify_error.t) result
   val serialized_size : proof -> int
 end
 
@@ -240,15 +241,19 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
     let ( let* ) = Result.bind in
     let* () =
       if Array.length proof.reps = params.repetitions then Ok ()
-      else Error "wrong number of repetitions"
+      else E.error E.Shape "wrong number of repetitions"
     in
     let* () =
       if Array.length io >= 1 && Gf.equal io.(0) Gf.one then Ok ()
-      else Error "io must start with the constant 1"
+      else E.error E.Params "io must start with the constant 1"
+    in
+    let l = inst.R1cs.log_size in
+    let* () =
+      if l >= 1 then Ok ()
+      else E.error E.Params "instance must have at least one variable"
     in
     let transcript = start_transcript params inst io in
     P.absorb_commitment transcript proof.w_commitment;
-    let l = inst.R1cs.log_size in
     let rec check_rep k =
       if k >= Array.length proof.reps then Ok ()
       else begin
@@ -263,7 +268,7 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
         let expected1 = Gf.mul eq_tau_rx (Gf.sub (Gf.mul rep.va rep.vb) rep.vc) in
         let* () =
           if Gf.equal expected1 v1.Sumcheck.value then Ok ()
-          else Error (Printf.sprintf "rep %d: sumcheck-1 final claim mismatch" k)
+          else E.errorf E.Sumcheck_mismatch "rep %d: sumcheck-1 final claim mismatch" k
         in
         Transcript.absorb_gf transcript "claims-abc" [| rep.va; rep.vb; rep.vc |];
         let r_abc = Transcript.challenge_gf_vec transcript "r-abc" 3 in
@@ -295,7 +300,7 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
         in
         let* () =
           if Gf.equal (Gf.mul m_at_ry z_at_ry) v2.Sumcheck.value then Ok ()
-          else Error (Printf.sprintf "rep %d: sumcheck-2 final claim mismatch" k)
+          else E.errorf E.Sumcheck_mismatch "rep %d: sumcheck-2 final claim mismatch" k
         in
         (* PCS opening of w~ at ry_rest. *)
         let* () =
@@ -364,21 +369,20 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
     | Error _ -> (
       match Codec.expect_string r legacy_magic with
       | Ok () ->
-        Error
+        E.error E.Bad_header
           "legacy NCAP1 proof blob (no backend tag); re-serialize it with the \
            current version"
-      | Error _ -> Error "bad magic")
+      | Error _ -> E.error E.Bad_header "bad magic")
     | Ok () ->
       let* t = Codec.get_byte r in
       if not (Char.equal t P.tag) then
-        Error
-          (match backend_name_of_tag t with
-          | Some b ->
-            Printf.sprintf
-              "backend mismatch: proof blob carries backend %S (tag 0x%02x), this \
-               decoder is %S"
-              b (Char.code t) P.name
-          | None -> Printf.sprintf "unknown backend tag 0x%02x" (Char.code t))
+        (match backend_name_of_tag t with
+        | Some b ->
+          E.errorf E.Bad_header
+            "backend mismatch: proof blob carries backend %S (tag 0x%02x), this \
+             decoder is %S"
+            b (Char.code t) P.name
+        | None -> E.errorf E.Bad_header "unknown backend tag 0x%02x" (Char.code t))
       else
         let* w_commitment = P.read_commitment r in
         let* reps =
@@ -392,8 +396,8 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
               let* w_open = P.read_eval_proof r in
               Ok { sc1; va; vb; vc; sc2; vw; w_open })
         in
-        if not (Codec.at_end r) then Error "trailing bytes"
-        else Ok { w_commitment; reps }
+        let* () = Codec.expect_end r in
+        Ok { w_commitment; reps }
 end
 
 include Make (Zk_orion.Orion_pcs)

@@ -82,10 +82,13 @@ module type S = sig
     Zk_r1cs.R1cs.instance ->
     io:Gf.t array ->
     proof ->
-    (unit, string) result
+    (unit, Zk_pcs.Verify_error.t) result
   (** [verify params instance ~io proof]: [io] is the live public io prefix
       (constant 1 followed by public inputs), as returned by
-      {!Zk_r1cs.R1cs.public_io}. *)
+      {!Zk_r1cs.R1cs.public_io}. The instance, params, and io are trusted
+      (the verifier's own statement); the proof is not — any proof value,
+      including one decoded from hostile bytes, yields a categorized
+      [Error], never an exception. *)
 
   val proof_size_bytes : params -> proof -> int
   (** Serialized proof size (8 B per field element, 32 B per digest). *)
@@ -103,11 +106,12 @@ module type S = sig
       field elements and lengths, raw 32-byte digests, length-prefixed
       arrays. *)
 
-  val proof_of_bytes : bytes -> (proof, string) result
-  (** Total decoding: malformed input yields [Error], never an exception;
-      every length field is bounded against the remaining input. A blob
-      written by a different backend (or a legacy untagged NCAP1 blob)
-      yields an [Error] naming the backend/tag. *)
+  val proof_of_bytes : bytes -> (proof, Zk_pcs.Verify_error.t) result
+  (** Total decoding: malformed input yields a categorized [Error], never an
+      exception; every length field is bounded against the remaining input,
+      and trailing bytes after a complete proof are rejected. A blob written
+      by a different backend (or a legacy untagged NCAP1 blob) is
+      [Bad_header], naming the backend/tag in the detail. *)
 
   val serialized_size : proof -> int
   (** Exact byte length [proof_to_bytes] produces (payload plus framing). *)
@@ -121,7 +125,8 @@ include S with module P = Zk_orion.Orion_pcs
 (** The default instance, over Orion — byte-compatible with the pre-functor
     prover for every engine/domain configuration. *)
 
-val backend_of_bytes : bytes -> (string, string) result
+val backend_of_bytes : bytes -> (string, Zk_pcs.Verify_error.t) result
 (** Sniff the header of a serialized proof and report which backend wrote it
     ([Ok "orion"], [Ok "fri"], ...) without decoding the payload. Legacy
-    NCAP1 blobs report ["orion"]; unknown tags and bad magics are [Error]. *)
+    NCAP1 blobs report ["orion"]; unknown tags and bad magics are
+    [Bad_header]. *)

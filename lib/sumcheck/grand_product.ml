@@ -58,11 +58,12 @@ let prove transcript v =
   (product, { layer_claims; sumchecks }, { point = !r; value = !claim })
 
 let verify transcript ~num_vars ~product proof =
+  let module E = Zk_pcs.Verify_error in
   let ( let* ) = Result.bind in
   let l = num_vars in
   let* () =
     if Array.length proof.layer_claims = l && Array.length proof.sumchecks = l then Ok ()
-    else Error "wrong number of layers"
+    else E.error E.Shape "wrong number of layers"
   in
   Transcript.absorb_int transcript "gp/num_vars" l;
   Transcript.absorb_gf transcript "gp/product" [| product |];
@@ -80,7 +81,9 @@ let verify transcript ~num_vars ~product proof =
       let eq = Mle.eq_point !r res.Sumcheck.point in
       let* () =
         if Gf.equal res.Sumcheck.value (Gf.mul eq (Gf.mul p0 p1)) then Ok ()
-        else Error (Printf.sprintf "layer %d: half-claims inconsistent" step)
+        else
+          Zk_pcs.Verify_error.errorf Zk_pcs.Verify_error.Sumcheck_mismatch
+            "layer %d: half-claims inconsistent" step
       in
       Transcript.absorb_gf transcript "gp/halves" [| p0; p1 |];
       let tau = Transcript.challenge_gf transcript "gp/tau" in

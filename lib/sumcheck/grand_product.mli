@@ -41,6 +41,6 @@ val verify :
   num_vars:int ->
   product:Gf.t ->
   proof ->
-  (reduced_claim, string) result
+  (reduced_claim, Zk_pcs.Verify_error.t) result
 (** Replays the layer chain; on success returns the reduced claim for the
-    caller's commitment opening. *)
+    caller's commitment opening. Total on arbitrary proofs. *)

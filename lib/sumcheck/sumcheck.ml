@@ -194,8 +194,13 @@ let prove ?engine ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
     stats = { rounds = num_vars; mults = !mults; adds = !adds };
   }
 
+module E = Zk_pcs.Verify_error
+
 let verify transcript ~degree ~num_vars ~claim proof =
-  if Array.length proof.round_polys <> num_vars then Error "wrong number of rounds"
+  if degree < 1 || num_vars < 0 then
+    E.errorf E.Params "invalid sumcheck shape (degree %d, %d vars)" degree num_vars
+  else if Array.length proof.round_polys <> num_vars then
+    E.error E.Shape "wrong number of rounds"
   else begin
     Transcript.absorb_int transcript "sumcheck/num_vars" num_vars;
     Transcript.absorb_int transcript "sumcheck/degree" degree;
@@ -206,9 +211,10 @@ let verify transcript ~degree ~num_vars ~claim proof =
       if round = num_vars then Ok { point; value = !expected }
       else begin
         let g = proof.round_polys.(round) in
-        if Array.length g <> degree + 1 then Error (Printf.sprintf "round %d: wrong degree" round)
+        if Array.length g <> degree + 1 then
+          E.errorf E.Shape "round %d: wrong degree" round
         else if not (Gf.equal (Gf.add g.(0) g.(1)) !expected) then
-          Error (Printf.sprintf "round %d: g(0) + g(1) mismatch" round)
+          E.errorf E.Sumcheck_mismatch "round %d: g(0) + g(1) mismatch" round
         else begin
           Transcript.absorb_gf transcript "sumcheck/round" g;
           let r = Transcript.challenge_gf transcript "sumcheck/challenge" in

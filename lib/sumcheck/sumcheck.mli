@@ -77,7 +77,10 @@ val verify :
   num_vars:int ->
   claim:Gf.t ->
   proof ->
-  (verifier_result, string) result
+  (verifier_result, Zk_pcs.Verify_error.t) result
 (** Replays the rounds, checking [g_i(0) + g_i(1)] against the running claim.
     The caller must still check [result.value] against oracle evaluations of
-    the tables at [result.point]. *)
+    the tables at [result.point]. Total on arbitrary proofs: a wrong round
+    count or round-polynomial degree is [Shape], a failed running-claim
+    check is [Sumcheck_mismatch], and [degree < 1] is [Params] (a degree-0
+    round polynomial could not even be length-checked against [g(1)]). *)

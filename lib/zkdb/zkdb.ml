@@ -67,10 +67,11 @@ let prove_batch ?engine ?(params = Spartan.test_params) db txs =
   db.batches <- db.batches + 1;
   { instance; io = R1cs.public_io instance asn; proof; transactions = txs }
 
+let check_batch ?engine ?(params = Spartan.test_params) receipt =
+  Spartan.verify ?engine params receipt.instance ~io:receipt.io receipt.proof
+
 let verify_batch ?engine ?(params = Spartan.test_params) receipt =
-  match Spartan.verify ?engine params receipt.instance ~io:receipt.io receipt.proof with
-  | Ok () -> true
-  | Error _ -> false
+  Result.is_ok (check_batch ?engine ~params receipt)
 
 type prover_platform = Cpu | Nocap
 

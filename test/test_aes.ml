@@ -55,7 +55,7 @@ let test_circuit_proves () =
   let proof, _ = Spartan.prove Spartan.test_params inst asn in
   match Spartan.verify Spartan.test_params inst ~io:(R1cs.public_io inst asn) proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "AES proof failed: %s" e
+  | Error e -> Alcotest.failf "AES proof failed: %s" (Zk_pcs.Verify_error.to_string e)
 
 let prop_reference_matches_independent_model =
   (* Differential test of the GF(2^8) machinery underneath the S-box:

@@ -98,7 +98,7 @@ let test_rsa_style_proof () =
   let proof, _ = Spartan.prove Spartan.test_params inst asn in
   (match Spartan.verify Spartan.test_params inst ~io:(R1cs.public_io inst asn) proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "rsa-style proof failed: %s" e);
+  | Error e -> Alcotest.failf "rsa-style proof failed: %s" (Zk_pcs.Verify_error.to_string e));
   let io = R1cs.public_io inst asn in
   io.(Array.length io - 2) <- Gf.add io.(Array.length io - 2) Gf.one;
   match Spartan.verify Spartan.test_params inst ~io proof with

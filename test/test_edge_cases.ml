@@ -31,7 +31,7 @@ let test_minimum_spartan_instance () =
   let proof, _ = Spartan.prove Spartan.test_params inst asn in
   match Spartan.verify Spartan.test_params inst ~io:(R1cs.public_io inst asn) proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "minimum instance failed: %s" e
+  | Error e -> Alcotest.failf "minimum instance failed: %s" (Zk_pcs.Verify_error.to_string e)
 
 let test_orion_single_element () =
   (* A 1-element table: num_vars = 0, rows = cols = 1. *)
@@ -47,7 +47,7 @@ let test_orion_single_element () =
   Orion.absorb_commitment vt cm;
   match Orion.verify_eval params cm vt [||] value proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "single-element orion failed: %s" e
+  | Error e -> Alcotest.failf "single-element orion failed: %s" (Zk_pcs.Verify_error.to_string e)
 
 let test_sumcheck_one_variable () =
   let tables = [| [| Gf.of_int 3; Gf.of_int 4 |] |] in
@@ -58,7 +58,7 @@ let test_sumcheck_one_variable () =
   match Sumcheck.verify vt ~degree:1 ~num_vars:1 ~claim res.Sumcheck.proof with
   | Ok v ->
     Alcotest.check gf "reduced claim" (Mle.eval tables.(0) v.Sumcheck.point) v.Sumcheck.value
-  | Error e -> Alcotest.failf "1-variable sumcheck: %s" e
+  | Error e -> Alcotest.failf "1-variable sumcheck: %s" (Zk_pcs.Verify_error.to_string e)
 
 let test_bad_arguments_rejected () =
   Alcotest.(check bool) "sumcheck empty tables" true
@@ -114,7 +114,7 @@ let test_zero_and_extreme_field_values () =
   let proof, _ = Spartan.prove Spartan.test_params inst asn in
   match Spartan.verify Spartan.test_params inst ~io:(R1cs.public_io inst asn) proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "extreme values: %s" e
+  | Error e -> Alcotest.failf "extreme values: %s" (Zk_pcs.Verify_error.to_string e)
 
 let test_all_zero_witness () =
   (* An instance whose witness is identically zero still proves (exercises
@@ -128,7 +128,7 @@ let test_all_zero_witness () =
   let proof, _ = Spartan.prove Spartan.test_params inst asn in
   match Spartan.verify Spartan.test_params inst ~io:(R1cs.public_io inst asn) proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "zero witness: %s" e
+  | Error e -> Alcotest.failf "zero witness: %s" (Zk_pcs.Verify_error.to_string e)
 
 let test_vm_errors () =
   let module Vm = Nocap_model.Vm in

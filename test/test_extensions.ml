@@ -147,11 +147,11 @@ let test_serialize_roundtrip () =
   let bytes = Serialize.proof_to_bytes proof in
   Alcotest.(check int) "size accessor" (Bytes.length bytes) (Serialize.serialized_size proof);
   match Serialize.proof_of_bytes bytes with
-  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Error e -> Alcotest.failf "decode failed: %s" (Zk_pcs.Verify_error.to_string e)
   | Ok proof' ->
     (match Spartan.verify Spartan.test_params inst ~io:(R1cs.public_io inst asn) proof' with
     | Ok () -> ()
-    | Error e -> Alcotest.failf "decoded proof does not verify: %s" e)
+    | Error e -> Alcotest.failf "decoded proof does not verify: %s" (Zk_pcs.Verify_error.to_string e))
 
 let test_serialize_rejects_garbage () =
   let _, _, proof = Lazy.force proof_fixture in
@@ -234,7 +234,7 @@ let test_batch_roundtrip () =
   let ios = Array.map (R1cs.public_io inst) assignments in
   (match Aggregate.verify Spartan.test_params inst ~ios proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "batch verify failed: %s" e);
+  | Error e -> Alcotest.failf "batch verify failed: %s" (Zk_pcs.Verify_error.to_string e));
   ignore (batch_fixture 2)
 
 let test_batch_distinct_witnesses () =
@@ -265,7 +265,7 @@ let test_batch_distinct_witnesses () =
   let ios = Array.map (R1cs.public_io inst) assignments in
   (match Aggregate.verify Spartan.test_params inst ~ios proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "multi-witness batch failed: %s" e);
+  | Error e -> Alcotest.failf "multi-witness batch failed: %s" (Zk_pcs.Verify_error.to_string e));
   (* Forging one instance's public output breaks the whole batch. *)
   ios.(1).(1) <- Gf.of_int 17;
   match Aggregate.verify Spartan.test_params inst ~ios proof with

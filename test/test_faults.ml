@@ -1,0 +1,181 @@
+(* Adversarial robustness tests for the verification boundary: the
+   verifier, fed arbitrary or corrupted proof bytes, must return a
+   categorized Verify_error — never raise, and never accept a mutant.
+
+   The pinned corpus under corpus/faults/ replays inputs with historically
+   dangerous shapes (huge length fields, truncated headers, legacy magics)
+   on every runtest; the QCheck properties generate fresh hostile inputs
+   each run; and a small seeded Fuzz sweep exercises the full mutation
+   engine end to end. *)
+
+module Rng = Zk_util.Rng
+module E = Zk_pcs.Verify_error
+module Fuzz = Nocap_faults.Fuzz
+module Mutate = Nocap_faults.Mutate
+module Targets = Nocap_faults.Targets
+
+(* Building a target proves the fixed statement once — share them across
+   test cases. *)
+let orion_target = lazy (Targets.orion ())
+let fri_target = lazy (Targets.fri ())
+let both () = [ Lazy.force orion_target; Lazy.force fri_target ]
+
+let never_accept_never_raise (t : Fuzz.target) data =
+  match Fuzz.run_bytes t data with
+  | Fuzz.Rejected _ -> true
+  | Fuzz.Accepted ->
+    Printf.eprintf "[%s] hostile input ACCEPTED (%d bytes)\n%!" t.Fuzz.name
+      (Bytes.length data);
+    false
+  | Fuzz.Raised msg ->
+    Printf.eprintf "[%s] verifier raised: %s\n%!" t.Fuzz.name msg;
+    false
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- properties --------------------------------------------------------- *)
+
+let prop_random_bytes =
+  qcheck ~count:120 "random bytes: structured rejection, no exception"
+    QCheck.(pair small_int (int_range 0 400))
+    (fun (seed, len) ->
+      let rng = Rng.create (Int64.of_int (succ seed)) in
+      let data = Bytes.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+      List.for_all (fun t -> never_accept_never_raise t data) (both ()))
+
+(* Random tails behind a well-formed header reach the body decoders (the
+   pure-noise property above mostly dies at the magic check). Both in-tree
+   tags and the legacy magic are exercised. *)
+let prop_random_tail_behind_header =
+  qcheck ~count:120 "valid header + random tail: structured rejection"
+    QCheck.(triple small_int (int_range 0 400) (int_range 0 2))
+    (fun (seed, len, header) ->
+      let rng = Rng.create (Int64.of_int (succ seed)) in
+      let prefix =
+        match header with
+        | 0 -> "NCAP2\x00\x00\x00\x01" (* orion tag *)
+        | 1 -> "NCAP2\x00\x00\x00\x02" (* fri tag *)
+        | _ -> "NCAP1\x00\x00\x00" (* legacy framing, no tag *)
+      in
+      let p = String.length prefix in
+      let data =
+        Bytes.init (p + len) (fun i ->
+            if i < p then prefix.[i] else Char.chr (Rng.int rng 256))
+      in
+      List.for_all (fun t -> never_accept_never_raise t data) (both ()))
+
+let prop_truncations =
+  qcheck ~count:120 "every truncation of an honest proof is rejected"
+    QCheck.(pair small_int bool)
+    (fun (seed, use_fri) ->
+      let t = if use_fri then Lazy.force fri_target else Lazy.force orion_target in
+      let n = Bytes.length t.Fuzz.honest in
+      let rng = Rng.create (Int64.of_int (succ seed)) in
+      let len = Rng.int rng n in
+      never_accept_never_raise t (Bytes.sub t.Fuzz.honest 0 len))
+
+let prop_bit_flips =
+  qcheck ~count:200 "any single bit flip of an honest proof is rejected"
+    QCheck.(pair small_int bool)
+    (fun (seed, use_fri) ->
+      let t = if use_fri then Lazy.force fri_target else Lazy.force orion_target in
+      let rng = Rng.create (Int64.of_int (succ seed)) in
+      let data = Bytes.copy t.Fuzz.honest in
+      let i = Rng.int rng (Bytes.length data) in
+      let bit = Rng.int rng 8 in
+      Bytes.set data i (Char.chr (Char.code (Bytes.get data i) lxor (1 lsl bit)));
+      never_accept_never_raise t data)
+
+(* --- targeted cases ----------------------------------------------------- *)
+
+let category t data =
+  match Fuzz.run_bytes t data with
+  | Fuzz.Rejected c -> E.category_name c
+  | Fuzz.Accepted -> "ACCEPTED"
+  | Fuzz.Raised m -> "RAISED " ^ m
+
+let test_honest_verifies () =
+  List.iter
+    (fun (t : Fuzz.target) ->
+      match Fuzz.run_bytes t t.Fuzz.honest with
+      | Fuzz.Accepted -> ()
+      | Fuzz.Rejected c ->
+        Alcotest.failf "[%s] honest proof rejected as %s" t.Fuzz.name (E.category_name c)
+      | Fuzz.Raised m -> Alcotest.failf "[%s] honest proof raised %s" t.Fuzz.name m)
+    (both ())
+
+let test_legacy_magic_is_bad_header () =
+  List.iter
+    (fun (t : Fuzz.target) ->
+      let data = Bytes.copy t.Fuzz.honest in
+      Bytes.blit_string "NCAP1\x00\x00\x00" 0 data 0 8;
+      Alcotest.(check string)
+        (t.Fuzz.name ^ ": legacy magic")
+        "bad_header" (category t data))
+    (both ())
+
+let test_backend_mismatch_is_bad_header () =
+  (* An honest fri proof fed to the orion pipeline (and vice versa) dies at
+     the tag check, not deep in the body decoder. *)
+  let orion = Lazy.force orion_target in
+  let fri = Lazy.force fri_target in
+  Alcotest.(check string) "fri blob, orion verifier" "bad_header"
+    (category orion fri.Fuzz.honest);
+  Alcotest.(check string) "orion blob, fri verifier" "bad_header"
+    (category fri orion.Fuzz.honest)
+
+(* --- pinned corpus ------------------------------------------------------ *)
+
+let corpus_dir = "corpus/faults"
+
+let test_corpus_replays () =
+  List.iter
+    (fun (t : Fuzz.target) ->
+      let results = Fuzz.replay_corpus t ~dir:corpus_dir in
+      Alcotest.(check bool)
+        (t.Fuzz.name ^ ": corpus is non-empty")
+        true
+        (List.length results > 0);
+      List.iter
+        (fun (file, verdict) ->
+          match verdict with
+          | Fuzz.Rejected _ -> ()
+          | Fuzz.Accepted -> Alcotest.failf "[%s] corpus %s ACCEPTED" t.Fuzz.name file
+          | Fuzz.Raised m ->
+            Alcotest.failf "[%s] corpus %s raised %s" t.Fuzz.name file m)
+        results)
+    (both ())
+
+(* --- seeded sweep ------------------------------------------------------- *)
+
+let test_sweep_clean () =
+  List.iter
+    (fun (t : Fuzz.target) ->
+      let r = Fuzz.sweep ~seed:5L ~byte_mutants:250 ~structured_rounds:2 t in
+      if not (Fuzz.clean r) then begin
+        Format.eprintf "%a@?" Fuzz.pp_report r;
+        Alcotest.failf "[%s] fault sweep not clean: %d accepted, %d raised"
+          r.Fuzz.target_name r.Fuzz.accepted r.Fuzz.raised
+      end;
+      (* Every structural mutator must have produced at least one mutant
+         each round — a silently inapplicable mutator is dead coverage. *)
+      Alcotest.(check bool)
+        (t.Fuzz.name ^ ": structural mutators applicable")
+        true
+        (r.Fuzz.structured_mutants >= List.length t.Fuzz.structured))
+    (both ())
+
+let suite =
+  [
+    Alcotest.test_case "honest proofs verify" `Quick test_honest_verifies;
+    Alcotest.test_case "legacy magic -> bad_header" `Quick test_legacy_magic_is_bad_header;
+    Alcotest.test_case "backend mismatch -> bad_header" `Quick
+      test_backend_mismatch_is_bad_header;
+    Alcotest.test_case "pinned corpus replays" `Quick test_corpus_replays;
+    Alcotest.test_case "seeded sweep is clean" `Quick test_sweep_clean;
+    prop_random_bytes;
+    prop_random_tail_behind_header;
+    prop_truncations;
+    prop_bit_flips;
+  ]

@@ -25,7 +25,7 @@ let test_completeness () =
       Alcotest.check gf (Printf.sprintf "product l=%d" l) expected product;
       let vt = Transcript.create "gp-test" in
       match Gp.verify vt ~num_vars:l ~product proof with
-      | Error e -> Alcotest.failf "l=%d: %s" l e
+      | Error e -> Alcotest.failf "l=%d: %s" l (Zk_pcs.Verify_error.to_string e)
       | Ok rc ->
         (* The verifier-derived claim matches the prover's... *)
         Alcotest.check gf "claim value" claim.Gp.value rc.Gp.value;
@@ -82,11 +82,11 @@ let test_with_orion_commitment () =
   let vt = Transcript.create "gp-orion" in
   Orion.absorb_commitment vt cm;
   (match Gp.verify vt ~num_vars:l ~product gp_proof with
-  | Error e -> Alcotest.failf "gp: %s" e
+  | Error e -> Alcotest.failf "gp: %s" (Zk_pcs.Verify_error.to_string e)
   | Ok rc -> (
     match Orion.verify_eval params cm vt rc.Gp.point rc.Gp.value opening with
     | Ok () -> ()
-    | Error e -> Alcotest.failf "opening: %s" e))
+    | Error e -> Alcotest.failf "opening: %s" (Zk_pcs.Verify_error.to_string e)))
 
 let prop_roundtrip =
   QCheck.Test.make ~count:20 ~name:"grand product roundtrip"

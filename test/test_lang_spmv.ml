@@ -76,7 +76,7 @@ let test_compiled_program_proves () =
   let proof, _ = Spartan.prove Spartan.test_params inst asn in
   match Spartan.verify Spartan.test_params inst ~io:(R1cs.public_io inst asn) proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "lang proof failed: %s" e
+  | Error e -> Alcotest.failf "lang proof failed: %s" (Zk_pcs.Verify_error.to_string e)
 
 let test_failed_assertion_raises () =
   let env = { inputs = []; secrets = [ ("s", 2L) ] } in

@@ -32,4 +32,5 @@ let () =
       ("stark", Test_stark.suite);
       ("grand-product", Test_grand_product.suite);
       ("pcs-engine", Test_pcs.suite);
+      ("faults", Test_faults.suite);
     ]

@@ -67,7 +67,7 @@ let test_trace_proves_end_to_end () =
   let proof, _ = Spartan.prove Spartan.test_params inst asn in
   match Spartan.verify Spartan.test_params inst ~io:(R1cs.public_io inst asn) proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "memory-check proof failed: %s" e
+  | Error e -> Alcotest.failf "memory-check proof failed: %s" (Zk_pcs.Verify_error.to_string e)
 
 let test_lying_read_caught () =
   (* A prover that returns a stale value for a read cannot build the

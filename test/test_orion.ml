@@ -27,7 +27,7 @@ let roundtrip ?(params = small_params) ~seed l =
   Orion.absorb_commitment vt cm;
   (match Orion.verify_eval params cm vt point value proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "verify failed: %s" e);
+  | Error e -> Alcotest.failf "verify failed: %s" (Zk_pcs.Verify_error.to_string e));
   (table, cm, point, value, proof)
 
 let test_roundtrip_sizes () =

@@ -66,6 +66,33 @@ let test_exception_propagation () =
       let a = Pool.parallel_init ~threshold:1 64 (fun i -> 2 * i) in
       Alcotest.(check (array int)) "pool alive after exn" (Array.init 64 (fun i -> 2 * i)) a)
 
+(* Every index raises: the caller must still see exactly one exception (with
+   its backtrace preserved), and the pool must not wedge — subsequent
+   submissions run on all workers. *)
+let test_exception_storm_surfaces_once () =
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace prev)
+    (fun () ->
+      Pool.with_domains 3 (fun () ->
+          let surfaced = ref 0 in
+          (match Pool.parallel_for ~threshold:1 ~n:64 (fun i -> raise (Boom i)) with
+          | () -> Alcotest.fail "expected exception"
+          | exception Boom _ ->
+            incr surfaced;
+            let bt = Printexc.get_raw_backtrace () in
+            Alcotest.(check bool)
+              "backtrace preserved across the pool boundary" true
+              (Printexc.raw_backtrace_length bt > 0)
+          | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e));
+          Alcotest.(check int) "exactly one exception surfaced" 1 !surfaced;
+          let a = Pool.parallel_init ~threshold:1 128 (fun i -> i + 1) in
+          Alcotest.(check (array int))
+            "pool alive after exception storm"
+            (Array.init 128 (fun i -> i + 1))
+            a))
+
 let test_fold_chunks () =
   List.iter
     (fun chunk ->
@@ -216,6 +243,8 @@ let suite =
     Alcotest.test_case "parallel_init matches serial" `Quick test_init_matches_serial;
     Alcotest.test_case "nested submissions" `Quick test_nested;
     Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "exception storm surfaces once" `Quick
+      test_exception_storm_surfaces_once;
     Alcotest.test_case "fold_chunks determinism" `Quick test_fold_chunks;
     Alcotest.test_case "with_domains restores" `Quick test_with_domains_restores;
     qcheck_merkle;

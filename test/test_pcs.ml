@@ -88,7 +88,7 @@ module Check_backend (S : Zk_spartan.Spartan.S) = struct
     let proof, _ = S.prove S.test_params inst asn in
     (match S.verify S.test_params inst ~io proof with
     | Ok () -> ()
-    | Error e -> Alcotest.failf "%s: valid proof rejected: %s" name e);
+    | Error e -> Alcotest.failf "%s: valid proof rejected: %s" name (Zk_pcs.Verify_error.to_string e));
     (* Tampered io must fail. *)
     let bad_io = Array.copy io in
     bad_io.(Array.length bad_io - 1) <-
@@ -136,7 +136,7 @@ let test_fri_pcs_direct () =
     (Gf.equal value (Mle.eval evals point));
   (match Fri_pcs.verify params cm (transcript ()) point value proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "valid opening rejected: %s" e);
+  | Error e -> Alcotest.failf "valid opening rejected: %s" (Zk_pcs.Verify_error.to_string e));
   (* Wrong value must fail. *)
   (match
      Fri_pcs.verify params cm (transcript ()) point (Gf.add value Gf.one) proof
@@ -152,8 +152,8 @@ let test_fri_pcs_direct () =
   | Ok cm', Ok proof' -> (
     match Fri_pcs.verify params cm' (transcript ()) point value proof' with
     | Ok () -> ()
-    | Error e -> Alcotest.failf "round-tripped opening rejected: %s" e)
-  | Error e, _ | _, Error e -> Alcotest.failf "round-trip decode failed: %s" e
+    | Error e -> Alcotest.failf "round-tripped opening rejected: %s" (Zk_pcs.Verify_error.to_string e))
+  | Error e, _ | _, Error e -> Alcotest.failf "round-trip decode failed: %s" (Zk_pcs.Verify_error.to_string e)
 
 let test_fri_pcs_degenerate () =
   (* A 1-variable polynomial: no sumcheck rounds on the witness of a tiny
@@ -173,7 +173,7 @@ let test_fri_pcs_degenerate () =
     (Gf.equal value (Mle.eval evals point));
   match Fri_pcs.verify params cm (transcript ()) point value proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "L=1 opening rejected: %s" e
+  | Error e -> Alcotest.failf "L=1 opening rejected: %s" (Zk_pcs.Verify_error.to_string e)
 
 (* --- tagged serialization: round-trips, backend mismatch, unknown tag,
    legacy blobs --- *)
@@ -192,27 +192,28 @@ let test_serialize_tagged () =
   let fb = Spartan_fri.proof_to_bytes fri_proof in
   (* Header sniffing. *)
   Alcotest.(check (result string string))
-    "orion tag" (Ok "orion") (Serialize.backend_of_bytes ob);
+    "orion tag" (Ok "orion") (Result.map_error Zk_pcs.Verify_error.to_string (Serialize.backend_of_bytes ob));
   Alcotest.(check (result string string))
-    "fri tag" (Ok "fri") (Serialize.backend_of_bytes fb);
+    "fri tag" (Ok "fri") (Result.map_error Zk_pcs.Verify_error.to_string (Serialize.backend_of_bytes fb));
   (* Round-trips through each backend's own codec. *)
   (match Serialize.proof_of_bytes ob with
-  | Error e -> Alcotest.failf "orion round-trip failed: %s" e
+  | Error e -> Alcotest.failf "orion round-trip failed: %s" (Zk_pcs.Verify_error.to_string e)
   | Ok p -> (
     match Spartan.verify Spartan.test_params inst ~io p with
     | Ok () -> ()
-    | Error e -> Alcotest.failf "decoded orion proof rejected: %s" e));
+    | Error e -> Alcotest.failf "decoded orion proof rejected: %s" (Zk_pcs.Verify_error.to_string e)));
   (match Spartan_fri.proof_of_bytes fb with
-  | Error e -> Alcotest.failf "fri round-trip failed: %s" e
+  | Error e -> Alcotest.failf "fri round-trip failed: %s" (Zk_pcs.Verify_error.to_string e)
   | Ok p -> (
     match Spartan_fri.verify Spartan_fri.test_params inst ~io p with
     | Ok () -> ()
-    | Error e -> Alcotest.failf "decoded fri proof rejected: %s" e));
+    | Error e -> Alcotest.failf "decoded fri proof rejected: %s" (Zk_pcs.Verify_error.to_string e)));
   (* A FRI blob fed to the Orion decoder is an error naming both backends,
      not a crash or a misparse. *)
   (match Serialize.proof_of_bytes fb with
   | Ok _ -> Alcotest.fail "orion decoder accepted a fri blob"
   | Error e ->
+    let e = Zk_pcs.Verify_error.to_string e in
     Alcotest.(check bool)
       (Printf.sprintf "mismatch error mentions fri: %s" e)
       true (contains ~sub:"fri" e));
@@ -223,7 +224,7 @@ let test_serialize_tagged () =
   | Ok _ -> Alcotest.fail "accepted unknown backend tag"
   | Error e ->
     Alcotest.(check bool)
-      "unknown-tag error mentions the tag" true (contains ~sub:"0xee" e));
+      "unknown-tag error mentions the tag" true (contains ~sub:"0xee" (Zk_pcs.Verify_error.to_string e)));
   Alcotest.(check bool)
     "backend_of_bytes rejects unknown tag" true
     (Result.is_error (Serialize.backend_of_bytes unknown));
@@ -234,10 +235,10 @@ let test_serialize_tagged () =
   | Ok _ -> Alcotest.fail "accepted legacy blob"
   | Error e ->
     Alcotest.(check bool)
-      "legacy error mentions NCAP1" true (contains ~sub:"NCAP1" e));
+      "legacy error mentions NCAP1" true (contains ~sub:"NCAP1" (Zk_pcs.Verify_error.to_string e)));
   Alcotest.(check (result string string))
     "legacy sniffs as orion" (Ok "orion")
-    (Serialize.backend_of_bytes legacy)
+    (Result.map_error Zk_pcs.Verify_error.to_string (Serialize.backend_of_bytes legacy))
 
 (* --- Orion parameter validation --- *)
 

@@ -40,7 +40,7 @@ let test_circuit_proves () =
   let proof, _ = Spartan.prove Spartan.test_params inst asn in
   match Spartan.verify Spartan.test_params inst ~io:(R1cs.public_io inst asn) proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "SHA-256 proof failed: %s" e
+  | Error e -> Alcotest.failf "SHA-256 proof failed: %s" (Zk_pcs.Verify_error.to_string e)
 
 let test_compress_reference_shape () =
   (* One compression of a known block equals the full hash of a 64-byte

@@ -50,7 +50,7 @@ let test_completeness_small () =
   let inst, asn = factor_circuit 3 5 in
   match prove_verify inst asn with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "verify failed: %s" e
+  | Error e -> Alcotest.failf "verify failed: %s" (Zk_pcs.Verify_error.to_string e)
 
 let test_completeness_chain () =
   List.iter
@@ -58,7 +58,7 @@ let test_completeness_chain () =
       let inst, asn = chain_circuit steps steps in
       match prove_verify inst asn with
       | Ok () -> ()
-      | Error e -> Alcotest.failf "steps=%d: %s" steps e)
+      | Error e -> Alcotest.failf "steps=%d: %s" steps (Zk_pcs.Verify_error.to_string e))
     [ 5; 40; 200 ]
 
 let test_completeness_multirep () =
@@ -68,7 +68,7 @@ let test_completeness_multirep () =
   let proof, _ = Spartan.prove params3 inst asn in
   match Spartan.verify params3 inst ~io:(R1cs.public_io inst asn) proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "3-rep verify failed: %s" e
+  | Error e -> Alcotest.failf "3-rep verify failed: %s" (Zk_pcs.Verify_error.to_string e)
 
 let test_completeness_default_rows () =
   (* Paper configuration: 128 Orion rows, real circuit padded to 2^11. *)
@@ -79,7 +79,7 @@ let test_completeness_default_rows () =
   let proof, _ = Spartan.prove params128 inst asn in
   match Spartan.verify params128 inst ~io:(R1cs.public_io inst asn) proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "128-row verify failed: %s" e
+  | Error e -> Alcotest.failf "128-row verify failed: %s" (Zk_pcs.Verify_error.to_string e)
 
 let test_wrong_io_rejected () =
   let inst, asn = factor_circuit 3 5 in

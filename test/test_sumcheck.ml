@@ -24,7 +24,7 @@ let run_roundtrip ~l ~degree ~tables ~comb =
   let res = Sumcheck.prove pt ~degree ~tables ~comb ~claim in
   let vt = Transcript.create "sumcheck-test" in
   match Sumcheck.verify vt ~degree ~num_vars:l ~claim res.Sumcheck.proof with
-  | Error e -> Alcotest.failf "verify failed: %s" e
+  | Error e -> Alcotest.failf "verify failed: %s" (Zk_pcs.Verify_error.to_string e)
   | Ok v ->
     (* Challenges derived by both sides must agree (same transcript). *)
     Array.iteri

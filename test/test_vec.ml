@@ -366,7 +366,7 @@ let test_orion_flat_commit () =
   Orion.absorb_commitment vt cm;
   match Orion.verify_eval params cm vt point value proof with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Zk_pcs.Verify_error.to_string e)
 
 let test_orion_commit_domain_invariance () =
   let rng = Rng.create 17L in

@@ -131,7 +131,7 @@ let test_workload_proves () =
   let proof, _ = Spartan.prove Spartan.test_params inst asn in
   match Spartan.verify Spartan.test_params inst ~io:(R1cs.public_io inst asn) proof with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "modexp proof failed: %s" e
+  | Error e -> Alcotest.failf "modexp proof failed: %s" (Zk_pcs.Verify_error.to_string e)
 
 let suite =
   [
