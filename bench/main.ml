@@ -10,6 +10,7 @@
      main.exe memory     boxed vs unboxed kernels + GC stats -> BENCH_memory.json
      main.exe backend    Orion vs FRI PCS backends -> BENCH_backend.json
      main.exe faults     fault-injection sweep over mutated proofs -> BENCH_faults.json
+     main.exe analysis   circuit lint + structure + mutation oracle -> BENCH_analysis.json
      main.exe table4     a single table/figure by id
 
    GC tuning for every mode lives in [tune_gc] below. *)
@@ -339,7 +340,8 @@ let () =
     ignore (Bench_parallel.run ());
     ignore (Bench_memory.run ());
     ignore (Bench_backend.run ());
-    ignore (Bench_faults.run ())
+    ignore (Bench_faults.run ());
+    ignore (Bench_analysis.run ())
   | [ "report" ] -> List.iter (fun (_, f) -> f ()) report_items
   | [ "bench" ] -> run_benches ()
   | [ "parallel" ] -> ignore (Bench_parallel.run ())
@@ -358,6 +360,10 @@ let () =
   | [ "faults"; path ] -> ignore (Bench_faults.run ~path ())
   | [ "faults-smoke" ] -> ignore (Bench_faults.run ~smoke:true ())
   | [ "faults-smoke"; path ] -> ignore (Bench_faults.run ~smoke:true ~path ())
+  | [ "analysis" ] -> ignore (Bench_analysis.run ())
+  | [ "analysis"; path ] -> ignore (Bench_analysis.run ~path ())
+  | [ "analysis-smoke" ] -> ignore (Bench_analysis.run ~smoke:true ())
+  | [ "analysis-smoke"; path ] -> ignore (Bench_analysis.run ~smoke:true ~path ())
   | ids ->
     List.iter
       (fun id ->

@@ -347,20 +347,46 @@ let batch_cmd =
     (Cmd.info "batch" ~doc:"Prove many statements of one circuit with shared sumchecks.")
     Term.(const run $ size_arg)
 
+(* Both linters share the PR-5-style scriptable contract: structured Diag
+   findings, --format json for the stable nocap-diag/v1 envelope, the
+   winning rule name on stderr as the final line, and one exit code per
+   error rule (Diag.error_rule_codes, starting at 20). *)
+let format_arg =
+  let doc = "Output format: text, or json (the stable nocap-diag/v1 envelope on stdout)." in
+  Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+
+let check_format = function
+  | "text" | "json" -> ()
+  | f ->
+    Printf.eprintf "unknown format %s (expected text or json)\n" f;
+    exit 2
+
+(* Shared tail of a lint run: emit the envelope (json mode), then the rule
+   name on stderr + its exit code if any error rule fired. *)
+let finish_lint ~format diags =
+  if format = "json" then print_string (Diag.list_to_json diags);
+  match Diag.exit_category diags with
+  | None -> ()
+  | Some (rule, code) ->
+    Printf.eprintf "%s\n" rule;
+    exit code
+
 let lint_cmd =
   let vector_len_arg =
     let doc = "Vector length for the kernel programs (power of two >= 8)." in
     Arg.(value & opt int 64 & info [ "vector-len"; "k" ] ~docv:"K" ~doc)
   in
-  let run name scale vector_len =
+  let run name scale vector_len format =
+    check_format format;
     let b =
       try Benchmarks.find name
       with Not_found ->
         Printf.eprintf "unknown benchmark %s\n" name;
-        exit 1
+        exit 2
     in
-    Printf.printf "linting built-in kernels (k = %d) and the %s workload's SpMV programs (scale %d)\n%!"
-      vector_len b.Benchmarks.name scale;
+    if format = "text" then
+      Printf.printf "linting built-in kernels (k = %d) and the %s workload's SpMV programs (scale %d)\n%!"
+        vector_len b.Benchmarks.name scale;
     let inst, _ = b.Benchmarks.generate scale in
     let pad m =
       let n = max (R1cs.size inst) vector_len in
@@ -378,26 +404,100 @@ let lint_cmd =
         ]
     in
     let verdicts = Program_corpus.verify_all Hw_config.default entries in
-    List.iter (fun v -> Printf.printf "%s\n%!" (Program_corpus.summary v)) verdicts;
-    let bad = List.filter (fun v -> not (Program_corpus.clean v)) verdicts in
-    if bad = [] then
-      Printf.printf "all %d programs lint clean and schedule-check clean\n"
-        (List.length verdicts)
-    else begin
-      Printf.printf "%d of %d programs FAILED verification: %s\n" (List.length bad)
-        (List.length verdicts)
-        (String.concat ", "
-           (List.map (fun v -> v.Program_corpus.entry.Program_corpus.name) bad));
-      exit 1
-    end
+    let diags =
+      List.concat_map
+        (fun v ->
+          v.Program_corpus.lint.Lint.diags
+          @ v.Program_corpus.check.Schedule_check.diags)
+        verdicts
+    in
+    if format = "text" then begin
+      List.iter (fun v -> Printf.printf "%s\n%!" (Program_corpus.summary v)) verdicts;
+      let bad = List.filter (fun v -> not (Program_corpus.clean v)) verdicts in
+      if bad = [] then
+        Printf.printf "all %d programs lint clean and schedule-check clean\n"
+          (List.length verdicts)
+      else
+        Printf.printf "%d of %d programs FAILED verification: %s\n"
+          (List.length bad) (List.length verdicts)
+          (String.concat ", "
+             (List.map (fun v -> v.Program_corpus.entry.Program_corpus.name) bad))
+    end;
+    finish_lint ~format diags
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically verify ISA programs and schedules: kernels plus a \
           benchmark workload's compiled SpMV, checked for dataflow, \
-          permutation, register-pressure, and schedule-hazard violations.")
-    Term.(const run $ benchmark_arg $ scale_arg $ vector_len_arg)
+          permutation, register-pressure, and schedule-hazard violations. \
+          Exit codes: 0 clean, 2 usage, else 20+ — one per error rule \
+          (see README), rule name on stderr.")
+    Term.(const run $ benchmark_arg $ scale_arg $ vector_len_arg $ format_arg)
+
+(* `circuit-lint` is the R1CS-level counterpart: soundness lints over the
+   named workload circuits (under-constrained signals, dead inputs, trivial
+   or redundant rows) plus the structure report the performance model
+   consumes. *)
+let circuit_lint_cmd =
+  let circuit_arg =
+    let doc =
+      "Corpus circuit to lint: " ^ String.concat ", " Circuit_corpus.names ^ "."
+    in
+    Arg.(value & opt string "synthetic" & info [ "circuit"; "c" ] ~docv:"NAME" ~doc)
+  in
+  let all_arg =
+    let doc = "Lint every corpus circuit." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let report_arg =
+    let doc = "Also print each circuit's structure report line (text mode)." in
+    Arg.(value & flag & info [ "report" ] ~doc)
+  in
+  let run name all scale show_report format =
+    check_format format;
+    let entries =
+      if all then Circuit_corpus.entries
+      else
+        match Circuit_corpus.find name with
+        | Some e -> [ e ]
+        | None ->
+          Printf.eprintf "unknown circuit %s (expected one of %s)\n" name
+            (String.concat ", " Circuit_corpus.names);
+          exit 2
+    in
+    let diags =
+      List.concat_map
+        (fun (e : Circuit_corpus.entry) ->
+          let inst, asgn = e.Circuit_corpus.generate ~scale in
+          let v = Circuit_lint.analyze inst asgn in
+          if format = "text" then begin
+            Printf.printf "%s: %s\n%!" e.Circuit_corpus.name
+              (Circuit_lint.summary v);
+            if show_report then
+              Printf.printf "  %s\n%!"
+                (Circuit_report.summary
+                   (Circuit_report.of_instance ~name:e.Circuit_corpus.name inst));
+            List.iter
+              (fun d -> Printf.printf "  %s\n%!" (Diag.to_string d))
+              v.Circuit_lint.diags
+          end;
+          v.Circuit_lint.diags)
+        entries
+    in
+    if format = "text" && Diag.is_clean diags then
+      Printf.printf "all %d circuits lint clean\n" (List.length entries);
+    finish_lint ~format diags
+  in
+  Cmd.v
+    (Cmd.info "circuit-lint"
+       ~doc:
+         "Statically analyze R1CS workload circuits: unconstrained and \
+          under-constrained witness signals (unit propagation + Jacobian \
+          rank probe), unused public inputs, trivial/duplicate/redundant \
+          constraints. Exit codes: 0 clean, 2 usage, else 20+ — one per \
+          error rule (see README), rule name on stderr.")
+    Term.(const run $ circuit_arg $ all_arg $ scale_arg $ report_arg $ format_arg)
 
 let () =
   (* Build the default engine up front: this validates NOCAP_DOMAINS /
@@ -411,4 +511,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ prove_cmd; verify_cmd; fuzz_cmd; simulate_cmd; report_cmd; db_cmd; batch_cmd; lint_cmd ]))
+          [ prove_cmd; verify_cmd; fuzz_cmd; simulate_cmd; report_cmd; db_cmd; batch_cmd; lint_cmd; circuit_lint_cmd ]))

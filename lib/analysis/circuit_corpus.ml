@@ -1,0 +1,101 @@
+module R1cs = Zk_r1cs.R1cs
+
+(* The shipped workload circuits, named, at analysis-feasible scales. This
+   is the acceptance surface for Circuit_lint: every entry must lint clean
+   (no error diagnostics), and the mutation oracle must trip on every
+   weakened variant of every entry. The CLI's circuit-lint --all and the
+   analysis bench iterate the same list, so a new workload added here is
+   automatically covered by all three. *)
+
+type entry = {
+  name : string;
+  description : string;
+  generate : scale:int -> R1cs.instance * R1cs.assignment;
+}
+
+(* Litmus batches for the corpus write each row at most once: a write that
+   is later overwritten leaves the first written value a free witness (the
+   linter rightly flags it — see test_analysis's overwrite test), so the
+   clean corpus avoids the pattern the same way a careful circuit author
+   would. *)
+let litmus_transactions ~rows =
+  let open Zk_workloads.Litmus_circuit in
+  List.init (rows / 4) (fun i ->
+      {
+        row_a = 4 * i;
+        op_a = Write (11 + (7 * i));
+        row_b = (4 * i) + 1;
+        op_b = Read;
+      })
+  @ List.init (rows / 4) (fun i ->
+        {
+          row_a = (4 * i) + 2;
+          op_a = Read;
+          row_b = (4 * i) + 3;
+          op_b = Write (13 + (5 * i));
+        })
+
+let entries =
+  let open Zk_workloads in
+  [
+    {
+      name = "aes128";
+      description = "AES-128 encryption, key witnessed, blocks public";
+      generate = (fun ~scale -> Aes128.circuit ~blocks:scale ~seed:7L ());
+    };
+    {
+      name = "sha256";
+      description = "SHA-256 compression with public digests";
+      generate = (fun ~scale -> Sha256_circuit.circuit ~blocks:scale ~seed:7L ());
+    };
+    {
+      name = "keccak";
+      description = "Keccak-f permutation blocks";
+      generate = (fun ~scale -> Keccak_circuit.circuit ~blocks:scale ~seed:7L ());
+    };
+    {
+      name = "cipher";
+      description = "toy SPN cipher blocks";
+      generate = (fun ~scale -> Cipher.circuit ~blocks:(2 * scale) ~seed:7L ());
+    };
+    {
+      name = "modexp";
+      description = "bignum modular exponentiation instances";
+      generate = (fun ~scale -> Modexp.circuit ~instances:(4 * scale) ~seed:7L ());
+    };
+    {
+      name = "auction";
+      description = "sealed-bid auction, winning price public";
+      generate = (fun ~scale -> Auction_circuit.circuit ~bids:(8 * scale) ~seed:7L ());
+    };
+    {
+      name = "ml_inference";
+      description = "two-layer perceptron with argmax-verified class";
+      generate =
+        (fun ~scale ->
+          Mlp_circuit.circuit ~input_dim:8 ~hidden_dim:(6 * scale) ~classes:3
+            ~seed:7L ());
+    };
+    {
+      name = "verifiable_db";
+      description = "Litmus-style verifiable database transaction batch";
+      generate =
+        (fun ~scale ->
+          let rows = 8 * scale in
+          Litmus_circuit.circuit ~rows
+            ~transactions:(litmus_transactions ~rows)
+            ~seed:7L ());
+    };
+    {
+      name = "synthetic";
+      description = "structure-matched synthetic chain (public seed wire)";
+      generate =
+        (fun ~scale ->
+          Synthetic.circuit ~n_constraints:(512 * scale) ~public_seed:true
+            ~seed:7L ());
+    };
+  ]
+
+let names = List.map (fun e -> e.name) entries
+
+let find name = List.find_opt (fun e -> e.name = name) entries

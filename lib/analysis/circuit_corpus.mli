@@ -1,0 +1,24 @@
+(** The shipped workload circuits, named, at analysis-feasible scales.
+
+    This is {!Circuit_lint}'s acceptance surface: every entry lints clean
+    (the regression suite enforces it), and the mutation oracle must trip on
+    every weakened variant of every entry. [nocap-cli circuit-lint --all]
+    and the [analysis] bench iterate the same list. *)
+
+type entry = {
+  name : string;  (** stable CLI / corpus-file name, e.g. ["aes128"] *)
+  description : string;
+  generate : scale:int -> Zk_r1cs.R1cs.instance * Zk_r1cs.R1cs.assignment;
+      (** deterministic; [scale] multiplies the base workload size
+          (blocks, instances, bids, ...), [scale:1] is the test size *)
+}
+
+val entries : entry list
+val names : string list
+val find : string -> entry option
+
+val litmus_transactions :
+  rows:int -> Zk_workloads.Litmus_circuit.transaction list
+(** The corpus's write-once transaction batch: overwritten writes leave the
+    first written value a free witness (which the linter flags), so the
+    clean corpus writes each row at most once. *)

@@ -1,0 +1,65 @@
+(** Constraint-weakening mutation operators: the adversarial oracle for
+    {!Circuit_lint}.
+
+    Every operator produces a mutant that the honest assignment still
+    satisfies (a true weakening — the mutant accepts at least everything the
+    original accepted) and is constructed so that a specific lint rule must
+    fire on it ({!expected_rule}). The regression suite replays a pinned
+    corpus of (circuit, operator) pairs and a seeded random sweep, asserting
+    zero silent accepts: the expected rule appears in the lint report of
+    every mutant. *)
+
+type op =
+  | Drop_row of int  (** empty constraint row [r] entirely *)
+  | Detach_var of int
+      (** fold every occurrence of witness column [v] into the constant-one
+          column at its honest value, leaving [v] unreferenced *)
+  | Dup_row of int * int  (** overwrite row [dst] with an exact copy of [src] *)
+  | Scale_row of int * int * int
+      (** overwrite row [dst] with [(alpha*A_src, B_src, alpha*C_src)],
+          [alpha >= 2] *)
+  | Merge_rows of int * int
+      (** combine two linear rows (B a multiple of the one column) into a
+          single [0 = C'z] row at the first index, emptying the second *)
+
+val op_name : op -> string
+val expected_rule : op -> string
+(** The {!Circuit_lint} rule guaranteed to fire on the mutant of a clean
+    circuit: [trivial-constraint] for {!Drop_row}/{!Merge_rows},
+    [unconstrained-variable] for {!Detach_var}, [duplicate-constraint] for
+    {!Dup_row}, [redundant-constraint] for {!Scale_row}. *)
+
+val op_to_string : op -> string
+(** Compact stable form (["drop:12"], ["scale:3>17*5"], ...) used by the
+    pinned corpus file. *)
+
+val op_of_string : string -> op
+(** Inverse of {!op_to_string}. @raise Invalid_argument on malformed input. *)
+
+val apply :
+  Zk_r1cs.R1cs.instance ->
+  Zk_r1cs.R1cs.assignment ->
+  op ->
+  Zk_r1cs.R1cs.instance option
+(** Apply one operator. [None] when the operator's preconditions fail (row
+    out of range, trivial source row, detached column never occurs, ...) —
+    preconditions under which the mutant could equal the original. The
+    assignment is only read (for {!Detach_var}'s folded constant); mutants
+    keep the original assignment. *)
+
+val random :
+  Zk_util.Rng.t ->
+  Zk_r1cs.R1cs.instance ->
+  Zk_r1cs.R1cs.assignment ->
+  (op * Zk_r1cs.R1cs.instance) option
+(** One random applicable mutation, or [None] if sixteen draws found none
+    (tiny or degenerate circuits). *)
+
+val sweep :
+  seed:int64 ->
+  count:int ->
+  Zk_r1cs.R1cs.instance ->
+  Zk_r1cs.R1cs.assignment ->
+  (op * Zk_r1cs.R1cs.instance) list
+(** [count] seeded draws of {!random} (inapplicable draws are skipped, so
+    the result may be shorter than [count] on degenerate circuits). *)

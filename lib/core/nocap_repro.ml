@@ -24,6 +24,7 @@ module Fv = Nocap_vec.Fv
 module Arena = Nocap_vec.Arena
 module Rng = Zk_util.Rng
 module Stats = Zk_util.Stats
+module Json_min = Zk_util.Json_min
 module Gf = Zk_field.Gf
 module Gf2 = Zk_field.Gf2
 module Limbs = Zk_field.Limbs
@@ -97,6 +98,10 @@ module Diag = Nocap_analysis.Diag
 module Lint = Nocap_analysis.Lint
 module Schedule_check = Nocap_analysis.Check
 module Program_corpus = Nocap_analysis.Corpus
+module Circuit_lint = Nocap_analysis.Circuit_lint
+module Circuit_report = Nocap_analysis.Circuit_report
+module Circuit_mutate = Nocap_analysis.Circuit_mutate
+module Circuit_corpus = Nocap_analysis.Circuit_corpus
 
 (* Baselines and evaluation *)
 module Cpu_model = Zk_baseline.Cpu_model
@@ -105,6 +110,7 @@ module Gzkp = Zk_baseline.Gzkp
 module Proofsize = Zk_baseline.Proofsize
 module Endtoend = Zk_perf.Endtoend
 module Opcounts = Zk_perf.Opcounts
+module Structure = Zk_perf.Structure
 
 (* Workloads and applications *)
 module Benchmarks = Zk_workloads.Benchmarks
@@ -116,4 +122,5 @@ module Modexp = Zk_workloads.Modexp
 module Auction_circuit = Zk_workloads.Auction_circuit
 module Litmus_circuit = Zk_workloads.Litmus_circuit
 module Synthetic = Zk_workloads.Synthetic
+module Mlp_circuit = Zk_workloads.Mlp_circuit
 module Zkdb = Zk_zkdb.Zkdb

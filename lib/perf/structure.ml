@@ -1,0 +1,74 @@
+module Report = Nocap_analysis.Circuit_report
+
+(* Bridge from measured circuit structure (Nocap_analysis.Circuit_report) to
+   the performance model. The simulator's per-benchmark density factors are
+   expressed relative to the AES circuit (Workload.spartan_orion's [density]
+   argument); this module derives that factor from two measured reports and
+   checks the internal consistency of a report before the model trusts it —
+   the cross-check the analysis bench runs over BENCH_analysis.json. *)
+
+let density_relative ~anchor (r : Report.t) =
+  if anchor.Report.density_factor <= 0.0 then
+    invalid_arg "Structure.density_relative: anchor has no nonzeros";
+  r.Report.density_factor /. anchor.Report.density_factor
+
+let workload_of_report ?recompute ?repetitions ?code ~anchor (r : Report.t) =
+  Nocap_model.Workload.spartan_orion ?recompute ?repetitions ?code
+    ~density:(density_relative ~anchor r)
+    ~n_constraints:(float_of_int r.Report.num_constraints)
+    ()
+
+let prover_seconds_of_report ~anchor (r : Report.t) =
+  let breakdown =
+    Endtoend.run Endtoend.Spartan_nocap
+      ~n_constraints:(float_of_int r.Report.num_constraints)
+      ~density:(density_relative ~anchor r)
+      ()
+  in
+  breakdown.Endtoend.prover
+
+(* The streamability premise of the SpMV mapping (paper Sec. V-A): O(1)
+   nonzeros per row and most nonzeros near the diagonal. Circuits violating
+   it would not enjoy the modelled vector reuse, so the bench flags them. *)
+let spmv_streamable ?(max_row_nnz = 64) ?(min_band_fraction = 0.5)
+    (r : Report.t) =
+  let ok (m : Report.matrix_stats) =
+    m.Report.row_nnz_max <= max_row_nnz
+    && (m.Report.nnz = 0 || m.Report.band_within_64 >= min_band_fraction)
+  in
+  ok r.Report.a && ok r.Report.b && ok r.Report.c
+
+let consistent (r : Report.t) =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let n = 1 lsl r.Report.log_size in
+  let sum_nnz = r.Report.a.nnz + r.Report.b.nnz + r.Report.c.nnz in
+  let frac_ok (m : Report.matrix_stats) =
+    m.Report.band_within_64 >= 0.0 && m.Report.band_within_64 <= 1.0
+  in
+  if sum_nnz <> r.Report.total_nnz then
+    err "total_nnz %d <> per-matrix sum %d" r.Report.total_nnz sum_nnz
+  else if r.Report.num_constraints > n then
+    err "num_constraints %d exceeds 2^log_size %d" r.Report.num_constraints n
+  else if r.Report.num_witness > n / 2 || r.Report.num_io > n / 2 then
+    err "live columns exceed the z-vector halves"
+  else if
+    r.Report.num_constraints > 0
+    && abs_float
+         (r.Report.density_factor
+         -. (float_of_int r.Report.total_nnz
+            /. float_of_int r.Report.num_constraints))
+       > 1e-6
+  then err "density_factor inconsistent with total_nnz / num_constraints"
+  else if not (List.for_all frac_ok [ r.Report.a; r.Report.b; r.Report.c ])
+  then err "band_within_64 outside [0, 1]"
+  else if
+    (* Every matrix entry sits in a live column, so the fan-out mass must
+       equal the nonzero count exactly. *)
+    abs_float
+      ((r.Report.fanout.fanout_mean *. float_of_int r.Report.fanout.live_vars)
+      -. float_of_int r.Report.total_nnz)
+    > 0.5
+  then err "fan-out mass inconsistent with total_nnz"
+  else if r.Report.fanout.unused_vars > r.Report.fanout.live_vars then
+    err "more unused than live columns"
+  else Ok ()

@@ -1,0 +1,46 @@
+(** Measured circuit structure → performance model.
+
+    {!Nocap_model.Workload.spartan_orion} expresses matrix density relative
+    to the AES benchmark; this module derives that factor from two measured
+    {!Nocap_analysis.Circuit_report} values (circuit + AES anchor), builds
+    the corresponding simulator workload, and validates a report's internal
+    invariants — the cross-check the [analysis] bench runs over every
+    circuit entry of [BENCH_analysis.json]. *)
+
+val density_relative :
+  anchor:Nocap_analysis.Circuit_report.t ->
+  Nocap_analysis.Circuit_report.t ->
+  float
+(** Nonzeros-per-row of the report over nonzeros-per-row of the anchor
+    (the AES circuit, density 1.0 by definition).
+    @raise Invalid_argument if the anchor has no nonzeros. *)
+
+val workload_of_report :
+  ?recompute:bool ->
+  ?repetitions:int ->
+  ?code:[ `Reed_solomon | `Expander ] ->
+  anchor:Nocap_analysis.Circuit_report.t ->
+  Nocap_analysis.Circuit_report.t ->
+  Nocap_model.Workload.t
+(** The simulator workload for the reported circuit, with density measured
+    rather than assumed. *)
+
+val prover_seconds_of_report :
+  anchor:Nocap_analysis.Circuit_report.t ->
+  Nocap_analysis.Circuit_report.t ->
+  float
+(** NoCap prover seconds for the reported circuit via {!Endtoend.run}. *)
+
+val spmv_streamable :
+  ?max_row_nnz:int ->
+  ?min_band_fraction:float ->
+  Nocap_analysis.Circuit_report.t ->
+  bool
+(** Does the circuit satisfy the SpMV mapping's structure premise (paper
+    Sec. V-A): every matrix row O(1)-sparse ([max_row_nnz], default 64) and
+    at least [min_band_fraction] (default 0.5) of nonzeros within band 64? *)
+
+val consistent : Nocap_analysis.Circuit_report.t -> (unit, string) result
+(** Internal invariants of a report: per-matrix nonzeros sum to the total,
+    the density factor matches, fan-out mass equals the nonzero count, and
+    all counts respect the [2^log_size] geometry. *)

@@ -90,10 +90,17 @@ let is_zero t v =
   let x = value t v in
   let isz = witness t (if Gf.equal x Gf.zero then Gf.one else Gf.zero) in
   let inv = witness t (if Gf.equal x Gf.zero then Gf.zero else Gf.inv x) in
-  (* v * inv = 1 - isz  and  v * isz = 0 force isz = [v = 0]. *)
+  (* v * inv = 1 - isz  and  v * isz = 0 force isz = [v = 0]. The third
+     constraint isz * inv = 0 pins inv itself: with only the first two, inv
+     is a free wire whenever v = 0 (its coefficient v in the first row
+     vanishes), which the circuit lint's rank probe flags as an
+     under-constrained signal. When v <> 0 the first row forces
+     inv = 1/v and the new row is vacuous; when v = 0, isz = 1 forces
+     inv = 0. *)
   constrain t (lc_var v) (lc_var inv)
     (lc_add (lc_const Gf.one) (lc_scale (Gf.neg Gf.one) (lc_var isz)));
   constrain t (lc_var v) (lc_var isz) [];
+  constrain t (lc_var isz) (lc_var inv) [];
   isz
 
 let equal t a b =

@@ -39,8 +39,10 @@ val select : t -> cond:var -> var -> var -> var
 (** [select ~cond x y] is [x] if [cond = 1] else [y] ([cond] Boolean). *)
 
 val is_zero : t -> var -> var
-(** Boolean wire that is 1 iff the input is 0 (inverse-hint gadget, two
-    constraints). *)
+(** Boolean wire that is 1 iff the input is 0 (inverse-hint gadget, three
+    constraints). The inverse hint is itself pinned ([isz * inv = 0]) so the
+    gadget introduces no under-constrained signal when the input is zero —
+    see {!Nocap_analysis.Circuit_lint}. *)
 
 val equal : t -> var -> var -> var
 (** Boolean equality test. *)

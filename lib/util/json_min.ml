@@ -1,8 +1,9 @@
 (* Minimal JSON representation, parser, and accessors shared by the bench
-   emitters (BENCH_parallel.json, BENCH_memory.json). Each emitter builds
-   its document with printf, then round-trips it through [parse_json] and
-   validates its own schema before exiting — so a malformed report fails the
-   bench run instead of landing in the repo. *)
+   emitters (BENCH_parallel.json, BENCH_memory.json, BENCH_analysis.json)
+   and the Diag machine-readable output. Each producer builds its document
+   with printf, then round-trips it through [parse_json] and validates its
+   own schema before exiting — so a malformed report fails the producing
+   run instead of landing in the repo. *)
 
 type json =
   | Null

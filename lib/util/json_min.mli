@@ -1,0 +1,29 @@
+(** Minimal JSON representation, parser, and accessors.
+
+    Originally private to the bench emitters (BENCH_parallel.json and
+    friends), now shared with {!Nocap_analysis.Diag}'s machine-readable
+    output: every producer builds its document with printf, then round-trips
+    it through {!parse_json} and validates its own schema before exiting —
+    so a malformed report fails the producing run instead of landing in the
+    repo. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+val parse_json : string -> json
+(** @raise Bad_json on malformed input (with the offending offset). *)
+
+val field : json -> string -> json
+(** Object member access. @raise Bad_json when missing or not an object. *)
+
+val as_num : json -> float
+val as_str : json -> string
+val as_list : json -> json list
+val as_bool : json -> bool

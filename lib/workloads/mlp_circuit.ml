@@ -1,0 +1,88 @@
+module Gf = Zk_field.Gf
+module Builder = Zk_r1cs.Builder
+module Gadgets = Zk_r1cs.Gadgets
+module Rng = Zk_util.Rng
+
+(* Mirrors examples/ml_inference.ml: a fixed-point two-layer perceptron with
+   secret weights, public input vector and public predicted class. Kept here
+   (rather than only inline in the example) so the circuit static-analysis
+   corpus and the structure reports cover the ML workload too. *)
+
+let bias = 8 * 128 * 4
+
+let reference ~w1 ~w2 x =
+  let layer weights v =
+    Array.map
+      (fun row ->
+        let acc = ref 0 in
+        Array.iteri (fun i wi -> acc := !acc + (wi * v.(i))) row;
+        max 0 (!acc - bias))
+      weights
+  in
+  let logits = layer w2 (layer w1 x) in
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > logits.(!best) then best := i) logits;
+  !best
+
+(* One neuron: ReLU(w . v - bias) with the comparison gadget; [width] bounds
+   the pre-activation magnitude so less_than's bit decomposition is sound. *)
+let neuron b ~width weights v =
+  let acc =
+    Gadgets.add_lc b
+      (Array.to_list (Array.map2 (fun w x -> (Gadgets.mul b w x, Gf.one)) weights v))
+  in
+  let bias_w = Gadgets.add_lc b (Builder.lc_const (Gf.of_int bias)) in
+  let keep = Gadgets.less_than b ~width bias_w acc in
+  (* keep = [bias < acc]; output keep ? acc - bias : 0. *)
+  let diff =
+    Gadgets.add_lc b
+      (Builder.lc_add (Builder.lc_var acc) (Builder.lc_const (Gf.neg (Gf.of_int bias))))
+  in
+  let zero = Gadgets.add_lc b [] in
+  Gadgets.select b ~cond:keep diff zero
+
+let build b ~w1 ~w2 ~x ~predicted =
+  let alloc_weights m =
+    Array.map
+      (Array.map (fun w ->
+           let v = Builder.witness b (Gf.of_int w) in
+           (* Range-check the secret weights: unchecked wide weights would
+              let a malicious prover overflow the fixed-point accumulators. *)
+           ignore (Gadgets.bits_of b ~width:4 v);
+           v))
+      m
+  in
+  let vw1 = alloc_weights w1 and vw2 = alloc_weights w2 in
+  let vx = Array.map (fun v -> Builder.input b (Gf.of_int v)) x in
+  let hidden = Array.map (fun row -> neuron b ~width:16 row vx) vw1 in
+  let logits = Array.map (fun row -> neuron b ~width:24 row hidden) vw2 in
+  (* The claimed class is public; assert logits.(predicted) >= logits.(j)
+     for every j (ties resolved in the winner's favour). *)
+  Array.iteri
+    (fun j lj ->
+      if j <> predicted then begin
+        let lt = Gadgets.less_than b ~width:24 logits.(predicted) lj in
+        Gadgets.assert_equal b (Builder.lc_var lt) []
+      end)
+    logits;
+  (* Tie the claimed class into the statement: the argmax assertions above
+     are specialized to [predicted], so the public input must equal it — an
+     untied input would be a declared-but-unbound part of the statement
+     (Circuit_lint's unused-public-input warning). *)
+  let io_pred = Builder.input b (Gf.of_int predicted) in
+  Gadgets.assert_equal b (Builder.lc_var io_pred)
+    (Builder.lc_const (Gf.of_int predicted))
+
+let circuit ?(input_dim = 8) ?(hidden_dim = 6) ?(classes = 3) ~seed () =
+  let rng = Rng.create seed in
+  let w1 =
+    Array.init hidden_dim (fun _ -> Array.init input_dim (fun _ -> Rng.int rng 16))
+  in
+  let w2 =
+    Array.init classes (fun _ -> Array.init hidden_dim (fun _ -> Rng.int rng 16))
+  in
+  let x = Array.init input_dim (fun _ -> Rng.int rng 256) in
+  let predicted = reference ~w1 ~w2 x in
+  let b = Builder.create () in
+  build b ~w1 ~w2 ~x ~predicted;
+  Builder.finalize b

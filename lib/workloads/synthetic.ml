@@ -2,11 +2,21 @@ module Gf = Zk_field.Gf
 module Builder = Zk_r1cs.Builder
 module Rng = Zk_util.Rng
 
-let circuit ~n_constraints ?(band = 64) ?(row_nnz = 2) ~seed () =
+let circuit ~n_constraints ?(band = 64) ?(row_nnz = 2) ?(public_seed = false) ~seed () =
   if n_constraints < 1 then invalid_arg "Synthetic.circuit";
   let rng = Rng.create seed in
   let b = Builder.create () in
-  let pool = ref [| Builder.witness b (Gf.of_int (2 + Rng.int rng 1000)) |] in
+  let w0 = Builder.witness b (Gf.of_int (2 + Rng.int rng 1000)) in
+  (* With [public_seed] the chain's seed wire is pinned to a public input
+     (row 0, band 0 on the A matrix), so the witness is determined by the io
+     and the circuit lints clean; the legacy default leaves w0 a free choice
+     — a genuine residual degree of freedom that Circuit_lint flags. *)
+  if public_seed then begin
+    let io = Builder.input b (Builder.value b w0) in
+    Builder.constrain b (Builder.lc_var w0) (Builder.lc_var Builder.one)
+      (Builder.lc_var io)
+  end;
+  let pool = ref [| w0 |] in
   let pool_len = ref 1 in
   let grow = Array.make (max 16 (n_constraints + 1)) !pool.(0) in
   grow.(0) <- !pool.(0);

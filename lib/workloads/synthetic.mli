@@ -11,8 +11,17 @@ val circuit :
   n_constraints:int ->
   ?band:int ->
   ?row_nnz:int ->
+  ?public_seed:bool ->
   seed:int64 ->
   unit ->
   Zk_r1cs.R1cs.instance * Zk_r1cs.R1cs.assignment
 (** [band] (default 64) bounds how far a constraint reaches back into the
-    witness; [row_nnz] (default 2) sets the A-row density. *)
+    witness; [row_nnz] (default 2) sets the A-row density.
+
+    [public_seed] (default false) pins the chain's seed wire to a public
+    input with one extra constraint (emitted first, so the A matrix stays
+    band-limited). Without it the seed wire is a free witness — the whole
+    chain slides with it — which {!Nocap_analysis.Circuit_lint} reports as
+    an under-constrained signal. The default is kept for byte-compatibility
+    with the pinned golden proofs; the analysis corpus and benches lint the
+    [public_seed:true] variant. *)

@@ -13,9 +13,19 @@ module Diag = Nocap_analysis.Diag
 module Lint = Nocap_analysis.Lint
 module Check = Nocap_analysis.Check
 module Corpus = Nocap_analysis.Corpus
+module Circuit_lint = Nocap_analysis.Circuit_lint
+module Circuit_report = Nocap_analysis.Circuit_report
+module Circuit_mutate = Nocap_analysis.Circuit_mutate
+module Circuit_corpus = Nocap_analysis.Circuit_corpus
+module Structure = Zk_perf.Structure
 module Gf = Zk_field.Gf
 module Sparse = Zk_r1cs.Sparse
 module R1cs = Zk_r1cs.R1cs
+module Builder = Zk_r1cs.Builder
+module Gadgets = Zk_r1cs.Gadgets
+module Synthetic = Zk_workloads.Synthetic
+module Litmus_circuit = Zk_workloads.Litmus_circuit
+module Json_min = Zk_util.Json_min
 module Rng = Zk_util.Rng
 
 let gf = Alcotest.testable Gf.pp Gf.equal
@@ -415,6 +425,352 @@ let test_vm_error_index () =
   | [ d ] -> Alcotest.(check int) "lint anchors to the same index" 1 d.Diag.index
   | ds -> Alcotest.failf "expected one error, got %d" (List.length ds)
 
+(* --- circuit linter: the shipped workloads are its acceptance surface --- *)
+
+let test_circuits_clean () =
+  List.iter
+    (fun (e : Circuit_corpus.entry) ->
+      let inst, asgn = e.Circuit_corpus.generate ~scale:1 in
+      let v = Circuit_lint.analyze inst asgn in
+      Alcotest.(check bool)
+        (e.Circuit_corpus.name ^ " clean: " ^ Circuit_lint.summary v)
+        true (Circuit_lint.is_clean v);
+      Alcotest.(check int)
+        (e.Circuit_corpus.name ^ " no residual freedom")
+        0 v.Circuit_lint.probe_free;
+      (* The structure report the perf model consumes is internally sound. *)
+      let r = Circuit_report.of_instance ~name:e.Circuit_corpus.name inst in
+      match Structure.consistent r with
+      | Ok () -> ()
+      | Error msg ->
+        Alcotest.failf "%s report inconsistent: %s" e.Circuit_corpus.name msg)
+    Circuit_corpus.entries
+
+(* --- circuit linter: hand-built defects --- *)
+
+let lint_builder f =
+  let b = Builder.create () in
+  f b;
+  let inst, asgn = Builder.finalize b in
+  Circuit_lint.lint inst asgn
+
+let test_circuit_lint_detects () =
+  (* A witness wire no constraint mentions. *)
+  check_rule "unconstrained" "unconstrained-variable"
+    (lint_builder (fun b ->
+         let x = Builder.witness b (Gf.of_int 3) in
+         Gadgets.assert_equal b (Builder.lc_var x)
+           (Builder.lc_const (Gf.of_int 3));
+         ignore (Builder.witness b (Gf.of_int 7))));
+  (* A public input no constraint mentions (warning). *)
+  let unused =
+    lint_builder (fun b ->
+        let x = Builder.witness b (Gf.of_int 3) in
+        Gadgets.assert_equal b (Builder.lc_var x)
+          (Builder.lc_const (Gf.of_int 3));
+        ignore (Builder.input b (Gf.of_int 9)))
+  in
+  check_rule "unused input" "unused-public-input" unused;
+  Alcotest.(check bool) "unused input is advisory" true (Diag.is_clean unused);
+  (* The same row twice (exact copy), and once more scaled by 2: the copy is
+     a duplicate, the scaled row is canonically equal but raw-different. *)
+  let dup =
+    lint_builder (fun b ->
+        let x = Builder.witness b (Gf.of_int 3) in
+        let eq () =
+          Builder.constrain b (Builder.lc_var x) (Builder.lc_const Gf.one)
+            (Builder.lc_const (Gf.of_int 3))
+        in
+        eq ();
+        eq ();
+        Builder.constrain b
+          (Builder.lc_scale (Gf.of_int 2) (Builder.lc_var x))
+          (Builder.lc_const Gf.one)
+          (Builder.lc_const (Gf.of_int 6)))
+  in
+  check_rule "duplicate" "duplicate-constraint" dup;
+  check_rule "redundant" "redundant-constraint" dup;
+  (* x is pinned to the literal 3 — a wire that could be folded away. *)
+  check_rule "constant" "constant-variable" dup;
+  Alcotest.(check bool) "row-redundancy rules are warnings" true
+    (Diag.is_clean dup)
+
+let test_unsatisfied_and_trivial () =
+  (* Builder.constrain refuses violated constraints, so assemble the broken
+     instances directly: side 4 (log_size 2), w = [w0; _], io = [1; _]. *)
+  let mk ea eb ec ~nc =
+    let m e = Sparse.of_entries ~nrows:4 ~ncols:4 e in
+    R1cs.make ~a:(m ea) ~b:(m eb) ~c:(m ec) ~log_size:2 ~num_constraints:nc
+      ~num_witness:1 ~num_io:1
+  in
+  (* w0 * 1 = 5 with w0 = 4. *)
+  let bad =
+    mk [ (0, 0, Gf.one) ] [ (0, 2, Gf.one) ] [ (0, 2, Gf.of_int 5) ] ~nc:1
+  in
+  let asgn = { R1cs.w = [| Gf.of_int 4; Gf.zero |]; io = [| Gf.one; Gf.zero |] } in
+  check_rule "unsatisfied" "unsatisfied-constraint" (Circuit_lint.lint bad asgn);
+  (* Row 1 is declared a real constraint but is completely empty. *)
+  let hollow =
+    mk [ (0, 0, Gf.one) ] [ (0, 2, Gf.one) ] [ (0, 2, Gf.of_int 5) ] ~nc:2
+  in
+  let asgn = { R1cs.w = [| Gf.of_int 5; Gf.zero |]; io = [| Gf.one; Gf.zero |] } in
+  check_rule "trivial" "trivial-constraint" (Circuit_lint.lint hollow asgn)
+
+(* --- circuit linter: rank-probe behaviour --- *)
+
+let test_rank_probe () =
+  (* Booleanity rows are bilinear, so unit propagation cannot touch the bits
+     of a decomposition; the Jacobian probe pins every one of them (the
+     booleanity derivative 2b - 1 is nonzero on {0,1}). *)
+  let b = Builder.create () in
+  let v = Builder.input b (Gf.of_int 5) in
+  ignore (Gadgets.bits_of b ~width:3 v);
+  let inst, asgn = Builder.finalize b in
+  let verdict = Circuit_lint.analyze inst asgn in
+  Alcotest.(check bool)
+    ("bits clean: " ^ Circuit_lint.summary verdict)
+    true
+    (Circuit_lint.is_clean verdict);
+  Alcotest.(check bool) "bits reached the probe" true
+    (verdict.Circuit_lint.probe_unknowns >= 3);
+  Alcotest.(check int) "bits pinned" 0 verdict.Circuit_lint.probe_free;
+  (* One product row over two fresh witnesses keeps a genuine degree of
+     freedom: x * y = 6 moves along (dx, dy) = (x, -y). *)
+  let b = Builder.create () in
+  let x = Builder.witness b (Gf.of_int 2) in
+  let y = Builder.witness b (Gf.of_int 3) in
+  Builder.constrain b (Builder.lc_var x) (Builder.lc_var y)
+    (Builder.lc_const (Gf.of_int 6));
+  let inst, asgn = Builder.finalize b in
+  let verdict = Circuit_lint.analyze inst asgn in
+  check_rule "x*y free" "under-constrained-variable" verdict.Circuit_lint.diags;
+  Alcotest.(check bool) "free direction confirmed" true
+    (verdict.Circuit_lint.probe_free >= 1);
+  (* The default synthetic chain leaves its seed wire a free witness the
+     whole chain slides along (the corpus lints the public_seed variant). *)
+  let inst, asgn = Synthetic.circuit ~n_constraints:64 ~seed:5L () in
+  check_rule "synthetic seed wire" "under-constrained-variable"
+    (Circuit_lint.lint inst asgn)
+
+(* --- mutation oracle: every weakening trips its lint rule --- *)
+
+let test_mutation_oracle () =
+  let entry =
+    match Circuit_corpus.find "auction" with
+    | Some e -> e
+    | None -> Alcotest.fail "auction entry missing"
+  in
+  let inst, asgn = entry.Circuit_corpus.generate ~scale:1 in
+  let muts = Circuit_mutate.sweep ~seed:31L ~count:40 inst asgn in
+  Alcotest.(check bool)
+    (Printf.sprintf "sweep produced mutants (%d)" (List.length muts))
+    true
+    (List.length muts >= 30);
+  let kinds = Hashtbl.create 8 in
+  List.iter
+    (fun (op, mutant) ->
+      Hashtbl.replace kinds (Circuit_mutate.op_name op) ();
+      Alcotest.(check bool)
+        (Circuit_mutate.op_to_string op ^ ": mutant still satisfiable")
+        true
+        (R1cs.satisfied mutant asgn);
+      check_rule
+        (Circuit_mutate.op_to_string op)
+        (Circuit_mutate.expected_rule op)
+        (Circuit_lint.lint mutant asgn))
+    muts;
+  Alcotest.(check bool)
+    (Printf.sprintf "operator diversity (%d kinds)" (Hashtbl.length kinds))
+    true
+    (Hashtbl.length kinds >= 4)
+
+let test_pinned_corpus () =
+  (* `dune runtest` runs in the test directory; `dune exec` from the root. *)
+  let path =
+    if Sys.file_exists "corpus/circuits/pinned.tsv" then
+      "corpus/circuits/pinned.tsv"
+    else "test/corpus/circuits/pinned.tsv"
+  in
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let cache = Hashtbl.create 8 in
+  let generate name =
+    match Hashtbl.find_opt cache name with
+    | Some v -> v
+    | None -> (
+      match Circuit_corpus.find name with
+      | None -> Alcotest.failf "pinned corpus names unknown circuit %S" name
+      | Some e ->
+        let v = e.Circuit_corpus.generate ~scale:1 in
+        Hashtbl.add cache name v;
+        v)
+  in
+  let replayed = ref 0 in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        match String.split_on_char '\t' line with
+        | [ name; op_s; rule ] -> (
+          let op = Circuit_mutate.op_of_string op_s in
+          Alcotest.(check string)
+            (op_s ^ " round-trips")
+            op_s
+            (Circuit_mutate.op_to_string op);
+          let inst, asgn = generate name in
+          match Circuit_mutate.apply inst asgn op with
+          | None ->
+            Alcotest.failf "%s %s: pinned operator no longer applicable" name
+              op_s
+          | Some mutant ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s %s: mutant still satisfiable" name op_s)
+              true
+              (R1cs.satisfied mutant asgn);
+            check_rule
+              (Printf.sprintf "%s %s" name op_s)
+              rule
+              (Circuit_lint.lint mutant asgn);
+            incr replayed)
+        | _ -> Alcotest.failf "malformed pinned corpus line %S" line)
+    (List.rev !lines);
+  Alcotest.(check bool)
+    (Printf.sprintf "pinned corpus is populated (%d replayed)" !replayed)
+    true (!replayed >= 20)
+
+(* --- structure reports: closed forms on the band-1 chain --- *)
+
+let test_report_closed_forms () =
+  let c = 32 in
+  let inst, _ = Synthetic.circuit ~n_constraints:c ~band:1 ~row_nnz:1 ~seed:3L () in
+  let r = Circuit_report.of_instance ~name:"chain" inst in
+  Alcotest.(check int) "constraints" c r.Circuit_report.num_constraints;
+  Alcotest.(check int) "nnz A" c r.Circuit_report.a.Circuit_report.nnz;
+  Alcotest.(check int) "nnz B" c r.Circuit_report.b.Circuit_report.nnz;
+  Alcotest.(check int) "nnz C" c r.Circuit_report.c.Circuit_report.nnz;
+  Alcotest.(check int) "total nnz" (3 * c) r.Circuit_report.total_nnz;
+  Alcotest.(check (float 1e-9)) "density" 3.0 r.Circuit_report.density_factor;
+  Alcotest.(check int) "rows nonempty" c r.Circuit_report.a.Circuit_report.rows_nonempty;
+  Alcotest.(check int) "row nnz max" 1 r.Circuit_report.a.Circuit_report.row_nnz_max;
+  Alcotest.(check (float 1e-9)) "row nnz mean" 1.0
+    r.Circuit_report.a.Circuit_report.row_nnz_mean;
+  (* A and B reference the current wire (diagonal); C the next one over. *)
+  Alcotest.(check int) "A band" 0 r.Circuit_report.a.Circuit_report.band_max;
+  Alcotest.(check int) "B band" 0 r.Circuit_report.b.Circuit_report.band_max;
+  Alcotest.(check int) "C band" 1 r.Circuit_report.c.Circuit_report.band_max;
+  Alcotest.(check (float 1e-9)) "C band mean" 1.0
+    r.Circuit_report.c.Circuit_report.band_mean;
+  Alcotest.(check (float 1e-9)) "band locality" 1.0
+    r.Circuit_report.c.Circuit_report.band_within_64;
+  (* Wires: w0 in A0/B0 (2 uses), w1..w(c-1) in A/B/C (3 each), wc in C only
+     (1); the io constant-one column is live but never referenced. *)
+  Alcotest.(check int) "live vars" (c + 2)
+    r.Circuit_report.fanout.Circuit_report.live_vars;
+  Alcotest.(check int) "unused vars" 1
+    r.Circuit_report.fanout.Circuit_report.unused_vars;
+  Alcotest.(check int) "fanout max" 3
+    r.Circuit_report.fanout.Circuit_report.fanout_max;
+  Alcotest.(check (float 1e-9)) "fanout mean"
+    (float_of_int (3 * c) /. float_of_int (c + 2))
+    r.Circuit_report.fanout.Circuit_report.fanout_mean;
+  match Structure.consistent r with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "chain report inconsistent: %s" msg
+
+let test_structure_model () =
+  let report n_constraints row_nnz =
+    let inst, _ = Synthetic.circuit ~n_constraints ~band:8 ~row_nnz ~seed:9L () in
+    Circuit_report.of_instance inst
+  in
+  let anchor = report 64 2 in
+  Alcotest.(check (float 1e-9)) "self density" 1.0
+    (Structure.density_relative ~anchor anchor);
+  let dense = report 64 5 in
+  Alcotest.(check (float 1e-9)) "relative density"
+    (dense.Circuit_report.density_factor /. anchor.Circuit_report.density_factor)
+    (Structure.density_relative ~anchor dense);
+  Alcotest.(check bool) "chain is streamable" true
+    (Structure.spmv_streamable anchor);
+  Alcotest.(check bool) "zero sparsity bound fails" false
+    (Structure.spmv_streamable ~max_row_nnz:0 anchor);
+  (match Structure.consistent anchor with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "anchor inconsistent: %s" msg);
+  (match
+     Structure.consistent
+       { anchor with Circuit_report.total_nnz = anchor.Circuit_report.total_nnz + 1 }
+   with
+  | Ok () -> Alcotest.fail "tampered total_nnz accepted"
+  | Error _ -> ());
+  Alcotest.(check bool) "report builds a simulator workload" true
+    (Structure.workload_of_report ~anchor dense <> []);
+  Alcotest.(check bool) "prover estimate positive" true
+    (Structure.prover_seconds_of_report ~anchor dense > 0.)
+
+(* --- diag JSON + exit-code contract --- *)
+
+let test_diag_json_roundtrip () =
+  let ds =
+    [
+      Diag.error ~index:3 ~rule:"under-constrained-variable"
+        "free direction at z[3]: \"quote\" back\\slash\tand\nnewline";
+      Diag.warning ~index:Diag.program_level ~rule:"probe-overflow" "budget";
+      Diag.error ~index:0 ~rule:"unsatisfied-constraint" "row 0";
+    ]
+  in
+  Alcotest.(check bool) "round-trip" true
+    (Diag.list_of_json_string (Diag.list_to_json ds) = ds);
+  Alcotest.(check bool) "empty round-trip" true
+    (Diag.list_of_json_string (Diag.list_to_json []) = []);
+  Alcotest.(check int) "clean exit code" 0 (Diag.exit_code []);
+  Alcotest.(check int) "under-constrained exit" 21
+    (Diag.exit_code [ Diag.error ~index:1 ~rule:"under-constrained-variable" "x" ]);
+  (* The lowest code wins when several categories fire at once. *)
+  (match Diag.exit_category ds with
+  | Some (rule, code) ->
+    Alcotest.(check string) "winning rule" "under-constrained-variable" rule;
+    Alcotest.(check int) "winning code" 21 code
+  | None -> Alcotest.fail "expected an exit category");
+  Alcotest.(check int) "unknown rule maps to the reserved code" 41
+    (Diag.rule_code "no-such-rule");
+  (* A tampered envelope is rejected, not silently accepted. *)
+  let expect_bad name s =
+    match Diag.list_of_json_string s with
+    | _ -> Alcotest.failf "%s accepted" name
+    | exception Json_min.Bad_json _ -> ()
+  in
+  expect_bad "wrong schema" {|{"schema": "bogus/v1", "exit_code": 0, "diags": []}|};
+  expect_bad "exit-code mismatch"
+    {|{"schema": "nocap-diag/v1", "exit_code": 7, "diags": []}|}
+
+(* --- litmus memory discipline: overwritten writes are flagged --- *)
+
+let test_litmus_overwrite_flagged () =
+  let open Litmus_circuit in
+  let txs =
+    [
+      { row_a = 0; op_a = Write 5; row_b = 1; op_b = Read };
+      { row_a = 0; op_a = Write 9; row_b = 2; op_b = Read };
+    ]
+  in
+  let inst, asgn = Litmus_circuit.circuit ~rows:4 ~transactions:txs ~seed:7L () in
+  let diags = Circuit_lint.lint inst asgn in
+  Alcotest.(check bool) "overwritten write is not clean" false
+    (Diag.is_clean diags);
+  Alcotest.(check bool) "flagged as a free written value" true
+    (Diag.has_rule "under-constrained-variable" diags
+    || Diag.has_rule "unconstrained-variable" diags);
+  (* The corpus's write-once batch stays clean. *)
+  let txs = Circuit_corpus.litmus_transactions ~rows:8 in
+  let inst, asgn = Litmus_circuit.circuit ~rows:8 ~transactions:txs ~seed:7L () in
+  Alcotest.(check bool) "write-once batch clean" true
+    (Diag.is_clean (Circuit_lint.lint inst asgn))
+
 let suite =
   [
     Alcotest.test_case "kernel programs lint clean" `Quick test_kernels_clean;
@@ -427,4 +783,21 @@ let suite =
     Alcotest.test_case "fuzz: clean programs execute" `Quick test_fuzz_clean_programs_execute;
     Alcotest.test_case "fuzz: reads/writes observed" `Quick test_fuzz_reads_writes_observed;
     Alcotest.test_case "VM errors carry instruction index" `Quick test_vm_error_index;
+    Alcotest.test_case "circuit corpus lints clean" `Slow test_circuits_clean;
+    Alcotest.test_case "circuit linter detects injected defects" `Quick
+      test_circuit_lint_detects;
+    Alcotest.test_case "circuit linter: unsatisfied and trivial rows" `Quick
+      test_unsatisfied_and_trivial;
+    Alcotest.test_case "rank probe pins bits, finds free products" `Quick
+      test_rank_probe;
+    Alcotest.test_case "mutation operators trip their rules" `Quick
+      test_mutation_oracle;
+    Alcotest.test_case "pinned mutant corpus replays" `Quick test_pinned_corpus;
+    Alcotest.test_case "structure report closed forms" `Quick
+      test_report_closed_forms;
+    Alcotest.test_case "structure feeds the perf model" `Quick
+      test_structure_model;
+    Alcotest.test_case "diag JSON round-trips" `Quick test_diag_json_roundtrip;
+    Alcotest.test_case "litmus overwrite is under-constrained" `Quick
+      test_litmus_overwrite_flagged;
   ]
