@@ -75,7 +75,13 @@ let pippenger ?window scalars points =
        order, so the result is the exact group element {!pippenger_serial}
        computes. *)
     let windowed =
-      Nocap_parallel.Pool.parallel_init ~threshold:1 num_windows
+      (* One window costs ~(n + 2*2^c) point adds at ~1.5µs each; the grain
+         folds whole windows per claim, and small MSMs (where even all
+         windows together cannot amortize a dispatch) fall back to serial
+         via the crossover. *)
+      let window_ns = max 1 ((n + (2 * (1 lsl c)) + c) * 1_500) in
+      Nocap_parallel.Pool.parallel_init
+        ~grain:(Nocap_parallel.Pool.grain_of_ns window_ns) num_windows
         (window_sum limbs points n c)
     in
     combine_windows windowed c

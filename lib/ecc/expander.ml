@@ -32,9 +32,14 @@ let sparse_row ~tag ~n ~cols ~row =
    derivation is a pure function of (tag, n, row)), so the gather loop
    splits across the pool; called from inside a batched encode it runs
    serially via the pool's nesting fallback. *)
+(* One sparse row costs ~degree gathers of rng + mul/add, ~50ns each. *)
+let graph_row_ns = degree * 50
+
 let apply_graph ~tag ~rows x =
   let cols = Array.length x in
-  Nocap_parallel.Pool.parallel_init ~threshold:512 rows (fun r ->
+  Nocap_parallel.Pool.parallel_init
+    ~grain:(Nocap_parallel.Pool.grain_of_ns graph_row_ns) rows
+    (fun r ->
       let row = sparse_row ~tag ~n:cols ~cols ~row:r in
       Array.fold_left
         (fun acc (c, coeff) -> Gf.add acc (Gf.mul coeff x.(c)))
@@ -56,9 +61,24 @@ let rec encode msg =
     Array.concat [ msg; z; w ]
   end
 
+let rec random_accesses n =
+  if n <= base_size then 0
+  else
+    (* degree gathers per row of A (n/2 rows) and of B (n rows). *)
+    (degree * (n / 2)) + (degree * n) + random_accesses (n / 2)
+
+(* A full message encode is dominated by its graph gathers plus the
+   base-case RS encodes (~10ns per output symbol). *)
+let row_encode_ns ~cols = max 1 ((random_accesses cols * 50) + (blowup * cols * 10))
+
 (* Whole messages are independent; the recursion inside each message then
    runs serially on its worker domain. *)
-let encode_batch rows = Nocap_parallel.Pool.parallel_map ~threshold:1 encode rows
+let encode_batch rows =
+  let grain =
+    if Array.length rows = 0 then 1
+    else Nocap_parallel.Pool.grain_of_ns (row_encode_ns ~cols:(Array.length rows.(0)))
+  in
+  Nocap_parallel.Pool.parallel_map ~grain encode rows
 
 (* --- unboxed flat path --------------------------------------------------- *)
 
@@ -104,6 +124,16 @@ let rec encode_fv_into (src : Fv.t) (dst : Fv.t) =
       (Fv.sub_view dst ~pos:(3 * n) ~len:n)
   end
 
+(* One row through the recursive encoder, arena-framed so it is safe from
+   any domain (and from serial callers). *)
+let encode_row_into ~src ~dst =
+  let n = Fv.length src in
+  if n = 0 || n land (n - 1) <> 0 then
+    invalid_arg "Expander.encode_row_into: message length must be a power of two";
+  if Fv.length dst <> blowup * n then
+    invalid_arg "Expander.encode_row_into: dst length <> blowup * src length";
+  Arena.with_frame (fun () -> encode_fv_into src dst)
+
 let encode_rows_fv ~rows ~cols flat =
   if rows = 0 then Fv.create 0
   else begin
@@ -113,19 +143,16 @@ let encode_rows_fv ~rows ~cols flat =
       invalid_arg "Expander.encode_rows_fv: flat length <> rows * cols";
     let m = blowup * cols in
     let out = Fv.create (rows * m) in
-    Nocap_parallel.Pool.parallel_for ~threshold:1 ~n:rows (fun r ->
+    Nocap_parallel.Pool.parallel_for
+      ~grain:(Nocap_parallel.Pool.grain_of_ns (row_encode_ns ~cols))
+      ~n:rows
+      (fun r ->
         Arena.with_frame (fun () ->
             encode_fv_into
               (Fv.sub_view flat ~pos:(r * cols) ~len:cols)
               (Fv.sub_view out ~pos:(r * m) ~len:m)));
     out
   end
-
-let rec random_accesses n =
-  if n <= base_size then 0
-  else
-    (* degree gathers per row of A (n/2 rows) and of B (n rows). *)
-    (degree * (n / 2)) + (degree * n) + random_accesses (n / 2)
 
 let graph_bytes n =
   (* Each graph entry stores a column index (8 bytes) and coefficient

@@ -29,6 +29,18 @@ module type S = sig
       rows for every domain count; scratch comes from the per-domain
       {!Nocap_vec.Arena}. *)
 
+  val encode_row_into : src:Nocap_vec.Fv.t -> dst:Nocap_vec.Fv.t -> unit
+  (** Encode one row in place: [src] is a length-[cols] message view, [dst]
+      a length-[blowup * cols] codeword view, fully overwritten. Bit-identical
+      to the corresponding row of {!encode_rows_fv}; safe to call from pool
+      workers (scratch is domain-local). The Orion commit pipeline streams
+      rows through this to overlap encoding with column hashing. *)
+
+  val row_encode_ns : cols:int -> int
+  (** Estimated cost of one {!encode_row_into} call in nanoseconds — the
+      hint callers feed {!Nocap_parallel.Pool.grain_of_ns} and the commit
+      pipeline uses to weight encode work against hash work. *)
+
   val query_count : int
   (** Number of codeword positions the verifier checks for 128-bit security
       (189 for Reed-Solomon at blowup 4; 1,222 for the expander code,

@@ -37,7 +37,12 @@ let encode_batch rows =
     let m = blowup * n in
     let plan = Ntt.plan m in
     let out =
-      Nocap_parallel.Pool.parallel_init ~threshold:1 (Array.length rows) (fun r ->
+      (* Just allocate + blit per row here; the NTT below carries its own
+         grain. *)
+      Nocap_parallel.Pool.parallel_init
+        ~grain:(Nocap_parallel.Pool.grain_of_ns (max 1 (m * 10)))
+        (Array.length rows)
+        (fun r ->
           let buf = Array.make m Gf.zero in
           Array.blit rows.(r) 0 buf 0 n;
           buf)
@@ -45,6 +50,29 @@ let encode_batch rows =
     Ntt.forward_rows plan out;
     out
   end
+
+(* One row: zero-extend the message view into the codeword view and NTT it
+   in place. This is exactly what [encode_rows_fv] does per row, so the
+   streaming commit pipeline produces bit-identical codewords. *)
+let encode_row_into ~src ~dst =
+  let n = Nocap_vec.Fv.length src in
+  if n = 0 || n land (n - 1) <> 0 then
+    invalid_arg "Reed_solomon.encode_row_into: message length must be a power of two";
+  if Nocap_vec.Fv.length dst <> blowup * n then
+    invalid_arg "Reed_solomon.encode_row_into: dst length <> blowup * src length";
+  Nocap_vec.Fv.zero dst;
+  Nocap_vec.Fv.blit ~src ~src_pos:0 ~dst ~dst_pos:0 ~len:n;
+  let module Nfv = Zk_ntt.Ntt.Gf_fv in
+  Nfv.forward (Nfv.plan (blowup * n)) dst
+
+let log2 m =
+  let rec go k x = if x <= 1 then k else go (k + 1) (x lsr 1) in
+  go 0 m
+
+(* Flat butterflies cost ~8ns; the zero+blit prologue ~4ns per output. *)
+let row_encode_ns ~cols =
+  let m = blowup * cols in
+  max 1 ((m / 2 * log2 m * 8) + (m * 4))
 
 (* Unboxed row-wise encode: zero-extend every row inside one flat
    [rows * 4n] buffer, then run the in-place flat NTT across the pool. No

@@ -101,17 +101,22 @@ type scratch = { st : Fv.t; b : Fv.t; c : Fv.t }
 let scratch_key : scratch Domain.DLS.key =
   Domain.DLS.new_key (fun () -> { st = Fv.create 25; b = Fv.create 25; c = Fv.create 5 })
 
-let f1600 { st; b; c } =
+(* Permute the 25 lanes at [st.(off .. off + 24)]. The offset form lets
+   {!Col_hash} keep one sponge state per matrix column in a single flat
+   bank and permute them in place. *)
+let f1600_off st off b c =
   for round = 0 to 23 do
     (* theta *)
     for x = 0 to 4 do
       Fv.unsafe_set c x
-        (Int64.logxor (Fv.unsafe_get st x)
+        (Int64.logxor (Fv.unsafe_get st (off + x))
            (Int64.logxor
-              (Fv.unsafe_get st (x + 5))
+              (Fv.unsafe_get st (off + x + 5))
               (Int64.logxor
-                 (Fv.unsafe_get st (x + 10))
-                 (Int64.logxor (Fv.unsafe_get st (x + 15)) (Fv.unsafe_get st (x + 20))))))
+                 (Fv.unsafe_get st (off + x + 10))
+                 (Int64.logxor
+                    (Fv.unsafe_get st (off + x + 15))
+                    (Fv.unsafe_get st (off + x + 20))))))
     done;
     for x = 0 to 4 do
       let d =
@@ -120,7 +125,8 @@ let f1600 { st; b; c } =
           (rotl64 (Fv.unsafe_get c ((x + 1) mod 5)) 1)
       in
       for y = 0 to 4 do
-        Fv.unsafe_set st (x + (5 * y)) (Int64.logxor (Fv.unsafe_get st (x + (5 * y))) d)
+        Fv.unsafe_set st (off + x + (5 * y))
+          (Int64.logxor (Fv.unsafe_get st (off + x + (5 * y))) d)
       done
     done;
     (* rho + pi *)
@@ -128,13 +134,13 @@ let f1600 { st; b; c } =
       for y = 0 to 4 do
         let src = x + (5 * y) in
         let dst = y + (5 * (((2 * x) + (3 * y)) mod 5)) in
-        Fv.unsafe_set b dst (rotl64 (Fv.unsafe_get st src) (Array.unsafe_get rotations src))
+        Fv.unsafe_set b dst (rotl64 (Fv.unsafe_get st (off + src)) (Array.unsafe_get rotations src))
       done
     done;
     (* chi *)
     for y = 0 to 4 do
       for x = 0 to 4 do
-        Fv.unsafe_set st (x + (5 * y))
+        Fv.unsafe_set st (off + x + (5 * y))
           (Int64.logxor
              (Fv.unsafe_get b (x + (5 * y)))
              (Int64.logand
@@ -143,8 +149,10 @@ let f1600 { st; b; c } =
       done
     done;
     (* iota *)
-    Fv.unsafe_set st 0 (Int64.logxor (Fv.unsafe_get st 0) (Array.unsafe_get round_constants round))
+    Fv.unsafe_set st off (Int64.logxor (Fv.unsafe_get st off) (Array.unsafe_get round_constants round))
   done
+
+let f1600 { st; b; c } = f1600_off st 0 b c
 
 let[@inline] xor_lane st lane v = Fv.unsafe_set st lane (Int64.logxor (Fv.unsafe_get st lane) v)
 
@@ -171,12 +179,14 @@ let absorb_tail_padded st (msg : bytes) off rem =
 
 let trailing_pad = Int64.shift_left 0x80L 56 (* byte 135 = lane 16, top byte *)
 
-let squeeze_32 st =
+let squeeze_32_off st off =
   let out = Bytes.create digest_length in
   for lane = 0 to 3 do
-    Bytes.set_int64_le out (8 * lane) (Fv.unsafe_get st lane)
+    Bytes.set_int64_le out (8 * lane) (Fv.unsafe_get st (off + lane))
   done;
   Bytes.unsafe_to_string out
+
+let squeeze_32 st = squeeze_32_off st 0
 
 let sha3_256 (msg : bytes) : digest =
   let s = Domain.DLS.get scratch_key in
@@ -273,10 +283,27 @@ let hash_fv_stride (v : Fv.t) ~pos ~stride ~count =
 
 let hash_fv v = hash_fv_stride v ~pos:0 ~stride:1 ~count:(Fv.length v)
 
+(* --- grain calibration --------------------------------------------------- *)
+
+(* One f1600 permutation costs ~1.5µs in this build (measured once; see
+   DESIGN.md Sec. 12). Every batched entry point below derives its pool
+   grain from a per-item permutation count, so a claimed chunk amortizes
+   ~50µs of hashing regardless of message shape. *)
+let block_ns = 1_500
+
+(* A message of [msg_bytes] runs ceil-ish (len / 136) + 1 permutations. *)
+let batch_grain ~msg_bytes = Pool.grain_of_ns (((msg_bytes / rate_bytes) + 1) * block_ns)
+
+(* hash2 is a single permutation. *)
+let pair_grain = Pool.grain_of_ns block_ns
+
+(* Hashing [count] absorbed elements costs (count / 17) + 1 permutations. *)
+let elems_grain count = Pool.grain_of_ns (((count / rate_lanes) + 1) * block_ns)
+
 let hash_matrix_cols ~rows ~cols (flat : Fv.t) =
   if rows < 0 || cols <= 0 || Fv.length flat <> rows * cols then
     invalid_arg "Keccak.hash_matrix_cols";
-  Pool.parallel_init ~threshold:8 cols (fun j ->
+  Pool.parallel_init ~grain:(elems_grain rows) cols (fun j ->
       hash_fv_stride flat ~pos:j ~stride:cols ~count:rows)
 
 (* Batched absorption: each input is absorbed by an independent sponge, so
@@ -284,14 +311,79 @@ let hash_matrix_cols ~rows ~cols (flat : Fv.t) =
    domain count. These are the entry points the Merkle / Orion hot paths
    use; the Hash FU analogue is hashing one column per vector lane. *)
 
-let sha3_256_batch msgs = Pool.parallel_map ~threshold:8 sha3_256 msgs
+let sha3_256_batch msgs =
+  let grain =
+    if Array.length msgs = 0 then 1 else batch_grain ~msg_bytes:(Bytes.length msgs.(0))
+  in
+  Pool.parallel_map ~grain sha3_256 msgs
 
 let hash2_pairs level =
   let n = Array.length level in
   if n = 0 || n land 1 = 1 then invalid_arg "Keccak.hash2_pairs: need an even, non-empty level";
-  Pool.parallel_init ~threshold:32 (n / 2) (fun i -> hash2 level.(2 * i) level.((2 * i) + 1))
+  Pool.parallel_init ~grain:pair_grain (n / 2) (fun i -> hash2 level.(2 * i) level.((2 * i) + 1))
 
-let hash_gf_batch cols = Pool.parallel_map ~threshold:8 hash_gf cols
+let hash_gf_batch cols =
+  let grain =
+    if Array.length cols = 0 then 1 else elems_grain (Array.length cols.(0))
+  in
+  Pool.parallel_map ~grain hash_gf cols
+
+(* --- incremental per-column sponges -------------------------------------- *)
+
+(* A bank of independent SHA3-256 sponges, one per matrix column, that
+   absorbs the matrix row-block by row-block. This is what lets the Orion
+   commit pipeline hash block k while encoding block k+1: rows stream in as
+   they are produced instead of a single column-strided pass at the end.
+   For any column j, absorbing rows 0..total-1 in order and finalizing is
+   byte-identical to [hash_fv_stride ~pos:j ~stride:cols ~count:total]. *)
+module Col_hash = struct
+  type t = { cols : int; states : Fv.t (* 25 lanes per column *) }
+
+  let create cols =
+    if cols <= 0 then invalid_arg "Keccak.Col_hash.create";
+    let states = Fv.create (25 * cols) in
+    Fv.zero states;
+    { cols; states }
+
+  (* Absorb rows [r_lo, r_hi) of the row-major matrix [flat] (row length
+     [row_stride]) into the sponges of columns [c_lo, c_hi). Rows must
+     arrive in order and exactly once per column; disjoint column ranges
+     may be absorbed from different domains concurrently (the b/c
+     permutation scratch is domain-local). *)
+  let absorb t (flat : Fv.t) ~row_stride ~r_lo ~r_hi ~c_lo ~c_hi =
+    if c_lo < 0 || c_hi > t.cols || r_lo < 0
+       || (r_hi > r_lo && ((r_hi - 1) * row_stride) + c_hi > Fv.length flat)
+    then invalid_arg "Keccak.Col_hash.absorb";
+    let s = Domain.DLS.get scratch_key in
+    for j = c_lo to c_hi - 1 do
+      let base = 25 * j in
+      for r = r_lo to r_hi - 1 do
+        let lane = r mod rate_lanes in
+        Fv.unsafe_set t.states (base + lane)
+          (Int64.logxor
+             (Fv.unsafe_get t.states (base + lane))
+             (Fv.unsafe_get flat ((r * row_stride) + j)));
+        if lane = rate_lanes - 1 then f1600_off t.states base s.b s.c
+      done
+    done
+
+  (* Close columns [c_lo, c_hi) after [total_rows] absorbed rows, writing
+     digest j into [out.(j)]. *)
+  let finalize t ~total_rows ~c_lo ~c_hi (out : digest array) =
+    if c_lo < 0 || c_hi > t.cols || Array.length out < c_hi then
+      invalid_arg "Keccak.Col_hash.finalize";
+    let s = Domain.DLS.get scratch_key in
+    let m = total_rows mod rate_lanes in
+    for j = c_lo to c_hi - 1 do
+      let base = 25 * j in
+      Fv.unsafe_set t.states (base + m)
+        (Int64.logxor (Fv.unsafe_get t.states (base + m)) 0x06L);
+      Fv.unsafe_set t.states (base + 16)
+        (Int64.logxor (Fv.unsafe_get t.states (base + 16)) trailing_pad);
+      f1600_off t.states base s.b s.c;
+      out.(j) <- squeeze_32_off t.states base
+    done
+end
 
 let to_hex d =
   let buf = Buffer.create 64 in

@@ -53,6 +53,39 @@ val hash2_pairs : digest array -> digest array
 val hash_gf_batch : Zk_field.Gf.t array array -> digest array
 (** Batched {!hash_gf} over independent columns. *)
 
+val rate_lanes : int
+(** [17] — 64-bit lanes absorbed per SHA3-256 block. Row-block producers
+    (the Orion commit pipeline) size their blocks in multiples of this so
+    every {!Col_hash.absorb} call ends on a permutation boundary. *)
+
+val block_ns : int
+(** Calibrated cost of one Keccak-f[1600] permutation in this build
+    (nanoseconds); the constant every batched entry point feeds
+    {!Nocap_parallel.Pool.grain_of_ns}. *)
+
+val batch_grain : msg_bytes:int -> int
+(** Pool grain used by {!sha3_256_batch} for messages of the given length. *)
+
+(** A bank of independent per-column sponges for hashing a row-major matrix
+    incrementally: absorb row-blocks as they are produced, finalize once at
+    the end. Digests are byte-identical to {!hash_matrix_cols} on the full
+    matrix. Disjoint column ranges may be driven from different domains
+    concurrently; rows must arrive in order within each column. *)
+module Col_hash : sig
+  type t
+
+  val create : int -> t
+  (** [create cols] — all sponges start empty. *)
+
+  val absorb :
+    t -> Nocap_vec.Fv.t -> row_stride:int -> r_lo:int -> r_hi:int -> c_lo:int -> c_hi:int -> unit
+  (** Absorb element [(r, j)] = [flat.(r * row_stride + j)] for every row
+      [r] in [\[r_lo, r_hi)] and column [j] in [\[c_lo, c_hi)]. *)
+
+  val finalize : t -> total_rows:int -> c_lo:int -> c_hi:int -> digest array -> unit
+  (** Pad, permute and squeeze columns [\[c_lo, c_hi)] into [out.(j)]. *)
+end
+
 val to_hex : digest -> string
 
 val digest_to_gf : digest -> Zk_field.Gf.t array

@@ -153,11 +153,18 @@ module Make (F : FIELD) : S with type elt = F.t = struct
     inverse p b;
     b
 
+  (* Pool grains from the butterfly count: a boxed butterfly costs ~25ns
+     (more for Fr — grains only get coarser, which is safe), scale/copy
+     passes ~20ns and ~5ns per element. *)
+  let bf_ns = 25
+
+  let ntt_grain m = Pool.grain_of_ns (max 1 (m / 2 * log2_exact m * bf_ns))
+
   (* Row-wise batch: each row is an independent in-place transform, the
      per-row decomposition both Orion's encoder and the four-step NTT
      parallelize over. Results are byte-identical for any domain count. *)
   let forward_rows p rows =
-    Pool.parallel_for ~threshold:1 ~n:(Array.length rows) (fun r -> forward p rows.(r))
+    Pool.parallel_for ~grain:(ntt_grain p.n) ~n:(Array.length rows) (fun r -> forward p rows.(r))
 
   let four_step_forward ~rows ~cols a =
     let n = rows * cols in
@@ -170,7 +177,7 @@ module Make (F : FIELD) : S with type elt = F.t = struct
     (* Step 1: NTT down each column (stride [cols] in the row-major layout).
        Columns are independent; each chunk gathers into its own scratch. *)
     let out = Array.copy a in
-    Pool.run ~threshold:4 ~n:cols (fun c_lo c_hi ->
+    Pool.run ~grain:(ntt_grain rows) ~n:cols (fun c_lo c_hi ->
         let col = Array.make rows F.zero in
         for c = c_lo to c_hi - 1 do
           for r = 0 to rows - 1 do
@@ -187,7 +194,7 @@ module Make (F : FIELD) : S with type elt = F.t = struct
     for r = 1 to rows - 1 do
       w_rows.(r) <- F.mul w_rows.(r - 1) w
     done;
-    Pool.run ~threshold:4 ~n:rows (fun r_lo r_hi ->
+    Pool.run ~grain:(Pool.grain_of_ns (max 1 (cols * 20))) ~n:rows (fun r_lo r_hi ->
         for r = r_lo to r_hi - 1 do
           let w_r = w_rows.(r) in
           let f = ref F.one in
@@ -197,7 +204,7 @@ module Make (F : FIELD) : S with type elt = F.t = struct
           done
         done);
     (* Step 3: NTT along each row. *)
-    Pool.run ~threshold:4 ~n:rows (fun r_lo r_hi ->
+    Pool.run ~grain:(ntt_grain cols) ~n:rows (fun r_lo r_hi ->
         let row = Array.make cols F.zero in
         for r = r_lo to r_hi - 1 do
           Array.blit out (r * cols) row 0 cols;
@@ -207,7 +214,7 @@ module Make (F : FIELD) : S with type elt = F.t = struct
     (* Step 4: transpose, so that output index k = c * rows + r holds
        X_k with k = c * rows + r, matching the flat transform's order. *)
     let res = Array.make n F.zero in
-    Pool.run ~threshold:4 ~n:rows (fun r_lo r_hi ->
+    Pool.run ~grain:(Pool.grain_of_ns (max 1 (cols * 5))) ~n:rows (fun r_lo r_hi ->
         for r = r_lo to r_hi - 1 do
           for c = 0 to cols - 1 do
             res.((c * rows) + r) <- out.((r * cols) + c)
@@ -347,12 +354,17 @@ module Gf_fv = struct
     inverse p b;
     b
 
+  (* Unboxed butterflies run ~3x cheaper than the boxed oracle's. *)
+  let bf_ns = 8
+
+  let ntt_grain m = Pool.grain_of_ns (max 1 (m / 2 * log2_exact m * bf_ns))
+
   (* Rows live back to back in one flat buffer of [rows * size p] elements;
      each row is an independent in-place transform. *)
   let forward_rows_flat p ~rows (flat : Fv.t) =
     let n = size p in
     if Fv.length flat <> rows * n then invalid_arg "Ntt.Gf_fv.forward_rows_flat: size";
-    Pool.parallel_for ~threshold:1 ~n:rows (fun r ->
+    Pool.parallel_for ~grain:(ntt_grain n) ~n:rows (fun r ->
         forward p (Fv.sub_view flat ~pos:(r * n) ~len:n))
 
   (* Four-step decomposition over a flat buffer; mirrors
@@ -370,7 +382,7 @@ module Gf_fv = struct
     let out = Fv.copy a in
     (* Step 1: column NTTs (stride [cols]); each chunk gathers into arena
        scratch owned by the executing domain. *)
-    Pool.run ~threshold:4 ~n:cols (fun c_lo c_hi ->
+    Pool.run ~grain:(ntt_grain rows) ~n:cols (fun c_lo c_hi ->
         Arena.with_frame (fun () ->
             let col = Arena.alloc rows in
             for c = c_lo to c_hi - 1 do
@@ -388,7 +400,7 @@ module Gf_fv = struct
     for r = 1 to rows - 1 do
       Fv.set w_rows r (Gf.mul (Fv.get w_rows (r - 1)) w)
     done;
-    Pool.run ~threshold:4 ~n:rows (fun r_lo r_hi ->
+    Pool.run ~grain:(Pool.grain_of_ns (max 1 (cols * 6))) ~n:rows (fun r_lo r_hi ->
         for r = r_lo to r_hi - 1 do
           let w_r = Fv.unsafe_get w_rows r in
           let f = ref Gf.one in
@@ -398,13 +410,13 @@ module Gf_fv = struct
           done
         done);
     (* Step 3: row NTTs, in place (rows are contiguous). *)
-    Pool.run ~threshold:4 ~n:rows (fun r_lo r_hi ->
+    Pool.run ~grain:(ntt_grain cols) ~n:rows (fun r_lo r_hi ->
         for r = r_lo to r_hi - 1 do
           forward row_plan (Fv.sub_view out ~pos:(r * cols) ~len:cols)
         done);
     (* Step 4: transpose into the flat transform's output order. *)
     let res = Fv.create n in
-    Pool.run ~threshold:4 ~n:rows (fun r_lo r_hi ->
+    Pool.run ~grain:(Pool.grain_of_ns (max 1 (cols * 4))) ~n:rows (fun r_lo r_hi ->
         for r = r_lo to r_hi - 1 do
           for c = 0 to cols - 1 do
             Fv.unsafe_set res ((c * rows) + r) (Fv.unsafe_get out ((r * cols) + c))

@@ -181,7 +181,9 @@ let open_at ?engine params committed transcript point =
       ~count:params.num_queries
   in
   let queries =
-    Pool.parallel_map ?pool ~threshold:8
+    (* One query opens a pair + Merkle path per layer, ~2µs per layer. *)
+    Pool.parallel_map ?pool
+      ~grain:(Nocap_parallel.Pool.grain_of_ns (max 1 (Array.length layers * 2_000)))
       (fun position ->
         let opened =
           Array.mapi

@@ -1,6 +1,7 @@
 module Gf = Zk_field.Gf
 module Mle = Zk_poly.Mle
 module Merkle = Zk_merkle.Merkle
+module Keccak = Zk_hash.Keccak
 module Transcript = Zk_hash.Transcript
 module Pool = Nocap_parallel.Pool
 module Fv = Nocap_vec.Fv
@@ -78,11 +79,24 @@ let layout params table =
   let cols = n / rows in
   (rows, cols)
 
+(* Rows per pipeline stage: two full sponge blocks, so every absorbed block
+   but the last lands on a permutation boundary. *)
+let pipeline_block = 2 * Keccak.rate_lanes
+
+(* Streamed commit: encode row-block k while absorbing row-block k-1 into
+   the per-column sponges, so the Merkle leaf hashing overlaps the encoder
+   instead of waiting for the full codeword matrix. Stage k is one fused
+   pool job whose index space mixes encode rows and absorb columns: each
+   row is weighted [w] virtual units (its cost relative to one column
+   absorb) so the work-stealing grain sees a uniform cost per index. The
+   result is byte-identical to encode-everything-then-hash: rows still
+   stream into each column sponge in order, and the encoded matrix is still
+   fully materialized (column openings read it in prove_eval). *)
 let commit ?engine params rng table =
   (match validate_params params with
   | Ok () -> ()
   | Error e -> invalid_arg ("Orion.commit: " ^ param_error_to_string e));
-  ignore (engine : Zk_pcs.Engine.t option);
+  let pool = Option.bind engine Zk_pcs.Engine.pool in
   let module Code = (val params.code : Zk_ecc.Linear_code.S) in
   let rows, cols = layout params table in
   (* The row-major matrix of a flat table is the table itself. *)
@@ -98,9 +112,58 @@ let commit ?engine params rng table =
   let all_rows = Fv.create (enc_rows * cols) in
   Fv.blit ~src:matrix ~src_pos:0 ~dst:all_rows ~dst_pos:0 ~len:(rows * cols);
   Fv.blit ~src:masks ~src_pos:0 ~dst:all_rows ~dst_pos:(rows * cols) ~len:(mask_rows * cols);
-  let encoded = Code.encode_rows_fv ~rows:enc_rows ~cols all_rows in
   let code_len = Code.blowup * cols in
-  let leaves = Merkle.leaves_of_matrix ~rows:enc_rows ~cols:code_len encoded in
+  let encoded = Fv.create (enc_rows * code_len) in
+  let col_hash = Keccak.Col_hash.create code_len in
+  let leaves = Array.make code_len "" in
+  let row_ns = Code.row_encode_ns ~cols in
+  let encode_row r =
+    Code.encode_row_into
+      ~src:(Fv.sub_view all_rows ~pos:(r * cols) ~len:cols)
+      ~dst:(Fv.sub_view encoded ~pos:(r * code_len) ~len:code_len)
+  in
+  let nblocks = (enc_rows + pipeline_block - 1) / pipeline_block in
+  (* Stage k encodes block k (if any) and absorbs block k-1 (if any); the
+     stage after the last encode also finalizes the column sponges. *)
+  for k = 0 to nblocks do
+    let e_lo = k * pipeline_block in
+    let rn = max 0 (min ((k + 1) * pipeline_block) enc_rows - e_lo) in
+    let a_lo = (k - 1) * pipeline_block in
+    let a_hi = min (k * pipeline_block) enc_rows in
+    let last = k = nblocks in
+    if k = 0 then
+      Pool.run ?pool ~grain:(Pool.grain_of_ns row_ns) ~n:rn (fun lo hi ->
+          for r = lo to hi - 1 do
+            encode_row (e_lo + r)
+          done)
+    else begin
+      let col_ns =
+        max 1 (((a_hi - a_lo + Keccak.rate_lanes - 1) / Keccak.rate_lanes) * Keccak.block_ns)
+      in
+      let absorb_cols c_lo c_hi =
+        Keccak.Col_hash.absorb col_hash encoded ~row_stride:code_len ~r_lo:a_lo ~r_hi:a_hi
+          ~c_lo ~c_hi;
+        if last then Keccak.Col_hash.finalize col_hash ~total_rows:enc_rows ~c_lo ~c_hi leaves
+      in
+      let grain = Pool.grain_of_ns col_ns in
+      if rn = 0 then Pool.run ?pool ~grain ~n:code_len (fun lo hi -> absorb_cols lo hi)
+      else begin
+        let w = max 1 (row_ns / col_ns) in
+        let encode_hi = rn * w in
+        Pool.run ?pool ~grain ~n:(encode_hi + code_len) (fun lo hi ->
+            (* Row r's marker is virtual index r * w; a chunk encodes the
+               rows whose markers it covers, so each row runs exactly once
+               and a chunk's true cost tracks its virtual length. *)
+            (if lo < encode_hi then begin
+               let h = min hi encode_hi in
+               for r = (lo + w - 1) / w to (h - 1) / w do
+                 encode_row (e_lo + r)
+               done
+             end);
+            if hi > encode_hi then absorb_cols (max 0 (lo - encode_hi)) (hi - encode_hi))
+      end
+    end
+  done;
   let tree = Merkle.build leaves in
   let commitment =
     { root = Merkle.root tree; num_vars = log2_exact (Array.length table); mat_rows = rows; mat_cols = cols }
@@ -127,7 +190,8 @@ let row_combination ?pool coeffs (mat : Fv.t) cols =
   let nrows = Array.length coeffs in
   let out = Fv.create cols in
   Fv.zero out;
-  Pool.run ?pool ~threshold:256 ~n:cols (fun lo hi ->
+  (* One output column costs [nrows] unboxed mul+adds, ~12ns each. *)
+  Pool.run ?pool ~grain:(Pool.grain_of_ns (max 1 (nrows * 12))) ~n:cols (fun lo hi ->
       for r = 0 to nrows - 1 do
         let coeff = Array.unsafe_get coeffs r in
         let base = r * cols in
@@ -177,7 +241,10 @@ let prove_eval ?engine params committed transcript point =
      encoded matrix and tree independently; a column is a stride-[bound]
      walk of the flat encoding. *)
   let columns =
-    Pool.parallel_map ?pool ~threshold:16
+    (* One opening gathers [enc_rows] strided elements and walks a Merkle
+       path (~1µs of hashing-free pointer work). *)
+    Pool.parallel_map ?pool
+      ~grain:(Pool.grain_of_ns (max 1 ((committed.enc_rows * 10) + 1_000)))
       (fun j ->
         let col =
           Array.init committed.enc_rows (fun r -> Fv.get committed.encoded ((r * bound) + j))

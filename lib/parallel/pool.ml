@@ -1,93 +1,262 @@
-(* Fixed Domain pool with a single-slot task board.
+(* Work-stealing Domain pool.
 
-   Submission publishes one task (a chunked index range) under [lock] and
-   bumps [generation]; idle workers wake on [work_cond], claim chunks from
-   the task's atomic cursor, and the participant that retires the last
-   index marks the task finished and broadcasts [done_cond]. The submitter
-   participates too, so a pool of size 1 degenerates to a plain loop and
-   progress never depends on workers waking up at all. *)
+   Submission statically slices [0, n) into one packed (lo, hi) range per
+   participant, each held in a single atomic int. Owners CAS-claim [grain]
+   indices from the bottom of their own range; participants that run dry
+   CAS-steal the top half of a victim's range and install it as their new
+   own range (Rayon-style splitting). Publication is an epoch counter:
+   workers spin on it for a bounded budget, then park on a condition
+   variable guarded by a parked-count handshake, so the submit hot path of
+   a busy pipeline is one atomic increment — no mutex, no broadcast. The
+   submitter participates too, so a pool of size 1 degenerates to a plain
+   loop and progress never depends on workers waking up at all. *)
 
-type task = {
+module Arena = Nocap_vec.Arena
+
+(* --- packed ranges ------------------------------------------------------ *)
+
+(* A half-open range [lo, hi) packed as (lo lsl 31) lor hi, both < 2^31.
+   Empty iff lo >= hi. Within one job every index is claimed exactly once
+   and installs only land in empty slots, so a non-empty packed value never
+   repeats — CAS on the raw int is ABA-free. *)
+
+let range_bits = 31
+let range_mask = (1 lsl range_bits) - 1
+let pack lo hi = (lo lsl range_bits) lor hi
+let range_lo r = r lsr range_bits
+let range_hi r = r land range_mask
+
+(* Largest [n] a single job can cover; bigger loops run in segments. *)
+let max_segment = range_mask
+
+(* --- jobs --------------------------------------------------------------- *)
+
+type job = {
   body : int -> int -> unit; (* half-open chunk [lo, hi) *)
-  n : int;
-  chunk : int;
-  next : int Atomic.t; (* next unclaimed chunk start *)
+  grain : int;
+  slots : int Atomic.t array; (* one packed range per participant, strided *)
   remaining : int Atomic.t; (* indices not yet retired *)
   failed : bool Atomic.t;
   mutable exn : (exn * Printexc.raw_backtrace) option;
-  task_lock : Mutex.t;
+  exn_lock : Mutex.t;
+  waiter : int Atomic.t; (* 1 while the submitter sleeps on completion *)
+  done_lock : Mutex.t;
   done_cond : Condition.t;
-  mutable finished : bool;
 }
+
+(* Adjacent atomics share cache lines; striding the slot array keeps each
+   participant's range ~64B from its neighbours' (atomic blocks are two
+   words, allocated back to back). *)
+let slot_stride = 4
+
+let slot slots i = Array.unsafe_get slots (i * slot_stride)
 
 type t = {
   pool_size : int;
   mutable workers : unit Domain.t array;
-  lock : Mutex.t;
-  work_cond : Condition.t;
+  epoch : int Atomic.t; (* bumped once per published job *)
+  current : job option Atomic.t;
+  parked : int Atomic.t; (* workers asleep on park_cond *)
+  park_lock : Mutex.t;
+  park_cond : Condition.t;
   submit_lock : Mutex.t; (* serializes top-level submissions *)
-  mutable current : task option;
-  mutable generation : int;
-  mutable shutdown : bool;
+  shutdown : bool Atomic.t;
 }
 
 let size p = p.pool_size
 
+(* --- spin policy -------------------------------------------------------- *)
+
+(* cpu_relax iterations per microsecond of spin budget — deliberately
+   conservative so a misconfigured budget overshoots rather than parks
+   early. *)
+let relax_per_us = 40
+
+(* -1 = unset, use the built-in default: park immediately on single-core
+   hosts (spinning there only steals cycles from whoever has the work),
+   spin 20µs otherwise. *)
+let spin_override = Atomic.make (-1)
+
+let default_spin_us = if Domain.recommended_domain_count () <= 1 then 0 else 20
+
+let spin_us () =
+  let v = Atomic.get spin_override in
+  if v < 0 then default_spin_us else v
+
+let set_spin_us v = Atomic.set spin_override (if v < 0 then -1 else v)
+
+let spin_iters () = spin_us () * relax_per_us
+
+(* --- grain -------------------------------------------------------------- *)
+
+(* One claimed chunk should amortize ~50µs of work: long enough that claim
+   CASes and steal traffic vanish in the noise, short enough that a 4-way
+   split still load-balances a millisecond-scale kernel. *)
+let target_chunk_ns = 50_000
+
+let grain_of_ns cost = max 1 (target_chunk_ns / max 1 cost)
+
+(* Serial cutoff when the caller gave no cost hint. *)
+let default_serial_cutoff = 64
+
 (* True while the current domain is executing chunks of some task; nested
    submissions from such a domain run serially instead of deadlocking on
-   the single task slot. *)
+   the single job slot. *)
 let in_worker : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
-let record_exn task e bt =
-  Mutex.lock task.task_lock;
-  if task.exn = None then task.exn <- Some (e, bt);
-  Mutex.unlock task.task_lock;
-  Atomic.set task.failed true
+(* --- participation ------------------------------------------------------ *)
 
-let participate task =
+let record_exn job e bt =
+  Mutex.lock job.exn_lock;
+  if job.exn = None then job.exn <- Some (e, bt);
+  Mutex.unlock job.exn_lock;
+  Atomic.set job.failed true
+
+(* Run one claimed chunk and retire its indices. The last retirer wakes the
+   submitter only if it actually went to sleep (waiter handshake mirrors
+   the park handshake; both are safe under OCaml's SC atomics). *)
+let exec job lo hi =
+  (if not (Atomic.get job.failed) then
+     try Arena.with_frame (fun () -> job.body lo hi)
+     with e -> record_exn job e (Printexc.get_raw_backtrace ()));
+  let old = Atomic.fetch_and_add job.remaining (lo - hi) in
+  if old - (hi - lo) = 0 && Atomic.get job.waiter > 0 then begin
+    Mutex.lock job.done_lock;
+    Condition.broadcast job.done_cond;
+    Mutex.unlock job.done_lock
+  end
+
+(* Claim up to [grain] indices from the bottom of our own range. Only
+   thieves contend with the owner, so the CAS almost always lands first
+   try. After a failure the whole range is claimed at once and drained
+   without running the body — the submitter re-raises anyway. *)
+let rec claim_own job me =
+  let s = slot job.slots me in
+  let r = Atomic.get s in
+  let lo = range_lo r and hi = range_hi r in
+  if lo >= hi then false
+  else begin
+    let take = if Atomic.get job.failed then hi - lo else min job.grain (hi - lo) in
+    let mid = lo + take in
+    if Atomic.compare_and_set s r (pack mid hi) then begin
+      exec job lo mid;
+      true
+    end
+    else claim_own job me
+  end
+
+(* Steal from a victim's range and install the spoils as our own range (our
+   slot is empty whenever this runs). Big ranges split in half; ranges at or
+   below one grain are taken whole — a static slice must never strand in
+   the slot of a worker the OS hasn't scheduled yet, or the submitter could
+   sleep forever on an oversubscribed host. *)
+let try_steal job me victim =
+  let s = slot job.slots victim in
+  let r = Atomic.get s in
+  let lo = range_lo r and hi = range_hi r in
+  if lo >= hi then false
+  else begin
+    let mid = if hi - lo <= job.grain then lo else lo + ((hi - lo) / 2) in
+    if Atomic.compare_and_set s r (pack lo mid) then begin
+      Atomic.set (slot job.slots me) (pack mid hi);
+      true
+    end
+    else false
+  end
+
+let steal_round job me nslots =
+  let got = ref false in
+  let v = ref (me + 1) in
+  let tries = ref (nslots - 1) in
+  while (not !got) && !tries > 0 do
+    let victim = if !v >= nslots then !v - nslots else !v in
+    if try_steal job me victim then got := true;
+    incr v;
+    decr tries
+  done;
+  !got
+
+(* After this many consecutive empty scans a participant gives up on the
+   job: every unretired index is then either inside another participant's
+   running [exec] or in the slot of an active owner that will drain it, so
+   there is nothing left to help with. The submitter then sleeps in
+   [wait_done] (woken by the last retirer) instead of burning a core. *)
+let steal_patience = 64
+
+let participate job me nslots =
   let flag = Domain.DLS.get in_worker in
   let was = !flag in
   flag := true;
+  let misses = ref 0 in
   let continue = ref true in
   while !continue do
-    let lo = Atomic.fetch_and_add task.next task.chunk in
-    if lo >= task.n then continue := false
+    if claim_own job me then misses := 0
+    else if Atomic.get job.remaining = 0 then continue := false
+    else if nslots > 1 && steal_round job me nslots then misses := 0
     else begin
-      let hi = min (lo + task.chunk) task.n in
-      (* After a failure, remaining chunks are drained without running the
-         body: the submitter re-raises the first exception anyway. *)
-      if not (Atomic.get task.failed) then begin
-        try task.body lo hi
-        with e -> record_exn task e (Printexc.get_raw_backtrace ())
-      end;
-      let old = Atomic.fetch_and_add task.remaining (lo - hi) in
-      if old - (hi - lo) = 0 then begin
-        Mutex.lock task.task_lock;
-        task.finished <- true;
-        Condition.broadcast task.done_cond;
-        Mutex.unlock task.task_lock
-      end
+      incr misses;
+      if !misses > steal_patience then continue := false
+      else Domain.cpu_relax ()
     end
   done;
   flag := was
 
-let worker pool () =
-  let last_gen = ref 0 in
-  let running = ref true in
-  while !running do
-    Mutex.lock pool.lock;
-    while (not pool.shutdown) && pool.generation = !last_gen do
-      Condition.wait pool.work_cond pool.lock
+(* Submitter-side completion wait: spin briefly (the common case — workers
+   are retiring their last chunk), then sleep under the waiter handshake.
+   The last retirer reads [waiter] after writing [remaining]; we write
+   [waiter] before re-reading [remaining], so under SC atomics at least one
+   side always sees the other. *)
+let wait_done job =
+  if Atomic.get job.remaining > 0 then begin
+    let budget = spin_iters () in
+    let i = ref 0 in
+    while !i < budget && Atomic.get job.remaining > 0 do
+      Domain.cpu_relax ();
+      incr i
     done;
-    if pool.shutdown then begin
-      Mutex.unlock pool.lock;
-      running := false
+    if Atomic.get job.remaining > 0 then begin
+      Atomic.set job.waiter 1;
+      Mutex.lock job.done_lock;
+      while Atomic.get job.remaining > 0 do
+        Condition.wait job.done_cond job.done_lock
+      done;
+      Mutex.unlock job.done_lock;
+      Atomic.set job.waiter 0
+    end
+  end
+
+(* --- workers ------------------------------------------------------------ *)
+
+let worker pool me () =
+  let last = ref (Atomic.get pool.epoch) in
+  while not (Atomic.get pool.shutdown) do
+    let e = Atomic.get pool.epoch in
+    if e <> !last then begin
+      last := e;
+      match Atomic.get pool.current with
+      | Some job -> participate job me pool.pool_size
+      | None -> ()
     end
     else begin
-      last_gen := pool.generation;
-      let t = pool.current in
-      Mutex.unlock pool.lock;
-      match t with Some task -> participate task | None -> ()
+      (* Spin-then-park. The parked count is written before re-checking the
+         epoch under the lock; the submitter bumps the epoch before reading
+         the parked count — so either we see the new epoch and skip the
+         wait, or the submitter sees us parked and broadcasts. *)
+      let budget = spin_iters () in
+      let i = ref 0 in
+      while !i < budget && Atomic.get pool.epoch = e && not (Atomic.get pool.shutdown) do
+        Domain.cpu_relax ();
+        incr i
+      done;
+      if Atomic.get pool.epoch = e && not (Atomic.get pool.shutdown) then begin
+        Atomic.incr pool.parked;
+        Mutex.lock pool.park_lock;
+        while Atomic.get pool.epoch = e && not (Atomic.get pool.shutdown) do
+          Condition.wait pool.park_cond pool.park_lock
+        done;
+        Mutex.unlock pool.park_lock;
+        Atomic.decr pool.parked
+      end
     end
   done
 
@@ -104,23 +273,23 @@ let create ?domains () =
     {
       pool_size;
       workers = [||];
-      lock = Mutex.create ();
-      work_cond = Condition.create ();
+      epoch = Atomic.make 0;
+      current = Atomic.make None;
+      parked = Atomic.make 0;
+      park_lock = Mutex.create ();
+      park_cond = Condition.create ();
       submit_lock = Mutex.create ();
-      current = None;
-      generation = 0;
-      shutdown = false;
+      shutdown = Atomic.make false;
     }
   in
-  pool.workers <- Array.init (pool_size - 1) (fun _ -> Domain.spawn (worker pool));
+  pool.workers <- Array.init (pool_size - 1) (fun i -> Domain.spawn (worker pool (i + 1)));
   pool
 
 let teardown pool =
-  Mutex.lock pool.lock;
-  let already = pool.shutdown in
-  pool.shutdown <- true;
-  Condition.broadcast pool.work_cond;
-  Mutex.unlock pool.lock;
+  let already = Atomic.exchange pool.shutdown true in
+  Mutex.lock pool.park_lock;
+  Condition.broadcast pool.park_cond;
+  Mutex.unlock pool.park_lock;
   if not already then Array.iter Domain.join pool.workers;
   pool.workers <- [||]
 
@@ -196,110 +365,142 @@ let with_domains d f =
 
 (* --- submission --------------------------------------------------------- *)
 
-let default_threshold = 32
-
 let resolve_pool = function Some p -> p | None -> default ()
 
-let run ?pool ?chunk ?(threshold = default_threshold) ~n body =
+let serial_run body n = Arena.with_frame (fun () -> body 0 n)
+
+(* One job over [0, n), n <= max_segment. Static slices seed the slots;
+   stealing rebalances from there, so a slice that finishes early never
+   idles while a neighbour lags. *)
+let submit p grain ~n body =
+  let nslots = p.pool_size in
+  let slots =
+    Array.init (nslots * slot_stride) (fun i ->
+        if i mod slot_stride <> 0 then Atomic.make 0
+        else begin
+          let me = i / slot_stride in
+          let lo = me * n / nslots and hi = (me + 1) * n / nslots in
+          Atomic.make (pack lo hi)
+        end)
+  in
+  let job =
+    {
+      body;
+      grain;
+      slots;
+      remaining = Atomic.make n;
+      failed = Atomic.make false;
+      exn = None;
+      exn_lock = Mutex.create ();
+      waiter = Atomic.make 0;
+      done_lock = Mutex.create ();
+      done_cond = Condition.create ();
+    }
+  in
+  Mutex.lock p.submit_lock;
+  Atomic.set p.current (Some job);
+  Atomic.incr p.epoch;
+  (* Wake parked workers only when someone is actually parked: a hot
+     pipeline of back-to-back submits keeps workers spinning and never
+     touches the lock. *)
+  if Atomic.get p.parked > 0 then begin
+    Mutex.lock p.park_lock;
+    Condition.broadcast p.park_cond;
+    Mutex.unlock p.park_lock
+  end;
+  participate job 0 nslots;
+  wait_done job;
+  Atomic.set p.current None;
+  Mutex.unlock p.submit_lock;
+  match job.exn with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let run ?pool ?grain ~n body =
   if n > 0 then begin
-    let serial () = body 0 n in
-    if n <= max 1 threshold || !(Domain.DLS.get in_worker) then serial ()
+    let cutoff = match grain with Some g -> 2 * max 1 g | None -> default_serial_cutoff in
+    if n < cutoff || !(Domain.DLS.get in_worker) then serial_run body n
     else begin
       let p = resolve_pool pool in
-      if p.pool_size = 1 || p.shutdown then serial ()
+      if p.pool_size = 1 || Atomic.get p.shutdown then serial_run body n
       else begin
-        let chunk =
-          match chunk with
-          | Some c -> max 1 c
-          | None ->
-            (* ~4 chunks per participant keeps dynamic claiming balanced
-               without shredding the range. *)
-            max 1 ((n + (4 * p.pool_size) - 1) / (4 * p.pool_size))
+        let grain =
+          match grain with
+          | Some g -> max 1 g
+          | None -> max 1 (n / (16 * p.pool_size))
         in
-        let task =
-          {
-            body;
-            n;
-            chunk;
-            next = Atomic.make 0;
-            remaining = Atomic.make n;
-            failed = Atomic.make false;
-            exn = None;
-            task_lock = Mutex.create ();
-            done_cond = Condition.create ();
-            finished = false;
-          }
-        in
-        Mutex.lock p.submit_lock;
-        Mutex.lock p.lock;
-        p.generation <- p.generation + 1;
-        p.current <- Some task;
-        Condition.broadcast p.work_cond;
-        Mutex.unlock p.lock;
-        participate task;
-        Mutex.lock task.task_lock;
-        while not task.finished do
-          Condition.wait task.done_cond task.task_lock
-        done;
-        Mutex.unlock task.task_lock;
-        Mutex.lock p.lock;
-        p.current <- None;
-        Mutex.unlock p.lock;
-        Mutex.unlock p.submit_lock;
-        match task.exn with
-        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-        | None -> ()
+        if n <= max_segment then submit p grain ~n body
+        else begin
+          (* Ranges pack into 31 bits; astronomically large loops run as a
+             sequence of segment-local jobs. *)
+          let seg = ref 0 in
+          while !seg < n do
+            let len = min max_segment (n - !seg) in
+            let base = !seg in
+            submit p grain ~n:len (fun lo hi -> body (base + lo) (base + hi));
+            seg := !seg + len
+          done
+        end
       end
     end
   end
 
-let parallel_for ?pool ?chunk ?threshold ~n f =
-  run ?pool ?chunk ?threshold ~n (fun lo hi ->
+let parallel_for ?pool ?grain ~n f =
+  run ?pool ?grain ~n (fun lo hi ->
       for i = lo to hi - 1 do
         f i
       done)
 
-let parallel_init ?pool ?chunk ?threshold n f =
+let parallel_init ?pool ?grain n f =
   if n <= 0 then [||]
   else begin
     let first = f 0 in
     let out = Array.make n first in
-    run ?pool ?chunk ?threshold ~n:(n - 1) (fun lo hi ->
+    run ?pool ?grain ~n:(n - 1) (fun lo hi ->
         for i = lo to hi - 1 do
           out.(i + 1) <- f (i + 1)
         done);
     out
   end
 
-let parallel_map ?pool ?chunk ?threshold f a =
+let parallel_map ?pool ?grain f a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
     let first = f a.(0) in
     let out = Array.make n first in
-    run ?pool ?chunk ?threshold ~n:(n - 1) (fun lo hi ->
+    run ?pool ?grain ~n:(n - 1) (fun lo hi ->
         for i = lo to hi - 1 do
           out.(i + 1) <- f a.(i + 1)
         done);
     out
   end
 
-let fold_chunks ?pool ?chunk ?threshold ~n ~init ~body ~combine () =
+let fold_chunks ?pool ?chunk ?grain ~n ~init ~body ~combine () =
   if n <= 0 then init
   else begin
     (* Chunk geometry is a function of n (and the explicit chunk) only, so
-       the combine order below is identical for every pool size. *)
+       the combine order below is identical for every pool size and grain. *)
     let chunk =
       match chunk with Some c -> max 1 c | None -> max 1 ((n + 63) / 64)
     in
     let nchunks = (n + chunk - 1) / chunk in
     let parts = Array.make nchunks None in
-    run ?pool ~chunk:1 ?threshold ~n:nchunks (fun clo chi ->
-        for c = clo to chi - 1 do
-          let lo = c * chunk in
-          let hi = min (lo + chunk) n in
-          parts.(c) <- Some (body lo hi)
-        done);
+    let run_chunks clo chi =
+      for c = clo to chi - 1 do
+        let lo = c * chunk in
+        let hi = min (lo + chunk) n in
+        parts.(c) <- Some (body lo hi)
+      done
+    in
+    (* Grain arrives in items; convert to whole chunks per claim. The serial
+       crossover is checked in items too, before the chunk-count reduction,
+       so a cost-calibrated grain means the same thing here as in run. *)
+    (match grain with
+    | Some g when n < 2 * max 1 g -> Arena.with_frame (fun () -> run_chunks 0 nchunks)
+    | _ ->
+      let grain_chunks = Option.map (fun g -> max 1 (g / chunk)) grain in
+      run ?pool ?grain:grain_chunks ~n:nchunks run_chunks);
     Array.fold_left
       (fun acc part -> match part with Some v -> combine acc v | None -> acc)
       init parts

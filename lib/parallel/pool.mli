@@ -1,20 +1,40 @@
-(** Domain-based work pool for the prover hot paths.
+(** Work-stealing Domain pool for the prover hot paths.
 
-    A fixed set of worker domains (sized from {!set_baseline_domains} — the
+    Persistent worker domains (sized from {!set_baseline_domains} — the
     engine layer installs [NOCAP_DOMAINS] there — or
-    {!Domain.recommended_domain_count}) executes chunked index ranges on
+    {!Domain.recommended_domain_count}) execute chunked index ranges on
     behalf of a submitting domain, which also participates. The pool is the
     software analogue of NoCap's vector lanes: every converted kernel
     (Merkle hashing, row-wise encoding, sumcheck rounds, Pippenger windows)
     is an embarrassingly parallel loop over disjoint output slots.
 
+    {b Scheduling.} Submission statically slices [\[0, n)] into one packed
+    lock-free range per participant; owners claim [grain] indices at a time
+    from the bottom of their range, idle participants steal the top half of
+    a victim's range (Rayon-style splitting), so imbalance self-corrects
+    without a shared queue. The submit hot path is a single atomic epoch
+    bump — parked workers are woken only when the parked count says someone
+    is actually asleep, and workers spin ({!Domain.cpu_relax}) for a short
+    budget before parking, so back-to-back kernel launches never touch a
+    mutex. See DESIGN.md Sec. 12.
+
+    {b Grain.} [?grain] is the per-claim chunk size, calibrated so one claim
+    amortizes ≥ ~50µs of work ({!grain_of_ns} maps a per-item cost estimate
+    to a grain). Inputs below the crossover ([n < 2 * grain]) run serially
+    in the caller — dispatch is never paid where it cannot win.
+
+    {b Arenas.} Every claimed chunk (and the serial fallback) runs inside
+    {!Nocap_vec.Arena.with_frame}, so bodies may allocate domain-local
+    scratch freely and never contend on a shared heap.
+
     {b Determinism contract.} Results are byte-identical for every domain
     count, including 1, because (a) all parallelised bodies write disjoint
     array slots or combine exact field/group elements, and (b)
     {!fold_chunks} fixes its chunk boundaries and combine order as a pure
-    function of [n] and [chunk] — never of the pool size or of scheduling.
-    The serial fallback (pool of size 1, [n] below [threshold], or a nested
-    call from inside a worker) runs the same chunk decomposition in order. *)
+    function of [n] and [chunk] — never of the pool size, the grain, or of
+    scheduling. The serial fallback (pool of size 1, [n] below the
+    crossover, or a nested call from inside a worker) runs the same chunk
+    decomposition in order. *)
 
 type t
 (** A pool handle. The submitting domain counts towards the size, so a pool
@@ -59,30 +79,48 @@ val with_domains : int -> (unit -> 'a) -> 'a
 (** [with_domains k f] runs [f] with the default pool resized to [k],
     restoring the previous size afterwards (even on exceptions). *)
 
-val run : ?pool:t -> ?chunk:int -> ?threshold:int -> n:int -> (int -> int -> unit) -> unit
-(** [run ~n body] executes [body lo hi] over half-open chunks covering
-    [\[0, n)]. Chunks are claimed dynamically by participating domains, so
-    [body] must only write state disjoint per index (or commute exactly).
-    [chunk] is the chunk length (default: [n] split ~4 ways per domain);
-    [n <= threshold] (default 32) short-circuits to [body 0 n] in the
-    calling domain. The first exception raised by any participant is
-    re-raised in the submitting domain after all chunks complete. Nested
-    calls from inside a worker run serially. *)
+val set_spin_us : int -> unit
+(** Spin budget (microseconds of {!Domain.cpu_relax}) an idle worker burns
+    before parking on the OS, and the submitter burns before sleeping on
+    job completion. [0] parks immediately — right for oversubscribed or
+    single-core hosts. Negative values reset to the built-in default
+    (0 when [Domain.recommended_domain_count () <= 1], else 20). The engine
+    layer installs [NOCAP_SPIN_US] here. *)
 
-val parallel_for : ?pool:t -> ?chunk:int -> ?threshold:int -> n:int -> (int -> unit) -> unit
+val spin_us : unit -> int
+(** The spin budget currently in effect. *)
+
+val grain_of_ns : int -> int
+(** [grain_of_ns cost] is the grain that makes one claimed chunk amortize
+    ~50µs of work for a body costing [cost] nanoseconds per index:
+    [max 1 (50_000 / max 1 cost)]. Kernels pass measured-once cost
+    constants; see DESIGN.md Sec. 12 for the calibration table. *)
+
+val run : ?pool:t -> ?grain:int -> n:int -> (int -> int -> unit) -> unit
+(** [run ~grain ~n body] executes [body lo hi] over half-open chunks
+    covering [\[0, n)]. Chunks are claimed and stolen dynamically, so
+    [body] must only write state disjoint per index (or commute exactly).
+    [grain] is the per-claim chunk length (default [max 1 (n / (16 * size))]
+    with a serial cutoff of 64); [n < 2 * grain] short-circuits to
+    [body 0 n] in the calling domain. Every chunk runs inside an
+    {!Nocap_vec.Arena.with_frame}. The first exception raised by any
+    participant is re-raised in the submitting domain after all chunks
+    complete. Nested calls from inside a worker run serially. *)
+
+val parallel_for : ?pool:t -> ?grain:int -> n:int -> (int -> unit) -> unit
 (** Per-index variant of {!run}. *)
 
-val parallel_init : ?pool:t -> ?chunk:int -> ?threshold:int -> int -> (int -> 'a) -> 'a array
+val parallel_init : ?pool:t -> ?grain:int -> int -> (int -> 'a) -> 'a array
 (** Parallel [Array.init]. [f 0] runs first in the submitting domain (to
     seed the result array), the rest in parallel. *)
 
-val parallel_map : ?pool:t -> ?chunk:int -> ?threshold:int -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_map : ?pool:t -> ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map], same evaluation structure as {!parallel_init}. *)
 
 val fold_chunks :
   ?pool:t ->
   ?chunk:int ->
-  ?threshold:int ->
+  ?grain:int ->
   n:int ->
   init:'acc ->
   body:(int -> int -> 'part) ->
@@ -94,4 +132,6 @@ val fold_chunks :
     Chunk boundaries depend only on [n] and [chunk] (default
     [max 1 (ceil (n / 64))]), so the reduction tree is identical for every
     domain count — this is what makes reductions over inexact operations
-    deterministic too. *)
+    deterministic too. [grain] is still in {e items}: participants claim
+    [max 1 (grain / chunk)] chunks at a time, and [n < 2 * grain] falls
+    back to a serial loop over the same chunk sequence. *)

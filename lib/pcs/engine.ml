@@ -2,15 +2,23 @@ module Pool = Nocap_parallel.Pool
 module Rng = Zk_util.Rng
 
 module Config = struct
-  type t = { domains : int option; gc_minor_mb : int option }
+  type t = { domains : int option; gc_minor_mb : int option; spin_us : int option }
 
-  let default = { domains = None; gc_minor_mb = None }
+  let default = { domains = None; gc_minor_mb = None; spin_us = None }
 
   let parse_positive ~name raw =
     match int_of_string_opt (String.trim raw) with
     | Some v when v > 0 -> Ok v
     | Some v -> Error (Printf.sprintf "%s must be a positive integer, got %d" name v)
     | None -> Error (Printf.sprintf "%s must be a positive integer, got %S" name raw)
+
+  (* Spin budgets may legitimately be 0 ("park immediately"), so the spin
+     knob gets its own non-negative parser. *)
+  let parse_non_negative ~name raw =
+    match int_of_string_opt (String.trim raw) with
+    | Some v when v >= 0 -> Ok v
+    | Some v -> Error (Printf.sprintf "%s must be a non-negative integer, got %d" name v)
+    | None -> Error (Printf.sprintf "%s must be a non-negative integer, got %S" name raw)
 
   let parse ~lookup =
     let ( let* ) = Result.bind in
@@ -21,9 +29,17 @@ module Config = struct
         let* v = parse_positive ~name raw in
         Ok (Some v)
     in
+    let knob_nn name =
+      match lookup name with
+      | None -> Ok None
+      | Some raw ->
+        let* v = parse_non_negative ~name raw in
+        Ok (Some v)
+    in
     let* domains = knob "NOCAP_DOMAINS" in
     let* gc_minor_mb = knob "NOCAP_GC_MINOR_MB" in
-    Ok { domains; gc_minor_mb }
+    let* spin_us = knob_nn "NOCAP_SPIN_US" in
+    Ok { domains; gc_minor_mb; spin_us }
 
   (* The single environment-read site in the whole tree. Malformed values
      fail loudly here instead of silently falling back: an operator who set
@@ -58,6 +74,7 @@ let default () =
        a pool eagerly) keeps Pool.with_domains and explicit pools able to
        override, and avoids spawning domains in processes that never prove. *)
     Option.iter Pool.set_baseline_domains config.Config.domains;
+    Option.iter Pool.set_spin_us config.Config.spin_us;
     let e = create ~config () in
     default_engine := Some e;
     e

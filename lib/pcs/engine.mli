@@ -16,7 +16,7 @@
     only in [pool]/[trace] produce identical proofs. *)
 
 module Config : sig
-  type t = { domains : int option; gc_minor_mb : int option }
+  type t = { domains : int option; gc_minor_mb : int option; spin_us : int option }
 
   val default : t
   (** Both knobs unset. *)
@@ -24,10 +24,12 @@ module Config : sig
   val parse : lookup:(string -> string option) -> (t, string) result
   (** Parse the configuration from a key-value source ([lookup] is
       [Sys.getenv_opt] in production, an assoc list in tests). Recognized
-      keys: [NOCAP_DOMAINS] (default-pool size) and [NOCAP_GC_MINOR_MB]
-      (minor heap size for {!tune_gc}). A key that is set but not a
-      positive integer is an [Error] — malformed values are rejected
-      loudly, never silently defaulted. *)
+      keys: [NOCAP_DOMAINS] (default-pool size), [NOCAP_GC_MINOR_MB]
+      (minor heap size for {!tune_gc}) and [NOCAP_SPIN_US] (idle-worker
+      spin budget before parking, see
+      {!Nocap_parallel.Pool.set_spin_us}; 0 is legal and means park
+      immediately). A key that is set but malformed is an [Error] —
+      rejected loudly, never silently defaulted. *)
 
   val of_env : unit -> t
   (** [parse] over the process environment; the only [Sys.getenv] site in

@@ -72,7 +72,11 @@ let prove_arrays ?engine ?(comb_mults = 0) transcript ~degree ~tables ~comb ~cla
       g
     in
     let g =
-      Pool.fold_chunks ?pool ~chunk:1024 ~threshold:2048 ~n:half
+      Pool.fold_chunks ?pool ~chunk:1024
+        (* One index evaluates the combiner at degree+1 points; the fixed
+           chunk:1024 pins the combine order for every grain. *)
+        ~grain:(Pool.grain_of_ns (max 1 ((degree + 1) * (comb_mults + k) * 20)))
+        ~n:half
         ~init:(Array.make (degree + 1) Gf.zero)
         ~body:eval_chunk
         ~combine:(fun acc part ->
@@ -92,7 +96,7 @@ let prove_arrays ?engine ?(comb_mults = 0) transcript ~degree ~tables ~comb ~cla
        b < half are disjoint from the reads at b + half. *)
     for j = 0 to k - 1 do
       let t = tables.(j) in
-      Pool.run ?pool ~threshold:2048 ~n:half (fun lo hi ->
+      Pool.run ?pool ~grain:(Pool.grain_of_ns 15) ~n:half (fun lo hi ->
           for b = lo to hi - 1 do
             t.(b) <- Gf.add t.(b) (Gf.mul r (Gf.sub t.(b + half) t.(b)))
           done)
@@ -158,7 +162,11 @@ let prove ?engine ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
       g
     in
     let g =
-      Pool.fold_chunks ?pool ~chunk:1024 ~threshold:2048 ~n:half
+      Pool.fold_chunks ?pool ~chunk:1024
+        (* One index evaluates the combiner at degree+1 points; the fixed
+           chunk:1024 pins the combine order for every grain. *)
+        ~grain:(Pool.grain_of_ns (max 1 ((degree + 1) * (comb_mults + k) * 20)))
+        ~n:half
         ~init:(Array.make (degree + 1) Gf.zero)
         ~body:eval_chunk
         ~combine:(fun acc part ->
@@ -176,7 +184,7 @@ let prove ?engine ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
     challenges.(round) <- r;
     for j = 0 to k - 1 do
       let t = tabs.(j) in
-      Pool.run ?pool ~threshold:2048 ~n:half (fun lo hi ->
+      Pool.run ?pool ~grain:(Pool.grain_of_ns 15) ~n:half (fun lo hi ->
           for b = lo to hi - 1 do
             let x = Fv.unsafe_get t b in
             Fv.unsafe_set t b (Gf.add x (Gf.mul r (Gf.sub (Fv.unsafe_get t (b + half)) x)))

@@ -24,6 +24,11 @@ val field : json -> string -> json
 (** Object member access. @raise Bad_json when missing or not an object. *)
 
 val as_num : json -> float
+
+val as_int : json -> int
+(** {!as_num} restricted to integral values.
+    @raise Bad_json on fractional numbers. *)
+
 val as_str : json -> string
 val as_list : json -> json list
 val as_bool : json -> bool

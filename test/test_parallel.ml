@@ -1,6 +1,8 @@
 (* Parallel runtime tests: pool torture (nesting, exceptions, degenerate
-   sizes) plus QCheck parallel/serial equivalence — every converted hot path
-   must produce byte-identical results for domain counts 1, 2, and N. *)
+   sizes, work-stealing under skew, park/unpark races) plus QCheck
+   parallel/serial equivalence — every converted hot path must produce
+   byte-identical results for domain counts 1, 2, and N, and for every
+   grain including ones larger than the whole range. *)
 
 module Pool = Nocap_parallel.Pool
 module Gf = Zk_field.Gf
@@ -33,22 +35,22 @@ let test_degenerate () =
       Alcotest.(check (array int)) "map empty" [||] (Pool.parallel_map (fun x -> x) [||]);
       Alcotest.(check (array int)) "init 1" [| 7 |] (Pool.parallel_init 1 (fun _ -> 7));
       let hits = ref 0 in
-      Pool.parallel_for ~threshold:0 ~n:1 (fun _ -> incr hits);
+      Pool.parallel_for ~grain:1 ~n:1 (fun _ -> incr hits);
       Alcotest.(check int) "size-1 input runs once" 1 !hits)
 
 let test_init_matches_serial () =
   let expected = Array.init 1000 (fun i -> (i * i) + 3) in
   with_each_domain_count (fun _ ->
-      Pool.parallel_init ~threshold:1 1000 (fun i -> (i * i) + 3))
+      Pool.parallel_init ~grain:1 1000 (fun i -> (i * i) + 3))
   |> List.iter (fun got -> Alcotest.(check (array int)) "parallel_init" expected got)
 
 let test_nested () =
   Pool.with_domains 3 (fun () ->
       let got =
-        Pool.parallel_init ~threshold:1 16 (fun i ->
+        Pool.parallel_init ~grain:1 16 (fun i ->
             (* Nested submission from inside a worker must run serially and
                still be correct. *)
-            let inner = Pool.parallel_init ~threshold:1 8 (fun j -> (i * 8) + j) in
+            let inner = Pool.parallel_init ~grain:1 8 (fun j -> (i * 8) + j) in
             Array.fold_left ( + ) 0 inner)
       in
       let expected = Array.init 16 (fun i -> Array.fold_left ( + ) 0 (Array.init 8 (fun j -> (i * 8) + j))) in
@@ -58,17 +60,18 @@ exception Boom of int
 
 let test_exception_propagation () =
   Pool.with_domains 3 (fun () ->
-      (match Pool.parallel_for ~threshold:1 ~n:100 (fun i -> if i = 57 then raise (Boom i)) with
+      (match Pool.parallel_for ~grain:1 ~n:100 (fun i -> if i = 57 then raise (Boom i)) with
       | () -> Alcotest.fail "expected exception"
       | exception Boom 57 -> ()
       | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e));
       (* The pool must stay usable after a failed task. *)
-      let a = Pool.parallel_init ~threshold:1 64 (fun i -> 2 * i) in
+      let a = Pool.parallel_init ~grain:1 64 (fun i -> 2 * i) in
       Alcotest.(check (array int)) "pool alive after exn" (Array.init 64 (fun i -> 2 * i)) a)
 
-(* Every index raises: the caller must still see exactly one exception (with
-   its backtrace preserved), and the pool must not wedge — subsequent
-   submissions run on all workers. *)
+(* Every index raises while stealing is active (grain 1 over many indices
+   forces workers to trade chunks): the caller must still see exactly one
+   exception (with its backtrace preserved), and the pool must not wedge —
+   subsequent submissions run on all workers. *)
 let test_exception_storm_surfaces_once () =
   let prev = Printexc.backtrace_status () in
   Printexc.record_backtrace true;
@@ -77,7 +80,7 @@ let test_exception_storm_surfaces_once () =
     (fun () ->
       Pool.with_domains 3 (fun () ->
           let surfaced = ref 0 in
-          (match Pool.parallel_for ~threshold:1 ~n:64 (fun i -> raise (Boom i)) with
+          (match Pool.parallel_for ~grain:1 ~n:64 (fun i -> raise (Boom i)) with
           | () -> Alcotest.fail "expected exception"
           | exception Boom _ ->
             incr surfaced;
@@ -87,7 +90,7 @@ let test_exception_storm_surfaces_once () =
               (Printexc.raw_backtrace_length bt > 0)
           | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e));
           Alcotest.(check int) "exactly one exception surfaced" 1 !surfaced;
-          let a = Pool.parallel_init ~threshold:1 128 (fun i -> i + 1) in
+          let a = Pool.parallel_init ~grain:1 128 (fun i -> i + 1) in
           Alcotest.(check (array int))
             "pool alive after exception storm"
             (Array.init 128 (fun i -> i + 1))
@@ -97,7 +100,7 @@ let test_fold_chunks () =
   List.iter
     (fun chunk ->
       with_each_domain_count (fun _ ->
-          Pool.fold_chunks ~chunk ~threshold:1 ~n:1000 ~init:0
+          Pool.fold_chunks ~chunk ~grain:1 ~n:1000 ~init:0
             ~body:(fun lo hi ->
               let s = ref 0 in
               for i = lo to hi - 1 do
@@ -113,10 +116,101 @@ let test_with_domains_restores () =
   (try Pool.with_domains 2 (fun () -> failwith "boom") with Failure _ -> ());
   Alcotest.(check int) "default restored after exn" before (Pool.default_domains ())
 
-(* --- parallel/serial equivalence (QCheck) ------------------------------ *)
+(* Park/unpark races: with the spin budget forced to zero every worker
+   parks the instant it runs out of work, so back-to-back submissions
+   exercise the epoch/parked handshake hundreds of times. A missed wakeup
+   here shows up as a hang (alcotest timeout) or a lost index. *)
+let test_park_unpark_races () =
+  let prev = Pool.spin_us () in
+  Pool.set_spin_us 0;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_spin_us prev)
+    (fun () ->
+      Pool.with_domains 4 (fun () ->
+          for round = 1 to 300 do
+            let n = 1 + (round mod 97) in
+            let hits = Array.make n 0 in
+            Pool.parallel_for ~grain:1 ~n (fun i ->
+                hits.(i) <- hits.(i) + 1);
+            Array.iteri
+              (fun i h ->
+                if h <> 1 then
+                  Alcotest.failf "round %d: index %d ran %d times" round i h)
+              hits
+          done))
 
+(* Work-stealing under skew: a few indices carry almost all the work, so a
+   static split strands most of it on one worker and only stealing can
+   rebalance. Every index must run exactly once regardless. *)
+let test_stealing_skewed_work () =
+  Pool.with_domains 4 (fun () ->
+      let n = 256 in
+      let hits = Array.make n 0 in
+      let sink = ref 0 in
+      Pool.parallel_for ~grain:1 ~n (fun i ->
+          hits.(i) <- hits.(i) + 1;
+          (* Indices 0..3 busy-loop ~1000x longer than the rest. *)
+          let iters = if i < 4 then 100_000 else 100 in
+          let acc = ref 0 in
+          for k = 1 to iters do
+            acc := !acc + (k land 7)
+          done;
+          sink := !sink + (!acc land 1));
+      Array.iteri
+        (fun i h -> if h <> 1 then Alcotest.failf "skew: index %d ran %d times" i h)
+        hits)
+
+(* QCheck stealing torture: random n (including 0 and 1), random grain
+   (including grains larger than n, which must hit the serial fallback),
+   random per-index work skew, random domain count. Coverage is checked
+   with per-index counters — exactly-once execution is the whole
+   correctness contract of the deque/steal protocol. *)
 let qcheck ?(count = 10) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let qcheck_stealing_torture =
+  qcheck ~count:40 "work-stealing covers every index exactly once"
+    QCheck.(
+      make
+        Gen.(
+          quad (int_range 0 700) (int_range 1 2000) (int_range 1 4)
+            (int_range 0 1000)))
+    (fun (n, grain, domains, seed) ->
+      Pool.with_domains domains (fun () ->
+          let hits = Array.make (max 1 n) 0 in
+          let sink = ref 0 in
+          Pool.parallel_for ~grain ~n (fun i ->
+              hits.(i) <- hits.(i) + 1;
+              (* Deterministic skew derived from the seed: some indices are
+                 ~100x heavier, forcing thieves onto slow victims. *)
+              let iters = if (i + seed) mod 13 = 0 then 5_000 else 50 in
+              let acc = ref 0 in
+              for k = 1 to iters do
+                acc := !acc + (k land 3)
+              done;
+              sink := !sink + (!acc land 1));
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            if hits.(i) <> 1 then ok := false
+          done;
+          !ok))
+
+(* Grain property: for any grain (1 .. far beyond n, where the serial
+   crossover kicks in) the observable result is identical. Uses a
+   value-producing kernel (parallel_init) so a dropped or doubled index
+   changes bytes, not just counts. *)
+let qcheck_grain_equivalence =
+  qcheck ~count:40 "results identical for every grain incl. serial fallback"
+    QCheck.(make Gen.(triple (int_range 0 500) (int_range 1 4000) (int_range 1 4)))
+    (fun (n, grain, domains) ->
+      let expected = Array.init n (fun i -> (i * 31) lxor (i lsr 2)) in
+      let got =
+        Pool.with_domains domains (fun () ->
+            Pool.parallel_init ~grain n (fun i -> (i * 31) lxor (i lsr 2)))
+      in
+      got = expected)
+
+(* --- parallel/serial equivalence (QCheck) ------------------------------ *)
 
 let gf_array_gen log_n =
   QCheck.Gen.(
@@ -247,6 +341,12 @@ let suite =
       test_exception_storm_surfaces_once;
     Alcotest.test_case "fold_chunks determinism" `Quick test_fold_chunks;
     Alcotest.test_case "with_domains restores" `Quick test_with_domains_restores;
+    Alcotest.test_case "park/unpark races under repeated submit" `Quick
+      test_park_unpark_races;
+    Alcotest.test_case "stealing rebalances skewed work" `Quick
+      test_stealing_skewed_work;
+    qcheck_stealing_torture;
+    qcheck_grain_equivalence;
     qcheck_merkle;
     qcheck_ntt_rows;
     qcheck_four_step;

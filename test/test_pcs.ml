@@ -295,9 +295,11 @@ let test_engine_config () =
   | Error e -> Alcotest.failf "empty env rejected: %s" e);
   (match
      Engine.Config.parse
-       ~lookup:(lookup [ ("NOCAP_DOMAINS", "3"); ("NOCAP_GC_MINOR_MB", "64") ])
+       ~lookup:
+         (lookup
+            [ ("NOCAP_DOMAINS", "3"); ("NOCAP_GC_MINOR_MB", "64"); ("NOCAP_SPIN_US", "0") ])
    with
-  | Ok { Engine.Config.domains = Some 3; gc_minor_mb = Some 64 } -> ()
+  | Ok { Engine.Config.domains = Some 3; gc_minor_mb = Some 64; spin_us = Some 0 } -> ()
   | Ok _ -> Alcotest.fail "parsed values wrong"
   | Error e -> Alcotest.failf "valid env rejected: %s" e);
   List.iter
@@ -306,6 +308,14 @@ let test_engine_config () =
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "accepted NOCAP_DOMAINS=%s" v)
     [ "zero"; "-2"; "0"; "" ];
+  (* Spin budgets accept 0 (park immediately) but nothing negative or
+     malformed. *)
+  List.iter
+    (fun v ->
+      match Engine.Config.parse ~lookup:(lookup [ ("NOCAP_SPIN_US", v) ]) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted NOCAP_SPIN_US=%s" v)
+    [ "-1"; "ten"; "" ];
   match Engine.Config.parse ~lookup:(lookup [ ("NOCAP_GC_MINOR_MB", "1.5") ]) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted fractional NOCAP_GC_MINOR_MB"
