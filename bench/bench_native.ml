@@ -1,0 +1,283 @@
+(* Native kernel layer benchmark: times each C-stub-backed kernel in its
+   three modes — pure OCaml oracle ([Native.Off]), portable scalar C
+   ([Native.Scalar]), and SIMD-dispatched C ([Native.Simd]) — cross-checks
+   that all three produce identical results, and emits BENCH_native.json
+   (validated against its own schema before exit).
+
+   Everything runs single-domain ([Pool.with_domains 1]): the point is the
+   per-kernel instruction stream, not parallel scaling — BENCH_parallel.json
+   covers that axis, and the native/OCaml choice composes with it (the
+   mode-aware grain costs in Keccak/Ntt/Reed_solomon keep chunking sane
+   either way).
+
+   The three modes are timed over the same preallocated inputs, so the
+   ratios isolate the kernel swap itself. On a machine without AVX2/NEON the
+   Simd rows degrade to the scalar C bodies and speedup_simd ~= speedup_scalar;
+   the "features" field in the JSON records which case a given report is. *)
+
+open Nocap_repro
+module Gf_fv = Ntt.Gf_fv
+
+let wall () = Unix.gettimeofday ()
+
+(* Best-of-r wall time from a settled heap. *)
+let measure ~reps f =
+  Gc.full_major ();
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = wall () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = wall () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type kernel = {
+  k_name : string;
+  k_n : int; (* elements (or bytes, for keccak-batch) processed per run *)
+  k_run : unit -> string; (* runs under the ambient mode; returns fingerprint *)
+}
+
+let kernels ~smoke rng =
+  let scale b s = if smoke then s else b in
+  (* Elementwise Goldilocks: one mul_into pass over a large vector. *)
+  let ew_n = scale (1 lsl 20) (1 lsl 12) in
+  let ew_a = Fv.create ew_n and ew_b = Fv.create ew_n in
+  for i = 0 to ew_n - 1 do
+    Fv.set ew_a i (Gf.random rng);
+    Fv.set ew_b i (Gf.random rng)
+  done;
+  let ew_dst = Fv.create ew_n in
+  (* Row-batched forward NTT: the codeword-matrix shape Orion commits. *)
+  let ntt_rows = scale 64 4 in
+  let ntt_cols = scale (1 lsl 12) (1 lsl 8) in
+  let ntt_input = Fv.create (ntt_rows * ntt_cols) in
+  for i = 0 to (ntt_rows * ntt_cols) - 1 do
+    Fv.set ntt_input i (Gf.random rng)
+  done;
+  let ntt_buf = Fv.create (ntt_rows * ntt_cols) in
+  let ntt_plan = Gf_fv.plan ntt_cols in
+  (* Keccak batch: independent equal-length messages (three f1600 each). *)
+  let kb_count = scale 1024 32 in
+  let kb_len = scale 272 64 in
+  let kb_msgs =
+    Array.init kb_count (fun i ->
+        Bytes.init kb_len (fun j -> Char.chr ((i + (31 * j)) land 0xff)))
+  in
+  (* Fused RS row encode over a message matrix. *)
+  let rs_rows = scale 128 4 in
+  let rs_cols = scale 1024 64 in
+  let rs_flat = Fv.create (rs_rows * rs_cols) in
+  for i = 0 to (rs_rows * rs_cols) - 1 do
+    Fv.set rs_flat i (Gf.random rng)
+  done;
+  (* Column sponges over a flat codeword matrix (Merkle leaf hashing). *)
+  let ch_rows = scale 2048 64 in
+  let ch_cols = scale 256 16 in
+  let ch_flat = Fv.create (ch_rows * ch_cols) in
+  for i = 0 to (ch_rows * ch_cols) - 1 do
+    Fv.set ch_flat i (Gf.random rng)
+  done;
+  (* One Merkle level: pairwise digest compression. *)
+  let hp_n = scale 8192 64 in
+  let hp_digests =
+    Array.init hp_n (fun i -> Keccak.sha3_256 (Bytes.of_string (string_of_int i)))
+  in
+  [
+    {
+      k_name = "fv-mul";
+      k_n = ew_n;
+      k_run =
+        (fun () ->
+          Fv.mul_into ~dst:ew_dst ew_a ew_b;
+          Gf.to_string (Fv.get ew_dst (ew_n - 1)));
+    };
+    {
+      k_name = "ntt-forward-rows";
+      k_n = ntt_rows * ntt_cols;
+      k_run =
+        (fun () ->
+          Fv.blit ~src:ntt_input ~src_pos:0 ~dst:ntt_buf ~dst_pos:0
+            ~len:(ntt_rows * ntt_cols);
+          Gf_fv.forward_rows_flat ntt_plan ~rows:ntt_rows ntt_buf;
+          Gf.to_string (Fv.get ntt_buf ((ntt_rows * ntt_cols) - 1)));
+    };
+    {
+      k_name = "keccak-batch";
+      k_n = kb_count * kb_len;
+      k_run =
+        (fun () ->
+          let d = Keccak.sha3_256_batch kb_msgs in
+          Keccak.to_hex d.(kb_count - 1));
+    };
+    {
+      k_name = "rs-encode-rows";
+      k_n = rs_rows * rs_cols;
+      k_run =
+        (fun () ->
+          let e = Reed_solomon.encode_rows_fv ~rows:rs_rows ~cols:rs_cols rs_flat in
+          Gf.to_string
+            (Fv.get e (((rs_rows - 1) * Reed_solomon.blowup * rs_cols) + 1)));
+    };
+    {
+      k_name = "col-hash";
+      k_n = ch_rows * ch_cols;
+      k_run =
+        (fun () ->
+          let d = Keccak.hash_matrix_cols ~rows:ch_rows ~cols:ch_cols ch_flat in
+          Keccak.to_hex d.(ch_cols - 1));
+    };
+    {
+      k_name = "hash2-pairs";
+      k_n = hp_n;
+      k_run =
+        (fun () ->
+          let d = Keccak.hash2_pairs hp_digests in
+          Keccak.to_hex d.((hp_n / 2) - 1));
+    };
+  ]
+
+type row = {
+  kernel : kernel;
+  ocaml_s : float;
+  scalar_s : float;
+  simd_s : float;
+  fingerprint_equal : bool;
+}
+
+let measure_kernel ~smoke k =
+  let reps = if smoke then 2 else 5 in
+  let under mode =
+    Native.with_mode mode (fun () ->
+        (* Warm-up builds plans/twiddles and takes the equality fingerprint. *)
+        let fp = k.k_run () in
+        (fp, measure ~reps k.k_run))
+  in
+  let fp_ocaml, ocaml_s = under Native.Off in
+  let fp_scalar, scalar_s = under Native.Scalar in
+  let fp_simd, simd_s = under Native.Simd in
+  {
+    kernel = k;
+    ocaml_s;
+    scalar_s;
+    simd_s;
+    fingerprint_equal =
+      String.equal fp_ocaml fp_scalar && String.equal fp_ocaml fp_simd;
+  }
+
+let speedup_scalar r = r.ocaml_s /. r.scalar_s
+let speedup_simd r = r.ocaml_s /. r.simd_s
+
+(* --- JSON emission + schema --------------------------------------------- *)
+
+let schema_id = "nocap-bench-native/v1"
+
+let json_of_rows rows =
+  let buf = Buffer.create 4096 in
+  let adds fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  adds "{\n";
+  adds "  \"schema\": %S,\n" schema_id;
+  adds "  \"domains\": 1,\n";
+  adds "  \"features\": %S,\n" (Native.features_to_string ());
+  adds "  \"default_mode\": %S,\n" (Native.mode_to_string (Native.mode ()));
+  adds "  \"kernels\": [\n";
+  List.iteri
+    (fun i r ->
+      adds "    {\n";
+      adds "      \"name\": %S,\n" r.kernel.k_name;
+      adds "      \"n\": %d,\n" r.kernel.k_n;
+      adds "      \"fingerprint_equal\": %b,\n" r.fingerprint_equal;
+      adds "      \"ocaml_seconds\": %.9f,\n" r.ocaml_s;
+      adds "      \"scalar_seconds\": %.9f,\n" r.scalar_s;
+      adds "      \"simd_seconds\": %.9f,\n" r.simd_s;
+      adds "      \"speedup_scalar\": %.4f,\n" (speedup_scalar r);
+      adds "      \"speedup_simd\": %.4f\n" (speedup_simd r);
+      adds "    }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  adds "  ]\n";
+  adds "}\n";
+  Buffer.contents buf
+
+open Json_min
+
+(* Required shape: schema id, single-domain marker, CPU feature string, and
+   >= 6 kernels each carrying all three timings, matching fingerprints, and
+   positive speedups; the three acceptance kernels must be present. *)
+let validate_schema (s : string) : (unit, string) result =
+  try
+    let j = parse_json s in
+    if as_str (field j "schema") <> schema_id then raise (Bad_json "wrong schema id");
+    if as_num (field j "domains") <> 1.0 then
+      raise (Bad_json "native bench must be single-domain");
+    ignore (as_str (field j "features"));
+    ignore (as_str (field j "default_mode"));
+    let kernels = as_list (field j "kernels") in
+    if List.length kernels < 6 then raise (Bad_json "need >= 6 kernels");
+    let names =
+      List.map
+        (fun k ->
+          if not (as_num (field k "n") > 0.0) then raise (Bad_json "n must be positive");
+          if not (as_bool (field k "fingerprint_equal")) then
+            raise (Bad_json "mode fingerprints diverged");
+          List.iter
+            (fun key ->
+              if not (as_num (field k key) > 0.0) then
+                raise (Bad_json (key ^ " must be positive")))
+            [ "ocaml_seconds"; "scalar_seconds"; "simd_seconds";
+              "speedup_scalar"; "speedup_simd" ];
+          as_str (field k "name"))
+        kernels
+    in
+    List.iter
+      (fun required ->
+        if not (List.mem required names) then
+          raise (Bad_json (Printf.sprintf "kernel %S missing" required)))
+      [ "ntt-forward-rows"; "keccak-batch"; "rs-encode-rows" ];
+    Ok ()
+  with Bad_json msg -> Error msg
+
+(* --- driver ------------------------------------------------------------- *)
+
+let run ?(smoke = false) ?(path = "BENCH_native.json") () =
+  Zk_report.Render.section
+    (Printf.sprintf "Native kernels: OCaml vs scalar C vs SIMD (single domain)%s"
+       (if smoke then " (smoke)" else ""));
+  Printf.printf "cpu features: %s, default mode: %s\n%!"
+    (Native.features_to_string ())
+    (Native.mode_to_string (Native.mode ()));
+  let rng = Rng.create 0x5E1FL in
+  let rows =
+    Pool.with_domains 1 (fun () -> List.map (measure_kernel ~smoke) (kernels ~smoke rng))
+  in
+  Zk_report.Render.table
+    ~header:[ "kernel"; "n"; "ocaml"; "scalar C"; "simd"; "scalar x"; "simd x" ]
+    (List.map
+       (fun r ->
+         [
+           r.kernel.k_name;
+           string_of_int r.kernel.k_n;
+           Zk_report.Render.seconds r.ocaml_s;
+           Zk_report.Render.seconds r.scalar_s;
+           Zk_report.Render.seconds r.simd_s;
+           Printf.sprintf "%.2fx" (speedup_scalar r);
+           Printf.sprintf "%.2fx" (speedup_simd r);
+         ])
+       rows);
+  (match List.filter (fun r -> not r.fingerprint_equal) rows with
+  | [] -> ()
+  | bad ->
+    List.iter
+      (fun r ->
+        Printf.eprintf "bench native: %s diverged across modes\n%!" r.kernel.k_name)
+      bad;
+    exit 1);
+  let json = json_of_rows rows in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  (match validate_schema json with
+  | Ok () -> Printf.printf "wrote %s (schema %s, valid)\n%!" path schema_id
+  | Error msg ->
+    Printf.eprintf "BENCH_native.json failed schema validation: %s\n%!" msg;
+    exit 1);
+  rows

@@ -9,6 +9,7 @@
      main.exe parallel   serial vs multi-domain kernels -> BENCH_parallel.json
      main.exe memory     boxed vs unboxed kernels + GC stats -> BENCH_memory.json
      main.exe backend    Orion vs FRI PCS backends -> BENCH_backend.json
+     main.exe native     OCaml vs scalar-C vs SIMD kernels -> BENCH_native.json
      main.exe faults     fault-injection sweep over mutated proofs -> BENCH_faults.json
      main.exe analysis   circuit lint + structure + mutation oracle -> BENCH_analysis.json
      main.exe table4     a single table/figure by id
@@ -340,6 +341,7 @@ let () =
     ignore (Bench_parallel.run ());
     ignore (Bench_memory.run ());
     ignore (Bench_backend.run ());
+    ignore (Bench_native.run ());
     ignore (Bench_faults.run ());
     ignore (Bench_analysis.run ())
   | [ "report" ] -> List.iter (fun (_, f) -> f ()) report_items
@@ -356,6 +358,10 @@ let () =
   | [ "backend"; path ] -> ignore (Bench_backend.run ~path ())
   | [ "backend-smoke" ] -> ignore (Bench_backend.run ~smoke:true ())
   | [ "backend-smoke"; path ] -> ignore (Bench_backend.run ~smoke:true ~path ())
+  | [ "native" ] -> ignore (Bench_native.run ())
+  | [ "native"; path ] -> ignore (Bench_native.run ~path ())
+  | [ "native-smoke" ] -> ignore (Bench_native.run ~smoke:true ())
+  | [ "native-smoke"; path ] -> ignore (Bench_native.run ~smoke:true ~path ())
   | [ "faults" ] -> ignore (Bench_faults.run ())
   | [ "faults"; path ] -> ignore (Bench_faults.run ~path ())
   | [ "faults-smoke" ] -> ignore (Bench_faults.run ~smoke:true ())

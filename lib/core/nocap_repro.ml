@@ -20,6 +20,7 @@
 
 (* Substrates *)
 module Pool = Nocap_parallel.Pool
+module Native = Nocap_native.Native
 module Fv = Nocap_vec.Fv
 module Arena = Nocap_vec.Arena
 module Rng = Zk_util.Rng

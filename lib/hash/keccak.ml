@@ -1,6 +1,7 @@
 module Pool = Nocap_parallel.Pool
 module Fv = Nocap_vec.Fv
 module Gf = Zk_field.Gf
+module Native = Nocap_native.Native
 
 type digest = string
 
@@ -103,8 +104,9 @@ let scratch_key : scratch Domain.DLS.key =
 
 (* Permute the 25 lanes at [st.(off .. off + 24)]. The offset form lets
    {!Col_hash} keep one sponge state per matrix column in a single flat
-   bank and permute them in place. *)
-let f1600_off st off b c =
+   bank and permute them in place. Under the native layer the C permutation
+   runs instead (bit-identical; [b]/[c] scratch is unused there). *)
+let f1600_off_ocaml st off b c =
   for round = 0 to 23 do
     (* theta *)
     for x = 0 to 4 do
@@ -152,6 +154,9 @@ let f1600_off st off b c =
     Fv.unsafe_set st off (Int64.logxor (Fv.unsafe_get st off) (Array.unsafe_get round_constants round))
   done
 
+let f1600_off st off b c =
+  if Native.on () then Native.f1600_off st off else f1600_off_ocaml st off b c
+
 let f1600 { st; b; c } = f1600_off st 0 b c
 
 let[@inline] xor_lane st lane v = Fv.unsafe_set st lane (Int64.logxor (Fv.unsafe_get st lane) v)
@@ -188,7 +193,7 @@ let squeeze_32_off st off =
 
 let squeeze_32 st = squeeze_32_off st 0
 
-let sha3_256 (msg : bytes) : digest =
+let sha3_256_ocaml (msg : bytes) : digest =
   let s = Domain.DLS.get scratch_key in
   let st = s.st in
   Fv.zero st;
@@ -204,14 +209,22 @@ let sha3_256 (msg : bytes) : digest =
   f1600 s;
   squeeze_32 st
 
+(* The whole-message native sponge skips the per-block OCaml absorb loop,
+   not just the permutation. *)
+let sha3_256 (msg : bytes) : digest =
+  if Native.on () then begin
+    let out = Bytes.create digest_length in
+    Native.sha3 msg out;
+    Bytes.unsafe_to_string out
+  end
+  else sha3_256_ocaml msg
+
 let sha3_256_string s = sha3_256 (Bytes.unsafe_of_string s)
 
 (* Two 32-byte digests fill exactly lanes 0-7, so the Merkle compression
    absorbs both operands in place of the old [a ^ b] concatenation buffer:
    one permutation, zero intermediate allocation. *)
-let hash2 a b =
-  if String.length a <> digest_length || String.length b <> digest_length then
-    invalid_arg "Keccak.hash2: digests must be 32 bytes";
+let hash2_ocaml a b =
   let s = Domain.DLS.get scratch_key in
   let st = s.st in
   Fv.zero st;
@@ -223,6 +236,16 @@ let hash2 a b =
   xor_lane st 16 trailing_pad;
   f1600 s;
   squeeze_32 st
+
+let hash2 a b =
+  if String.length a <> digest_length || String.length b <> digest_length then
+    invalid_arg "Keccak.hash2: digests must be 32 bytes";
+  if Native.on () then begin
+    let out = Bytes.create digest_length in
+    Native.hash2 a b out;
+    Bytes.unsafe_to_string out
+  end
+  else hash2_ocaml a b
 
 (* Field elements are 8 LE bytes, so element k of a message lands exactly in
    lane [k mod rate_lanes]: both Gf-hash entry points absorb elements as
@@ -236,7 +259,15 @@ let finish_gf_block s m =
   f1600 s;
   squeeze_32 st
 
-let hash_gf (elems : Gf.t array) =
+let rec hash_gf (elems : Gf.t array) =
+  if Native.on () then begin
+    let out = Bytes.create digest_length in
+    Native.hash_gf elems out;
+    Bytes.unsafe_to_string out
+  end
+  else hash_gf_ocaml elems
+
+and hash_gf_ocaml (elems : Gf.t array) =
   let s = Domain.DLS.get scratch_key in
   let st = s.st in
   Fv.zero st;
@@ -258,10 +289,18 @@ let hash_gf (elems : Gf.t array) =
 (* Strided flat-vector variant: element i of the message is
    [v.(pos + i*stride)]. stride = 1 hashes a contiguous vector; stride =
    n_cols hashes one column of a row-major matrix without gathering it. *)
-let hash_fv_stride (v : Fv.t) ~pos ~stride ~count =
+let rec hash_fv_stride (v : Fv.t) ~pos ~stride ~count =
   if count < 0 || pos < 0 || stride < 1
      || (count > 0 && pos + ((count - 1) * stride) >= Fv.length v)
   then invalid_arg "Keccak.hash_fv_stride";
+  if Native.on () then begin
+    let out = Bytes.create digest_length in
+    Native.hash_fv_stride v pos stride count out;
+    Bytes.unsafe_to_string out
+  end
+  else hash_fv_stride_ocaml v ~pos ~stride ~count
+
+and hash_fv_stride_ocaml (v : Fv.t) ~pos ~stride ~count =
   let s = Domain.DLS.get scratch_key in
   let st = s.st in
   Fv.zero st;
@@ -285,20 +324,21 @@ let hash_fv v = hash_fv_stride v ~pos:0 ~stride:1 ~count:(Fv.length v)
 
 (* --- grain calibration --------------------------------------------------- *)
 
-(* One f1600 permutation costs ~1.5µs in this build (measured once; see
-   DESIGN.md Sec. 12). Every batched entry point below derives its pool
+(* One f1600 permutation costs ~1.5µs in the pure-OCaml build and ~350ns in
+   the C kernel (measured once; see DESIGN.md Sec. 12/13), so the chunk
+   cost is mode-dependent. Every batched entry point below derives its pool
    grain from a per-item permutation count, so a claimed chunk amortizes
    ~50µs of hashing regardless of message shape. *)
-let block_ns = 1_500
+let block_ns () = if Native.on () then 350 else 1_500
 
 (* A message of [msg_bytes] runs ceil-ish (len / 136) + 1 permutations. *)
-let batch_grain ~msg_bytes = Pool.grain_of_ns (((msg_bytes / rate_bytes) + 1) * block_ns)
+let batch_grain ~msg_bytes = Pool.grain_of_ns (((msg_bytes / rate_bytes) + 1) * block_ns ())
 
 (* hash2 is a single permutation. *)
-let pair_grain = Pool.grain_of_ns block_ns
+let pair_grain () = Pool.grain_of_ns (block_ns ())
 
 (* Hashing [count] absorbed elements costs (count / 17) + 1 permutations. *)
-let elems_grain count = Pool.grain_of_ns (((count / rate_lanes) + 1) * block_ns)
+let elems_grain count = Pool.grain_of_ns (((count / rate_lanes) + 1) * block_ns ())
 
 let hash_matrix_cols ~rows ~cols (flat : Fv.t) =
   if rows < 0 || cols <= 0 || Fv.length flat <> rows * cols then
@@ -311,16 +351,42 @@ let hash_matrix_cols ~rows ~cols (flat : Fv.t) =
    domain count. These are the entry points the Merkle / Orion hot paths
    use; the Hash FU analogue is hashing one column per vector lane. *)
 
+(* When every message has the same length (the common case: Merkle leaves,
+   fixed-width columns) and SIMD is up, quads of messages run through the
+   4-lane AVX2 sponge; the digests are identical to four scalar calls, so
+   batching is invisible to callers. *)
 let sha3_256_batch msgs =
-  let grain =
-    if Array.length msgs = 0 then 1 else batch_grain ~msg_bytes:(Bytes.length msgs.(0))
+  let n = Array.length msgs in
+  let grain = if n = 0 then 1 else batch_grain ~msg_bytes:(Bytes.length msgs.(0)) in
+  let uniform =
+    n >= 4
+    && Native.on ()
+    &&
+    let len0 = Bytes.length msgs.(0) in
+    Array.for_all (fun m -> Bytes.length m = len0) msgs
   in
-  Pool.parallel_map ~grain sha3_256 msgs
+  if not uniform then Pool.parallel_map ~grain sha3_256 msgs
+  else begin
+    let quads = n / 4 in
+    let out = Array.make n "" in
+    Pool.parallel_for ~grain:(max 1 (grain / 4)) ~n:quads (fun q ->
+        let base = 4 * q in
+        let outs = [| Bytes.create 32; Bytes.create 32; Bytes.create 32; Bytes.create 32 |] in
+        Native.sha3_x4 (Array.sub msgs base 4) outs;
+        for i = 0 to 3 do
+          out.(base + i) <- Bytes.unsafe_to_string outs.(i)
+        done);
+    for i = 4 * quads to n - 1 do
+      out.(i) <- sha3_256 msgs.(i)
+    done;
+    out
+  end
 
 let hash2_pairs level =
   let n = Array.length level in
   if n = 0 || n land 1 = 1 then invalid_arg "Keccak.hash2_pairs: need an even, non-empty level";
-  Pool.parallel_init ~grain:pair_grain (n / 2) (fun i -> hash2 level.(2 * i) level.((2 * i) + 1))
+  Pool.parallel_init ~grain:(pair_grain ()) (n / 2) (fun i ->
+      hash2 level.(2 * i) level.((2 * i) + 1))
 
 let hash_gf_batch cols =
   let grain =
@@ -350,10 +416,14 @@ module Col_hash = struct
      arrive in order and exactly once per column; disjoint column ranges
      may be absorbed from different domains concurrently (the b/c
      permutation scratch is domain-local). *)
-  let absorb t (flat : Fv.t) ~row_stride ~r_lo ~r_hi ~c_lo ~c_hi =
+  let rec absorb t (flat : Fv.t) ~row_stride ~r_lo ~r_hi ~c_lo ~c_hi =
     if c_lo < 0 || c_hi > t.cols || r_lo < 0
        || (r_hi > r_lo && ((r_hi - 1) * row_stride) + c_hi > Fv.length flat)
     then invalid_arg "Keccak.Col_hash.absorb";
+    if Native.on () then Native.col_absorb t.states flat row_stride r_lo r_hi c_lo c_hi
+    else absorb_ocaml t flat ~row_stride ~r_lo ~r_hi ~c_lo ~c_hi
+
+  and absorb_ocaml t (flat : Fv.t) ~row_stride ~r_lo ~r_hi ~c_lo ~c_hi =
     let s = Domain.DLS.get scratch_key in
     for j = c_lo to c_hi - 1 do
       let base = 25 * j in

@@ -58,9 +58,10 @@ val rate_lanes : int
     (the Orion commit pipeline) size their blocks in multiples of this so
     every {!Col_hash.absorb} call ends on a permutation boundary. *)
 
-val block_ns : int
+val block_ns : unit -> int
 (** Calibrated cost of one Keccak-f[1600] permutation in this build
-    (nanoseconds); the constant every batched entry point feeds
+    (nanoseconds) — mode-dependent (the C permutation is ~4x cheaper than
+    the OCaml one); the cost every batched entry point feeds
     {!Nocap_parallel.Pool.grain_of_ns}. *)
 
 val batch_grain : msg_bytes:int -> int

@@ -1,0 +1,87 @@
+type mode =
+  | Off
+  | Scalar
+  | Simd
+
+let mode_to_string = function
+  | Off -> "off"
+  | Scalar -> "scalar"
+  | Simd -> "simd"
+
+let parse_mode s =
+  match String.lowercase_ascii (String.trim s) with
+  | "0" | "off" -> Ok Off
+  | "scalar" -> Ok Scalar
+  | "1" | "on" | "auto" | "simd" -> Ok Simd
+  | other ->
+    Error
+      (Printf.sprintf "invalid NOCAP_NATIVE %S (expected 0|off|scalar|1|on|auto|simd)" other)
+
+external cpu_features : unit -> int = "caml_nocap_cpu_features" [@@noalloc]
+external set_simd : int -> unit = "caml_nocap_set_simd" [@@noalloc]
+
+let have_avx2 () = cpu_features () land 1 <> 0
+let have_neon () = cpu_features () land 2 <> 0
+
+let features_to_string () =
+  match (have_avx2 (), have_neon ()) with
+  | true, true -> "avx2+neon"
+  | true, false -> "avx2"
+  | false, true -> "neon"
+  | false, false -> "none"
+
+(* The C-side [g_simd] flag starts at 0, so [set_mode] must run before any
+   SIMD kernel can fire; the lazy default below covers programs that never
+   resolve an [Engine] (tests, bare library users). [Engine.Config.of_env]
+   parses the same variable with loud errors and re-applies it here. *)
+let current = ref None
+
+let set_mode m =
+  current := Some m;
+  set_simd (match m with Simd -> 1 | Off | Scalar -> 0)
+
+let default_mode () =
+  match Sys.getenv_opt "NOCAP_NATIVE" with
+  | None -> Simd
+  | Some s -> ( match parse_mode s with Ok m -> m | Error _ -> Simd)
+
+let mode () =
+  match !current with
+  | Some m -> m
+  | None ->
+    let m = default_mode () in
+    set_mode m;
+    m
+
+let on () = mode () <> Off
+
+let with_mode m f =
+  let prev = mode () in
+  set_mode m;
+  Fun.protect ~finally:(fun () -> set_mode prev) f
+
+type fv = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external fv_add : fv -> fv -> fv -> unit = "caml_nocap_fv_add" [@@noalloc]
+external fv_sub : fv -> fv -> fv -> unit = "caml_nocap_fv_sub" [@@noalloc]
+external fv_mul : fv -> fv -> fv -> unit = "caml_nocap_fv_mul" [@@noalloc]
+external fv_scale : fv -> fv -> int64 -> unit = "caml_nocap_fv_scale" [@@noalloc]
+external fv_axpy : fv -> int64 -> fv -> unit = "caml_nocap_fv_axpy" [@@noalloc]
+external ntt_forward : fv -> fv -> unit = "caml_nocap_ntt_forward" [@@noalloc]
+external ntt_inverse : fv -> fv -> int64 -> unit = "caml_nocap_ntt_inverse" [@@noalloc]
+external rs_encode_row : fv -> fv -> fv -> unit = "caml_nocap_rs_encode_row" [@@noalloc]
+external f1600_off : fv -> int -> unit = "caml_nocap_f1600_off" [@@noalloc]
+external sha3 : Bytes.t -> Bytes.t -> unit = "caml_nocap_sha3" [@@noalloc]
+external sha3_x4 : Bytes.t array -> Bytes.t array -> unit = "caml_nocap_sha3_x4" [@@noalloc]
+external hash2 : string -> string -> Bytes.t -> unit = "caml_nocap_hash2" [@@noalloc]
+external hash_gf : int64 array -> Bytes.t -> unit = "caml_nocap_hash_gf" [@@noalloc]
+
+external hash_fv_stride : fv -> int -> int -> int -> Bytes.t -> unit
+  = "caml_nocap_hash_fv_stride"
+[@@noalloc]
+
+external col_absorb : fv -> fv -> int -> int -> int -> int -> int -> unit
+  = "caml_nocap_col_absorb_byte" "caml_nocap_col_absorb"
+[@@noalloc]
+
+external gl_pow : int64 -> int64 -> int64 = "caml_nocap_gl_pow"

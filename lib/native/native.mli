@@ -1,0 +1,106 @@
+(** Runtime switch for the native (C) kernel layer.
+
+    The C stubs in [nocap_native_stubs.c] are bit-exact replacements for the
+    hot OCaml kernels over [Fv] buffers (Goldilocks elementwise ops, radix-2
+    NTT, Keccak-f[1600] sponges, fused RS row encode).  This module owns the
+    single mode flag that every dispatch site consults:
+
+    - [Off]    — pure OCaml oracles only (the pre-PR-8 code paths).
+    - [Scalar] — portable C kernels, SIMD variants disabled.
+    - [Simd]   — C kernels with AVX2/NEON bodies when the CPU supports them
+                 (falls back to scalar C per kernel otherwise).
+
+    The default comes from [NOCAP_NATIVE] (unset = [Simd]); [Engine.Config]
+    re-parses the same variable with loud errors and re-applies it via
+    [set_mode], so engine-driven programs get config validation while bare
+    library users still get a sensible default.  Mode changes are global and
+    instantaneous, but every kernel is bit-exact across modes, so flipping
+    mid-run is safe (the bench harness does exactly that). *)
+
+type mode =
+  | Off
+  | Scalar
+  | Simd
+
+val mode_to_string : mode -> string
+
+val parse_mode : string -> (mode, string) result
+(** Accepts ["0"|"off"] (Off), ["scalar"] (Scalar), ["1"|"on"|"auto"|"simd"]
+    (Simd), case-insensitively. *)
+
+val mode : unit -> mode
+(** Current mode.  First call reads [NOCAP_NATIVE] (malformed values fall
+    back to [Simd]; [Engine.Config.of_env] reports them loudly). *)
+
+val set_mode : mode -> unit
+
+val on : unit -> bool
+(** [mode () <> Off]: dispatch sites branch to the C kernel. *)
+
+val with_mode : mode -> (unit -> 'a) -> 'a
+(** Run [f] under a forced mode, restoring the previous mode after (also on
+    exceptions).  Not atomic w.r.t. concurrent [set_mode]. *)
+
+(** {2 CPU feature detection} *)
+
+val have_avx2 : unit -> bool
+val have_neon : unit -> bool
+
+val features_to_string : unit -> string
+(** e.g. ["avx2"], ["neon"], or ["none"] — for bench metadata. *)
+
+(** {2 Raw stub entry points}
+
+    Exposed for the equivalence test-suite and bench micro-loops; library
+    code goes through the dispatching wrappers in [Fv]/[Ntt]/[Keccak]/
+    [Reed_solomon] instead.  All operate on [int64] C-layout Bigarrays and
+    perform no bounds checks: callers validate shapes first. *)
+
+type fv = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external fv_add : fv -> fv -> fv -> unit = "caml_nocap_fv_add" [@@noalloc]
+external fv_sub : fv -> fv -> fv -> unit = "caml_nocap_fv_sub" [@@noalloc]
+external fv_mul : fv -> fv -> fv -> unit = "caml_nocap_fv_mul" [@@noalloc]
+external fv_scale : fv -> fv -> int64 -> unit = "caml_nocap_fv_scale" [@@noalloc]
+external fv_axpy : fv -> int64 -> fv -> unit = "caml_nocap_fv_axpy" [@@noalloc]
+
+external ntt_forward : fv -> fv -> unit = "caml_nocap_ntt_forward" [@@noalloc]
+(** [ntt_forward buf tw]: in-place forward NTT of [buf] (length n, a power
+    of two) against the shared twiddle table [tw] (length [n/2]). *)
+
+external ntt_inverse : fv -> fv -> int64 -> unit = "caml_nocap_ntt_inverse" [@@noalloc]
+(** [ntt_inverse buf inv_tw n_inv]: inverse NTT including the [1/n] scale. *)
+
+external rs_encode_row : fv -> fv -> fv -> unit = "caml_nocap_rs_encode_row" [@@noalloc]
+(** [rs_encode_row src dst tw]: copy [src] into [dst], zero-pad, forward
+    NTT of [dst] — the fused Reed-Solomon row encode. *)
+
+external f1600_off : fv -> int -> unit = "caml_nocap_f1600_off" [@@noalloc]
+(** Keccak-f[1600] permutation of the 25 lanes at offset [off]. *)
+
+external sha3 : Bytes.t -> Bytes.t -> unit = "caml_nocap_sha3" [@@noalloc]
+(** [sha3 msg out]: SHA3-256 of [msg] into the 32-byte [out]. *)
+
+external sha3_x4 : Bytes.t array -> Bytes.t array -> unit = "caml_nocap_sha3_x4" [@@noalloc]
+(** Four equal-length messages, four 32-byte outputs; AVX2 runs the four
+    sponges in 64-bit lanes of ymm registers, otherwise sequential. *)
+
+external hash2 : string -> string -> Bytes.t -> unit = "caml_nocap_hash2" [@@noalloc]
+(** SHA3-256 of the concatenation of two 32-byte strings (Merkle node). *)
+
+external hash_gf : int64 array -> Bytes.t -> unit = "caml_nocap_hash_gf" [@@noalloc]
+(** SHA3-256 of an [int64 array] absorbed as little-endian 64-bit lanes. *)
+
+external hash_fv_stride : fv -> int -> int -> int -> Bytes.t -> unit
+  = "caml_nocap_hash_fv_stride"
+[@@noalloc]
+(** [hash_fv_stride v pos stride count out]. *)
+
+external col_absorb : fv -> fv -> int -> int -> int -> int -> int -> unit
+  = "caml_nocap_col_absorb_byte" "caml_nocap_col_absorb"
+[@@noalloc]
+(** [col_absorb states flat row_stride r_lo r_hi c_lo c_hi]: incremental
+    column-sponge absorption for [Keccak.Col_hash]. *)
+
+external gl_pow : int64 -> int64 -> int64 = "caml_nocap_gl_pow"
+(** Goldilocks exponentiation (test hook for the C field arithmetic). *)

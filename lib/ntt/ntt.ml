@@ -91,6 +91,42 @@ module Make (F : FIELD) : S with type elt = F.t = struct
       Mutex.unlock plans_lock;
       p
 
+  (* Four-step scale bases w^r (w the primitive (rows*cols)-th root), cached
+     per shape: previously recomputed via [root_of_unity] + a serial power
+     chain on every call. Same race-tolerant locking discipline as [plan]. *)
+  let scale_tables : (int * int, F.t array) Hashtbl.t = Hashtbl.create 8
+
+  let scale_lock = Mutex.create ()
+
+  let make_scale_rows ~rows ~cols =
+    let w = F.root_of_unity (log2_exact (rows * cols)) in
+    let w_rows = Array.make rows F.one in
+    for r = 1 to rows - 1 do
+      w_rows.(r) <- F.mul w_rows.(r - 1) w
+    done;
+    w_rows
+
+  let scale_rows ~rows ~cols =
+    let key = (rows, cols) in
+    Mutex.lock scale_lock;
+    match Hashtbl.find_opt scale_tables key with
+    | Some t ->
+      Mutex.unlock scale_lock;
+      t
+    | None ->
+      Mutex.unlock scale_lock;
+      let t = make_scale_rows ~rows ~cols in
+      Mutex.lock scale_lock;
+      let t =
+        match Hashtbl.find_opt scale_tables key with
+        | Some u -> u
+        | None ->
+          Hashtbl.add scale_tables key t;
+          t
+      in
+      Mutex.unlock scale_lock;
+      t
+
   let size p = p.n
 
   let bit_reverse_permute a =
@@ -169,10 +205,9 @@ module Make (F : FIELD) : S with type elt = F.t = struct
   let four_step_forward ~rows ~cols a =
     let n = rows * cols in
     if Array.length a <> n then invalid_arg "Ntt.four_step_forward: size";
-    let log_n = log2_exact n in
+    ignore (log2_exact n);
     ignore (log2_exact rows);
     ignore (log2_exact cols);
-    let w = F.root_of_unity log_n in
     let col_plan = plan rows and row_plan = plan cols in
     (* Step 1: NTT down each column (stride [cols] in the row-major layout).
        Columns are independent; each chunk gathers into its own scratch. *)
@@ -189,11 +224,8 @@ module Make (F : FIELD) : S with type elt = F.t = struct
           done
         done);
     (* Step 2: scale entry (r, c) by w^(r*c). The per-row twiddle bases
-       w^r are precomputed serially so row chunks start mid-sequence. *)
-    let w_rows = Array.make rows F.one in
-    for r = 1 to rows - 1 do
-      w_rows.(r) <- F.mul w_rows.(r - 1) w
-    done;
+       w^r come from the shared cache so row chunks start mid-sequence. *)
+    let w_rows = scale_rows ~rows ~cols in
     Pool.run ~grain:(Pool.grain_of_ns (max 1 (cols * 20))) ~n:rows (fun r_lo r_hi ->
         for r = r_lo to r_hi - 1 do
           let w_r = w_rows.(r) in
@@ -241,6 +273,96 @@ end)
 module Fv = Nocap_vec.Fv
 module Arena = Nocap_vec.Arena
 module Gf = Zk_field.Gf
+module Native = Nocap_native.Native
+
+(* Shared Goldilocks twiddle tables, keyed by log2 size and built lazily
+   under a double-checked mutex (plans are demanded from worker domains).
+   One [tables] per size feeds both the OCaml butterflies and the native C
+   kernels — the C side reads the very same Fv buffers, so the two paths
+   cannot drift — and the four-step scale bases live here too instead of
+   being regrown via [Gf.pow] chains on every call. *)
+module Gf_twiddles = struct
+  type tables = {
+    pow : Fv.t; (* w^0 .. w^(n/2-1) for the primitive n-th root w *)
+    inv_pow : Fv.t;
+    n_inv : Gf.t;
+  }
+
+  let cache : (int, tables) Hashtbl.t = Hashtbl.create 16
+
+  let lock = Mutex.create ()
+
+  let make log_n =
+    if log_n > Gf.two_adicity then invalid_arg "Ntt.Gf_fv.plan: size exceeds 2-adicity";
+    let n = 1 lsl log_n in
+    let w = Gf.root_of_unity log_n in
+    let w_inv = Gf.inv w in
+    let half = max 1 (n / 2) in
+    let pow = Fv.create half in
+    let inv_pow = Fv.create half in
+    Fv.set pow 0 Gf.one;
+    Fv.set inv_pow 0 Gf.one;
+    for i = 1 to half - 1 do
+      Fv.set pow i (Gf.mul (Fv.get pow (i - 1)) w);
+      Fv.set inv_pow i (Gf.mul (Fv.get inv_pow (i - 1)) w_inv)
+    done;
+    { pow; inv_pow; n_inv = Gf.inv (Gf.of_int n) }
+
+  let get log_n =
+    Mutex.lock lock;
+    match Hashtbl.find_opt cache log_n with
+    | Some t ->
+      Mutex.unlock lock;
+      t
+    | None ->
+      Mutex.unlock lock;
+      let t = make log_n in
+      Mutex.lock lock;
+      let t =
+        match Hashtbl.find_opt cache log_n with
+        | Some u -> u
+        | None ->
+          Hashtbl.add cache log_n t;
+          t
+      in
+      Mutex.unlock lock;
+      t
+
+  (* Four-step scale bases w^r, cached per (rows, cols) shape. *)
+  let scale_cache : (int * int, Fv.t) Hashtbl.t = Hashtbl.create 8
+
+  let scale_lock = Mutex.create ()
+
+  let make_scale_rows ~rows ~cols =
+    let w = Gf.root_of_unity (log2_exact (rows * cols)) in
+    let w_rows = Fv.create rows in
+    Fv.set w_rows 0 Gf.one;
+    for r = 1 to rows - 1 do
+      Fv.set w_rows r (Gf.mul (Fv.get w_rows (r - 1)) w)
+    done;
+    w_rows
+
+  let scale_rows ~rows ~cols =
+    let key = (rows, cols) in
+    Mutex.lock scale_lock;
+    match Hashtbl.find_opt scale_cache key with
+    | Some t ->
+      Mutex.unlock scale_lock;
+      t
+    | None ->
+      Mutex.unlock scale_lock;
+      let t = make_scale_rows ~rows ~cols in
+      Mutex.lock scale_lock;
+      let t =
+        match Hashtbl.find_opt scale_cache key with
+        | Some u -> u
+        | None ->
+          Hashtbl.add scale_cache key t;
+          t
+      in
+      Mutex.unlock scale_lock;
+      t
+end
 
 module Gf_fv = struct
   type plan = {
@@ -251,47 +373,17 @@ module Gf_fv = struct
     n_inv : Gf.t;
   }
 
-  let plans : (int, plan) Hashtbl.t = Hashtbl.create 16
-
-  let plans_lock = Mutex.create ()
-
-  let make_plan n =
-    let log_n = log2_exact n in
-    if log_n > Gf.two_adicity then invalid_arg "Ntt.Gf_fv.plan: size exceeds 2-adicity";
-    let w = Gf.root_of_unity log_n in
-    let w_inv = Gf.inv w in
-    let half = max 1 (n / 2) in
-    let twiddles = Fv.create half in
-    let inv_twiddles = Fv.create half in
-    Fv.set twiddles 0 Gf.one;
-    Fv.set inv_twiddles 0 Gf.one;
-    for i = 1 to half - 1 do
-      Fv.set twiddles i (Gf.mul (Fv.get twiddles (i - 1)) w);
-      Fv.set inv_twiddles i (Gf.mul (Fv.get inv_twiddles (i - 1)) w_inv)
-    done;
-    { n; log_n; twiddles; inv_twiddles; n_inv = Gf.inv (Gf.of_int n) }
-
   let plan n =
-    Mutex.lock plans_lock;
-    match Hashtbl.find_opt plans n with
-    | Some p ->
-      Mutex.unlock plans_lock;
-      p
-    | None ->
-      Mutex.unlock plans_lock;
-      let p = make_plan n in
-      Mutex.lock plans_lock;
-      let p =
-        match Hashtbl.find_opt plans n with
-        | Some q -> q
-        | None ->
-          Hashtbl.add plans n p;
-          p
-      in
-      Mutex.unlock plans_lock;
-      p
+    let log_n = log2_exact n in
+    let t = Gf_twiddles.get log_n in
+    { n; log_n; twiddles = t.Gf_twiddles.pow; inv_twiddles = t.Gf_twiddles.inv_pow;
+      n_inv = t.Gf_twiddles.n_inv }
 
   let size p = p.n
+
+  let twiddles p = p.twiddles
+  let inv_twiddles p = p.inv_twiddles
+  let n_inv p = p.n_inv
 
   (* Imperative bit-reversal (no helper closure, so the loop body stays
      allocation-free). *)
@@ -335,14 +427,28 @@ module Gf_fv = struct
       len := !len * 2
     done
 
-  let forward p a = transform p.twiddles p a
+  (* Native dispatch is per transform, not per butterfly: the C kernel runs
+     the same bit-reverse + butterfly schedule against the same shared
+     twiddle table, so outputs are bit-identical to [transform]. *)
+  let forward p a =
+    if Native.on () then begin
+      if Fv.length a <> p.n then invalid_arg "Ntt.Gf_fv: length mismatch";
+      Native.ntt_forward a p.twiddles
+    end
+    else transform p.twiddles p a
 
   let inverse p a =
-    transform p.inv_twiddles p a;
-    let n_inv = p.n_inv in
-    for i = 0 to p.n - 1 do
-      Fv.unsafe_set a i (Gf.mul (Fv.unsafe_get a i) n_inv)
-    done
+    if Native.on () then begin
+      if Fv.length a <> p.n then invalid_arg "Ntt.Gf_fv: length mismatch";
+      Native.ntt_inverse a p.inv_twiddles p.n_inv
+    end
+    else begin
+      transform p.inv_twiddles p a;
+      let n_inv = p.n_inv in
+      for i = 0 to p.n - 1 do
+        Fv.unsafe_set a i (Gf.mul (Fv.unsafe_get a i) n_inv)
+      done
+    end
 
   let forward_copy p a =
     let b = Fv.copy a in
@@ -354,10 +460,12 @@ module Gf_fv = struct
     inverse p b;
     b
 
-  (* Unboxed butterflies run ~3x cheaper than the boxed oracle's. *)
-  let bf_ns = 8
+  (* Unboxed butterflies run ~3x cheaper than the boxed oracle's; the C
+     kernels cut another ~3x, so chunk cost is mode-dependent (coarser
+     grains under native — re-measured in BENCH_native.json). *)
+  let bf_ns () = if Native.on () then 3 else 8
 
-  let ntt_grain m = Pool.grain_of_ns (max 1 (m / 2 * log2_exact m * bf_ns))
+  let ntt_grain m = Pool.grain_of_ns (max 1 (m / 2 * log2_exact m * bf_ns ()))
 
   (* Rows live back to back in one flat buffer of [rows * size p] elements;
      each row is an independent in-place transform. *)
@@ -374,10 +482,9 @@ module Gf_fv = struct
   let four_step_forward ~rows ~cols (a : Fv.t) : Fv.t =
     let n = rows * cols in
     if Fv.length a <> n then invalid_arg "Ntt.Gf_fv.four_step_forward: size";
-    let log_n = log2_exact n in
+    ignore (log2_exact n);
     ignore (log2_exact rows);
     ignore (log2_exact cols);
-    let w = Gf.root_of_unity log_n in
     let col_plan = plan rows and row_plan = plan cols in
     let out = Fv.copy a in
     (* Step 1: column NTTs (stride [cols]); each chunk gathers into arena
@@ -394,12 +501,10 @@ module Gf_fv = struct
                 Fv.unsafe_set out ((r * cols) + c) (Fv.unsafe_get col r)
               done
             done));
-    (* Step 2: twiddle scale by w^(r*c), per-row bases precomputed serially. *)
-    let w_rows = Fv.create rows in
-    Fv.set w_rows 0 Gf.one;
-    for r = 1 to rows - 1 do
-      Fv.set w_rows r (Gf.mul (Fv.get w_rows (r - 1)) w)
-    done;
+    (* Step 2: twiddle scale by w^(r*c), per-row bases from the shared
+       cache (the running power f stays a serial chain within each row, so
+       chunked rows start mid-sequence without recomputation). *)
+    let w_rows = Gf_twiddles.scale_rows ~rows ~cols in
     Pool.run ~grain:(Pool.grain_of_ns (max 1 (cols * 6))) ~n:rows (fun r_lo r_hi ->
         for r = r_lo to r_hi - 1 do
           let w_r = Fv.unsafe_get w_rows r in

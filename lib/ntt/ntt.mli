@@ -64,18 +64,47 @@ module Gf_ntt : S with type elt = Zk_field.Gf.t
 
 module Fr_ntt : S with type elt = Zk_field.Fr_bls.t
 
+(** Shared Goldilocks twiddle tables, built lazily per log2 size under a
+    Domain-safe double-checked mutex and consumed by both the OCaml
+    butterflies and the native C kernels (which read the very same [Fv]
+    buffers, so the two paths cannot drift). *)
+module Gf_twiddles : sig
+  type tables = {
+    pow : Nocap_vec.Fv.t;  (** w^0 .. w^(n/2-1) for the primitive n-th root *)
+    inv_pow : Nocap_vec.Fv.t;
+    n_inv : Zk_field.Gf.t;
+  }
+
+  val get : int -> tables
+  (** [get log_n]; cached, safe to demand from any domain. *)
+
+  val scale_rows : rows:int -> cols:int -> Nocap_vec.Fv.t
+  (** Four-step scale bases w^0..w^(rows-1) for the primitive
+      (rows*cols)-th root, cached per shape. *)
+end
+
 (** Unboxed Goldilocks NTT over flat {!Nocap_vec.Fv} buffers: the same
     radix-2 transform as {!Gf_ntt} (which remains the boxed correctness
     oracle), with data and twiddles in Bigarray-backed vectors so every
-    butterfly runs on unboxed int64 without heap allocation. Results are
-    bit-identical to {!Gf_ntt} on the same input. *)
+    butterfly runs on unboxed int64 without heap allocation. When
+    {!Nocap_native.Native.on} the butterfly passes run in the C kernel
+    layer against the same twiddle tables. Results are bit-identical to
+    {!Gf_ntt} on the same input in every mode. *)
 module Gf_fv : sig
   type plan
 
   val plan : int -> plan
-  (** Cached, safe to demand from any domain. *)
+  (** Cached ({!Gf_twiddles}), safe to demand from any domain. *)
 
   val size : plan -> int
+
+  val twiddles : plan -> Nocap_vec.Fv.t
+  (** The shared forward twiddle table (read-only by convention); exposed
+      for the native kernels and the equivalence tests. *)
+
+  val inv_twiddles : plan -> Nocap_vec.Fv.t
+
+  val n_inv : plan -> Zk_field.Gf.t
 
   val forward : plan -> Nocap_vec.Fv.t -> unit
   (** In-place forward NTT. *)

@@ -138,7 +138,7 @@ let commit ?engine params rng table =
           done)
     else begin
       let col_ns =
-        max 1 (((a_hi - a_lo + Keccak.rate_lanes - 1) / Keccak.rate_lanes) * Keccak.block_ns)
+        max 1 (((a_hi - a_lo + Keccak.rate_lanes - 1) / Keccak.rate_lanes) * Keccak.block_ns ())
       in
       let absorb_cols c_lo c_hi =
         Keccak.Col_hash.absorb col_hash encoded ~row_stride:code_len ~r_lo:a_lo ~r_hi:a_hi

@@ -1,10 +1,17 @@
 module Pool = Nocap_parallel.Pool
 module Rng = Zk_util.Rng
 
-module Config = struct
-  type t = { domains : int option; gc_minor_mb : int option; spin_us : int option }
+module Native = Nocap_native.Native
 
-  let default = { domains = None; gc_minor_mb = None; spin_us = None }
+module Config = struct
+  type t = {
+    domains : int option;
+    gc_minor_mb : int option;
+    spin_us : int option;
+    native : Native.mode option;
+  }
+
+  let default = { domains = None; gc_minor_mb = None; spin_us = None; native = None }
 
   let parse_positive ~name raw =
     match int_of_string_opt (String.trim raw) with
@@ -39,11 +46,22 @@ module Config = struct
     let* domains = knob "NOCAP_DOMAINS" in
     let* gc_minor_mb = knob "NOCAP_GC_MINOR_MB" in
     let* spin_us = knob_nn "NOCAP_SPIN_US" in
-    Ok { domains; gc_minor_mb; spin_us }
+    let* native =
+      match lookup "NOCAP_NATIVE" with
+      | None -> Ok None
+      | Some raw ->
+        let* m = Native.parse_mode raw in
+        Ok (Some m)
+    in
+    Ok { domains; gc_minor_mb; spin_us; native }
 
-  (* The single environment-read site in the whole tree. Malformed values
-     fail loudly here instead of silently falling back: an operator who set
-     NOCAP_DOMAINS=four wants to hear about it, not run single-domain. *)
+  (* The single *validating* environment-read site in the tree. Malformed
+     values fail loudly here instead of silently falling back: an operator
+     who set NOCAP_DOMAINS=four wants to hear about it, not run
+     single-domain. (NOCAP_NATIVE is also read leniently by [Native.mode]
+     itself as a layering exception — the kernel libraries sit below this
+     module and must work in processes that never resolve an engine; both
+     parsers accept exactly the same grammar.) *)
   let of_env () =
     match parse ~lookup:Sys.getenv_opt with
     | Ok c -> c
@@ -75,6 +93,7 @@ let default () =
        override, and avoids spawning domains in processes that never prove. *)
     Option.iter Pool.set_baseline_domains config.Config.domains;
     Option.iter Pool.set_spin_us config.Config.spin_us;
+    Option.iter Native.set_mode config.Config.native;
     let e = create ~config () in
     default_engine := Some e;
     e

@@ -16,24 +16,34 @@
     only in [pool]/[trace] produce identical proofs. *)
 
 module Config : sig
-  type t = { domains : int option; gc_minor_mb : int option; spin_us : int option }
+  type t = {
+    domains : int option;
+    gc_minor_mb : int option;
+    spin_us : int option;
+    native : Nocap_native.Native.mode option;
+  }
 
   val default : t
-  (** Both knobs unset. *)
+  (** All knobs unset. *)
 
   val parse : lookup:(string -> string option) -> (t, string) result
   (** Parse the configuration from a key-value source ([lookup] is
       [Sys.getenv_opt] in production, an assoc list in tests). Recognized
       keys: [NOCAP_DOMAINS] (default-pool size), [NOCAP_GC_MINOR_MB]
-      (minor heap size for {!tune_gc}) and [NOCAP_SPIN_US] (idle-worker
+      (minor heap size for {!tune_gc}), [NOCAP_SPIN_US] (idle-worker
       spin budget before parking, see
       {!Nocap_parallel.Pool.set_spin_us}; 0 is legal and means park
-      immediately). A key that is set but malformed is an [Error] —
+      immediately) and [NOCAP_NATIVE] (kernel layer mode, see
+      {!Nocap_native.Native.parse_mode}: [0|off], [scalar],
+      [1|on|auto|simd]). A key that is set but malformed is an [Error] —
       rejected loudly, never silently defaulted. *)
 
   val of_env : unit -> t
-  (** [parse] over the process environment; the only [Sys.getenv] site in
-      the library tree.
+  (** [parse] over the process environment; the only *validating*
+      [Sys.getenv] site in the library tree ([Nocap_native.Native.mode]
+      also reads NOCAP_NATIVE leniently, because the kernel libraries sit
+      below this module — same grammar, malformed falls back to default
+      there and errors here).
       @raise Invalid_argument on a malformed value. *)
 end
 
@@ -60,7 +70,8 @@ val default : unit -> t
 (** The shared default engine, built on first use from {!Config.of_env}.
     Its [domains] knob is applied as the default pool's baseline size (see
     {!Nocap_parallel.Pool.set_baseline_domains}) — explicit pools and
-    [Pool.with_domains]/[set_default_domains] still take precedence. *)
+    [Pool.with_domains]/[set_default_domains] still take precedence — and
+    its [native] knob via {!Nocap_native.Native.set_mode}. *)
 
 val reset_default : unit -> unit
 (** Drop the cached default engine so the next {!default} re-reads the

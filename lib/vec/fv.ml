@@ -76,9 +76,13 @@ let equal (a : t) (b : t) =
 
 (* --- allocation-free elementwise kernels -------------------------------- *)
 
-(* Each kernel checks bounds once and then runs an unsafe loop; with the
-   [@inline] Gf ops the loop body compiles to straight-line unboxed int64
-   code. [dst] may alias [a] or [b] (the loops are elementwise). *)
+(* Each kernel checks bounds once, then either calls the bit-exact C kernel
+   (Native.on — the branch is per call, not per element) or runs the unsafe
+   OCaml loop; with the [@inline] Gf ops the loop body compiles to
+   straight-line unboxed int64 code. [dst] may alias [a] or [b] (the loops
+   are elementwise; the C kernels preserve this). *)
+
+module Native = Nocap_native.Native
 
 let check2 name dst a =
   if length dst <> length a then invalid_arg name
@@ -88,34 +92,44 @@ let check3 name dst a b =
 
 let add_into ~dst a b =
   check3 "Fv.add_into" dst a b;
-  for i = 0 to length dst - 1 do
-    unsafe_set dst i (Gf.add (unsafe_get a i) (unsafe_get b i))
-  done
+  if Native.on () then Native.fv_add dst a b
+  else
+    for i = 0 to length dst - 1 do
+      unsafe_set dst i (Gf.add (unsafe_get a i) (unsafe_get b i))
+    done
 
 let sub_into ~dst a b =
   check3 "Fv.sub_into" dst a b;
-  for i = 0 to length dst - 1 do
-    unsafe_set dst i (Gf.sub (unsafe_get a i) (unsafe_get b i))
-  done
+  if Native.on () then Native.fv_sub dst a b
+  else
+    for i = 0 to length dst - 1 do
+      unsafe_set dst i (Gf.sub (unsafe_get a i) (unsafe_get b i))
+    done
 
 let mul_into ~dst a b =
   check3 "Fv.mul_into" dst a b;
-  for i = 0 to length dst - 1 do
-    unsafe_set dst i (Gf.mul (unsafe_get a i) (unsafe_get b i))
-  done
+  if Native.on () then Native.fv_mul dst a b
+  else
+    for i = 0 to length dst - 1 do
+      unsafe_set dst i (Gf.mul (unsafe_get a i) (unsafe_get b i))
+    done
 
 let scale_into ~dst a c =
   check2 "Fv.scale_into" dst a;
-  for i = 0 to length dst - 1 do
-    unsafe_set dst i (Gf.mul c (unsafe_get a i))
-  done
+  if Native.on () then Native.fv_scale dst a c
+  else
+    for i = 0 to length dst - 1 do
+      unsafe_set dst i (Gf.mul c (unsafe_get a i))
+    done
 
 (* dst <- dst + c * src : the inner loop of Orion's row combination. *)
 let axpy_into ~dst c src =
   check2 "Fv.axpy_into" dst src;
-  for i = 0 to length dst - 1 do
-    unsafe_set dst i (Gf.add (unsafe_get dst i) (Gf.mul c (unsafe_get src i)))
-  done
+  if Native.on () then Native.fv_axpy dst c src
+  else
+    for i = 0 to length dst - 1 do
+      unsafe_set dst i (Gf.add (unsafe_get dst i) (Gf.mul c (unsafe_get src i)))
+    done
 
 let map_into ~dst f a =
   check2 "Fv.map_into" dst a;

@@ -3,6 +3,7 @@ let () =
     [
       ("parallel", Test_parallel.suite);
       ("vec", Test_vec.suite);
+      ("native", Test_native.suite);
       ("field", Test_field.suite);
       ("hash", Test_hash.suite);
       ("ntt", Test_ntt.suite);

@@ -1,0 +1,473 @@
+(* Equivalence suite for the native (C) kernel layer: every stub is checked
+   against its OCaml oracle — QCheck over raw 64-bit patterns (including
+   non-canonical residues >= p) for the field kernels, exhaustive message
+   lengths across the sponge rate boundaries for the hashes, offset/sub-view
+   torture for the in-place permutation and the column sponges, and a
+   full-pipeline proof-byte golden across all three modes and domain counts
+   1/2/3.
+
+   The dispatchers are bit-exact by construction (the C mirrors the OCaml
+   formulas operation for operation), so every comparison here is for raw
+   equality, not "equal mod p". *)
+
+module Native = Nocap_native.Native
+module Fv = Nocap_vec.Fv
+module Gf = Zk_field.Gf
+module Rng = Zk_util.Rng
+module Keccak = Zk_hash.Keccak
+module Gf_fv = Zk_ntt.Ntt.Gf_fv
+module Rs = Zk_ecc.Reed_solomon
+module Pool = Nocap_parallel.Pool
+module Builder = Zk_r1cs.Builder
+module Gadgets = Zk_r1cs.Gadgets
+module Spartan = Zk_spartan.Spartan
+module Serialize = Zk_spartan.Serialize
+
+let p_int64 = 0xFFFF_FFFF_0000_0001L
+
+(* All three modes; every cross-mode check compares Scalar and Simd against
+   the Off (pure OCaml) result. On hosts without AVX2/NEON the Simd leg
+   degrades to the scalar C bodies — the check still runs. *)
+let modes = [ Native.Off; Native.Scalar; Native.Simd ]
+
+let check_modes name (f : unit -> string) =
+  let expected = Native.with_mode Native.Off f in
+  List.iter
+    (fun m ->
+      let got = Native.with_mode m f in
+      Alcotest.(check string)
+        (Printf.sprintf "%s [%s]" name (Native.mode_to_string m))
+        expected got)
+    modes
+
+(* --- raw 64-bit generators ---------------------------------------------- *)
+
+(* Any bit pattern, with the reduction-boundary neighbourhood over-weighted:
+   0, 1, eps, p-1, p, p+1, all-ones. The kernels must agree with the OCaml
+   formulas even on non-canonical inputs (the dispatch sites never
+   canonicalize first). *)
+let gen_raw64 =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 2,
+          oneofl
+            [
+              0L; 1L; 0xFFFF_FFFFL; 0xFFFF_FFFF_0000_0000L; p_int64;
+              0xFFFF_FFFF_0000_0002L; Int64.minus_one;
+            ] );
+        ( 5,
+          map2
+            (fun hi lo ->
+              Int64.logor
+                (Int64.shift_left (Int64.of_int hi) 48)
+                (Int64.logand (Int64.of_int lo) 0xFFFF_FFFF_FFFFL))
+            (int_range 0 0xFFFF) (int_range 0 max_int) );
+      ])
+
+let arb_raw_vec =
+  let gen =
+    QCheck.Gen.(int_range 0 70 >>= fun n -> array_repeat n gen_raw64)
+  in
+  QCheck.make ~print:(fun a -> Printf.sprintf "<%d raw words>" (Array.length a)) gen
+
+let arb_raw_vec_pair =
+  let gen =
+    QCheck.Gen.(
+      int_range 0 70 >>= fun n ->
+      pair (array_repeat n gen_raw64) (array_repeat n gen_raw64))
+  in
+  QCheck.make
+    ~print:(fun (a, _) -> Printf.sprintf "<2 x %d raw words>" (Array.length a))
+    gen
+
+(* Gf.t = int64, so raw patterns go straight into an Fv. *)
+let fv_of_raw (a : int64 array) =
+  let v = Fv.create (Array.length a) in
+  Array.iteri (Fv.set v) a;
+  v
+
+let fv_raw_eq a b =
+  Fv.length a = Fv.length b
+  &&
+  let ok = ref true in
+  for i = 0 to Fv.length a - 1 do
+    if not (Int64.equal (Fv.get a i) (Fv.get b i)) then ok := false
+  done;
+  !ok
+
+let random_fill rng v =
+  for i = 0 to Fv.length v - 1 do
+    Fv.set v i (Gf.random rng)
+  done
+
+(* --- Goldilocks scalar + elementwise kernels ----------------------------- *)
+
+let test_gl_pow () =
+  let rng = Rng.create 0x90AL in
+  (* Fermat: a^(p-1) = 1 for canonical non-zero a. *)
+  for _ = 1 to 50 do
+    let a = Gf.random rng in
+    if not (Gf.equal a Gf.zero) then
+      Alcotest.(check int64) "fermat" 1L (Native.gl_pow a (Int64.pred p_int64))
+  done;
+  (* Against the OCaml ladder on arbitrary canonical bases/exponents. *)
+  for _ = 1 to 200 do
+    let a = Gf.random rng in
+    let e = Int64.of_int (Rng.int rng 1_000_000) in
+    Alcotest.(check int64) "pow vs Gf.pow" (Gf.pow a e) (Native.gl_pow a e)
+  done
+
+let prop_elementwise =
+  QCheck.Test.make ~count:300 ~name:"native fv add/sub/mul/scale/axpy vs OCaml on raw bit patterns"
+    arb_raw_vec_pair (fun (ra, rb) ->
+      let n = Array.length ra in
+      let a = fv_of_raw ra and b = fv_of_raw rb in
+      let s = if n = 0 then 0L else ra.(0) in
+      let oracle op =
+        let dst = Fv.create n in
+        Native.with_mode Native.Off (fun () -> op dst);
+        dst
+      in
+      let native mode op =
+        let dst = Fv.create n in
+        Native.with_mode mode (fun () -> op dst);
+        dst
+      in
+      let ops =
+        [
+          ("add", fun dst -> Fv.add_into ~dst a b);
+          ("sub", fun dst -> Fv.sub_into ~dst a b);
+          ("mul", fun dst -> Fv.mul_into ~dst a b);
+          ("scale", fun dst -> Fv.scale_into ~dst a s);
+          ( "axpy",
+            fun dst ->
+              Fv.blit ~src:b ~src_pos:0 ~dst ~dst_pos:0 ~len:n;
+              Fv.axpy_into ~dst s a );
+        ]
+      in
+      List.for_all
+        (fun (name, op) ->
+          let expected = oracle op in
+          List.for_all
+            (fun m ->
+              fv_raw_eq expected (native m op)
+              || QCheck.Test.fail_reportf "%s diverged under %s" name
+                   (Native.mode_to_string m))
+            [ Native.Scalar; Native.Simd ])
+        ops)
+
+(* --- NTT / RS encode ----------------------------------------------------- *)
+
+let test_ntt_equiv () =
+  let rng = Rng.create 0xA11CEL in
+  List.iter
+    (fun log_n ->
+      let n = 1 lsl log_n in
+      let plan = Gf_fv.plan n in
+      let input = Array.init n (fun _ -> Gf.random rng) in
+      let ocaml_buf = Fv.of_array input in
+      Native.with_mode Native.Off (fun () -> Gf_fv.forward plan ocaml_buf);
+      List.iter
+        (fun m ->
+          let c_buf = Fv.of_array input in
+          Native.with_mode m (fun () ->
+              Native.ntt_forward c_buf (Gf_fv.twiddles plan));
+          Alcotest.(check bool)
+            (Printf.sprintf "forward n=%d [%s]" n (Native.mode_to_string m))
+            true (fv_raw_eq ocaml_buf c_buf);
+          (* Inverse kernel: exact roundtrip back to the input. *)
+          Native.with_mode m (fun () ->
+              Native.ntt_inverse c_buf (Gf_fv.inv_twiddles plan) (Gf_fv.n_inv plan));
+          Alcotest.(check bool)
+            (Printf.sprintf "roundtrip n=%d [%s]" n (Native.mode_to_string m))
+            true (fv_raw_eq (Fv.of_array input) c_buf))
+        [ Native.Scalar; Native.Simd ];
+      (* The dispatching inverse agrees with the OCaml inverse on the
+         forward image. *)
+      let inv_ocaml = Fv.copy ocaml_buf in
+      Native.with_mode Native.Off (fun () -> Gf_fv.inverse plan inv_ocaml);
+      let inv_c = Fv.copy ocaml_buf in
+      Native.with_mode Native.Simd (fun () -> Gf_fv.inverse plan inv_c);
+      Alcotest.(check bool)
+        (Printf.sprintf "inverse n=%d" n)
+        true (fv_raw_eq inv_ocaml inv_c))
+    [ 0; 1; 2; 3; 5; 8; 10 ]
+
+let test_rs_encode_equiv () =
+  let rng = Rng.create 0x5EEDL in
+  List.iter
+    (fun cols ->
+      let code_len = Rs.blowup * cols in
+      let src = Fv.create cols in
+      random_fill rng src;
+      let encode mode =
+        let dst = Fv.create code_len in
+        Native.with_mode mode (fun () -> Rs.encode_row_into ~src ~dst);
+        dst
+      in
+      let expected = encode Native.Off in
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "encode_row_into cols=%d [%s]" cols
+               (Native.mode_to_string m))
+            true
+            (fv_raw_eq expected (encode m)))
+        [ Native.Scalar; Native.Simd ];
+      (* Raw fused stub against the dispatcher result; dst deliberately
+         pre-filled with garbage to catch a missing zero-pad. *)
+      let plan = Gf_fv.plan code_len in
+      let dst_raw = Fv.create code_len in
+      Fv.fill dst_raw (Gf.of_int 0x5A5A5A);
+      Native.with_mode Native.Simd (fun () ->
+          Native.rs_encode_row src dst_raw (Gf_fv.twiddles plan));
+      Alcotest.(check bool)
+        (Printf.sprintf "rs_encode_row raw cols=%d" cols)
+        true (fv_raw_eq expected dst_raw))
+    [ 1; 2; 8; 64 ]
+
+(* Batched rows through the dispatching row transform (the shape the Orion
+   commit pipeline uses), odd row counts included. *)
+let test_ntt_rows_equiv () =
+  let rng = Rng.create 0xB0B5L in
+  List.iter
+    (fun (rows, cols) ->
+      let plan = Gf_fv.plan cols in
+      let flat = Fv.create (rows * cols) in
+      random_fill rng flat;
+      let run mode =
+        let buf = Fv.copy flat in
+        Native.with_mode mode (fun () -> Gf_fv.forward_rows_flat plan ~rows buf);
+        buf
+      in
+      let expected = run Native.Off in
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "forward_rows_flat %dx%d [%s]" rows cols
+               (Native.mode_to_string m))
+            true
+            (fv_raw_eq expected (run m)))
+        [ Native.Scalar; Native.Simd ])
+    [ (1, 64); (3, 32); (7, 128); (16, 16) ]
+
+(* --- Keccak / SHA3 ------------------------------------------------------- *)
+
+(* Every length from the empty message across both rate boundaries (one
+   block = 136 bytes): exercises the padding byte landing in every lane
+   position, including the rem = rate case. *)
+let test_sha3_all_lengths () =
+  for len = 0 to 300 do
+    let msg = Bytes.init len (fun i -> Char.chr ((i * 37 + len) land 0xff)) in
+    check_modes
+      (Printf.sprintf "sha3_256 len=%d" len)
+      (fun () -> Keccak.sha3_256 msg)
+  done;
+  (* FIPS 202 known answers pin the absolute value, not just agreement. *)
+  Alcotest.(check string)
+    "sha3(\"\")" "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+    (Keccak.to_hex (Keccak.sha3_256 Bytes.empty));
+  Alcotest.(check string)
+    "sha3(\"abc\")" "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+    (Keccak.to_hex (Keccak.sha3_256 (Bytes.of_string "abc")))
+
+let test_sha3_x4 () =
+  List.iter
+    (fun len ->
+      let msgs =
+        Array.init 4 (fun l ->
+            Bytes.init len (fun i -> Char.chr ((l + (i * 11)) land 0xff)))
+      in
+      let expected =
+        Native.with_mode Native.Off (fun () -> Array.map Keccak.sha3_256 msgs)
+      in
+      List.iter
+        (fun m ->
+          let outs = Array.init 4 (fun _ -> Bytes.create 32) in
+          Native.with_mode m (fun () -> Native.sha3_x4 msgs outs);
+          Array.iteri
+            (fun i d ->
+              Alcotest.(check string)
+                (Printf.sprintf "sha3_x4 len=%d lane=%d [%s]" len i
+                   (Native.mode_to_string m))
+                expected.(i)
+                (Bytes.to_string d))
+            outs)
+        [ Native.Scalar; Native.Simd ])
+    [ 0; 1; 135; 136; 137; 272 ]
+
+let test_sha3_batch () =
+  (* Non-uniform lengths (parallel_map path) and a uniform batch with a
+     non-multiple-of-4 count (x4 quads + serial tail). *)
+  let mixed =
+    Array.init 11 (fun i -> Bytes.init (i * 29) (fun j -> Char.chr ((i + j) land 0xff)))
+  in
+  let uniform =
+    Array.init 13 (fun i -> Bytes.init 96 (fun j -> Char.chr ((i * 7 + j) land 0xff)))
+  in
+  List.iter
+    (fun (name, batch) ->
+      check_modes name (fun () -> String.concat "" (Array.to_list (Keccak.sha3_256_batch batch))))
+    [ ("sha3_256_batch mixed", mixed); ("sha3_256_batch uniform-13", uniform) ]
+
+let test_hash_entry_points () =
+  let rng = Rng.create 0xCAFEL in
+  List.iter
+    (fun n ->
+      let elems = Array.init n (fun _ -> Gf.random rng) in
+      check_modes
+        (Printf.sprintf "hash_gf n=%d" n)
+        (fun () -> Keccak.hash_gf elems))
+    [ 0; 1; 3; 4; 17; 100 ];
+  (* hash_fv over a misaligned sub-view: the C base pointer starts at an
+     odd element offset, off any 32-byte boundary. *)
+  let big = Fv.create 67 in
+  random_fill rng big;
+  List.iter
+    (fun (pos, len) ->
+      let v = Fv.sub_view big ~pos ~len in
+      check_modes
+        (Printf.sprintf "hash_fv pos=%d len=%d" pos len)
+        (fun () -> Keccak.hash_fv v))
+    [ (0, 40); (3, 40); (1, 0); (5, 17) ];
+  let d1 = Keccak.sha3_256 (Bytes.of_string "left") in
+  let d2 = Keccak.sha3_256 (Bytes.of_string "right") in
+  check_modes "hash2" (fun () -> Keccak.hash2 d1 d2);
+  let level = Array.init 16 (fun i -> Keccak.sha3_256 (Bytes.make 5 (Char.chr i))) in
+  check_modes "hash2_pairs" (fun () ->
+      String.concat "" (Array.to_list (Keccak.hash2_pairs level)))
+
+let test_hash_matrix_cols () =
+  let rng = Rng.create 0xC015L in
+  List.iter
+    (fun (rows, cols) ->
+      let flat = Fv.create (rows * cols) in
+      random_fill rng flat;
+      check_modes
+        (Printf.sprintf "hash_matrix_cols %dx%d" rows cols)
+        (fun () ->
+          String.concat "" (Array.to_list (Keccak.hash_matrix_cols ~rows ~cols flat))))
+    [ (5, 3); (17, 4); (40, 13) ]
+
+(* In-place permutation at arbitrary (including unaligned) lane offsets in a
+   larger state bank: result and every untouched neighbour checked against a
+   snapshot + the public 25-lane oracle. *)
+let test_f1600_off_torture () =
+  let rng = Rng.create 0xF16L in
+  let total = (25 * 4) + 7 in
+  let st = Fv.create total in
+  random_fill rng st;
+  List.iter
+    (fun off ->
+      List.iter
+        (fun m ->
+          let snapshot = Fv.copy st in
+          let oracle = Array.init 25 (fun i -> Fv.get st (off + i)) in
+          Keccak.keccak_f1600 oracle;
+          Native.with_mode m (fun () -> Native.f1600_off st off);
+          for i = 0 to total - 1 do
+            let expected =
+              if i >= off && i < off + 25 then oracle.(i - off) else Fv.get snapshot i
+            in
+            Alcotest.(check int64)
+              (Printf.sprintf "f1600_off off=%d lane=%d [%s]" off i
+                 (Native.mode_to_string m))
+              expected (Fv.get st i)
+          done)
+        [ Native.Scalar; Native.Simd ])
+    [ 0; 7; 25; 52; 75 ]
+
+(* Column sponges driven through irregular absorb chunks (splitting rows at
+   non-multiples of the 17-lane rate and columns mid-range) over a
+   misaligned sub-view, against the one-shot hash_matrix_cols oracle. *)
+let test_col_hash_torture () =
+  let rng = Rng.create 0xC01L in
+  let rows = 40 and cols = 13 in
+  let big = Fv.create ((rows * cols) + 5) in
+  random_fill rng big;
+  let flat = Fv.sub_view big ~pos:5 ~len:(rows * cols) in
+  let expected =
+    Native.with_mode Native.Off (fun () -> Keccak.hash_matrix_cols ~rows ~cols flat)
+  in
+  let splits = [ 0; 1; 4; 16; 17; 18; 34; rows ] in
+  List.iter
+    (fun m ->
+      let digests =
+        Native.with_mode m (fun () ->
+            let t = Keccak.Col_hash.create cols in
+            let rec go = function
+              | lo :: (hi :: _ as rest) ->
+                Keccak.Col_hash.absorb t flat ~row_stride:cols ~r_lo:lo ~r_hi:hi
+                  ~c_lo:0 ~c_hi:5;
+                Keccak.Col_hash.absorb t flat ~row_stride:cols ~r_lo:lo ~r_hi:hi
+                  ~c_lo:5 ~c_hi:cols;
+                go rest
+              | _ -> ()
+            in
+            go splits;
+            let out = Array.make cols "" in
+            Keccak.Col_hash.finalize t ~total_rows:rows ~c_lo:0 ~c_hi:cols out;
+            out)
+      in
+      Array.iteri
+        (fun j d ->
+          Alcotest.(check string)
+            (Printf.sprintf "col_hash col=%d [%s]" j (Native.mode_to_string m))
+            expected.(j) d)
+        digests)
+    modes
+
+(* --- full-pipeline proof golden ------------------------------------------ *)
+
+let golden_circuit () =
+  let b = Builder.create () in
+  let x = Builder.witness b (Gf.of_int 3) in
+  let y = Builder.witness b (Gf.of_int 5) in
+  let cur = ref x in
+  for _ = 1 to 8 do
+    cur := Gadgets.mul b !cur y
+  done;
+  let out = Builder.input b (Builder.value b !cur) in
+  Gadgets.assert_equal b (Builder.lc_var !cur) (Builder.lc_var out);
+  Builder.finalize b
+
+(* The acceptance pin: proof bytes are identical with the native layer off,
+   scalar, and SIMD, for domain counts 1, 2 and 3 — the kernels never leak
+   into the transcript. *)
+let test_proof_bytes_invariant () =
+  let inst, asn = golden_circuit () in
+  let prove_bytes mode d =
+    Native.with_mode mode (fun () ->
+        Pool.with_domains d (fun () ->
+            let proof, _ = Spartan.prove Spartan.test_params inst asn in
+            Serialize.proof_to_bytes proof))
+  in
+  let reference = prove_bytes Native.Off 1 in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "proof bytes domains=%d [%s]" d (Native.mode_to_string m))
+            true
+            (Bytes.equal reference (prove_bytes m d)))
+        modes)
+    [ 1; 2; 3 ]
+
+let suite =
+  [
+    Alcotest.test_case "gl_pow vs Gf.pow + Fermat" `Quick test_gl_pow;
+    QCheck_alcotest.to_alcotest prop_elementwise;
+    Alcotest.test_case "NTT forward/inverse vs OCaml, all sizes" `Quick test_ntt_equiv;
+    Alcotest.test_case "row-batched NTT vs OCaml" `Quick test_ntt_rows_equiv;
+    Alcotest.test_case "RS row encode vs OCaml + raw fused stub" `Quick test_rs_encode_equiv;
+    Alcotest.test_case "sha3 lengths 0..300 across modes + FIPS" `Quick test_sha3_all_lengths;
+    Alcotest.test_case "sha3_x4 vs 4x sha3" `Quick test_sha3_x4;
+    Alcotest.test_case "sha3_256_batch mixed/tail" `Quick test_sha3_batch;
+    Alcotest.test_case "hash_gf/hash_fv/hash2/pairs across modes" `Quick test_hash_entry_points;
+    Alcotest.test_case "hash_matrix_cols across modes" `Quick test_hash_matrix_cols;
+    Alcotest.test_case "f1600_off offset torture" `Quick test_f1600_off_torture;
+    Alcotest.test_case "Col_hash chunked absorb torture" `Quick test_col_hash_torture;
+    Alcotest.test_case "proof bytes invariant: modes x domains" `Quick test_proof_bytes_invariant;
+  ]

@@ -297,9 +297,21 @@ let test_engine_config () =
      Engine.Config.parse
        ~lookup:
          (lookup
-            [ ("NOCAP_DOMAINS", "3"); ("NOCAP_GC_MINOR_MB", "64"); ("NOCAP_SPIN_US", "0") ])
+            [
+              ("NOCAP_DOMAINS", "3");
+              ("NOCAP_GC_MINOR_MB", "64");
+              ("NOCAP_SPIN_US", "0");
+              ("NOCAP_NATIVE", "scalar");
+            ])
    with
-  | Ok { Engine.Config.domains = Some 3; gc_minor_mb = Some 64; spin_us = Some 0 } -> ()
+  | Ok
+      {
+        Engine.Config.domains = Some 3;
+        gc_minor_mb = Some 64;
+        spin_us = Some 0;
+        native = Some Nocap_native.Native.Scalar;
+      } ->
+    ()
   | Ok _ -> Alcotest.fail "parsed values wrong"
   | Error e -> Alcotest.failf "valid env rejected: %s" e);
   List.iter
@@ -316,9 +328,24 @@ let test_engine_config () =
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "accepted NOCAP_SPIN_US=%s" v)
     [ "-1"; "ten"; "" ];
-  match Engine.Config.parse ~lookup:(lookup [ ("NOCAP_GC_MINOR_MB", "1.5") ]) with
+  (match Engine.Config.parse ~lookup:(lookup [ ("NOCAP_GC_MINOR_MB", "1.5") ]) with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "accepted fractional NOCAP_GC_MINOR_MB"
+  | Ok _ -> Alcotest.fail "accepted fractional NOCAP_GC_MINOR_MB");
+  (* NOCAP_NATIVE accepts the documented grammar and rejects the rest. *)
+  List.iter
+    (fun (v, m) ->
+      match Engine.Config.parse ~lookup:(lookup [ ("NOCAP_NATIVE", v) ]) with
+      | Ok { Engine.Config.native = Some m'; _ } when m' = m -> ()
+      | Ok _ -> Alcotest.failf "NOCAP_NATIVE=%s parsed wrong" v
+      | Error e -> Alcotest.failf "NOCAP_NATIVE=%s rejected: %s" v e)
+    Nocap_native.Native.
+      [
+        ("0", Off); ("off", Off); ("OFF", Off); ("scalar", Scalar); ("1", Simd);
+        ("on", Simd); ("auto", Simd); ("simd", Simd);
+      ];
+  match Engine.Config.parse ~lookup:(lookup [ ("NOCAP_NATIVE", "fast") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted NOCAP_NATIVE=fast"
 
 let suite =
   [
