@@ -278,7 +278,7 @@ let alloc_reduction r =
 
 let schema_id = "nocap-bench-memory/v1"
 
-let json_of_rows ~probe rows =
+let json_of_rows ~probe ~peak_rss_kb ~rss_source rows =
   let control = Gc.get () in
   let buf = Buffer.create 4096 in
   let adds fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -291,6 +291,8 @@ let json_of_rows ~probe rows =
   adds "{\n";
   adds "  \"schema\": %S,\n" schema_id;
   adds "  \"domains\": 1,\n";
+  adds "  \"peak_rss_kb\": %d,\n" peak_rss_kb;
+  adds "  \"rss_source\": %S,\n" rss_source;
   adds "  \"fv_probe_words_per_elem\": %.4f,\n" probe;
   adds "  \"gc\": {\"minor_heap_words\": %d, \"space_overhead\": %d},\n"
     control.Gc.minor_heap_size control.Gc.space_overhead;
@@ -321,6 +323,12 @@ let validate_schema (s : string) : (unit, string) result =
     let j = parse_json s in
     if as_str (field j "schema") <> schema_id then raise (Bad_json "wrong schema id");
     if as_num (field j "domains") <> 1.0 then raise (Bad_json "memory bench must be single-domain");
+    let rss_source = as_str (field j "rss_source") in
+    if rss_source = "" then raise (Bad_json "rss_source must be non-empty");
+    (* (0, "none") is the probe's explicit both-probes-failed marker; any
+       live source must report a positive high-water mark. *)
+    if rss_source <> "none" && not (as_num (field j "peak_rss_kb") > 0.0) then
+      raise (Bad_json "peak_rss_kb must be positive");
     ignore (as_num (field j "fv_probe_words_per_elem"));
     let gc = field j "gc" in
     if not (as_num (field gc "minor_heap_words") > 0.0) then
@@ -394,7 +402,9 @@ let run ?(smoke = false) ?(path = "BENCH_memory.json") () =
       (fun r -> Printf.eprintf "bench memory: %s boxed/unboxed diverged\n%!" r.kernel.k_name)
       bad;
     exit 1);
-  let json = json_of_rows ~probe rows in
+  let peak_rss_kb, rss_source = Rss.peak_rss_kb () in
+  Printf.printf "peak RSS: %d KiB (probe: %s)\n%!" peak_rss_kb rss_source;
+  let json = json_of_rows ~probe ~peak_rss_kb ~rss_source rows in
   let oc = open_out path in
   output_string oc json;
   close_out oc;

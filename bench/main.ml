@@ -12,6 +12,7 @@
      main.exe native     OCaml vs scalar-C vs SIMD kernels -> BENCH_native.json
      main.exe faults     fault-injection sweep over mutated proofs -> BENCH_faults.json
      main.exe analysis   circuit lint + structure + mutation oracle -> BENCH_analysis.json
+     main.exe stream     streaming vs in-memory prover + peak RSS -> BENCH_stream.json
      main.exe table4     a single table/figure by id
 
    GC tuning for every mode lives in [tune_gc] below. *)
@@ -343,7 +344,8 @@ let () =
     ignore (Bench_backend.run ());
     ignore (Bench_native.run ());
     ignore (Bench_faults.run ());
-    ignore (Bench_analysis.run ())
+    ignore (Bench_analysis.run ());
+    ignore (Bench_stream.run ())
   | [ "report" ] -> List.iter (fun (_, f) -> f ()) report_items
   | [ "bench" ] -> run_benches ()
   | [ "parallel" ] -> ignore (Bench_parallel.run ())
@@ -366,6 +368,10 @@ let () =
   | [ "faults"; path ] -> ignore (Bench_faults.run ~path ())
   | [ "faults-smoke" ] -> ignore (Bench_faults.run ~smoke:true ())
   | [ "faults-smoke"; path ] -> ignore (Bench_faults.run ~smoke:true ~path ())
+  | [ "stream" ] -> ignore (Bench_stream.run ())
+  | [ "stream"; path ] -> ignore (Bench_stream.run ~path ())
+  | [ "stream-smoke" ] -> ignore (Bench_stream.run ~smoke:true ())
+  | [ "stream-smoke"; path ] -> ignore (Bench_stream.run ~smoke:true ~path ())
   | [ "analysis" ] -> ignore (Bench_analysis.run ())
   | [ "analysis"; path ] -> ignore (Bench_analysis.run ~path ())
   | [ "analysis-smoke" ] -> ignore (Bench_analysis.run ~smoke:true ())

@@ -1,0 +1,64 @@
+(* Portable peak-RSS probe for the memory benches.
+
+   Primary source: VmHWM from /proc/self/status (KiB), which the kernel
+   lets us *reset* between bench phases by writing "5" to
+   /proc/self/clear_refs — without the reset a monotonic high-water mark
+   would charge every phase with the largest phase before it. Fallback:
+   getrusage(RUSAGE_SELF).ru_maxrss via a C stub (same unit on Linux, not
+   resettable). The source actually used is recorded in the emitted JSON
+   so flat-vs-growing comparisons are interpretable. *)
+
+external getrusage_maxrss_kb : unit -> int = "nocap_rss_getrusage_maxrss_kb"
+
+let scan_status key =
+  let prefix = key ^ ":" in
+  try
+    let ic = open_in "/proc/self/status" in
+    let rec go () =
+      match input_line ic with
+      | line ->
+        if
+          String.length line > String.length prefix
+          && String.sub line 0 (String.length prefix) = prefix
+        then begin
+          close_in ic;
+          let rest =
+            String.sub line (String.length prefix)
+              (String.length line - String.length prefix)
+          in
+          try Scanf.sscanf rest " %d" (fun kb -> Some kb) with _ -> None
+        end
+        else go ()
+      | exception End_of_file ->
+        close_in ic;
+        None
+    in
+    go ()
+  with Sys_error _ -> None
+
+let current_rss_kb () = match scan_status "VmRSS" with Some kb -> kb | None -> 0
+
+(* (kilobytes, source); (0, "none") only when both probes fail. *)
+let peak_rss_kb () =
+  match scan_status "VmHWM" with
+  | Some kb -> (kb, "vmhwm")
+  | None ->
+    let kb = getrusage_maxrss_kb () in
+    if kb > 0 then (kb, "getrusage") else (0, "none")
+
+(* Reset the VmHWM high-water mark to the current RSS. Returns false where
+   unsupported (non-Linux, restricted /proc) — peaks are then monotonic
+   across phases and the caller should order phases smallest-first. *)
+let reset_peak () =
+  try
+    let oc = open_out "/proc/self/clear_refs" in
+    output_string oc "5";
+    close_out oc;
+    true
+  with Sys_error _ -> false
+
+(* Shrink the OCaml heap before resetting, so a phase's floor is the live
+   data rather than the previous phase's high-water heap. *)
+let settle_and_reset () =
+  Gc.compact ();
+  reset_peak ()

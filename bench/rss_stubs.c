@@ -1,0 +1,13 @@
+/* getrusage-based peak-RSS fallback for platforms (or sandboxes) where
+   /proc/self/status is unavailable. ru_maxrss is KiB on Linux. */
+#include <caml/mlvalues.h>
+#include <sys/resource.h>
+
+CAMLprim value nocap_rss_getrusage_maxrss_kb(value unit)
+{
+  struct rusage ru;
+  (void)unit;
+  if (getrusage(RUSAGE_SELF, &ru) != 0)
+    return Val_long(0);
+  return Val_long((long)ru.ru_maxrss);
+}

@@ -44,6 +44,55 @@ let build_serial leaves =
 
 let build leaves = build_with leaves ~pairs:Keccak.hash2_pairs
 
+(* Incremental builder for the streaming commit: leaves arrive in chunks
+   (as column sponges finalize) and internal nodes are hashed eagerly as
+   soon as both children exist, so no leaf chunk has to persist. Produces
+   the same node set as [build] — pairs hashed with [Keccak.hash2],
+   padding with [empty_leaf] — so roots and paths are byte-identical to
+   the one-shot build; only the hashing schedule differs (serial cascade
+   instead of the pool's batched levels). *)
+module Builder = struct
+  type t = {
+    levels : digest array array;
+    fill : int array; (* entries written so far at each level *)
+    real : int;
+    mutable added : int;
+  }
+
+  let create n =
+    if n <= 0 then invalid_arg "Merkle.Builder.create: need at least one leaf";
+    let padded = next_pow2 n in
+    let rec depth_of k m = if m = 1 then k else depth_of (k + 1) (m / 2) in
+    let depth = depth_of 0 padded in
+    let levels = Array.init (depth + 1) (fun k -> Array.make (padded lsr k) empty_leaf) in
+    { levels; fill = Array.make (depth + 1) 0; real = n; added = 0 }
+
+  let rec push t k d =
+    let i = t.fill.(k) in
+    t.levels.(k).(i) <- d;
+    t.fill.(k) <- i + 1;
+    if i land 1 = 1 && k + 1 < Array.length t.levels then
+      push t (k + 1) (Keccak.hash2 t.levels.(k).(i - 1) d)
+
+  let add t leaves =
+    let n = Array.length leaves in
+    if t.added + n > t.real then invalid_arg "Merkle.Builder.add: too many leaves";
+    for i = 0 to n - 1 do
+      push t 0 leaves.(i)
+    done;
+    t.added <- t.added + n
+
+  let finish t =
+    if t.added <> t.real then
+      invalid_arg
+        (Printf.sprintf "Merkle.Builder.finish: %d of %d leaves added" t.added t.real);
+    let padded = Array.length t.levels.(0) in
+    for _ = t.fill.(0) to padded - 1 do
+      push t 0 empty_leaf
+    done;
+    { levels = t.levels; real_leaves = t.real }
+end
+
 let root t = t.levels.(Array.length t.levels - 1).(0)
 
 let num_leaves t = t.real_leaves

@@ -32,6 +32,27 @@ val leaves_of_matrix : rows:int -> cols:int -> Nocap_vec.Fv.t -> digest array
     matrix, read with stride [cols] straight out of the unboxed buffer.
     Equals {!leaves_of_columns} of the gathered columns. *)
 
+(** Incremental tree construction for the streaming commit: leaf digests
+    arrive in chunks as column sponges finalize, and internal nodes are
+    hashed eagerly the moment both children exist. [finish] returns a tree
+    byte-identical to {!build} over the same leaves (same pair hashing,
+    same [empty_leaf] padding); only the hashing schedule differs. *)
+module Builder : sig
+  type t
+
+  val create : int -> t
+  (** [create n] expects exactly [n] real leaves.
+      @raise Invalid_argument if [n <= 0]. *)
+
+  val add : t -> digest array -> unit
+  (** Append the next chunk of leaves, in leaf order.
+      @raise Invalid_argument past [n] leaves. *)
+
+  val finish : t -> tree
+  (** Pad and finish. @raise Invalid_argument unless exactly [n] leaves
+      were added. *)
+end
+
 val root : tree -> digest
 
 val num_leaves : tree -> int

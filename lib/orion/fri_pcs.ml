@@ -4,8 +4,11 @@ module Dense = Zk_poly.Dense
 module Merkle = Zk_merkle.Merkle
 module Transcript = Zk_hash.Transcript
 module Ntt = Zk_ntt.Ntt.Gf_ntt
+module Ntt_fv = Zk_ntt.Ntt.Gf_fv
 module Pool = Nocap_parallel.Pool
 module Codec = Zk_pcs.Codec
+module Fv = Nocap_vec.Fv
+module Spill = Nocap_vec.Spill
 
 let name = "fri"
 let tag = '\002'
@@ -28,12 +31,22 @@ let param_error_to_string = function
 
 type commitment = { root : Merkle.digest; num_vars : int }
 
-type committed = {
-  c_commitment : commitment;
-  table : Gf.t array; (* multilinear evaluations, length 2^num_vars *)
-  evals : Gf.t array; (* layer-0 codeword over the size-(2^num_vars * blowup) subgroup *)
-  tree : Merkle.tree;
-}
+(* Prover-side opening state. Dense keeps the table and layer-0 codeword
+   resident; Streamed (engine budget set) holds both in spill files and
+   the opening runs the sumcheck/fold pyramid out of core. The codeword
+   pyramid — sum over layers of 2^i — is the dominant in-memory object of
+   an opening, and it is what streaming eliminates; the per-layer Merkle
+   trees stay resident (openings need sibling paths), as does the NTT of
+   the streaming COMMIT (flat, 8 bytes/element) — a documented limit of
+   this backend's out-of-core support. *)
+type store =
+  | Dense of {
+      table : Gf.t array; (* multilinear evaluations, length 2^num_vars *)
+      evals : Gf.t array; (* layer-0 codeword, size 2^num_vars * blowup *)
+    }
+  | Streamed of { s_table : Spill.t; s_evals : Spill.t; budget : int }
+
+type committed = { c_commitment : commitment; store : store; tree : Merkle.tree }
 
 type eval_proof = {
   round_polys : Gf.t array array; (* one degree-2 polynomial (3 evals) per variable *)
@@ -88,22 +101,96 @@ let monomial_coeffs table =
     Array.init n (fun m -> c.(rev m))
   end
 
+(* Chunked {!Fri.commit_layer} over a spillable codeword, fed through the
+   incremental Merkle builder: leaf j pairs positions j and j + half, read
+   in blocks. Same leaf bytes, same tree. *)
+let commit_layer_spill ev ~block =
+  let n = Spill.length ev in
+  let half = n / 2 in
+  let builder = Merkle.Builder.create half in
+  let lo = Fv.create (min block half) and hi = Fv.create (min block half) in
+  let j = ref 0 in
+  while !j < half do
+    let bl = min (Fv.length lo) (half - !j) in
+    Spill.read ev ~pos:!j (Fv.sub_view lo ~pos:0 ~len:bl);
+    Spill.read ev ~pos:(!j + half) (Fv.sub_view hi ~pos:0 ~len:bl);
+    let leaves =
+      Array.init bl (fun i -> Merkle.leaf_of_column [| Fv.get lo i; Fv.get hi i |])
+    in
+    Merkle.Builder.add builder leaves;
+    j := !j + bl
+  done;
+  Merkle.Builder.finish builder
+
+(* Copy a boxed table into a fresh spill file, block by block (the staging
+   buffer stays budget-sized). *)
+let spill_of_array ?tag arr ~block =
+  let n = Array.length arr in
+  let s = Spill.create ?tag ~spill:true n in
+  let buf = Fv.create (min block (max 1 n)) in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min (Fv.length buf) (n - !pos) in
+    let v = Fv.sub_view buf ~pos:0 ~len in
+    Fv.write_array arr ~src_pos:!pos v ~dst_pos:0 ~len;
+    Spill.write s ~pos:!pos v;
+    pos := !pos + len
+  done;
+  s
+
+let block_of_budget budget =
+  (* Six block-sized staging vectors live at once in the opening loop
+     (lo/hi per table plus output); keep them inside half the budget. *)
+  max 1024 (budget / 2 / (8 * 6))
+
 let commit ?engine params rng table =
   (match validate_params params with
   | Ok () -> ()
   | Error e -> invalid_arg ("Fri_pcs.commit: " ^ param_error_to_string e));
-  ignore (engine : Zk_pcs.Engine.t option);
   ignore (rng : Zk_util.Rng.t); (* non-hiding backend: no masks to draw *)
   let n = Array.length table in
   let num_vars = log2_exact n in
-  let coeffs = monomial_coeffs table in
   let domain = n lsl params.blowup_log2 in
-  let evals = Array.make domain Gf.zero in
-  Array.blit coeffs 0 evals 0 n;
-  Ntt.forward (Ntt.plan domain) evals;
-  let tree = Fri.commit_layer evals in
-  let c_commitment = { root = Merkle.root tree; num_vars } in
-  ({ c_commitment; table = Array.copy table; evals; tree }, c_commitment)
+  match Option.bind engine Zk_pcs.Engine.stream_budget_bytes with
+  | None ->
+    let coeffs = monomial_coeffs table in
+    let evals = Array.make domain Gf.zero in
+    Array.blit coeffs 0 evals 0 n;
+    Ntt.forward (Ntt.plan domain) evals;
+    let tree = Fri.commit_layer evals in
+    let c_commitment = { root = Merkle.root tree; num_vars } in
+    ({ c_commitment; store = Dense { table = Array.copy table; evals }; tree }, c_commitment)
+  | Some budget ->
+    (* Streaming store. The NTT itself still runs in RAM — over the flat
+       8-byte/element vector rather than boxed Gf, but O(domain) resident
+       all the same (documented limit); the win is downstream: the
+       codeword and table spill, and the opening's fold pyramid never
+       materializes. Field values are identical to the boxed NTT, so the
+       root and proof bytes match the dense store's. *)
+    let block = block_of_budget budget in
+    let coeffs = monomial_coeffs table in
+    let evals_fv = Fv.create domain in
+    Fv.zero evals_fv;
+    Fv.write_array coeffs ~src_pos:0 evals_fv ~dst_pos:0 ~len:n;
+    Ntt_fv.forward (Ntt_fv.plan domain) evals_fv;
+    let s_evals = Spill.create ~tag:"fri-evals" ~spill:true domain in
+    let pos = ref 0 in
+    while !pos < domain do
+      let len = min block (domain - !pos) in
+      Spill.write s_evals ~pos:!pos (Fv.sub_view evals_fv ~pos:!pos ~len);
+      pos := !pos + len
+    done;
+    let tree = commit_layer_spill s_evals ~block in
+    let s_table = spill_of_array ~tag:"fri-table" table ~block in
+    let c_commitment = { root = Merkle.root tree; num_vars } in
+    ({ c_commitment; store = Streamed { s_table; s_evals; budget }; tree }, c_commitment)
+
+let free_committed c =
+  match c.store with
+  | Dense _ -> ()
+  | Streamed { s_table; s_evals; _ } ->
+    Spill.free s_table;
+    Spill.free s_evals
 
 let absorb_commitment transcript (cm : commitment) =
   Transcript.absorb_digest transcript "fripcs/root" cm.root;
@@ -119,14 +206,14 @@ let commitment_num_vars (cm : commitment) = cm.num_vars
    codeword is the constant [f~(r)], so the verifier can close the
    sumcheck with [f~(r) * eq~(q, r)] and needs only FRI-style spot checks
    (no second commitment, no trusted evaluation). *)
-let open_at ?engine params committed transcript point =
+let open_at_dense ?engine params committed ~table ~evals transcript point =
   let pool = Option.bind engine Zk_pcs.Engine.pool in
   let cm = committed.c_commitment in
   let l = cm.num_vars in
   if Array.length point <> l then invalid_arg "Fri_pcs.open_at: point dimension";
-  let n = Array.length committed.table in
+  let n = Array.length table in
   Transcript.absorb_gf transcript "fripcs/point" point;
-  let a = Array.copy committed.table in
+  let a = Array.copy table in
   let e = Mle.eq_table point in
   let value =
     let acc = ref Gf.zero in
@@ -138,7 +225,7 @@ let open_at ?engine params committed transcript point =
   Transcript.absorb_gf transcript "fripcs/value" [| value |];
   let round_polys = Array.make l [||] in
   let challenges = Array.make l Gf.zero in
-  let layers = ref [ committed.evals ] in
+  let layers = ref [ evals ] in
   let trees = ref [ committed.tree ] in
   let len = ref n in
   for round = 0 to l - 1 do
@@ -175,7 +262,7 @@ let open_at ?engine params committed transcript point =
   let trees = Array.of_list (List.rev !trees) in
   let final_constant = layers.(l).(0) in
   Transcript.absorb_gf transcript "fripcs/final" [| final_constant |];
-  let domain = Array.length committed.evals in
+  let domain = Array.length evals in
   let positions =
     Transcript.challenge_indices transcript "fripcs/queries" ~bound:(domain / 2)
       ~count:params.num_queries
@@ -203,6 +290,200 @@ let open_at ?engine params committed transcript point =
       final_constant;
       queries;
     } )
+
+(* The same interleaved sumcheck/fold, out of core: the tables [a]/[e] and
+   every codeword layer live in spill files, touched one budget-sized block
+   at a time. Accumulation order, fold arithmetic, and transcript traffic
+   are element-for-element those of {!open_at_dense} — Goldilocks ops are
+   exact and canonical, so value equality is bit equality and the proof
+   bytes match. Block-start twiddles come from [Gf.pow] instead of the
+   dense running product; same field element, same bits. *)
+let open_at_streamed params committed ~s_table ~s_evals ~budget transcript point =
+  let cm = committed.c_commitment in
+  let l = cm.num_vars in
+  if Array.length point <> l then invalid_arg "Fri_pcs.open_at: point dimension";
+  let n = Spill.length s_table in
+  let domain = Spill.length s_evals in
+  let block = block_of_budget budget in
+  (* Back a fresh working vector with a file only when it would bite into
+     the budget; small tails stay in RAM (reads/writes are uniform). *)
+  let fresh tag len = Spill.create ~tag ~spill:(len * 8 > budget / 4) len in
+  Transcript.absorb_gf transcript "fripcs/point" point;
+  (* Working copies: a = table, e = eq(point), both spilled. The eq table is
+     generated directly into blocks via the aligned-range factorization. *)
+  let a = fresh "fri-open-a" n in
+  let buf = Fv.create (min block n) in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min (Fv.length buf) (n - !pos) in
+    let v = Fv.sub_view buf ~pos:0 ~len in
+    Spill.read s_table ~pos:!pos v;
+    Spill.write a ~pos:!pos v;
+    pos := !pos + len
+  done;
+  let e = fresh "fri-open-e" n in
+  let eblock =
+    (* largest power of two <= min block n, so every range is aligned *)
+    let b = min block n in
+    let p = ref 1 in
+    while !p * 2 <= b do p := !p * 2 done;
+    !p
+  in
+  let pos = ref 0 in
+  while !pos < n do
+    let chunk = Mle.eq_table_range point ~lo:!pos ~len:eblock in
+    Spill.write e ~pos:!pos (Fv.of_array chunk);
+    pos := !pos + eblock
+  done;
+  let value =
+    let acc = ref Gf.zero in
+    let ab = Fv.create (min block n) and eb = Fv.create (min block n) in
+    let pos = ref 0 in
+    while !pos < n do
+      let len = min (Fv.length ab) (n - !pos) in
+      let av = Fv.sub_view ab ~pos:0 ~len and ev = Fv.sub_view eb ~pos:0 ~len in
+      Spill.read a ~pos:!pos av;
+      Spill.read e ~pos:!pos ev;
+      for i = 0 to len - 1 do
+        acc := Gf.add !acc (Gf.mul (Fv.get av i) (Fv.get ev i))
+      done;
+      pos := !pos + len
+    done;
+    !acc
+  in
+  Transcript.absorb_gf transcript "fripcs/value" [| value |];
+  let round_polys = Array.make l [||] in
+  let challenges = Array.make l Gf.zero in
+  let layers = ref [ s_evals ] in
+  let trees = ref [ committed.tree ] in
+  let a = ref a and e = ref e in
+  let len = ref n in
+  let bsz = max 1 (min block (max (n / 2) (domain / 2))) in
+  let alo = Fv.create bsz and ahi = Fv.create bsz in
+  let elo = Fv.create bsz and ehi = Fv.create bsz in
+  let inv2 = Gf.inv Gf.two in
+  for round = 0 to l - 1 do
+    let half = !len / 2 in
+    (* Pass 1: the round polynomial, same b = 0 .. half-1 order. *)
+    let g = Array.make 3 Gf.zero in
+    let b = ref 0 in
+    while !b < half do
+      let bl = min bsz (half - !b) in
+      let alv = Fv.sub_view alo ~pos:0 ~len:bl and ahv = Fv.sub_view ahi ~pos:0 ~len:bl in
+      let elv = Fv.sub_view elo ~pos:0 ~len:bl and ehv = Fv.sub_view ehi ~pos:0 ~len:bl in
+      Spill.read !a ~pos:!b alv;
+      Spill.read !a ~pos:(!b + half) ahv;
+      Spill.read !e ~pos:!b elv;
+      Spill.read !e ~pos:(!b + half) ehv;
+      for i = 0 to bl - 1 do
+        let a0 = Fv.get alv i and a1 = Fv.get ahv i in
+        let e0 = Fv.get elv i and e1 = Fv.get ehv i in
+        let da = Gf.sub a1 a0 and de = Gf.sub e1 e0 in
+        g.(0) <- Gf.add g.(0) (Gf.mul a0 e0);
+        g.(1) <- Gf.add g.(1) (Gf.mul a1 e1);
+        g.(2) <- Gf.add g.(2) (Gf.mul (Gf.add a1 da) (Gf.add e1 de))
+      done;
+      b := !b + bl
+    done;
+    round_polys.(round) <- g;
+    Transcript.absorb_gf transcript "fripcs/round" g;
+    let r = Transcript.challenge_gf transcript "fripcs/r" in
+    challenges.(round) <- r;
+    (* Pass 2: bind the top variable of both tables into fresh spills. *)
+    let a' = fresh "fri-open-a" half and e' = fresh "fri-open-e" half in
+    let b = ref 0 in
+    while !b < half do
+      let bl = min bsz (half - !b) in
+      let alv = Fv.sub_view alo ~pos:0 ~len:bl and ahv = Fv.sub_view ahi ~pos:0 ~len:bl in
+      let elv = Fv.sub_view elo ~pos:0 ~len:bl and ehv = Fv.sub_view ehi ~pos:0 ~len:bl in
+      Spill.read !a ~pos:!b alv;
+      Spill.read !a ~pos:(!b + half) ahv;
+      Spill.read !e ~pos:!b elv;
+      Spill.read !e ~pos:(!b + half) ehv;
+      for i = 0 to bl - 1 do
+        let a0 = Fv.get alv i and e0 = Fv.get elv i in
+        Fv.set alv i (Gf.add a0 (Gf.mul r (Gf.sub (Fv.get ahv i) a0)));
+        Fv.set elv i (Gf.add e0 (Gf.mul r (Gf.sub (Fv.get ehv i) e0)))
+      done;
+      Spill.write a' ~pos:!b alv;
+      Spill.write e' ~pos:!b elv;
+      b := !b + bl
+    done;
+    Spill.free !a;
+    Spill.free !e;
+    a := a';
+    e := e';
+    len := half;
+    (* ...and fold the codeword with the same challenge, blockwise. *)
+    let cw = List.hd !layers in
+    let cw_len = Spill.length cw in
+    let cw_half = cw_len / 2 in
+    let w = Gf.root_of_unity (log2_exact cw_len) in
+    let next = fresh "fri-layer" cw_half in
+    let j = ref 0 in
+    while !j < cw_half do
+      let bl = min bsz (cw_half - !j) in
+      let alv = Fv.sub_view alo ~pos:0 ~len:bl and ahv = Fv.sub_view ahi ~pos:0 ~len:bl in
+      Spill.read cw ~pos:!j alv;
+      Spill.read cw ~pos:(!j + cw_half) ahv;
+      let x = ref (Gf.pow w (Int64.of_int !j)) in
+      for i = 0 to bl - 1 do
+        let av = Fv.get alv i and bv = Fv.get ahv i in
+        let even = Gf.mul inv2 (Gf.add av bv) in
+        let odd = Gf.mul inv2 (Gf.mul (Gf.sub av bv) (Gf.inv !x)) in
+        Fv.set alv i (Gf.add even (Gf.mul r odd));
+        x := Gf.mul !x w
+      done;
+      Spill.write next ~pos:!j alv;
+      j := !j + bl
+    done;
+    layers := next :: !layers;
+    let tree = commit_layer_spill next ~block in
+    trees := tree :: !trees;
+    Transcript.absorb_digest transcript "fripcs/layer" (Merkle.root tree)
+  done;
+  let layer_arr = Array.of_list (List.rev !layers) in
+  let trees = Array.of_list (List.rev !trees) in
+  let final_constant = Spill.get layer_arr.(l) 0 in
+  Transcript.absorb_gf transcript "fripcs/final" [| final_constant |];
+  let positions =
+    Transcript.challenge_indices transcript "fripcs/queries" ~bound:(domain / 2)
+      ~count:params.num_queries
+  in
+  let queries =
+    Array.map
+      (fun position ->
+        let opened =
+          Array.mapi
+            (fun i layer ->
+              let half = Spill.length layer / 2 in
+              let pos = position mod half in
+              (Spill.get layer pos, Spill.get layer (pos + half), Merkle.path trees.(i) pos))
+            layer_arr
+        in
+        (position, opened))
+      positions
+  in
+  (* Release the opening's temporaries; layer 0 is the committed codeword
+     and stays alive until [free_committed]. *)
+  Spill.free !a;
+  Spill.free !e;
+  for i = 1 to l do
+    Spill.free layer_arr.(i)
+  done;
+  ( value,
+    {
+      round_polys;
+      layer_roots = Array.init l (fun i -> Merkle.root trees.(i + 1));
+      final_constant;
+      queries;
+    } )
+
+let open_at ?engine params committed transcript point =
+  match committed.store with
+  | Dense { table; evals } -> open_at_dense ?engine params committed ~table ~evals transcript point
+  | Streamed { s_table; s_evals; budget } ->
+    open_at_streamed params committed ~s_table ~s_evals ~budget transcript point
 
 module E = Zk_pcs.Verify_error
 

@@ -5,6 +5,7 @@ module Keccak = Zk_hash.Keccak
 module Transcript = Zk_hash.Transcript
 module Pool = Nocap_parallel.Pool
 module Fv = Nocap_vec.Fv
+module Spill = Nocap_vec.Spill
 
 type params = {
   rows : int;
@@ -50,14 +51,27 @@ type commitment = {
 
 (* Prover-side state is kept unboxed: each matrix is one row-major flat
    vector, so row combinations and column openings stream over contiguous
-   (or fixed-stride) int64 instead of chasing a pointer per element. *)
+   (or fixed-stride) int64 instead of chasing a pointer per element.
+
+   The backing store depends on how the commitment was built. The dense
+   (in-memory) commit keeps the data matrix and the full encoded matrix
+   resident — openings are strided reads. The streamed commit (engine
+   budget set) keeps only the un-encoded rows (data then masks), in a
+   spill file: the encoded matrix — the blowup-times-larger object — is
+   never materialized, and openings re-encode every row block on demand,
+   gathering just the queried codeword positions. Either way the column
+   sponges and Merkle tree see identical bytes, so the commitment roots
+   and proofs agree bit for bit. *)
+type store =
+  | Dense of { matrix : Fv.t; encoded : Fv.t }
+  | Streamed of { all_rows : Spill.t; row_block : int }
+
 type committed = {
   c_params : params;
   c_commitment : commitment;
-  matrix : Fv.t; (* mat_rows x mat_cols data rows, row-major *)
   masks : Fv.t; (* proximity_count x mat_cols mask rows (length 0 if not zk) *)
-  encoded : Fv.t; (* all rows encoded, data then masks, x code_len *)
-  enc_rows : int; (* rows in [encoded] *)
+  enc_rows : int; (* data rows + mask rows *)
+  store : store;
   tree : Merkle.tree;
 }
 
@@ -92,7 +106,7 @@ let pipeline_block = 2 * Keccak.rate_lanes
    result is byte-identical to encode-everything-then-hash: rows still
    stream into each column sponge in order, and the encoded matrix is still
    fully materialized (column openings read it in prove_eval). *)
-let commit ?engine params rng table =
+let commit_dense ?engine params rng table =
   (match validate_params params with
   | Ok () -> ()
   | Error e -> invalid_arg ("Orion.commit: " ^ param_error_to_string e));
@@ -168,7 +182,125 @@ let commit ?engine params rng table =
   let commitment =
     { root = Merkle.root tree; num_vars = log2_exact (Array.length table); mat_rows = rows; mat_cols = cols }
   in
-  ({ c_params = params; c_commitment = commitment; matrix; masks; encoded; enc_rows; tree }, commitment)
+  ( {
+      c_params = params;
+      c_commitment = commitment;
+      masks;
+      enc_rows;
+      store = Dense { matrix; encoded };
+      tree;
+    },
+    commitment )
+
+(* Streaming commit over a flat-element producer: [read ~pos dst] must fill
+   [dst] with elements [pos, pos + length dst) of the table (row-major
+   [rows * cols], like the flat table itself). Nothing bigger than a
+   budget-sized row block, the per-column sponge bank (200 bytes/column)
+   and the Merkle tree is ever resident; the un-encoded rows go to a spill
+   file for the opening phase. Mask rows are drawn from [rng] in exactly
+   the dense order, rows stream into each column sponge in the same order
+   (block-local absorb indices stay lane-aligned because blocks are
+   multiples of [pipeline_block] = 2 sponge blocks), and the Merkle
+   builder hashes the same leaf set — so the root and every subsequent
+   proof byte match {!commit_dense} on the same data. *)
+let commit_stream ?engine params rng ~num_vars ~read ~budget_bytes =
+  (match validate_params params with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Orion.commit: " ^ param_error_to_string e));
+  if num_vars < 0 || num_vars > 62 then invalid_arg "Orion.commit_stream: num_vars";
+  let pool = Option.bind engine Zk_pcs.Engine.pool in
+  let module Code = (val params.code : Zk_ecc.Linear_code.S) in
+  let n = 1 lsl num_vars in
+  let rows = min params.rows n in
+  let cols = n / rows in
+  let code_len = Code.blowup * cols in
+  let mask_rows = if params.zk then params.proximity_count else 0 in
+  let masks = Fv.create (mask_rows * cols) in
+  for i = 0 to (mask_rows * cols) - 1 do
+    Fv.unsafe_set masks i (Gf.random rng)
+  done;
+  let enc_rows = rows + mask_rows in
+  (* Row block sized so the un-encoded and encoded staging buffers together
+     fit ~half the budget, rounded to whole pipeline blocks so every block
+     boundary is a permutation boundary (keeps block-local absorb indices
+     congruent to absolute ones mod the sponge rate). *)
+  let row_block =
+    let by_budget = budget_bytes / 2 / (8 * (cols + code_len)) in
+    let blocks = max 1 (by_budget / pipeline_block) in
+    min (blocks * pipeline_block) (((enc_rows + pipeline_block - 1) / pipeline_block) * pipeline_block)
+  in
+  let all_rows = Spill.create ~tag:"orion-rows" ~spill:true (enc_rows * cols) in
+  let src_buf = Fv.create (row_block * cols) in
+  (* Stage the data rows into the spill file... *)
+  let pos = ref 0 in
+  while !pos < rows * cols do
+    let len = min (row_block * cols) ((rows * cols) - !pos) in
+    let v = Fv.sub_view src_buf ~pos:0 ~len in
+    read ~pos:!pos v;
+    Spill.write all_rows ~pos:!pos v;
+    pos := !pos + len
+  done;
+  (* ...then the mask rows after them, same layout as the dense path. *)
+  if mask_rows > 0 then Spill.write all_rows ~pos:(rows * cols) masks;
+  let col_hash = Keccak.Col_hash.create code_len in
+  let enc_buf = Fv.create (row_block * code_len) in
+  let row_ns = Code.row_encode_ns ~cols in
+  let nblocks = (enc_rows + row_block - 1) / row_block in
+  for k = 0 to nblocks - 1 do
+    let r_lo = k * row_block in
+    let bh = min row_block (enc_rows - r_lo) in
+    Spill.read all_rows ~pos:(r_lo * cols) (Fv.sub_view src_buf ~pos:0 ~len:(bh * cols));
+    Pool.run ?pool ~grain:(Pool.grain_of_ns row_ns) ~n:bh (fun lo hi ->
+        for r = lo to hi - 1 do
+          Code.encode_row_into
+            ~src:(Fv.sub_view src_buf ~pos:(r * cols) ~len:cols)
+            ~dst:(Fv.sub_view enc_buf ~pos:(r * code_len) ~len:code_len)
+        done);
+    let col_ns =
+      max 1 (((bh + Keccak.rate_lanes - 1) / Keccak.rate_lanes) * Keccak.block_ns ())
+    in
+    Pool.run ?pool ~grain:(Pool.grain_of_ns col_ns) ~n:code_len (fun c_lo c_hi ->
+        (* Block-local row indices: r_lo is a multiple of the sponge rate,
+           so [r mod rate_lanes] — the only thing absorb derives from the
+           row index — matches the absolute row's. *)
+        Keccak.Col_hash.absorb col_hash enc_buf ~row_stride:code_len ~r_lo:0 ~r_hi:bh
+          ~c_lo ~c_hi)
+  done;
+  let leaves = Array.make code_len "" in
+  Pool.run ?pool
+    ~grain:(Pool.grain_of_ns (max 1 (Keccak.block_ns ())))
+    ~n:code_len
+    (fun c_lo c_hi ->
+      Keccak.Col_hash.finalize col_hash ~total_rows:enc_rows ~c_lo ~c_hi leaves);
+  let builder = Merkle.Builder.create code_len in
+  Merkle.Builder.add builder leaves;
+  let tree = Merkle.Builder.finish builder in
+  let commitment =
+    { root = Merkle.root tree; num_vars; mat_rows = rows; mat_cols = cols }
+  in
+  ( {
+      c_params = params;
+      c_commitment = commitment;
+      masks;
+      enc_rows;
+      store = Streamed { all_rows; row_block };
+      tree;
+    },
+    commitment )
+
+(* The PCS entry point: the engine's stream budget selects the backing
+   store. Both stores yield byte-identical commitments and proofs. *)
+let commit ?engine params rng table =
+  match Option.bind engine Zk_pcs.Engine.stream_budget_bytes with
+  | None -> commit_dense ?engine params rng table
+  | Some budget_bytes ->
+    commit_stream ?engine params rng
+      ~num_vars:(log2_exact (Array.length table))
+      ~read:(fun ~pos dst -> Fv.write_array table ~src_pos:pos dst ~dst_pos:0 ~len:(Fv.length dst))
+      ~budget_bytes
+
+let free_committed c =
+  match c.store with Dense _ -> () | Streamed { all_rows; _ } -> Spill.free all_rows
 
 let absorb_commitment transcript (cm : commitment) =
   Transcript.absorb_digest transcript "orion/root" cm.root;
@@ -206,6 +338,65 @@ let code_length params (cm : commitment) =
   let module Code = (val params.code : Zk_ecc.Linear_code.S) in
   Code.blowup * cm.mat_cols
 
+(* coeffs^T over the DATA rows of a streamed store: row blocks are read
+   back from the spill file and accumulated with axpy. Field arithmetic is
+   exact, so the blocked accumulation equals the dense one bit for bit. *)
+let row_combination_streamed coeffs all_rows ~row_block ~cols =
+  let nrows = Array.length coeffs in
+  let out = Fv.create cols in
+  Fv.zero out;
+  let buf = Fv.create (row_block * cols) in
+  let r = ref 0 in
+  while !r < nrows do
+    let bh = min row_block (nrows - !r) in
+    Spill.read all_rows ~pos:(!r * cols) (Fv.sub_view buf ~pos:0 ~len:(bh * cols));
+    for i = 0 to bh - 1 do
+      Fv.axpy_into ~dst:out coeffs.(!r + i) (Fv.sub_view buf ~pos:(i * cols) ~len:cols)
+    done;
+    r := !r + bh
+  done;
+  Fv.to_array out
+
+let row_combination_store ?pool committed coeffs ~cols =
+  match committed.store with
+  | Dense { matrix; _ } -> row_combination ?pool coeffs matrix cols
+  | Streamed { all_rows; row_block } ->
+    row_combination_streamed coeffs all_rows ~row_block ~cols
+
+(* Column openings from a streamed store: one more streaming re-encode
+   pass over the spilled rows, gathering only the queried codeword
+   positions — the whole point of never materializing the encoded matrix.
+   The encoder is deterministic, so gathered values equal the dense
+   store's strided reads. *)
+let gather_columns_streamed ?pool committed ~all_rows ~row_block ~cols ~code_len indices =
+  let module Code = (val committed.c_params.code : Zk_ecc.Linear_code.S) in
+  let nq = Array.length indices in
+  let enc_rows = committed.enc_rows in
+  let col_vals = Array.init nq (fun _ -> Array.make enc_rows Gf.zero) in
+  let src_buf = Fv.create (row_block * cols) in
+  let enc_buf = Fv.create (row_block * code_len) in
+  let row_ns = Code.row_encode_ns ~cols in
+  let r_lo = ref 0 in
+  while !r_lo < enc_rows do
+    let bh = min row_block (enc_rows - !r_lo) in
+    Spill.read all_rows ~pos:(!r_lo * cols) (Fv.sub_view src_buf ~pos:0 ~len:(bh * cols));
+    Pool.run ?pool ~grain:(Pool.grain_of_ns row_ns) ~n:bh (fun lo hi ->
+        for r = lo to hi - 1 do
+          Code.encode_row_into
+            ~src:(Fv.sub_view src_buf ~pos:(r * cols) ~len:cols)
+            ~dst:(Fv.sub_view enc_buf ~pos:(r * code_len) ~len:code_len)
+        done);
+    for q = 0 to nq - 1 do
+      let j = indices.(q) in
+      let dst = col_vals.(q) in
+      for r = 0 to bh - 1 do
+        dst.(!r_lo + r) <- Fv.get enc_buf ((r * code_len) + j)
+      done
+    done;
+    r_lo := !r_lo + bh
+  done;
+  Array.init nq (fun q -> (indices.(q), col_vals.(q), Merkle.path committed.tree indices.(q)))
+
 let prove_eval ?engine params committed transcript point =
   let pool = Option.bind engine Zk_pcs.Engine.pool in
   let cm = committed.c_commitment in
@@ -218,7 +409,7 @@ let prove_eval ?engine params committed transcript point =
   let proximity =
     Array.init params.proximity_count (fun i ->
         let rho = Transcript.challenge_gf_vec transcript "orion/rho" cm.mat_rows in
-        let v = row_combination ?pool rho committed.matrix cols in
+        let v = row_combination_store ?pool committed rho ~cols in
         let v =
           if params.zk then
             Array.mapi (fun j x -> Gf.add x (Fv.get committed.masks ((i * cols) + j))) v
@@ -230,27 +421,32 @@ let prove_eval ?engine params committed transcript point =
   (* Consistency: the eq(q_row) combination, whose inner product with
      eq(q_col) is the evaluation. *)
   let eq_row = Mle.eq_table q_row in
-  let u = row_combination ?pool eq_row committed.matrix cols in
+  let u = row_combination_store ?pool committed eq_row ~cols in
   Transcript.absorb_gf transcript "orion/u" u;
   (* Column queries over the codeword domain. *)
   let bound = code_length params cm in
   let indices =
     Transcript.challenge_indices transcript "orion/columns" ~bound ~count:Code.query_count
   in
-  (* Proximity-test column openings: each query reads the (immutable)
-     encoded matrix and tree independently; a column is a stride-[bound]
-     walk of the flat encoding. *)
   let columns =
-    (* One opening gathers [enc_rows] strided elements and walks a Merkle
-       path (~1µs of hashing-free pointer work). *)
-    Pool.parallel_map ?pool
-      ~grain:(Pool.grain_of_ns (max 1 ((committed.enc_rows * 10) + 1_000)))
-      (fun j ->
-        let col =
-          Array.init committed.enc_rows (fun r -> Fv.get committed.encoded ((r * bound) + j))
-        in
-        (j, col, Merkle.path committed.tree j))
-      indices
+    match committed.store with
+    | Dense { encoded; _ } ->
+      (* Proximity-test column openings: each query reads the (immutable)
+         encoded matrix and tree independently; a column is a
+         stride-[bound] walk of the flat encoding. One opening gathers
+         [enc_rows] strided elements and walks a Merkle path (~1µs of
+         hashing-free pointer work). *)
+      Pool.parallel_map ?pool
+        ~grain:(Pool.grain_of_ns (max 1 ((committed.enc_rows * 10) + 1_000)))
+        (fun j ->
+          let col =
+            Array.init committed.enc_rows (fun r -> Fv.get encoded ((r * bound) + j))
+          in
+          (j, col, Merkle.path committed.tree j))
+        indices
+    | Streamed { all_rows; row_block } ->
+      gather_columns_streamed ?pool committed ~all_rows ~row_block ~cols
+        ~code_len:bound indices
   in
   let eq_col = Mle.eq_table q_col in
   let value = ref Gf.zero in

@@ -69,8 +69,31 @@ val commit :
 (** [commit params rng table] commits to the multilinear polynomial whose
     evaluation table is [table] (power-of-two length). [rng] draws the zk
     mask rows (unused when [params.zk] is false); the draw order is fixed,
-    so the commitment does not depend on the engine.
+    so the commitment does not depend on the engine. When the engine
+    carries a stream budget ({!Zk_pcs.Engine.stream_budget_bytes}), the
+    commit runs out-of-core: the encoded matrix is never materialized and
+    the un-encoded rows spill to a temp file — commitment and all
+    subsequent proof bytes are identical either way.
     @raise Invalid_argument if {!validate_params} rejects [params]. *)
+
+val commit_stream :
+  ?engine:Zk_pcs.Engine.t ->
+  params ->
+  Zk_util.Rng.t ->
+  num_vars:int ->
+  read:(pos:int -> Nocap_vec.Fv.t -> unit) ->
+  budget_bytes:int ->
+  committed * commitment
+(** The streaming commit over a flat-element producer: [read ~pos dst]
+    fills [dst] with elements [pos, pos + length dst) of the (row-major)
+    table, so callers can commit to data that never exists in RAM at once
+    (chunked witness generation, generators). Peak residency is one
+    budget-sized row block plus the column-sponge bank and the Merkle
+    tree. Byte-identical to {!commit} on the same table. *)
+
+val free_committed : committed -> unit
+(** Release the spill file behind a streamed commitment (no-op for dense).
+    Idempotent; also run by a GC finalizer as a backstop. *)
 
 val prove_eval :
   ?engine:Zk_pcs.Engine.t ->

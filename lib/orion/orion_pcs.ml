@@ -22,6 +22,7 @@ let commit = Orion.commit
 let absorb_commitment = Orion.absorb_commitment
 let commitment_num_vars (cm : commitment) = cm.Orion.num_vars
 let open_at = Orion.prove_eval
+let free_committed = Orion.free_committed
 let verify = Orion.verify_eval
 let proof_size_bytes = Orion.proof_size_bytes
 

@@ -9,9 +9,17 @@ module Config = struct
     gc_minor_mb : int option;
     spin_us : int option;
     native : Native.mode option;
+    stream_budget_mb : int option;
   }
 
-  let default = { domains = None; gc_minor_mb = None; spin_us = None; native = None }
+  let default =
+    {
+      domains = None;
+      gc_minor_mb = None;
+      spin_us = None;
+      native = None;
+      stream_budget_mb = None;
+    }
 
   let parse_positive ~name raw =
     match int_of_string_opt (String.trim raw) with
@@ -53,7 +61,8 @@ module Config = struct
         let* m = Native.parse_mode raw in
         Ok (Some m)
     in
-    Ok { domains; gc_minor_mb; spin_us; native }
+    let* stream_budget_mb = knob "NOCAP_STREAM_BUDGET_MB" in
+    Ok { domains; gc_minor_mb; spin_us; native; stream_budget_mb }
 
   (* The single *validating* environment-read site in the tree. Malformed
      values fail loudly here instead of silently falling back: an operator
@@ -76,10 +85,16 @@ type t = {
   trace : (string -> float -> unit) option;
   arena : arena_policy;
   config : Config.t;
+  stream_budget_bytes : int option;
 }
 
-let create ?pool ?rng ?trace ?(arena = Grow_only) ?(config = Config.default) () =
-  { pool; rng; trace; arena; config }
+let create ?pool ?rng ?trace ?(arena = Grow_only) ?(config = Config.default)
+    ?stream_budget_bytes () =
+  (match stream_budget_bytes with
+  | Some b when b <= 0 ->
+    invalid_arg "Engine.create: stream_budget_bytes must be positive"
+  | _ -> ());
+  { pool; rng; trace; arena; config; stream_budget_bytes }
 
 let default_engine : t option ref = ref None
 
@@ -105,6 +120,14 @@ let resolve = function Some e -> e | None -> default ()
 let pool e = e.pool
 
 let config e = e.config
+
+(* Byte granularity so tests can force spills on tiny circuits; the env
+   knob is MB granularity for operators. Explicit argument wins. *)
+let stream_budget_bytes e =
+  match e.stream_budget_bytes with
+  | Some b -> Some b
+  | None ->
+    Option.map (fun mb -> mb * 1024 * 1024) e.config.Config.stream_budget_mb
 
 let rng ~seed ?rng e =
   match rng with

@@ -21,6 +21,7 @@ module Config : sig
     gc_minor_mb : int option;
     spin_us : int option;
     native : Nocap_native.Native.mode option;
+    stream_budget_mb : int option;
   }
 
   val default : t
@@ -33,9 +34,11 @@ module Config : sig
       (minor heap size for {!tune_gc}), [NOCAP_SPIN_US] (idle-worker
       spin budget before parking, see
       {!Nocap_parallel.Pool.set_spin_us}; 0 is legal and means park
-      immediately) and [NOCAP_NATIVE] (kernel layer mode, see
+      immediately), [NOCAP_NATIVE] (kernel layer mode, see
       {!Nocap_native.Native.parse_mode}: [0|off], [scalar],
-      [1|on|auto|simd]). A key that is set but malformed is an [Error] —
+      [1|on|auto|simd]) and [NOCAP_STREAM_BUDGET_MB] (prover memory
+      budget in MiB; setting it switches provers to the streaming
+      out-of-core path). A key that is set but malformed is an [Error] —
       rejected loudly, never silently defaulted. *)
 
   val of_env : unit -> t
@@ -61,10 +64,15 @@ val create :
   ?trace:(string -> float -> unit) ->
   ?arena:arena_policy ->
   ?config:Config.t ->
+  ?stream_budget_bytes:int ->
   unit ->
   t
 (** All fields optional: [create ()] is a fully default engine (lazy
-    default pool, per-call RNG seeds, no trace sink). *)
+    default pool, per-call RNG seeds, no trace sink).
+    [stream_budget_bytes] is the byte-granular form of the
+    [NOCAP_STREAM_BUDGET_MB] knob (it wins over the config when both are
+    set) so tests can force spills on tiny circuits.
+    @raise Invalid_argument if [stream_budget_bytes <= 0]. *)
 
 val default : unit -> t
 (** The shared default engine, built on first use from {!Config.of_env}.
@@ -86,6 +94,12 @@ val pool : t -> Nocap_parallel.Pool.t option
     to forward directly: [Pool.run ?pool:(Engine.pool e) ...]. *)
 
 val config : t -> Config.t
+
+val stream_budget_bytes : t -> int option
+(** The effective prover memory budget: the explicit [create] argument if
+    any, else [config.stream_budget_mb] scaled to bytes, else [None].
+    [Some _] selects the streaming out-of-core prover paths; [None] means
+    everything stays in RAM (the historical behavior). *)
 
 val rng : seed:int64 -> ?rng:Zk_util.Rng.t -> t -> Zk_util.Rng.t
 (** RNG precedence for an entry point: explicit argument, else the

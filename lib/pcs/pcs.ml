@@ -84,6 +84,13 @@ module type S = sig
   (** Open at a point of length [num_vars], returning the evaluation and
       its proof. The commitment must already have been absorbed. *)
 
+  val free_committed : committed -> unit
+  (** Release out-of-core resources (spill files) held by the prover
+      state; a no-op for in-RAM state. Idempotent; callers run it once all
+      openings are done (Spartan does, after its last [open_at]). Backends
+      must also attach a GC-finalizer backstop so leaked state cannot
+      exhaust file descriptors. *)
+
   val verify :
     ?engine:Engine.t ->
     params ->

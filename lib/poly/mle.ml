@@ -49,6 +49,34 @@ let eq_table point =
   done;
   table
 
+(* Blocked eq_table for the streaming prover: entries [lo, lo+len) only.
+   The doubling chain above factors exactly — for an aligned power-of-two
+   block, every entry is (product over the high variables at the block's
+   fixed bits) * (eq_table of the low variables). Goldilocks arithmetic is
+   exact, so the factored form is bit-identical to the full table's
+   entries, which is what keeps streamed proofs byte-equal. *)
+let eq_table_range point ~lo ~len =
+  let l = Array.length point in
+  let n = 1 lsl l in
+  if len <= 0 || len land (len - 1) <> 0 then
+    invalid_arg "Mle.eq_table_range: len must be a positive power of two";
+  if len > n || lo mod len <> 0 || lo < 0 || lo + len > n then
+    invalid_arg "Mle.eq_table_range: block must be aligned and in range";
+  let rec log2 m = if m = 1 then 0 else 1 + log2 (m lsr 1) in
+  let k = l - log2 len in
+  let m = lo / len in
+  let prefix = ref Gf.one in
+  for i = 0 to k - 1 do
+    let f =
+      if (m lsr (k - 1 - i)) land 1 = 1 then point.(i)
+      else Gf.sub Gf.one point.(i)
+    in
+    prefix := Gf.mul !prefix f
+  done;
+  let suffix = eq_table (Array.sub point k (l - k)) in
+  let p = !prefix in
+  Array.map (fun s -> Gf.mul p s) suffix
+
 let eq_point r s =
   let l = Array.length r in
   if Array.length s <> l then invalid_arg "Mle.eq_point";

@@ -35,6 +35,13 @@ val eq_table : point -> Zk_field.Gf.t array
     the Lagrange-basis vector such that
     [eval a r = sum_b a.(b) * (eq_table r).(b)]. *)
 
+val eq_table_range : point -> lo:int -> len:int -> Zk_field.Gf.t array
+(** The [lo, lo+len) block of {!eq_table} without materializing the full
+    table: [len] must be a positive power of two and [lo] a multiple of
+    [len] (aligned blocks). Because the table's doubling chain factors
+    exactly over Goldilocks, each block entry is bit-identical to the full
+    table's — the streaming prover depends on this. *)
+
 val eq_point : point -> point -> Zk_field.Gf.t
 (** [eq_point r s] = [prod_i (r_i * s_i + (1 - r_i) * (1 - s_i))]. *)
 

@@ -36,6 +36,36 @@ let z inst asn =
   if not (Gf.equal asn.io.(0) Gf.one) then invalid_arg "R1cs.z: io.(0) must be 1";
   Array.append asn.w asn.io
 
+(* Chunked witness emission for the streaming prover: the same validation
+   as [z], but the wire vector is produced in [block]-sized pieces instead
+   of one 2^log_size array, so the caller can write each piece straight to
+   a spill file. *)
+let check_assignment inst asn =
+  let half = size inst / 2 in
+  if Array.length asn.w <> half || Array.length asn.io <> half then
+    invalid_arg "R1cs.z: assignment halves must be 2^(log_size-1)";
+  if not (Gf.equal asn.io.(0) Gf.one) then invalid_arg "R1cs.z: io.(0) must be 1"
+
+let z_block inst asn ~pos ~len =
+  check_assignment inst asn;
+  let n = size inst in
+  let half = n / 2 in
+  if pos < 0 || len < 0 || pos + len > n then invalid_arg "R1cs.z_block: out of range";
+  Array.init len (fun i ->
+      let j = pos + i in
+      if j < half then asn.w.(j) else asn.io.(j - half))
+
+let iter_z_blocks inst asn ~block f =
+  if block <= 0 then invalid_arg "R1cs.iter_z_blocks: block must be positive";
+  check_assignment inst asn;
+  let n = size inst in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min block (n - !pos) in
+    f ~pos:!pos (z_block inst asn ~pos:!pos ~len);
+    pos := !pos + len
+  done
+
 let satisfied inst asn =
   let zv = z inst asn in
   let az = Sparse.spmv inst.a zv

@@ -69,6 +69,41 @@ let spmv_transpose m y =
   done;
   out
 
+(* Streaming variants for the out-of-core prover: the vector comes in
+   through an accessor so the caller can serve it from a spill-file window
+   instead of a resident array, and only a row/column window of the result
+   is produced. Field arithmetic is exact, so windowed results are
+   bit-identical to the corresponding slice of spmv/spmv_transpose. *)
+
+let spmv_range m ~x ~r_lo ~r_hi =
+  if r_lo < 0 || r_hi > m.nrows || r_lo > r_hi then
+    invalid_arg "Sparse.spmv_range: row window out of range";
+  Array.init (r_hi - r_lo) (fun i ->
+      let r = r_lo + i in
+      let acc = ref Gf.zero in
+      for k = m.row_ptr.(r) to m.row_ptr.(r + 1) - 1 do
+        acc := Gf.add !acc (Gf.mul m.values.(k) (x m.col_idx.(k)))
+      done;
+      !acc)
+
+let spmv_transpose_range m ~y ~c_lo ~c_hi =
+  if c_lo < 0 || c_hi > m.ncols || c_lo > c_hi then
+    invalid_arg "Sparse.spmv_transpose_range: column window out of range";
+  (* One full row scan per column window — cost nblocks * nnz overall, the
+     price of bounding the scatter accumulator to the window. [y] is
+     called once per row in ascending order (sequential-reader friendly). *)
+  let out = Array.make (c_hi - c_lo) Gf.zero in
+  for r = 0 to m.nrows - 1 do
+    let yr = y r in
+    if not (Gf.equal yr Gf.zero) then
+      for k = m.row_ptr.(r) to m.row_ptr.(r + 1) - 1 do
+        let c = m.col_idx.(k) in
+        if c >= c_lo && c < c_hi then
+          out.(c - c_lo) <- Gf.add out.(c - c_lo) (Gf.mul m.values.(k) yr)
+      done
+  done;
+  out
+
 let entries m =
   let n = nnz m in
   let rec row_of r k = if m.row_ptr.(r + 1) > k then r else row_of (r + 1) k in

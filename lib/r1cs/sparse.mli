@@ -25,6 +25,19 @@ val spmv_transpose : t -> Zk_field.Gf.t array -> Zk_field.Gf.t array
 (** [spmv_transpose m y] is [m^T * y] — used to build the second-sumcheck
     table [M(y) = sum_i eq(rx,i) M_{i,y}] without materializing M^T. *)
 
+val spmv_range :
+  t -> x:(int -> Zk_field.Gf.t) -> r_lo:int -> r_hi:int -> Zk_field.Gf.t array
+(** Rows [r_lo, r_hi) of [m * x], with [x] supplied by an accessor (e.g. a
+    spill-file window) — the streaming prover's row-blocked SpMV.
+    Bit-identical to the same slice of {!spmv}. *)
+
+val spmv_transpose_range :
+  t -> y:(int -> Zk_field.Gf.t) -> c_lo:int -> c_hi:int -> Zk_field.Gf.t array
+(** Columns [c_lo, c_hi) of [m^T * y]. Scans every row per window ([y] is
+    called once per row, ascending), so a full blocked transpose costs
+    [nblocks * nnz]; the scatter accumulator stays window-sized.
+    Bit-identical to the same slice of {!spmv_transpose}. *)
+
 val entries : t -> (int * int * Zk_field.Gf.t) Seq.t
 (** All nonzero entries in row-major order. *)
 

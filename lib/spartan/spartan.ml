@@ -8,6 +8,8 @@ module Sumcheck = Zk_sumcheck.Sumcheck
 module Engine = Zk_pcs.Engine
 module Codec = Zk_pcs.Codec
 module E = Zk_pcs.Verify_error
+module Fv = Nocap_vec.Fv
+module Spill = Nocap_vec.Spill
 
 let magic = "NCAP2\x00\x00\x00"
 let legacy_magic = "NCAP1\x00\x00\x00"
@@ -156,9 +158,7 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
     Transcript.absorb_gf t "io" io;
     t
 
-  let prove ?engine ?rng params inst asn =
-    let engine = Engine.resolve engine in
-    let rng = Engine.rng ~seed:0x5EED_CAFEL ?rng engine in
+  let prove_in_memory ~engine ~rng params inst asn =
     if not (R1cs.satisfied inst asn) then
       invalid_arg "Spartan.prove: assignment does not satisfy the instance";
     let io = R1cs.public_io inst asn in
@@ -221,6 +221,7 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
           Transcript.absorb_gf transcript "vw" [| vw |];
           { sc1 = r1.Sumcheck.proof; va; vb; vc; sc2 = r2.Sumcheck.proof; vw; w_open })
     in
+    P.free_committed committed;
     let stats =
       {
         sumcheck_mults = !sc_mults;
@@ -235,6 +236,163 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
       (float_of_int stats.transcript_hashes);
     Engine.finish_entry engine;
     ({ w_commitment; reps }, stats)
+
+  (* The bounded-memory prover: same transcript traffic, same RNG draws,
+     same arithmetic — so the proof bytes are identical to
+     {!prove_in_memory} — but every full-length intermediate (Az/Bz/Cz,
+     the eq tables, the M~ table, the sumcheck generations, the PCS
+     working set) lives in spill files touched one block at a time. The
+     only full-length residents are the caller-owned assignment and the
+     flat 8-byte/element wire vector z. *)
+  let prove_streaming ~engine ~rng ~budget params inst asn =
+    let io = R1cs.public_io inst asn in
+    let l = inst.R1cs.log_size in
+    let n = R1cs.size inst in
+    let block = max 1024 (budget / (8 * 8)) in
+    (* z as a flat vector (validates the assignment shape like R1cs.z). *)
+    let zfv = Fv.create n in
+    R1cs.iter_z_blocks inst asn ~block (fun ~pos slice ->
+        Fv.write_array slice ~src_pos:0 zfv ~dst_pos:pos ~len:(Array.length slice));
+    let zf j = Fv.get zfv j in
+    (* Row-blocked Az/Bz/Cz: each block is checked for satisfiability and
+       spilled; the three dense vectors never coexist in RAM. Raises before
+       any commitment work, like the in-memory path. *)
+    let az = Spill.create ~tag:"spartan-az" ~spill:true n in
+    let bz = Spill.create ~tag:"spartan-bz" ~spill:true n in
+    let cz = Spill.create ~tag:"spartan-cz" ~spill:true n in
+    let r = ref 0 in
+    while !r < n do
+      let hi = min n (!r + block) in
+      let ab = Sparse.spmv_range inst.R1cs.a ~x:zf ~r_lo:!r ~r_hi:hi in
+      let bb = Sparse.spmv_range inst.R1cs.b ~x:zf ~r_lo:!r ~r_hi:hi in
+      let cb = Sparse.spmv_range inst.R1cs.c ~x:zf ~r_lo:!r ~r_hi:hi in
+      for i = 0 to hi - !r - 1 do
+        if not (Gf.equal (Gf.mul ab.(i) bb.(i)) cb.(i)) then
+          invalid_arg "Spartan.prove: assignment does not satisfy the instance"
+      done;
+      Spill.write az ~pos:!r (Fv.of_array ab);
+      Spill.write bz ~pos:!r (Fv.of_array bb);
+      Spill.write cz ~pos:!r (Fv.of_array cb);
+      r := hi
+    done;
+    let transcript = start_transcript params inst io in
+    (* Commit to the witness half; the engine budget routes the backend to
+       its own out-of-core commit. *)
+    let committed, w_commitment = P.commit ~engine params.pcs rng asn.R1cs.w in
+    P.absorb_commitment transcript w_commitment;
+    let spmv_mults = ref (R1cs.nnz inst) in
+    let sc_mults = ref 0 and sc_adds = ref 0 in
+    let z_spill = Spill.of_fv zfv in
+    (* Spilled eq table, generated block-by-block via the aligned-range
+       factorization (bit-identical to Mle.eq_table). *)
+    let spill_eq tag point =
+      let len = 1 lsl Array.length point in
+      let s = Spill.create ~tag ~spill:true len in
+      let eb =
+        let b = min block len in
+        let p = ref 1 in
+        while !p * 2 <= b do
+          p := !p * 2
+        done;
+        !p
+      in
+      let pos = ref 0 in
+      while !pos < len do
+        Spill.write s ~pos:!pos (Fv.of_array (Mle.eq_table_range point ~lo:!pos ~len:eb));
+        pos := !pos + eb
+      done;
+      s
+    in
+    let reps =
+      Array.init params.repetitions (fun _ ->
+          (* --- Sumcheck #1 --- *)
+          let tau = Transcript.challenge_gf_vec transcript "tau" l in
+          let eq_tau = spill_eq "spartan-eqtau" tau in
+          let r1 =
+            Sumcheck.prove_streaming ~engine ~comb_mults:2 ~budget_bytes:budget
+              transcript ~degree:3
+              ~tables:[| eq_tau; az; bz; cz |]
+              ~comb:comb1 ~claim:Gf.zero
+          in
+          Spill.free eq_tau;
+          sc_mults := !sc_mults + r1.Sumcheck.stats.Sumcheck.mults;
+          sc_adds := !sc_adds + r1.Sumcheck.stats.Sumcheck.adds;
+          let rx = r1.Sumcheck.challenges in
+          let va = r1.Sumcheck.final_values.(1) in
+          let vb = r1.Sumcheck.final_values.(2) in
+          let vc = r1.Sumcheck.final_values.(3) in
+          Transcript.absorb_gf transcript "claims-abc" [| va; vb; vc |];
+          (* --- Sumcheck #2 --- *)
+          let r_abc = Transcript.challenge_gf_vec transcript "r-abc" 3 in
+          let claim2 =
+            Gf.add
+              (Gf.mul r_abc.(0) va)
+              (Gf.add (Gf.mul r_abc.(1) vb) (Gf.mul r_abc.(2) vc))
+          in
+          let eq_rx = spill_eq "spartan-eqrx" rx in
+          (* Column-blocked M~ table: the transpose SpMV scans the matrices
+             once per window (window-sized accumulator), reading eq_rx
+             through a sliding spill window. *)
+          let m_table = Spill.create ~tag:"spartan-m" ~spill:true n in
+          let reader = Spill.Reader.create eq_rx in
+          let y r = Spill.Reader.get reader r in
+          let c = ref 0 in
+          while !c < n do
+            let hi = min n (!c + block) in
+            let ta = Sparse.spmv_transpose_range inst.R1cs.a ~y ~c_lo:!c ~c_hi:hi in
+            let tb = Sparse.spmv_transpose_range inst.R1cs.b ~y ~c_lo:!c ~c_hi:hi in
+            let tc = Sparse.spmv_transpose_range inst.R1cs.c ~y ~c_lo:!c ~c_hi:hi in
+            let blk =
+              Array.init (hi - !c) (fun i ->
+                  Gf.add
+                    (Gf.mul r_abc.(0) ta.(i))
+                    (Gf.add (Gf.mul r_abc.(1) tb.(i)) (Gf.mul r_abc.(2) tc.(i))))
+            in
+            Spill.write m_table ~pos:!c (Fv.of_array blk);
+            c := hi
+          done;
+          spmv_mults := !spmv_mults + R1cs.nnz inst;
+          Spill.free eq_rx;
+          let r2 =
+            Sumcheck.prove_streaming ~engine ~comb_mults:1 ~budget_bytes:budget
+              transcript ~degree:2
+              ~tables:[| m_table; z_spill |]
+              ~comb:comb2 ~claim:claim2
+          in
+          Spill.free m_table;
+          sc_mults := !sc_mults + r2.Sumcheck.stats.Sumcheck.mults;
+          sc_adds := !sc_adds + r2.Sumcheck.stats.Sumcheck.adds;
+          let ry = r2.Sumcheck.challenges in
+          let ry_rest = Array.sub ry 1 (l - 1) in
+          let vw, w_open = P.open_at ~engine params.pcs committed transcript ry_rest in
+          Transcript.absorb_gf transcript "vw" [| vw |];
+          { sc1 = r1.Sumcheck.proof; va; vb; vc; sc2 = r2.Sumcheck.proof; vw; w_open })
+    in
+    P.free_committed committed;
+    Spill.free az;
+    Spill.free bz;
+    Spill.free cz;
+    let stats =
+      {
+        sumcheck_mults = !sc_mults;
+        sumcheck_adds = !sc_adds;
+        spmv_mults = !spmv_mults;
+        transcript_hashes = Transcript.hash_count transcript;
+      }
+    in
+    Engine.emit engine "spartan/sumcheck_mults" (float_of_int stats.sumcheck_mults);
+    Engine.emit engine "spartan/spmv_mults" (float_of_int stats.spmv_mults);
+    Engine.emit engine "spartan/transcript_hashes"
+      (float_of_int stats.transcript_hashes);
+    Engine.finish_entry engine;
+    ({ w_commitment; reps }, stats)
+
+  let prove ?engine ?rng params inst asn =
+    let engine = Engine.resolve engine in
+    let rng = Engine.rng ~seed:0x5EED_CAFEL ?rng engine in
+    match Engine.stream_budget_bytes engine with
+    | None -> prove_in_memory ~engine ~rng params inst asn
+    | Some budget -> prove_streaming ~engine ~rng ~budget params inst asn
 
   let verify ?engine params inst ~io proof =
     let engine = Engine.resolve engine in

@@ -113,32 +113,15 @@ let prove_arrays ?engine ?(comb_mults = 0) transcript ~degree ~tables ~comb ~cla
     stats = { rounds = num_vars; mults = !mults; adds = !adds };
   }
 
-(* Production prover: one copy of each table into an unboxed flat vector,
-   then every round reads/writes flat int64. The round-polynomial chunking,
-   combine order, and field arithmetic are identical to {!prove_arrays}, so
-   the transcript — and therefore the proof bytes and challenges — are
-   byte-identical. The fold loop
-   [T(b) <- T(b) + r * (T(b + half) - T(b))] runs without heap allocation;
-   the evaluation loop still stages [vals]/[deltas] in k-element boxed
-   arrays because [comb] consumes a [Gf.t array]. *)
-let prove ?engine ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
-  let pool = Option.bind engine Zk_pcs.Engine.pool in
-  let k = Array.length tables in
-  if k = 0 then invalid_arg "Sumcheck.prove: no tables";
-  let n = Array.length tables.(0) in
-  let num_vars = log2_exact n in
-  Array.iter
-    (fun t -> if Array.length t <> n then invalid_arg "Sumcheck.prove: table size mismatch")
-    tables;
-  Transcript.absorb_int transcript "sumcheck/num_vars" num_vars;
-  Transcript.absorb_int transcript "sumcheck/degree" degree;
-  Transcript.absorb_gf transcript "sumcheck/claim" [| claim |];
-  let tabs = Array.map Fv.of_array tables in
-  let len = ref n in
-  let mults = ref 0 and adds = ref 0 in
-  let round_polys = Array.make num_vars [||] in
-  let challenges = Array.make num_vars Gf.zero in
-  for round = 0 to num_vars - 1 do
+(* The in-memory round loop over unboxed tables, shared between {!prove}
+   (round0 = 0) and the tail of {!prove_streaming} (round0 = the round at
+   which the shrinking tables first fit the budget). Runs rounds
+   [round0, num_vars), reading tables of current length [len0] in place. *)
+let run_rounds ?pool ~comb_mults ~transcript ~degree ~comb ~tabs ~num_vars ~round0
+    ~len0 ~mults ~adds ~round_polys ~challenges () =
+  let k = Array.length tabs in
+  let len = ref len0 in
+  for round = round0 to num_vars - 1 do
     let half = !len / 2 in
     let eval_chunk lo_b hi_b =
       let g = Array.make (degree + 1) Gf.zero in
@@ -193,7 +176,182 @@ let prove ?engine ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
     mults := !mults + (k * half);
     adds := !adds + (2 * k * half);
     len := half
+  done
+
+(* Production prover: one copy of each table into an unboxed flat vector,
+   then every round reads/writes flat int64. The round-polynomial chunking,
+   combine order, and field arithmetic are identical to {!prove_arrays}, so
+   the transcript — and therefore the proof bytes and challenges — are
+   byte-identical. The fold loop
+   [T(b) <- T(b) + r * (T(b + half) - T(b))] runs without heap allocation;
+   the evaluation loop still stages [vals]/[deltas] in k-element boxed
+   arrays because [comb] consumes a [Gf.t array]. *)
+let prove ?engine ?(comb_mults = 0) transcript ~degree ~tables ~comb ~claim =
+  let pool = Option.bind engine Zk_pcs.Engine.pool in
+  let k = Array.length tables in
+  if k = 0 then invalid_arg "Sumcheck.prove: no tables";
+  let n = Array.length tables.(0) in
+  let num_vars = log2_exact n in
+  Array.iter
+    (fun t -> if Array.length t <> n then invalid_arg "Sumcheck.prove: table size mismatch")
+    tables;
+  Transcript.absorb_int transcript "sumcheck/num_vars" num_vars;
+  Transcript.absorb_int transcript "sumcheck/degree" degree;
+  Transcript.absorb_gf transcript "sumcheck/claim" [| claim |];
+  let tabs = Array.map Fv.of_array tables in
+  let mults = ref 0 and adds = ref 0 in
+  let round_polys = Array.make num_vars [||] in
+  let challenges = Array.make num_vars Gf.zero in
+  run_rounds ?pool ~comb_mults ~transcript ~degree ~comb ~tabs ~num_vars ~round0:0
+    ~len0:n ~mults ~adds ~round_polys ~challenges ();
+  let final_values = Array.map (fun t -> Fv.get t 0) tabs in
+  {
+    proof = { round_polys };
+    challenges;
+    final_values;
+    stats = { rounds = num_vars; mults = !mults; adds = !adds };
+  }
+
+module Spill = Nocap_vec.Spill
+
+(* Bounded-memory prover over spillable tables (the ISSUE 9 tentpole).
+
+   The in-memory prover folds each table in place, so after round j it
+   holds the length-(n >> j) generation of every table. The streaming
+   prover never stores any folded generation: after j rounds with
+   challenges r_0..r_{j-1}, the current table is a weighted sum of strided
+   slices of the ORIGINAL table,
+
+     T_j(b) = sum_{m < 2^j} w_j(m) * T_0(m * (n >> j) + b),
+
+   where w_j = Mle.eq_table [r_0..r_{j-1}] — the same doubling recurrence
+   the fold applies, factored out (the recompute-halves / two-pass trick).
+   Each streamed round therefore reads every original table once, in
+   budget-sized blocks, and accumulates T_j values on the fly; nothing but
+   O(block) scratch and the 2^j weight vector stays resident. Goldilocks
+   arithmetic is exact, so the recomputed values — and hence every round
+   polynomial, challenge, and final value — are bit-identical to the
+   in-memory prover's.
+
+   As the residual table length n >> j shrinks, it eventually fits half
+   the budget; at that point the tables are materialized into RAM once and
+   {!run_rounds} finishes with the standard loop, which also pins the
+   tail's Pool chunking to the in-memory prover's exactly.
+
+   [stats] mirrors the in-memory formulas round for round (it reports the
+   protocol's arithmetic, not the recomputation overhead), so whole-record
+   equality against {!prove} holds. *)
+let prove_streaming ?engine ?(comb_mults = 0) ~budget_bytes transcript ~degree ~tables
+    ~comb ~claim =
+  let pool = Option.bind engine Zk_pcs.Engine.pool in
+  if budget_bytes <= 0 then invalid_arg "Sumcheck.prove_streaming: budget must be positive";
+  let k = Array.length tables in
+  if k = 0 then invalid_arg "Sumcheck.prove: no tables";
+  let n = Spill.length tables.(0) in
+  let num_vars = log2_exact n in
+  Array.iter
+    (fun t ->
+      if Spill.length t <> n then invalid_arg "Sumcheck.prove: table size mismatch")
+    tables;
+  Transcript.absorb_int transcript "sumcheck/num_vars" num_vars;
+  Transcript.absorb_int transcript "sumcheck/degree" degree;
+  Transcript.absorb_gf transcript "sumcheck/claim" [| claim |];
+  let mults = ref 0 and adds = ref 0 in
+  let round_polys = Array.make num_vars [||] in
+  let challenges = Array.make num_vars Gf.zero in
+  (* Residual tables fit the materialization half of the budget when
+     k * (n >> j) * 8 <= budget / 2. *)
+  let fits len = k * len * 8 <= budget_bytes / 2 || len <= 1 in
+  (* Streamed-round scratch: per table an accumulator pair (lo/hi) plus a
+     read buffer, all block-sized — 3k + slack vectors of 8 bytes/elem. *)
+  let block =
+    let b = max 256 (budget_bytes / (8 * ((3 * k) + 2))) in
+    min b (max 1 (n / 2))
+  in
+  let buf = Fv.create block in
+  let acc_lo = Array.init k (fun _ -> Fv.create block) in
+  let acc_hi = Array.init k (fun _ -> Fv.create block) in
+  (* Accumulate T_round(pos .. pos+len) into [dst] for table [tj], given
+     the eq-weights of the challenges so far. *)
+  let recompute ~w ~stride tj dst ~pos ~len =
+    let dstv = Fv.sub_view dst ~pos:0 ~len in
+    Fv.zero dstv;
+    let bufv = Fv.sub_view buf ~pos:0 ~len in
+    for m = 0 to Array.length w - 1 do
+      Spill.read tj ~pos:((m * stride) + pos) bufv;
+      Fv.axpy_into ~dst:dstv w.(m) bufv
+    done
+  in
+  let round = ref 0 in
+  while not (fits (n lsr !round)) do
+    let j = !round in
+    let stride = n lsr j in
+    let half = stride / 2 in
+    let w = Mle.eq_table (Array.sub challenges 0 j) in
+    let g = Array.make (degree + 1) Gf.zero in
+    let vals = Array.make k Gf.zero in
+    let deltas = Array.make k Gf.zero in
+    let pos = ref 0 in
+    while !pos < half do
+      let len = min block (half - !pos) in
+      for t = 0 to k - 1 do
+        recompute ~w ~stride tables.(t) acc_lo.(t) ~pos:!pos ~len;
+        recompute ~w ~stride tables.(t) acc_hi.(t) ~pos:(!pos + half) ~len
+      done;
+      for b = 0 to len - 1 do
+        for t = 0 to k - 1 do
+          let lo = Fv.unsafe_get acc_lo.(t) b and hi = Fv.unsafe_get acc_hi.(t) b in
+          vals.(t) <- lo;
+          deltas.(t) <- Gf.sub hi lo
+        done;
+        for t = 0 to degree do
+          if t > 0 then
+            for j = 0 to k - 1 do
+              vals.(j) <- Gf.add vals.(j) deltas.(j)
+            done;
+          g.(t) <- Gf.add g.(t) (comb vals)
+        done
+      done;
+      pos := !pos + len
+    done;
+    (* Same per-round accounting as the in-memory prover (protocol
+       arithmetic, not recomputation overhead), so stats match. *)
+    adds := !adds + (half * (degree + 1) * (k + 1));
+    mults := !mults + (half * (degree + 1) * comb_mults);
+    round_polys.(j) <- g;
+    Transcript.absorb_gf transcript "sumcheck/round" g;
+    let r = Transcript.challenge_gf transcript "sumcheck/challenge" in
+    challenges.(j) <- r;
+    mults := !mults + (k * half);
+    adds := !adds + (2 * k * half);
+    incr round
   done;
+  (* Materialize the residual generation into RAM once and finish with the
+     standard in-memory loop — identical chunking from here on. *)
+  let round0 = !round in
+  let stride = n lsr round0 in
+  let w = Mle.eq_table (Array.sub challenges 0 round0) in
+  let tabs =
+    Array.map
+      (fun tj ->
+        let dst = Fv.create stride in
+        let pos = ref 0 in
+        while !pos < stride do
+          let len = min block (stride - !pos) in
+          let dstv = Fv.sub_view dst ~pos:!pos ~len in
+          Fv.zero dstv;
+          let bufv = Fv.sub_view buf ~pos:0 ~len in
+          for m = 0 to Array.length w - 1 do
+            Spill.read tj ~pos:((m * stride) + !pos) bufv;
+            Fv.axpy_into ~dst:dstv w.(m) bufv
+          done;
+          pos := !pos + len
+        done;
+        dst)
+      tables
+  in
+  run_rounds ?pool ~comb_mults ~transcript ~degree ~comb ~tabs ~num_vars ~round0
+    ~len0:stride ~mults ~adds ~round_polys ~challenges ();
   let final_values = Array.map (fun t -> Fv.get t 0) tabs in
   {
     proof = { round_polys };

@@ -53,6 +53,28 @@ val prove :
     [engine] supplies the worker pool for round evaluation and folds; the
     proof is byte-identical for every engine. *)
 
+val prove_streaming :
+  ?engine:Zk_pcs.Engine.t ->
+  ?comb_mults:int ->
+  budget_bytes:int ->
+  Zk_hash.Transcript.t ->
+  degree:int ->
+  tables:Nocap_vec.Spill.t array ->
+  comb:(Gf.t array -> Gf.t) ->
+  claim:Gf.t ->
+  prover_result
+(** Bounded-memory prover over spillable tables (recompute-halves): no
+    folded table generation is ever stored. After j rounds the current
+    table is recomputed on the fly as an eq-weighted sum of strided slices
+    of the original, read in budget-sized blocks; once the shrinking
+    residual fits half the budget, the tables are materialized into RAM
+    and the standard loop finishes. Each streamed round costs one full
+    pass over the original tables. The result — proof bytes, challenges,
+    final values, stats — is identical to {!prove} on the same data for
+    every budget; the in-memory prover is the oracle the equivalence tests
+    pin this against. [tables] are read, never written; the caller frees
+    them. @raise Invalid_argument if [budget_bytes <= 0]. *)
+
 val prove_arrays :
   ?engine:Zk_pcs.Engine.t ->
   ?comb_mults:int ->

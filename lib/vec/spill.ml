@@ -1,0 +1,200 @@
+module Gf = Zk_field.Gf
+module A1 = Bigarray.Array1
+
+(* Registry of spill files that still have a visible path (unlink-after-open
+   failed, e.g. an OS without POSIX unlink semantics on open files). The
+   at_exit sweep removes whatever is left; normally it is empty. *)
+let leftover_paths : (int, string) Hashtbl.t = Hashtbl.create 8
+let registry_mutex = Mutex.create ()
+let next_id = ref 0
+let live_files_count = ref 0
+let spilled_total = ref 0
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock registry_mutex;
+      Hashtbl.iter (fun _ path -> try Sys.remove path with Sys_error _ -> ()) leftover_paths;
+      Hashtbl.reset leftover_paths;
+      Mutex.unlock registry_mutex)
+
+type file = {
+  id : int;
+  fd : Unix.file_descr;
+  mutable stage : Bytes.t;
+  io : Mutex.t;
+  mutable freed : bool;
+}
+
+type backing = Ram of Fv.t | File of file
+
+type t = { len : int; backing : backing }
+
+let length t = t.len
+
+let is_spilled t = match t.backing with Ram _ -> false | File _ -> true
+
+let free_file f =
+  Mutex.lock f.io;
+  if not f.freed then begin
+    f.freed <- true;
+    (try Unix.close f.fd with Unix.Unix_error _ -> ());
+    f.stage <- Bytes.empty;
+    Mutex.lock registry_mutex;
+    (match Hashtbl.find_opt leftover_paths f.id with
+    | Some path ->
+      (try Sys.remove path with Sys_error _ -> ());
+      Hashtbl.remove leftover_paths f.id
+    | None -> ());
+    decr live_files_count;
+    Mutex.unlock registry_mutex
+  end;
+  Mutex.unlock f.io
+
+let free t = match t.backing with Ram _ -> () | File f -> free_file f
+
+let ensure_stage f nbytes =
+  if Bytes.length f.stage < nbytes then f.stage <- Bytes.create nbytes
+
+let really_write fd buf len =
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd buf !off (len - !off) in
+    if n <= 0 then failwith "Spill: short write";
+    off := !off + n
+  done
+
+let really_read fd buf len =
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.read fd buf !off (len - !off) in
+    if n <= 0 then failwith "Spill: short read (truncated spill file)";
+    off := !off + n
+  done
+
+let check_range t ~pos ~n op =
+  if pos < 0 || n < 0 || pos + n > t.len then
+    invalid_arg
+      (Printf.sprintf "Spill.%s: range [%d, %d) outside [0, %d)" op pos (pos + n) t.len)
+
+let write t ~pos src =
+  let n = Fv.length src in
+  check_range t ~pos ~n "write";
+  match t.backing with
+  | Ram fv -> Fv.blit ~src ~src_pos:0 ~dst:fv ~dst_pos:pos ~len:n
+  | File f ->
+    Mutex.lock f.io;
+    Fun.protect ~finally:(fun () -> Mutex.unlock f.io) @@ fun () ->
+    if f.freed then invalid_arg "Spill.write: vector already freed";
+    let nbytes = n * 8 in
+    ensure_stage f nbytes;
+    for i = 0 to n - 1 do
+      Bytes.set_int64_le f.stage (i * 8) (A1.unsafe_get src i)
+    done;
+    ignore (Unix.lseek f.fd (pos * 8) Unix.SEEK_SET);
+    really_write f.fd f.stage nbytes;
+    spilled_total := !spilled_total + nbytes
+
+let read t ~pos dst =
+  let n = Fv.length dst in
+  check_range t ~pos ~n "read";
+  match t.backing with
+  | Ram fv -> Fv.blit ~src:fv ~src_pos:pos ~dst ~dst_pos:0 ~len:n
+  | File f ->
+    Mutex.lock f.io;
+    Fun.protect ~finally:(fun () -> Mutex.unlock f.io) @@ fun () ->
+    if f.freed then invalid_arg "Spill.read: vector already freed";
+    let nbytes = n * 8 in
+    ensure_stage f nbytes;
+    ignore (Unix.lseek f.fd (pos * 8) Unix.SEEK_SET);
+    really_read f.fd f.stage nbytes;
+    for i = 0 to n - 1 do
+      A1.unsafe_set dst i (Bytes.get_int64_le f.stage (i * 8))
+    done
+
+let get t i =
+  match t.backing with
+  | Ram fv -> Fv.get fv i
+  | File _ ->
+    let one = Fv.create 1 in
+    read t ~pos:i one;
+    Fv.unsafe_get one 0
+
+let as_fv t =
+  match t.backing with
+  | Ram fv -> fv
+  | File _ -> invalid_arg "Spill.as_fv: vector is file-spilled"
+
+let to_fv t =
+  let out = Fv.create t.len in
+  read t ~pos:0 out;
+  out
+
+let of_fv fv = { len = Fv.length fv; backing = Ram fv }
+
+let create ?(tag = "spill") ~spill n =
+  if n < 0 then invalid_arg "Spill.create: negative length";
+  if not spill then begin
+    let fv = Fv.create n in
+    Fv.zero fv;
+    of_fv fv
+  end
+  else begin
+    let path = Filename.temp_file ("nocap-" ^ tag ^ "-") ".nocap-spill" in
+    let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CLOEXEC ] 0o600 in
+    Mutex.lock registry_mutex;
+    let id = !next_id in
+    incr next_id;
+    incr live_files_count;
+    Mutex.unlock registry_mutex;
+    (* Unlink-after-open: the data stays reachable through the fd but the
+       path is gone, so no exit mode can leak a namespace entry. If the OS
+       refuses, remember the path for [free] / the at_exit sweep. *)
+    (match try Sys.remove path; true with Sys_error _ -> false with
+    | true -> ()
+    | false ->
+      Mutex.lock registry_mutex;
+      Hashtbl.replace leftover_paths id path;
+      Mutex.unlock registry_mutex);
+    Unix.ftruncate fd (n * 8);
+    let f = { id; fd; stage = Bytes.empty; io = Mutex.create (); freed = false } in
+    let t = { len = n; backing = File f } in
+    (* Backstop only — provers free deterministically. *)
+    Gc.finalise (fun t -> free t) t;
+    t
+  end
+
+let spilled_bytes_total () = !spilled_total
+let live_files () = !live_files_count
+let reset_counters () = spilled_total := 0
+
+module Reader = struct
+  type spill = t
+
+  type t = {
+    src : spill;
+    buf : Fv.t; (* empty for RAM sources *)
+    mutable lo : int; (* first element cached in buf *)
+    mutable n : int; (* valid elements in buf *)
+  }
+
+  let create ?(window = 16384) src =
+    match src.backing with
+    | Ram _ -> { src; buf = Fv.create 0; lo = 0; n = 0 }
+    | File _ ->
+      let window = max 1 (min window src.len) in
+      { src; buf = Fv.create (max 1 window); lo = 0; n = 0 }
+
+  let get r i =
+    match r.src.backing with
+    | Ram fv -> Fv.get fv i
+    | File _ ->
+      if i < r.lo || i >= r.lo + r.n then begin
+        let window = Fv.length r.buf in
+        let lo = min i (max 0 (length r.src - window)) in
+        let n = min window (length r.src - lo) in
+        read r.src ~pos:lo (Fv.sub_view r.buf ~pos:0 ~len:n);
+        r.lo <- lo;
+        r.n <- n
+      end;
+      Fv.unsafe_get r.buf (i - r.lo)
+end

@@ -1,0 +1,89 @@
+(** Spillable flat vectors: [Fv] blocks backed by RAM or a temp file.
+
+    The streaming prover works over vectors that may not fit the configured
+    memory budget ([Engine.Config.stream_budget_mb]). A [Spill.t] is the
+    backing-store decision made explicit: [spill:false] wraps a plain
+    {!Fv.t}; [spill:true] stores the elements in an unlinked temp file and
+    keeps only an I/O staging buffer resident. Producers and consumers move
+    data in [Fv] blocks ({!write}/{!read}), so the hot loops above this
+    layer are identical for both backings.
+
+    Layout contract: a spilled vector stores the same canonical 8-byte
+    little-endian Gf images an [Fv.t] holds in RAM, so round-tripping
+    through a file is bit-exact and backing choice can never change proof
+    bytes.
+
+    {b I/O model.} Explicit positioned read/write (seek + copy through a
+    [Bytes] stage), deliberately not [mmap]: mapped pages are resident
+    pages, and the whole point of spilling is a peak-RSS bound the kernel
+    can verify (VmHWM). Each file carries a mutex so concurrent block
+    transfers are safe, but the intended pattern is single-submitter:
+    domains compute into RAM blocks, the submitting thread does the I/O.
+
+    {b Temp-file hygiene.} Files are created by [Filename.temp_file] with a
+    [.nocap-spill] suffix and unlinked immediately after opening where the
+    OS allows, so even SIGKILL leaks no namespace entry. A registry plus an
+    [at_exit] sweep removes any path that could not be unlinked eagerly. *)
+
+module Gf = Zk_field.Gf
+
+type t
+
+val create : ?tag:string -> spill:bool -> int -> t
+(** [create ~spill n] makes a length-[n] vector, zero-filled. [tag] names
+    the temp file (debugging; default ["spill"]). *)
+
+val of_fv : Fv.t -> t
+(** Zero-copy RAM-backed wrap; the [Fv.t] is shared, not copied. *)
+
+val length : t -> int
+
+val is_spilled : t -> bool
+
+val write : t -> pos:int -> Fv.t -> unit
+(** Store [Fv.length src] elements at [pos]. *)
+
+val read : t -> pos:int -> Fv.t -> unit
+(** Load [Fv.length dst] elements from [pos]. *)
+
+val get : t -> int -> Gf.t
+(** Point read. O(1) in RAM; one tiny pread when spilled — use {!Reader}
+    for scans. *)
+
+val as_fv : t -> Fv.t
+(** The underlying [Fv.t] of a RAM-backed vector (shared, not copied).
+    @raise Invalid_argument if spilled. *)
+
+val to_fv : t -> Fv.t
+(** Materialize the full contents into a fresh [Fv.t] (copies). *)
+
+val free : t -> unit
+(** Release the backing file (close fd, drop registry entry). Idempotent;
+    a RAM-backed free is a no-op. Reads after [free] raise. Spilled
+    vectors are also freed by a GC finalizer as a backstop, but provers
+    free deterministically so fds don't accumulate until a major GC. *)
+
+val spilled_bytes_total : unit -> int
+(** Cumulative bytes ever written to spill files by this process (a
+    monotonic counter benches report as "spill traffic"). *)
+
+val live_files : unit -> int
+(** Spill files currently open. *)
+
+val reset_counters : unit -> unit
+(** Zero {!spilled_bytes_total} (for per-section bench accounting);
+    [live_files] is live state and is not affected. *)
+
+(** Sequential read window over a spill vector: [get] near-misses reload a
+    fixed-size window starting at the requested index, so ascending scans
+    cost one pass of block I/O while staying O(window) resident. *)
+module Reader : sig
+  type spill := t
+  type t
+
+  val create : ?window:int -> spill -> t
+  (** [window] is in elements (default 16384 = 128 KiB); RAM-backed
+      sources ignore it and read directly. *)
+
+  val get : t -> int -> Gf.t
+end

@@ -34,4 +34,5 @@ let () =
       ("grand-product", Test_grand_product.suite);
       ("pcs-engine", Test_pcs.suite);
       ("faults", Test_faults.suite);
+      ("stream", Test_stream.suite);
     ]

@@ -302,6 +302,7 @@ let test_engine_config () =
               ("NOCAP_GC_MINOR_MB", "64");
               ("NOCAP_SPIN_US", "0");
               ("NOCAP_NATIVE", "scalar");
+              ("NOCAP_STREAM_BUDGET_MB", "256");
             ])
    with
   | Ok
@@ -310,6 +311,7 @@ let test_engine_config () =
         gc_minor_mb = Some 64;
         spin_us = Some 0;
         native = Some Nocap_native.Native.Scalar;
+        stream_budget_mb = Some 256;
       } ->
     ()
   | Ok _ -> Alcotest.fail "parsed values wrong"
