@@ -13,6 +13,7 @@
      main.exe faults     fault-injection sweep over mutated proofs -> BENCH_faults.json
      main.exe analysis   circuit lint + structure + mutation oracle -> BENCH_analysis.json
      main.exe stream     streaming vs in-memory prover + peak RSS -> BENCH_stream.json
+     main.exe serve      proving service under load + injected faults -> BENCH_serve.json
      main.exe table4     a single table/figure by id
 
    GC tuning for every mode lives in [tune_gc] below. *)
@@ -345,7 +346,8 @@ let () =
     ignore (Bench_native.run ());
     ignore (Bench_faults.run ());
     ignore (Bench_analysis.run ());
-    ignore (Bench_stream.run ())
+    ignore (Bench_stream.run ());
+    ignore (Bench_serve.run ())
   | [ "report" ] -> List.iter (fun (_, f) -> f ()) report_items
   | [ "bench" ] -> run_benches ()
   | [ "parallel" ] -> ignore (Bench_parallel.run ())
@@ -368,6 +370,10 @@ let () =
   | [ "faults"; path ] -> ignore (Bench_faults.run ~path ())
   | [ "faults-smoke" ] -> ignore (Bench_faults.run ~smoke:true ())
   | [ "faults-smoke"; path ] -> ignore (Bench_faults.run ~smoke:true ~path ())
+  | [ "serve" ] -> ignore (Bench_serve.run ())
+  | [ "serve"; path ] -> ignore (Bench_serve.run ~path ())
+  | [ "serve-smoke" ] -> ignore (Bench_serve.run ~smoke:true ())
+  | [ "serve-smoke"; path ] -> ignore (Bench_serve.run ~smoke:true ~path ())
   | [ "stream" ] -> ignore (Bench_stream.run ())
   | [ "stream"; path ] -> ignore (Bench_stream.run ~path ())
   | [ "stream-smoke" ] -> ignore (Bench_stream.run ~smoke:true ())

@@ -499,6 +499,124 @@ let circuit_lint_cmd =
           error rule (see README), rule name on stderr.")
     Term.(const run $ circuit_arg $ all_arg $ scale_arg $ report_arg $ format_arg)
 
+(* `serve` runs the fault-tolerant proving service (DESIGN.md Sec. 15) as a
+   self-driving demo: it submits a stream of prove jobs for the requested
+   workloads, optionally under the deterministic Runtime_faults plan, and
+   reports per-job outcomes plus the final service counters. SIGTERM/SIGINT
+   drain in flight jobs and still print the summary. Exit code 0 when every
+   admitted job finished with a proof; otherwise the Job_error exit code
+   (50-57, table in README) of the first failed job. *)
+let serve_cmd =
+  let jobs_arg =
+    let doc = "Number of jobs to submit." in
+    Arg.(value & opt int 16 & info [ "jobs"; "n" ] ~docv:"N" ~doc)
+  in
+  let runners_arg =
+    let doc = "Prover runner domains." in
+    Arg.(value & opt int 2 & info [ "runners" ] ~docv:"N" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Queue capacity (admitted-but-unfinished jobs); overflow rejects." in
+    Arg.(value & opt int 64 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-job deadline in seconds (default: none)." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let mem_budget_arg =
+    let doc =
+      "Memory budget in bytes; jobs whose working set exceeds it are demoted \
+       to the streaming prover."
+    in
+    Arg.(value & opt (some int) None & info [ "mem-budget" ] ~docv:"BYTES" ~doc)
+  in
+  let faults_arg =
+    let doc = "Inject the deterministic fault plan (crashes, spill I/O errors, slow jobs)." in
+    Arg.(value & flag & info [ "faults" ] ~doc)
+  in
+  let workloads_arg =
+    let doc = "Workloads to cycle through (default: litmus)." in
+    Arg.(value & opt_all string [] & info [ "workload"; "w" ] ~docv:"NAME" ~doc)
+  in
+  let run jobs runners capacity deadline mem_budget faults workloads scale =
+    if jobs < 1 then begin
+      Printf.eprintf "serve: --jobs must be >= 1\n";
+      exit 2
+    end;
+    let workloads = if workloads = [] then [ "litmus" ] else workloads in
+    let config =
+      {
+        Serve.default_config with
+        Serve.capacity;
+        runners;
+        default_deadline_s = deadline;
+        mem_budget_bytes = mem_budget;
+        params = Spartan.test_params;
+      }
+    in
+    let fault_hook = if faults then Some (Runtime_faults.hook Runtime_faults.default) else None in
+    let srv = Serve.create ?fault_hook ~config () in
+    let restore_signals = Serve.handle_signals srv in
+    Printf.printf "serve: %d runner(s), capacity %d, %d job(s) over [%s]%s\n%!" runners capacity
+      jobs
+      (String.concat "; " workloads)
+      (if faults then " with injected faults" else "");
+    let wl_arr = Array.of_list workloads in
+    let ids = ref [] in
+    for i = 0 to jobs - 1 do
+      let req =
+        {
+          Serve.tenant = Printf.sprintf "tenant-%d" (i mod 4);
+          workload = wl_arr.(i mod Array.length wl_arr);
+          scale;
+          kind = Serve.Prove;
+          deadline_s = None;
+        }
+      in
+      match Serve.submit srv req with
+      | Ok id -> ids := (id, req) :: !ids
+      | Error e -> Printf.printf "  job %2d rejected: %s\n%!" i (Job_error.to_string e)
+    done;
+    let first_failure = ref None in
+    List.iter
+      (fun (id, req) ->
+        match Serve.await srv id with
+        | Serve.Proof { bytes; attempts; streamed; elapsed_s } ->
+          Printf.printf "  job %2d (%s/%d): proof %d bytes in %.3f s, %d attempt(s)%s\n%!" id
+            req.Serve.workload req.Serve.scale (Bytes.length bytes) elapsed_s attempts
+            (if streamed then " [streamed]" else "")
+        | Serve.Verified { attempts; elapsed_s } ->
+          Printf.printf "  job %2d (%s/%d): verified in %.3f s, %d attempt(s)\n%!" id
+            req.Serve.workload req.Serve.scale elapsed_s attempts
+        | Serve.Failed { error; attempts } ->
+          if !first_failure = None then first_failure := Some error;
+          Printf.printf "  job %2d (%s/%d): FAILED after %d attempt(s): %s\n%!" id
+            req.Serve.workload req.Serve.scale attempts (Job_error.to_string error))
+      (List.rev !ids);
+    let stats = Serve.shutdown srv in
+    restore_signals ();
+    if faults then Runtime_faults.disarm_io_faults ();
+    Printf.printf
+      "serve: done. submitted %d, completed %d, failed %d, rejected %d, invalid %d\n\
+      \       retries %d, timeouts %d, cancelled %d, demoted %d, crashes %d, io failures %d\n%!"
+      stats.Serve.submitted stats.Serve.completed stats.Serve.failed stats.Serve.rejected
+      stats.Serve.invalid stats.Serve.retries stats.Serve.timeouts stats.Serve.cancelled
+      stats.Serve.demoted stats.Serve.crashes stats.Serve.io_failures;
+    match !first_failure with
+    | Some e -> exit (Job_error.exit_code e)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the fault-tolerant proving service on a stream of jobs: bounded \
+          queue, deadlines, retry with backoff, crash isolation, graceful \
+          drain on SIGTERM/SIGINT. Exit 0 when every admitted job proved; \
+          otherwise the first failure's Job_error exit code (50-57).")
+    Term.(
+      const run $ jobs_arg $ runners_arg $ capacity_arg $ deadline_arg $ mem_budget_arg
+      $ faults_arg $ workloads_arg $ scale_arg)
+
 let () =
   (* Build the default engine up front: this validates NOCAP_DOMAINS /
      NOCAP_GC_MINOR_MB once, loudly, instead of each subsystem quietly
@@ -511,4 +629,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ prove_cmd; verify_cmd; fuzz_cmd; simulate_cmd; report_cmd; db_cmd; batch_cmd; lint_cmd; circuit_lint_cmd ]))
+          [ prove_cmd; verify_cmd; serve_cmd; fuzz_cmd; simulate_cmd; report_cmd; db_cmd; batch_cmd; lint_cmd; circuit_lint_cmd ]))

@@ -70,11 +70,16 @@ module Spartan_fri = Zk_spartan.Spartan.Make (Zk_orion.Fri_pcs)
 module Proof_serialize = Zk_spartan.Serialize
 module Aggregate = Zk_spartan.Aggregate
 
+(* Proving service runtime: job queue, deadlines, retry, degradation *)
+module Serve = Nocap_serve.Serve
+module Job_error = Nocap_serve.Job_error
+
 (* Verification boundary: error taxonomy and the fault-injection harness *)
 module Verify_error = Zk_pcs.Verify_error
 module Mutate = Nocap_faults.Mutate
 module Fuzz = Nocap_faults.Fuzz
 module Fault_targets = Nocap_faults.Targets
+module Runtime_faults = Nocap_faults.Runtime_faults
 
 (* Groth16 baseline substrate *)
 module G1 = Zk_curve.G1

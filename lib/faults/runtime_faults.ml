@@ -1,0 +1,113 @@
+(* Runtime fault injection for the proving service: deterministic worker
+   crashes, spill I/O failures, artificially slow jobs, and malformed
+   tenant requests. The selection is a pure function of (plan, job id /
+   request index), so a fault-injected run is reproducible and the bench
+   can predict exactly which jobs should have retried, timed out, or been
+   rejected.
+
+   Injection points:
+   - worker crash / slow job: through [Serve]'s [fault_hook], called on
+     the runner domain at each attempt start;
+   - spill I/O: through [Spill.set_io_fault_hook], armed per runner
+     domain (spill I/O follows the single-submitter pattern, so the
+     domain that starts the attempt is the one that performs it). *)
+
+module Spill = Nocap_vec.Spill
+
+exception Injected_crash of int
+
+type plan = {
+  crash_every : int;
+  io_fail_every : int;
+  slow_every : int;
+  slow_s : float;
+  first_attempt_only : bool;
+}
+
+let none =
+  {
+    crash_every = 0;
+    io_fail_every = 0;
+    slow_every = 0;
+    slow_s = 0.05;
+    first_attempt_only = true;
+  }
+
+let default =
+  { crash_every = 5; io_fail_every = 7; slow_every = 11; slow_s = 0.25; first_attempt_only = true }
+
+let hits every id offset = every > 0 && id mod every = offset mod every
+
+let crashes plan ~job_id = hits plan.crash_every job_id 1
+let io_fails plan ~job_id = hits plan.io_fail_every job_id 3
+let slows plan ~job_id = hits plan.slow_every job_id 5
+
+(* --- spill I/O faults ---------------------------------------------------- *)
+
+(* Per-domain countdown: the global Spill hook fires [Unix_error] when the
+   calling domain's counter hits zero. Counters are re-armed (or cleared)
+   at each attempt start, so a fault armed for a job that never spilled
+   cannot leak into an unrelated later job on the same runner domain. *)
+let io_countdown : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let io_hook_installed = ref false
+let io_hook_lock = Mutex.create ()
+
+let install_io_hook () =
+  Mutex.lock io_hook_lock;
+  if not !io_hook_installed then begin
+    io_hook_installed := true;
+    Spill.set_io_fault_hook
+      (Some
+         (fun op ->
+           let r = Domain.DLS.get io_countdown in
+           if !r > 0 then begin
+             decr r;
+             if !r = 0 then begin
+               (* Alternate the two classic disk-failure modes. *)
+               let err = if String.equal op "write" then Unix.ENOSPC else Unix.EIO in
+               raise (Unix.Unix_error (err, "spill_" ^ op, "injected fault"))
+             end
+           end))
+  end;
+  Mutex.unlock io_hook_lock
+
+let disarm_io_faults () =
+  Mutex.lock io_hook_lock;
+  io_hook_installed := false;
+  Spill.set_io_fault_hook None;
+  Mutex.unlock io_hook_lock
+
+(* --- the Serve hook ------------------------------------------------------ *)
+
+let hook plan : Nocap_serve.Serve.fault_hook =
+ fun ~stage ~job_id ~attempt ->
+  if String.equal stage "attempt" then begin
+    (* Clear any stale armed I/O fault on this domain first. *)
+    let r = Domain.DLS.get io_countdown in
+    r := 0;
+    let fires = (not plan.first_attempt_only) || attempt = 1 in
+    if fires && slows plan ~job_id then Unix.sleepf plan.slow_s;
+    if fires && io_fails plan ~job_id then begin
+      install_io_hook ();
+      (* Let a few transfers through so the fault lands mid-stream, past
+         the cheap validation prologue. *)
+      r := 3
+    end;
+    if fires && crashes plan ~job_id then raise (Injected_crash job_id)
+  end
+
+(* --- malformed tenant input ---------------------------------------------- *)
+
+let malformed_request i : Nocap_serve.Serve.request =
+  let open Nocap_serve.Serve in
+  match i mod 3 with
+  | 0 ->
+    { tenant = "mallory"; workload = "no-such-workload"; scale = 4; kind = Prove;
+      deadline_s = None }
+  | 1 ->
+    { tenant = "mallory"; workload = "synthetic"; scale = 0; kind = Prove;
+      deadline_s = None }
+  | _ ->
+    { tenant = "mallory"; workload = "synthetic"; scale = max_int / 2; kind = Prove;
+      deadline_s = None }

@@ -111,6 +111,7 @@ let commit_layer_spill ev ~block =
   let lo = Fv.create (min block half) and hi = Fv.create (min block half) in
   let j = ref 0 in
   while !j < half do
+    Pool.Cancel.check ();
     let bl = min (Fv.length lo) (half - !j) in
     Spill.read ev ~pos:!j (Fv.sub_view lo ~pos:0 ~len:bl);
     Spill.read ev ~pos:(!j + half) (Fv.sub_view hi ~pos:0 ~len:bl);
@@ -127,16 +128,21 @@ let commit_layer_spill ev ~block =
 let spill_of_array ?tag arr ~block =
   let n = Array.length arr in
   let s = Spill.create ?tag ~spill:true n in
-  let buf = Fv.create (min block (max 1 n)) in
-  let pos = ref 0 in
-  while !pos < n do
-    let len = min (Fv.length buf) (n - !pos) in
-    let v = Fv.sub_view buf ~pos:0 ~len in
-    Fv.write_array arr ~src_pos:!pos v ~dst_pos:0 ~len;
-    Spill.write s ~pos:!pos v;
-    pos := !pos + len
-  done;
-  s
+  try
+    let buf = Fv.create (min block (max 1 n)) in
+    let pos = ref 0 in
+    while !pos < n do
+      Pool.Cancel.check ();
+      let len = min (Fv.length buf) (n - !pos) in
+      let v = Fv.sub_view buf ~pos:0 ~len in
+      Fv.write_array arr ~src_pos:!pos v ~dst_pos:0 ~len;
+      Spill.write s ~pos:!pos v;
+      pos := !pos + len
+    done;
+    s
+  with e ->
+    Spill.free s;
+    raise e
 
 let block_of_budget budget =
   (* Six block-sized staging vectors live at once in the opening loop
@@ -174,14 +180,24 @@ let commit ?engine params rng table =
     Fv.write_array coeffs ~src_pos:0 evals_fv ~dst_pos:0 ~len:n;
     Ntt_fv.forward (Ntt_fv.plan domain) evals_fv;
     let s_evals = Spill.create ~tag:"fri-evals" ~spill:true domain in
-    let pos = ref 0 in
-    while !pos < domain do
-      let len = min block (domain - !pos) in
-      Spill.write s_evals ~pos:!pos (Fv.sub_view evals_fv ~pos:!pos ~len);
-      pos := !pos + len
-    done;
-    let tree = commit_layer_spill s_evals ~block in
-    let s_table = spill_of_array ~tag:"fri-table" table ~block in
+    (* Free the partially-built spills on cancellation / injected I/O
+       faults instead of waiting for the GC backstop. *)
+    let tree, s_table =
+      try
+        let pos = ref 0 in
+        while !pos < domain do
+          Pool.Cancel.check ();
+          let len = min block (domain - !pos) in
+          Spill.write s_evals ~pos:!pos (Fv.sub_view evals_fv ~pos:!pos ~len);
+          pos := !pos + len
+        done;
+        let tree = commit_layer_spill s_evals ~block in
+        let s_table = spill_of_array ~tag:"fri-table" table ~block in
+        (tree, s_table)
+      with e ->
+        Spill.free s_evals;
+        raise e
+    in
     let c_commitment = { root = Merkle.root tree; num_vars } in
     ({ c_commitment; store = Streamed { s_table; s_evals; budget }; tree }, c_commitment)
 

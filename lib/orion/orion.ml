@@ -230,10 +230,17 @@ let commit_stream ?engine params rng ~num_vars ~read ~budget_bytes =
     min (blocks * pipeline_block) (((enc_rows + pipeline_block - 1) / pipeline_block) * pipeline_block)
   in
   let all_rows = Spill.create ~tag:"orion-rows" ~spill:true (enc_rows * cols) in
+  (* Cancellation or an injected I/O fault mid-commit must not strand the
+     staging spill until a major GC: free it on any non-success exit (the
+     finalizer stays as backstop only). *)
+  let staged_ok = ref false in
+  Fun.protect ~finally:(fun () -> if not !staged_ok then Spill.free all_rows)
+  @@ fun () ->
   let src_buf = Fv.create (row_block * cols) in
   (* Stage the data rows into the spill file... *)
   let pos = ref 0 in
   while !pos < rows * cols do
+    Pool.Cancel.check ();
     let len = min (row_block * cols) ((rows * cols) - !pos) in
     let v = Fv.sub_view src_buf ~pos:0 ~len in
     read ~pos:!pos v;
@@ -247,6 +254,7 @@ let commit_stream ?engine params rng ~num_vars ~read ~budget_bytes =
   let row_ns = Code.row_encode_ns ~cols in
   let nblocks = (enc_rows + row_block - 1) / row_block in
   for k = 0 to nblocks - 1 do
+    Pool.Cancel.check ();
     let r_lo = k * row_block in
     let bh = min row_block (enc_rows - r_lo) in
     Spill.read all_rows ~pos:(r_lo * cols) (Fv.sub_view src_buf ~pos:0 ~len:(bh * cols));
@@ -278,6 +286,7 @@ let commit_stream ?engine params rng ~num_vars ~read ~budget_bytes =
   let commitment =
     { root = Merkle.root tree; num_vars; mat_rows = rows; mat_cols = cols }
   in
+  staged_ok := true;
   ( {
       c_params = params;
       c_commitment = commitment;

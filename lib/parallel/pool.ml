@@ -29,10 +29,58 @@ let range_hi r = r land range_mask
 (* Largest [n] a single job can cover; bigger loops run in segments. *)
 let max_segment = range_mask
 
+(* --- cooperative cancellation ------------------------------------------- *)
+
+(* A cancel token is one atomic flag shared between a controller (a service
+   watchdog, a signal handler) and the kernels doing work on its behalf.
+   Kernels never poll the token directly: the ambient token travels with
+   the submitting domain via DLS, is re-installed inside every worker chunk,
+   and [check] raises {!Cancelled} at the next chunk boundary. Cancellation
+   is therefore cooperative and prompt-at-grain-granularity: a claimed chunk
+   always runs to completion, everything after it fast-drains through the
+   pool's existing failure path. *)
+module Cancel = struct
+  type token = { flag : bool Atomic.t; mutable why : string }
+
+  exception Cancelled of string
+
+  let create () = { flag = Atomic.make false; why = "cancelled" }
+
+  let cancel ?(reason = "cancelled") t =
+    if not (Atomic.get t.flag) then begin
+      (* Plain write published by the atomic set below; a second concurrent
+         cancel can only race the informational string, never the flag. *)
+      t.why <- reason;
+      Atomic.set t.flag true
+    end
+
+  let is_cancelled t = Atomic.get t.flag
+  let reason t = t.why
+
+  let ambient : token option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let current () = !(Domain.DLS.get ambient)
+
+  let with_token tok f =
+    let r = Domain.DLS.get ambient in
+    let saved = !r in
+    r := Some tok;
+    Fun.protect ~finally:(fun () -> r := saved) f
+
+  let raise_if_cancelled t = if Atomic.get t.flag then raise (Cancelled t.why)
+
+  let check () =
+    match !(Domain.DLS.get ambient) with
+    | Some t -> raise_if_cancelled t
+    | None -> ()
+end
+
 (* --- jobs --------------------------------------------------------------- *)
 
 type job = {
   body : int -> int -> unit; (* half-open chunk [lo, hi) *)
+  cancel : Cancel.token option; (* submitter's ambient token, checked per chunk *)
   grain : int;
   slots : int Atomic.t array; (* one packed range per participant, strided *)
   remaining : int Atomic.t; (* indices not yet retired *)
@@ -117,7 +165,13 @@ let record_exn job e bt =
    the park handshake; both are safe under OCaml's SC atomics). *)
 let exec job lo hi =
   (if not (Atomic.get job.failed) then
-     try Arena.with_frame (fun () -> job.body lo hi)
+     try
+       match job.cancel with
+       | Some tok ->
+         Cancel.raise_if_cancelled tok;
+         Arena.with_frame (fun () ->
+             Cancel.with_token tok (fun () -> job.body lo hi))
+       | None -> Arena.with_frame (fun () -> job.body lo hi)
      with e -> record_exn job e (Printexc.get_raw_backtrace ()));
   let old = Atomic.fetch_and_add job.remaining (lo - hi) in
   if old - (hi - lo) = 0 && Atomic.get job.waiter > 0 then begin
@@ -367,7 +421,24 @@ let with_domains d f =
 
 let resolve_pool = function Some p -> p | None -> default ()
 
-let serial_run body n = Arena.with_frame (fun () -> body 0 n)
+(* The serial fallback honours the ambient cancel token with the same
+   chunk-boundary promptness as the pool path: with a token installed the
+   loop runs in bounded slices and re-checks between them, so a size-1 pool
+   or a nested call cannot outlive its deadline by a whole kernel. *)
+let serial_cancel_slice = 4096
+
+let serial_run body n =
+  match Cancel.current () with
+  | None -> Arena.with_frame (fun () -> body 0 n)
+  | Some tok ->
+    Cancel.raise_if_cancelled tok;
+    let pos = ref 0 in
+    while !pos < n do
+      let hi = min n (!pos + serial_cancel_slice) in
+      Arena.with_frame (fun () -> body !pos hi);
+      pos := hi;
+      Cancel.raise_if_cancelled tok
+    done
 
 (* One job over [0, n), n <= max_segment. Static slices seed the slots;
    stealing rebalances from there, so a slice that finishes early never
@@ -386,6 +457,7 @@ let submit p grain ~n body =
   let job =
     {
       body;
+      cancel = Cancel.current ();
       grain;
       slots;
       remaining = Atomic.make n;
@@ -488,6 +560,7 @@ let fold_chunks ?pool ?chunk ?grain ~n ~init ~body ~combine () =
     let parts = Array.make nchunks None in
     let run_chunks clo chi =
       for c = clo to chi - 1 do
+        Cancel.check ();
         let lo = c * chunk in
         let hi = min (lo + chunk) n in
         parts.(c) <- Some (body lo hi)

@@ -40,6 +40,47 @@ type t
 (** A pool handle. The submitting domain counts towards the size, so a pool
     of size [k] spawns [k - 1] worker domains. *)
 
+(** Cooperative cancellation tokens, checked at kernel chunk boundaries.
+
+    A controller (service watchdog, signal handler, test harness) creates a
+    token, the proving code runs under {!Cancel.with_token}, and every pool
+    chunk — plus explicit {!Cancel.check} calls in streaming loops —
+    re-raises {!Cancel.Cancelled} once the token trips. The token is
+    ambient: {!with_token} installs it in domain-local storage, submission
+    captures it into the job, and each worker chunk re-installs it, so
+    nested kernels and the serial fallback observe the same token without
+    threading it through every API. Cancellation is prompt at grain
+    granularity — a claimed chunk finishes, the rest of the job fast-drains
+    through the pool's failure path and the pool stays reusable. *)
+module Cancel : sig
+  type token
+
+  exception Cancelled of string
+  (** Raised (carrying the cancel reason) in the domain that owns the
+      computation; workers never leak it. *)
+
+  val create : unit -> token
+
+  val cancel : ?reason:string -> token -> unit
+  (** Trip the token. Idempotent; the first caller's [reason] (default
+      ["cancelled"]) is the one reported. Safe from any domain and from
+      signal handlers. *)
+
+  val is_cancelled : token -> bool
+  val reason : token -> string
+
+  val with_token : token -> (unit -> 'a) -> 'a
+  (** Run a thunk with the token installed as the current domain's ambient
+      token (restored afterwards, exceptions included). *)
+
+  val current : unit -> token option
+  (** The ambient token of the calling domain, if any. *)
+
+  val check : unit -> unit
+  (** Raise [Cancelled] iff the ambient token is tripped; a cheap no-op
+      otherwise. Streaming kernels call this at block boundaries. *)
+end
+
 val create : ?domains:int -> unit -> t
 (** [create ~domains ()] spawns a pool of the given total size (default:
     {!default_domains}[ ()]), clamped to [\[1, 128\]]. A pool of size 1

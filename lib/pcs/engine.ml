@@ -35,34 +35,39 @@ module Config = struct
     | Some v -> Error (Printf.sprintf "%s must be a non-negative integer, got %d" name v)
     | None -> Error (Printf.sprintf "%s must be a non-negative integer, got %S" name raw)
 
+  (* Every knob is parsed even after one fails: a service operator who
+     fat-fingered three variables gets all three diagnostics in one startup
+     failure instead of a fix-rerun loop per knob. *)
   let parse ~lookup =
-    let ( let* ) = Result.bind in
+    let errors = ref [] in
+    let keep = function
+      | Ok v -> Some v
+      | Error msg ->
+        errors := msg :: !errors;
+        None
+    in
     let knob name =
       match lookup name with
-      | None -> Ok None
-      | Some raw ->
-        let* v = parse_positive ~name raw in
-        Ok (Some v)
+      | None -> None
+      | Some raw -> keep (parse_positive ~name raw)
     in
     let knob_nn name =
       match lookup name with
-      | None -> Ok None
-      | Some raw ->
-        let* v = parse_non_negative ~name raw in
-        Ok (Some v)
+      | None -> None
+      | Some raw -> keep (parse_non_negative ~name raw)
     in
-    let* domains = knob "NOCAP_DOMAINS" in
-    let* gc_minor_mb = knob "NOCAP_GC_MINOR_MB" in
-    let* spin_us = knob_nn "NOCAP_SPIN_US" in
-    let* native =
+    let domains = knob "NOCAP_DOMAINS" in
+    let gc_minor_mb = knob "NOCAP_GC_MINOR_MB" in
+    let spin_us = knob_nn "NOCAP_SPIN_US" in
+    let native =
       match lookup "NOCAP_NATIVE" with
-      | None -> Ok None
-      | Some raw ->
-        let* m = Native.parse_mode raw in
-        Ok (Some m)
+      | None -> None
+      | Some raw -> keep (Native.parse_mode raw)
     in
-    let* stream_budget_mb = knob "NOCAP_STREAM_BUDGET_MB" in
-    Ok { domains; gc_minor_mb; spin_us; native; stream_budget_mb }
+    let stream_budget_mb = knob "NOCAP_STREAM_BUDGET_MB" in
+    match List.rev !errors with
+    | [] -> Ok { domains; gc_minor_mb; spin_us; native; stream_budget_mb }
+    | errs -> Error (String.concat "; " errs)
 
   (* The single *validating* environment-read site in the tree. Malformed
      values fail loudly here instead of silently falling back: an operator

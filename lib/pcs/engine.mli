@@ -39,7 +39,10 @@ module Config : sig
       [1|on|auto|simd]) and [NOCAP_STREAM_BUDGET_MB] (prover memory
       budget in MiB; setting it switches provers to the streaming
       out-of-core path). A key that is set but malformed is an [Error] —
-      rejected loudly, never silently defaulted. *)
+      rejected loudly, never silently defaulted. All knobs are validated
+      even after one fails: the [Error] aggregates every malformed
+      variable (["; "]-separated, in knob order), so a service operator
+      sees the complete misconfiguration in a single startup report. *)
 
   val of_env : unit -> t
   (** [parse] over the process environment; the only *validating*

@@ -86,10 +86,20 @@ module type S = sig
 
   val free_committed : committed -> unit
   (** Release out-of-core resources (spill files) held by the prover
-      state; a no-op for in-RAM state. Idempotent; callers run it once all
-      openings are done (Spartan does, after its last [open_at]). Backends
-      must also attach a GC-finalizer backstop so leaked state cannot
-      exhaust file descriptors. *)
+      state; a no-op for in-RAM state.
+
+      {b Lifecycle contract.} A [committed] moves through
+      [commit] → zero or more [open_at] → [free_committed]; after the
+      free, any further [open_at] on it raises. [free_committed] is
+      {e idempotent} — double frees (and frees racing a GC finalizer) are
+      safe no-ops, which is what lets a retrying caller unconditionally
+      free a failed attempt's state in its cleanup path and then
+      re-[commit] from scratch: retry never reuses a [committed] across
+      attempts. Callers that stop early (cancellation, a worker crash, an
+      I/O fault mid-opening) must still run [free_committed] on the way
+      out — provers wrap the commit→open span in [Fun.protect] — and
+      backends must also attach a GC-finalizer backstop so state leaked
+      past all of that cannot exhaust file descriptors. *)
 
   val verify :
     ?engine:Engine.t ->

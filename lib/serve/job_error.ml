@@ -1,0 +1,85 @@
+(* Failure taxonomy for proving-service jobs.
+
+   The split that matters operationally is retryable vs permanent:
+   transient faults (a crashed worker, a failed spill write, memory
+   exhaustion) are worth re-running with backoff, while everything the
+   tenant controls (bad input, blown deadline, a proof the verifier
+   rejects) or the operator controls (queue capacity, drain) fails
+   immediately. Verifier rejections keep their PR 5 category so the
+   exit-code surface stays one table. *)
+
+module E = Zk_pcs.Verify_error
+
+type t =
+  | Queue_full of int  (** admission refused; payload is the capacity *)
+  | Invalid_input of string
+  | Deadline_exceeded of float  (** payload: the job's deadline, seconds *)
+  | Cancelled of string
+  | Worker_crash of { message : string; backtrace : string }
+  | Io_failure of string
+  | Resource_exhausted of string
+  | Verify_rejected of E.t
+  | Draining
+
+let retryable = function
+  | Worker_crash _ | Io_failure _ | Resource_exhausted _ -> true
+  | Queue_full _ | Invalid_input _ | Deadline_exceeded _ | Cancelled _
+  | Verify_rejected _ | Draining ->
+    false
+
+let name = function
+  | Queue_full _ -> "queue_full"
+  | Invalid_input _ -> "invalid_input"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Cancelled _ -> "cancelled"
+  | Worker_crash _ -> "worker_crash"
+  | Io_failure _ -> "io_failure"
+  | Resource_exhausted _ -> "resource_exhausted"
+  | Verify_rejected _ -> "verify_rejected"
+  | Draining -> "draining"
+
+(* 50+ keeps clear of verify's 10-17 and diag's 20-41; a rejected
+   verification reuses the verify category's own code so scripts keep one
+   mapping for "why did the verifier say no". *)
+let exit_code = function
+  | Queue_full _ -> 50
+  | Invalid_input _ -> 51
+  | Deadline_exceeded _ -> 52
+  | Cancelled _ -> 53
+  | Worker_crash _ -> 54
+  | Io_failure _ -> 55
+  | Resource_exhausted _ -> 56
+  | Draining -> 57
+  | Verify_rejected e -> E.exit_code e.E.category
+
+let to_string = function
+  | Queue_full cap -> Printf.sprintf "queue_full: queue at capacity (%d)" cap
+  | Invalid_input msg -> "invalid_input: " ^ msg
+  | Deadline_exceeded d -> Printf.sprintf "deadline_exceeded: deadline %.3fs" d
+  | Cancelled reason -> "cancelled: " ^ reason
+  | Worker_crash { message; _ } -> "worker_crash: " ^ message
+  | Io_failure msg -> "io_failure: " ^ msg
+  | Resource_exhausted msg -> "resource_exhausted: " ^ msg
+  | Verify_rejected e -> "verify_rejected: " ^ E.to_string e
+  | Draining -> "draining: service is draining"
+
+(* Classify an escaped exception from a job attempt. Cancellation comes
+   back as [Cancelled] and is refined by the scheduler (deadline vs client
+   vs drain — only it knows which controller tripped the token); I/O and
+   memory faults are transient; anything else is an isolated worker crash,
+   captured with its backtrace and retried. *)
+let of_exn e bt =
+  match e with
+  | Nocap_parallel.Pool.Cancel.Cancelled reason -> Cancelled reason
+  | Unix.Unix_error (err, fn, arg) ->
+    Io_failure
+      (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err))
+  | Sys_error msg -> Io_failure msg
+  | Out_of_memory -> Resource_exhausted "out of memory"
+  | Stack_overflow -> Resource_exhausted "stack overflow"
+  | e ->
+    Worker_crash
+      {
+        message = Printexc.to_string e;
+        backtrace = Printexc.raw_backtrace_to_string bt;
+      }

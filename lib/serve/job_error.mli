@@ -1,0 +1,56 @@
+(** Failure taxonomy for proving-service jobs (DESIGN.md Sec. 15).
+
+    Extends the PR 5 verification taxonomy upward: {!Zk_pcs.Verify_error}
+    categorizes {e why a proof was rejected}; this type categorizes {e why
+    a job did not produce one}. The operational split is {!retryable} —
+    transient faults the scheduler re-runs with backoff — versus permanent
+    failures reported to the tenant immediately. *)
+
+type t =
+  | Queue_full of int
+      (** Admission control refused the job; payload is the configured
+          capacity. Permanent from the service's perspective — the {e
+          client} may resubmit later. *)
+  | Invalid_input of string
+      (** Malformed tenant request: unknown workload, non-positive or
+          oversized scale, a generator that rejected the parameters. *)
+  | Deadline_exceeded of float
+      (** The job's deadline (payload, in seconds) passed — while queued,
+          in backoff, or mid-kernel (cooperative cancel at the next chunk
+          boundary). *)
+  | Cancelled of string  (** Cancelled by the client; payload is the reason. *)
+  | Worker_crash of { message : string; backtrace : string }
+      (** An exception escaped the prover on a worker. Isolated to this
+          job — the pool and other jobs are unaffected — and retryable. *)
+  | Io_failure of string
+      (** Spill/temp-file I/O failed ([EIO], [ENOSPC], ...). Retryable:
+          the retry re-commits from scratch on fresh files. *)
+  | Resource_exhausted of string
+      (** [Out_of_memory] / [Stack_overflow]. Retryable — the retry may be
+          demoted to the streaming prover. *)
+  | Verify_rejected of Zk_pcs.Verify_error.t
+      (** A verify job's proof failed, keeping its PR 5 category. *)
+  | Draining  (** The service is shutting down and shed this job. *)
+
+val retryable : t -> bool
+
+val name : t -> string
+(** Stable snake-case identifier ("queue_full", "worker_crash", ...): the
+    bucket key in BENCH_serve.json and the token the CLI prints. *)
+
+val exit_code : t -> int
+(** Distinct process exit code per constructor, documented in the README:
+    50 = queue_full, 51 = invalid_input, 52 = deadline_exceeded,
+    53 = cancelled, 54 = worker_crash, 55 = io_failure,
+    56 = resource_exhausted, 57 = draining; [Verify_rejected] reuses the
+    verify category's own 10-17 code. *)
+
+val to_string : t -> string
+(** ["<name>: <detail>"]. *)
+
+val of_exn : exn -> Printexc.raw_backtrace -> t
+(** Classify an exception that escaped a job attempt:
+    {!Nocap_parallel.Pool.Cancel.Cancelled} → [Cancelled] (the scheduler
+    refines it to deadline/client/drain), [Unix_error]/[Sys_error] →
+    [Io_failure], [Out_of_memory]/[Stack_overflow] → [Resource_exhausted],
+    anything else → [Worker_crash] with its backtrace. *)

@@ -10,6 +10,7 @@ module Codec = Zk_pcs.Codec
 module E = Zk_pcs.Verify_error
 module Fv = Nocap_vec.Fv
 module Spill = Nocap_vec.Spill
+module Pool = Nocap_parallel.Pool
 
 let magic = "NCAP2\x00\x00\x00"
 let legacy_magic = "NCAP1\x00\x00\x00"
@@ -166,6 +167,10 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
     let l = inst.R1cs.log_size in
     (* Commit to the witness half. *)
     let committed, w_commitment = P.commit ~engine params.pcs rng asn.R1cs.w in
+    (* Cancellation or a worker crash mid-proof must still release the PCS
+       working set (spill files); free_committed is idempotent, so this
+       backstop composes with the deterministic free on the normal path. *)
+    Fun.protect ~finally:(fun () -> P.free_committed committed) @@ fun () ->
     P.absorb_commitment transcript w_commitment;
     let zv = R1cs.z inst asn in
     let az = Sparse.spmv inst.R1cs.a zv in
@@ -260,8 +265,19 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
     let az = Spill.create ~tag:"spartan-az" ~spill:true n in
     let bz = Spill.create ~tag:"spartan-bz" ~spill:true n in
     let cz = Spill.create ~tag:"spartan-cz" ~spill:true n in
+    (* Every exit — success, unsatisfiable assignment, cancellation, an
+       injected I/O fault — releases the spilled vectors deterministically;
+       Spill.free is idempotent so this composes with the normal-path
+       frees below. *)
+    Fun.protect
+      ~finally:(fun () ->
+        Spill.free az;
+        Spill.free bz;
+        Spill.free cz)
+    @@ fun () ->
     let r = ref 0 in
     while !r < n do
+      Pool.Cancel.check ();
       let hi = min n (!r + block) in
       let ab = Sparse.spmv_range inst.R1cs.a ~x:zf ~r_lo:!r ~r_hi:hi in
       let bb = Sparse.spmv_range inst.R1cs.b ~x:zf ~r_lo:!r ~r_hi:hi in
@@ -279,6 +295,7 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
     (* Commit to the witness half; the engine budget routes the backend to
        its own out-of-core commit. *)
     let committed, w_commitment = P.commit ~engine params.pcs rng asn.R1cs.w in
+    Fun.protect ~finally:(fun () -> P.free_committed committed) @@ fun () ->
     P.absorb_commitment transcript w_commitment;
     let spmv_mults = ref (R1cs.nnz inst) in
     let sc_mults = ref 0 and sc_adds = ref 0 in
@@ -297,10 +314,16 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
         !p
       in
       let pos = ref 0 in
-      while !pos < len do
-        Spill.write s ~pos:!pos (Fv.of_array (Mle.eq_table_range point ~lo:!pos ~len:eb));
-        pos := !pos + eb
-      done;
+      (try
+         while !pos < len do
+           Pool.Cancel.check ();
+           Spill.write s ~pos:!pos
+             (Fv.of_array (Mle.eq_table_range point ~lo:!pos ~len:eb));
+           pos := !pos + eb
+         done
+       with e ->
+         Spill.free s;
+         raise e);
       s
     in
     let reps =
@@ -309,12 +332,12 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
           let tau = Transcript.challenge_gf_vec transcript "tau" l in
           let eq_tau = spill_eq "spartan-eqtau" tau in
           let r1 =
+            Fun.protect ~finally:(fun () -> Spill.free eq_tau) @@ fun () ->
             Sumcheck.prove_streaming ~engine ~comb_mults:2 ~budget_bytes:budget
               transcript ~degree:3
               ~tables:[| eq_tau; az; bz; cz |]
               ~comb:comb1 ~claim:Gf.zero
           in
-          Spill.free eq_tau;
           sc_mults := !sc_mults + r1.Sumcheck.stats.Sumcheck.mults;
           sc_adds := !sc_adds + r1.Sumcheck.stats.Sumcheck.adds;
           let rx = r1.Sumcheck.challenges in
@@ -334,32 +357,40 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
              once per window (window-sized accumulator), reading eq_rx
              through a sliding spill window. *)
           let m_table = Spill.create ~tag:"spartan-m" ~spill:true n in
-          let reader = Spill.Reader.create eq_rx in
-          let y r = Spill.Reader.get reader r in
-          let c = ref 0 in
-          while !c < n do
-            let hi = min n (!c + block) in
-            let ta = Sparse.spmv_transpose_range inst.R1cs.a ~y ~c_lo:!c ~c_hi:hi in
-            let tb = Sparse.spmv_transpose_range inst.R1cs.b ~y ~c_lo:!c ~c_hi:hi in
-            let tc = Sparse.spmv_transpose_range inst.R1cs.c ~y ~c_lo:!c ~c_hi:hi in
-            let blk =
-              Array.init (hi - !c) (fun i ->
-                  Gf.add
-                    (Gf.mul r_abc.(0) ta.(i))
-                    (Gf.add (Gf.mul r_abc.(1) tb.(i)) (Gf.mul r_abc.(2) tc.(i))))
-            in
-            Spill.write m_table ~pos:!c (Fv.of_array blk);
-            c := hi
-          done;
-          spmv_mults := !spmv_mults + R1cs.nnz inst;
-          Spill.free eq_rx;
           let r2 =
+            Fun.protect
+              ~finally:(fun () ->
+                Spill.free eq_rx;
+                Spill.free m_table)
+            @@ fun () ->
+            let reader = Spill.Reader.create eq_rx in
+            let y r = Spill.Reader.get reader r in
+            let c = ref 0 in
+            while !c < n do
+              Pool.Cancel.check ();
+              let hi = min n (!c + block) in
+              let ta = Sparse.spmv_transpose_range inst.R1cs.a ~y ~c_lo:!c ~c_hi:hi in
+              let tb = Sparse.spmv_transpose_range inst.R1cs.b ~y ~c_lo:!c ~c_hi:hi in
+              let tc = Sparse.spmv_transpose_range inst.R1cs.c ~y ~c_lo:!c ~c_hi:hi in
+              let blk =
+                Array.init (hi - !c) (fun i ->
+                    Gf.add
+                      (Gf.mul r_abc.(0) ta.(i))
+                      (Gf.add (Gf.mul r_abc.(1) tb.(i)) (Gf.mul r_abc.(2) tc.(i))))
+              in
+              Spill.write m_table ~pos:!c (Fv.of_array blk);
+              c := hi
+            done;
+            spmv_mults := !spmv_mults + R1cs.nnz inst;
+            (* eq_rx is only needed to build M~; free it before the second
+               sumcheck so the two never coexist (the finally re-free is an
+               idempotent no-op). *)
+            Spill.free eq_rx;
             Sumcheck.prove_streaming ~engine ~comb_mults:1 ~budget_bytes:budget
               transcript ~degree:2
               ~tables:[| m_table; z_spill |]
               ~comb:comb2 ~claim:claim2
           in
-          Spill.free m_table;
           sc_mults := !sc_mults + r2.Sumcheck.stats.Sumcheck.mults;
           sc_adds := !sc_adds + r2.Sumcheck.stats.Sumcheck.adds;
           let ry = r2.Sumcheck.challenges in
@@ -372,7 +403,7 @@ module Make (P0 : Zk_pcs.Pcs.S) = struct
     Spill.free az;
     Spill.free bz;
     Spill.free cz;
-    let stats =
+    let stats : prover_stats =
       {
         sumcheck_mults = !sc_mults;
         sumcheck_adds = !sc_adds;

@@ -122,6 +122,7 @@ let run_rounds ?pool ~comb_mults ~transcript ~degree ~comb ~tabs ~num_vars ~roun
   let k = Array.length tabs in
   let len = ref len0 in
   for round = round0 to num_vars - 1 do
+    Pool.Cancel.check ();
     let half = !len / 2 in
     let eval_chunk lo_b hi_b =
       let g = Array.make (degree + 1) Gf.zero in
@@ -293,6 +294,7 @@ let prove_streaming ?engine ?(comb_mults = 0) ~budget_bytes transcript ~degree ~
     let deltas = Array.make k Gf.zero in
     let pos = ref 0 in
     while !pos < half do
+      Pool.Cancel.check ();
       let len = min block (half - !pos) in
       for t = 0 to k - 1 do
         recompute ~w ~stride tables.(t) acc_lo.(t) ~pos:!pos ~len;
@@ -337,6 +339,7 @@ let prove_streaming ?engine ?(comb_mults = 0) ~budget_bytes transcript ~degree ~
         let dst = Fv.create stride in
         let pos = ref 0 in
         while !pos < stride do
+          Pool.Cancel.check ();
           let len = min block (stride - !pos) in
           let dstv = Fv.sub_view dst ~pos:!pos ~len in
           Fv.zero dstv;

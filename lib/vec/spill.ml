@@ -10,12 +10,58 @@ let next_id = ref 0
 let live_files_count = ref 0
 let spilled_total = ref 0
 
-let () =
-  at_exit (fun () ->
-      Mutex.lock registry_mutex;
-      Hashtbl.iter (fun _ path -> try Sys.remove path with Sys_error _ -> ()) leftover_paths;
-      Hashtbl.reset leftover_paths;
-      Mutex.unlock registry_mutex)
+(* Best-effort removal of every leftover path. Callable from at_exit and
+   from signal handlers: a handler can interrupt a thread that already
+   holds [registry_mutex], so we only try_lock — the table is normally
+   empty (unlink-after-open succeeded) and the process is about to die
+   anyway, so a racy iteration beats a self-deadlock. *)
+let sweep_leftovers () =
+  let locked = Mutex.try_lock registry_mutex in
+  Hashtbl.iter (fun _ path -> try Sys.remove path with Sys_error _ -> ()) leftover_paths;
+  Hashtbl.reset leftover_paths;
+  if locked then Mutex.unlock registry_mutex
+
+let () = at_exit sweep_leftovers
+
+(* SIGTERM/SIGINT also sweep, then chain to whatever handler was installed
+   before us — so a killed service process never leaks *.nocap-spill bytes
+   even though at_exit does not run on fatal signals. Chaining to
+   Signal_default restores the default disposition and re-delivers, so the
+   exit status still says "killed by signal". *)
+let signal_handlers_installed = ref false
+
+let install_signal_handlers () =
+  if not !signal_handlers_installed then begin
+    signal_handlers_installed := true;
+    List.iter
+      (fun signo ->
+        let prev = ref Sys.Signal_default in
+        let handler s =
+          sweep_leftovers ();
+          match !prev with
+          | Sys.Signal_handle f -> f s
+          | Sys.Signal_ignore -> ()
+          | Sys.Signal_default ->
+            (try Sys.set_signal signo Sys.Signal_default
+             with Invalid_argument _ | Sys_error _ -> ());
+            (try Unix.kill (Unix.getpid ()) signo
+             with Unix.Unix_error _ -> exit 1)
+        in
+        try prev := Sys.signal signo (Sys.Signal_handle handler)
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigterm; Sys.sigint ]
+  end
+
+(* Fault-injection seam for the runtime-faults harness: called (with "read"
+   or "write") before every file-backed I/O, from the domain performing the
+   I/O. A hook simulates disk failure by raising, e.g.
+   [Unix.Unix_error (EIO, ...)]; the exception propagates to the caller
+   with the staging mutex released. Not for production use. *)
+let io_fault_hook : (string -> unit) option ref = ref None
+let set_io_fault_hook h = io_fault_hook := h
+
+let io_fault_point op =
+  match !io_fault_hook with Some h -> h op | None -> ()
 
 type file = {
   id : int;
@@ -85,6 +131,7 @@ let write t ~pos src =
     Mutex.lock f.io;
     Fun.protect ~finally:(fun () -> Mutex.unlock f.io) @@ fun () ->
     if f.freed then invalid_arg "Spill.write: vector already freed";
+    io_fault_point "write";
     let nbytes = n * 8 in
     ensure_stage f nbytes;
     for i = 0 to n - 1 do
@@ -103,6 +150,7 @@ let read t ~pos dst =
     Mutex.lock f.io;
     Fun.protect ~finally:(fun () -> Mutex.unlock f.io) @@ fun () ->
     if f.freed then invalid_arg "Spill.read: vector already freed";
+    io_fault_point "read";
     let nbytes = n * 8 in
     ensure_stage f nbytes;
     ignore (Unix.lseek f.fd (pos * 8) Unix.SEEK_SET);
@@ -139,6 +187,7 @@ let create ?(tag = "spill") ~spill n =
     of_fv fv
   end
   else begin
+    install_signal_handlers ();
     let path = Filename.temp_file ("nocap-" ^ tag ^ "-") ".nocap-spill" in
     let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CLOEXEC ] 0o600 in
     Mutex.lock registry_mutex;

@@ -23,7 +23,11 @@
     {b Temp-file hygiene.} Files are created by [Filename.temp_file] with a
     [.nocap-spill] suffix and unlinked immediately after opening where the
     OS allows, so even SIGKILL leaks no namespace entry. A registry plus an
-    [at_exit] sweep removes any path that could not be unlinked eagerly. *)
+    [at_exit] sweep removes any path that could not be unlinked eagerly;
+    the first spilled [create] also installs SIGTERM/SIGINT handlers that
+    run the same sweep and then chain to the previously installed handler
+    (or re-deliver the default disposition), so killed service processes
+    never leak spill bytes either. *)
 
 module Gf = Zk_field.Gf
 
@@ -73,6 +77,26 @@ val live_files : unit -> int
 val reset_counters : unit -> unit
 (** Zero {!spilled_bytes_total} (for per-section bench accounting);
     [live_files] is live state and is not affected. *)
+
+val sweep_leftovers : unit -> unit
+(** Best-effort removal of every registered leftover path. Runs via
+    [at_exit] and from the SIGTERM/SIGINT handlers; safe (lock-avoiding)
+    to call from a signal handler. Normally a no-op — unlink-after-open
+    leaves nothing behind on POSIX systems. *)
+
+val install_signal_handlers : unit -> unit
+(** Install the SIGTERM/SIGINT sweep-then-chain handlers now (idempotent).
+    Called automatically by the first spilled {!create}; long-running
+    services call it at startup so the guarantee holds before any spill
+    exists. Handlers installed {e after} this call (e.g. a service's
+    graceful-drain handler) take precedence and may chain back. *)
+
+val set_io_fault_hook : (string -> unit) option -> unit
+(** Fault-injection seam: the hook is called with ["read"] or ["write"]
+    before every file-backed transfer, on the domain doing the I/O, and
+    may raise (e.g. [Unix.Unix_error (EIO, _, _)]) to simulate disk
+    failure — the staging mutex is released on the way out. [None]
+    disarms. Testing only; never set in production paths. *)
 
 (** Sequential read window over a spill vector: [get] near-misses reload a
     fixed-size window starting at the requested index, so ascending scans
