@@ -115,8 +115,9 @@ type state = Queued | Running | Backoff | Finished
 type job = {
   id : int;
   req : request;
-  inst : R1cs.instance;
-  asn : R1cs.assignment;
+  (* The generated circuit; [Some] from admission until the job finishes,
+     then dropped so retained outcomes don't pin instance + assignment. *)
+  mutable data : (R1cs.instance * R1cs.assignment) option;
   submitted_at : float;
   deadline_at : float; (* absolute; infinity when the job has no deadline *)
   rel_deadline : float; (* the relative deadline, for the error payload *)
@@ -200,18 +201,31 @@ let stats t =
 
 (* --- scheduler internals (all with t.lock held) ------------------------- *)
 
+(* Give back one admission slot and wake whoever may be waiting on it:
+   awaiters/drainers parked on [done_c], and — when the last slot of a
+   drain frees — runners parked on [work] (they exit on [draining &&
+   unfinished = 0]). Every decrement of [unfinished] must go through
+   here: the submit error paths release slots that never became jobs,
+   and a drainer blocked on [done_c] would otherwise sleep forever if
+   such a release is the one that brings [unfinished] to 0. *)
+let release_slot_locked t =
+  t.unfinished <- t.unfinished - 1;
+  Condition.broadcast t.done_c;
+  if t.draining && t.unfinished = 0 then Condition.broadcast t.work
+
 let finish_locked t job outcome =
   if job.state <> Finished then begin
     job.state <- Finished;
     job.token <- None;
     job.outcome <- Some outcome;
-    t.unfinished <- t.unfinished - 1;
+    (* The circuit is dead weight once the outcome exists: drop it so a
+       finished-but-not-yet-forgotten job retains only its outcome, not
+       the full instance + assignment. *)
+    job.data <- None;
     (match outcome with
     | Proof _ | Verified _ -> t.s_completed <- t.s_completed + 1
     | Failed _ -> t.s_failed <- t.s_failed + 1);
-    Condition.broadcast t.done_c;
-    (* The last job of a drain releases runners parked on [work]. *)
-    if t.draining && t.unfinished = 0 then Condition.broadcast t.work
+    release_slot_locked t
   end
 
 let fail_deadline_locked t job =
@@ -250,7 +264,7 @@ let backoff_delay t job =
 
 (* --- the attempt body (runs outside the lock) --------------------------- *)
 
-let attempt_body t job tok attempt =
+let attempt_body t job ~inst ~asn tok attempt =
   (match t.fault_hook with
   | Some h -> h ~stage:"attempt" ~job_id:job.id ~attempt
   | None -> ());
@@ -262,14 +276,14 @@ let attempt_body t job tok attempt =
   Pool.Cancel.with_token tok @@ fun () ->
   match job.req.kind with
   | Prove ->
-    let proof, _stats = Spartan.prove ~engine t.cfg.params job.inst job.asn in
+    let proof, _stats = Spartan.prove ~engine t.cfg.params inst asn in
     Ok (Some (Spartan.proof_to_bytes proof))
   | Verify blob -> (
     match Spartan.proof_of_bytes blob with
     | Error e -> Error (Job_error.Verify_rejected e)
     | Ok proof -> (
-      let io = R1cs.public_io job.inst job.asn in
-      match Spartan.verify ~engine t.cfg.params job.inst ~io proof with
+      let io = R1cs.public_io inst asn in
+      match Spartan.verify ~engine t.cfg.params inst ~io proof with
       | Ok () -> Ok None
       | Error e -> Error (Job_error.Verify_rejected e)))
 
@@ -284,12 +298,17 @@ let run_attempt t job =
   end
   else if now > job.deadline_at then fail_deadline_locked t job
   else begin
+    let inst, asn =
+      match job.data with
+      | Some d -> d
+      | None -> assert false (* only Finished jobs drop their circuit *)
+    in
     (* Demotion decision: a job whose in-memory working set would blow the
        configured budget runs on the streaming engine instead of dying.
        The estimate is the prover's resident factor (~6 full-length tables
        of 8 bytes/element) over the instance size. *)
     (match t.cfg.mem_budget_bytes with
-    | Some budget when (not job.streamed) && 48 * R1cs.size job.inst > budget ->
+    | Some budget when (not job.streamed) && 48 * R1cs.size inst > budget ->
       job.streamed <- true;
       t.s_demoted <- t.s_demoted + 1
     | _ -> ());
@@ -300,7 +319,7 @@ let run_attempt t job =
     let attempt = job.attempts in
     Mutex.unlock t.lock;
     let result =
-      try attempt_body t job tok attempt
+      try attempt_body t job ~inst ~asn tok attempt
       with e ->
         let bt = Printexc.get_raw_backtrace () in
         Error (Job_error.of_exn e bt)
@@ -535,8 +554,8 @@ let submit t req =
     match generate_workload ~workload:req.workload ~scale:req.scale with
     | Error e ->
       Mutex.lock t.lock;
-      t.unfinished <- t.unfinished - 1;
       t.s_invalid <- t.s_invalid + 1;
+      release_slot_locked t;
       Mutex.unlock t.lock;
       Error e
     | Ok (inst, asn) ->
@@ -550,8 +569,7 @@ let submit t req =
         {
           id;
           req;
-          inst;
-          asn;
+          data = Some (inst, asn);
           submitted_at = now;
           deadline_at = (if rel = infinity then infinity else now +. rel);
           rel_deadline = rel;
@@ -567,7 +585,7 @@ let submit t req =
       Mutex.lock t.lock;
       if t.stopped || t.draining then begin
         (* Drain raced the generation; shed rather than enqueue. *)
-        t.unfinished <- t.unfinished - 1;
+        release_slot_locked t;
         Mutex.unlock t.lock;
         Error Job_error.Draining
       end
@@ -634,15 +652,34 @@ let forget t id =
 
 let request_drain t = Atomic.set t.drain_flag true
 
+(* First SIGTERM/SIGINT: graceful — flip the drain flag for the watchdog.
+   Any further signal means the drain is stuck (e.g. a job that never
+   reaches a cancel check), so escalate: run the saved handler chain —
+   which includes Spill's leftover sweep — then restore the default
+   disposition and re-raise, so operators can always force-exit through
+   the sweep path instead of resorting to SIGKILL (which would skip it). *)
 let handle_signals t =
+  let sig_count = Atomic.make 0 in
   let saved =
     List.filter_map
       (fun signo ->
         try
-          let prev =
-            Sys.signal signo (Sys.Signal_handle (fun _ -> request_drain t))
+          let prev = ref Sys.Signal_default in
+          let handler s =
+            if Atomic.fetch_and_add sig_count 1 = 0 then request_drain t
+            else begin
+              (match !prev with
+              | Sys.Signal_handle f -> ( try f s with _ -> ())
+              | Sys.Signal_ignore | Sys.Signal_default -> Spill.sweep_leftovers ());
+              (try Sys.set_signal signo Sys.Signal_default
+               with Invalid_argument _ | Sys_error _ -> ());
+              (try Unix.kill (Unix.getpid ()) signo
+               with Unix.Unix_error _ -> exit 1)
+            end
           in
-          Some (signo, prev)
+          let p = Sys.signal signo (Sys.Signal_handle handler) in
+          prev := p;
+          Some (signo, p)
         with Invalid_argument _ | Sys_error _ -> None)
       [ Sys.sigterm; Sys.sigint ]
   in

@@ -122,16 +122,23 @@ val cancel : ?reason:string -> t -> int -> bool
     (or is unknown). *)
 
 val forget : t -> int -> unit
-(** Drop a finished job's record (outcome, circuit) from the table. *)
+(** Drop a finished job's record from the table. The circuit (instance +
+    assignment) is already released the moment a job finishes; [forget]
+    frees the remaining outcome (proof bytes / error) — call it once the
+    outcome has been consumed so long-lived services don't accumulate
+    finished-job records. *)
 
 val request_drain : t -> unit
 (** Async-signal-safe drain trigger: flips an atomic flag the watchdog
     picks up within one tick. *)
 
 val handle_signals : t -> unit -> unit
-(** Install SIGTERM/SIGINT handlers that call {!request_drain} (layered
-    over the {!Nocap_vec.Spill} sweep handlers, which remain in effect
-    for non-graceful kills). Returns a restorer for the previous
+(** Install SIGTERM/SIGINT handlers layered over the {!Nocap_vec.Spill}
+    sweep handlers: the first signal calls {!request_drain} (graceful);
+    any further signal assumes the drain is stuck and force-exits —
+    chaining to the saved handlers (so the spill sweep still runs), then
+    restoring the default disposition and re-raising, so the process is
+    never only killable by SIGKILL. Returns a restorer for the previous
     handlers. *)
 
 val drain : ?grace_s:float -> t -> unit

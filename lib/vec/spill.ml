@@ -12,14 +12,18 @@ let spilled_total = ref 0
 
 (* Best-effort removal of every leftover path. Callable from at_exit and
    from signal handlers: a handler can interrupt a thread that already
-   holds [registry_mutex], so we only try_lock — the table is normally
-   empty (unlink-after-open succeeded) and the process is about to die
-   anyway, so a racy iteration beats a self-deadlock. *)
+   holds [registry_mutex], so we only try_lock — and when that fails we
+   skip the sweep entirely rather than iterate a Hashtbl another domain
+   is mutating (OCaml Hashtbl is not safe under concurrent mutation; an
+   unlocked iteration can raise or spin, not just race benignly). The
+   table is normally empty anyway: unlink-after-open leaves nothing to
+   sweep, and the mutex is only ever held for a few instructions. *)
 let sweep_leftovers () =
-  let locked = Mutex.try_lock registry_mutex in
-  Hashtbl.iter (fun _ path -> try Sys.remove path with Sys_error _ -> ()) leftover_paths;
-  Hashtbl.reset leftover_paths;
-  if locked then Mutex.unlock registry_mutex
+  if Mutex.try_lock registry_mutex then begin
+    Hashtbl.iter (fun _ path -> try Sys.remove path with Sys_error _ -> ()) leftover_paths;
+    Hashtbl.reset leftover_paths;
+    Mutex.unlock registry_mutex
+  end
 
 let () = at_exit sweep_leftovers
 

@@ -80,9 +80,11 @@ val reset_counters : unit -> unit
 
 val sweep_leftovers : unit -> unit
 (** Best-effort removal of every registered leftover path. Runs via
-    [at_exit] and from the SIGTERM/SIGINT handlers; safe (lock-avoiding)
-    to call from a signal handler. Normally a no-op — unlink-after-open
-    leaves nothing behind on POSIX systems. *)
+    [at_exit] and from the SIGTERM/SIGINT handlers; safe to call from a
+    signal handler — if the registry lock is contended the sweep is
+    skipped rather than risking a concurrent-iteration crash or a
+    self-deadlock. Normally a no-op — unlink-after-open leaves nothing
+    behind on POSIX systems. *)
 
 val install_signal_handlers : unit -> unit
 (** Install the SIGTERM/SIGINT sweep-then-chain handlers now (idempotent).

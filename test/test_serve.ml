@@ -344,6 +344,49 @@ let test_drain_rejects_new_work () =
   | _ -> Alcotest.fail "in-flight job lost during drain");
   ignore (Serve.shutdown srv)
 
+(* Regression (REVIEW): submit's error paths release their reserved
+   admission slot without creating a job; if that release is the one that
+   brings [unfinished] to 0 it must wake a concurrently blocked drainer —
+   the lost-wakeup bug hung the drain forever. Hammer the race: a domain
+   spamming invalid submits (reserve slot → generation fails → release)
+   while the main flow drains; the drainer must always come back. *)
+let test_drain_wakes_on_submit_error () =
+  for _round = 1 to 8 do
+    let srv =
+      Serve.create
+        ~config:
+          { Serve.default_config with Serve.capacity = 4; runners = 1;
+            params = Spartan.test_params }
+        ()
+    in
+    let stop = Atomic.make false in
+    let submitter =
+      Domain.spawn (fun () ->
+          while not (Atomic.get stop) do
+            match Serve.submit srv (prove_req "no-such-workload" 1) with
+            | Error (Job_error.Invalid_input _ | Job_error.Draining) -> ()
+            | Error e -> failwith (Job_error.to_string e)
+            | Ok _ -> failwith "invalid workload admitted"
+          done)
+    in
+    let drained = Atomic.make false in
+    let drainer =
+      Domain.spawn (fun () ->
+          Serve.drain srv;
+          Atomic.set drained true)
+    in
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while (not (Atomic.get drained)) && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.001
+    done;
+    Atomic.set stop true;
+    if not (Atomic.get drained) then
+      Alcotest.fail "drain hung against a submit error-path slot release";
+    Domain.join submitter;
+    Domain.join drainer;
+    ignore (Serve.shutdown srv)
+  done
+
 (* --- committed-state lifecycle ------------------------------------------ *)
 
 let test_free_committed_idempotent () =
@@ -418,6 +461,8 @@ let suite =
     Alcotest.test_case "verify jobs classify rejection" `Quick test_verify_kind;
     Alcotest.test_case "drain stops admission, finishes in-flight" `Quick
       test_drain_rejects_new_work;
+    Alcotest.test_case "drain wakes on submit error-path release" `Quick
+      test_drain_wakes_on_submit_error;
     Alcotest.test_case "pcs: free_committed is idempotent" `Quick test_free_committed_idempotent;
     Alcotest.test_case "engine config aggregates all errors" `Quick test_config_aggregates_errors;
     Alcotest.test_case "shutdown shared services cleanly" `Quick test_shutdown_shared;
